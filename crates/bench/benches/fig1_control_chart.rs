@@ -1,0 +1,30 @@
+//! FIG1 bench: regenerating the example control chart (Figure 1) at
+//! reduced scale — a fresh normal run scored into a T² chart with its
+//! 95 %/99 % limits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use temspc::experiments::{fig1, fig2};
+use temspc_bench::bench_context;
+
+fn bench_fig1(c: &mut Criterion) {
+    let ctx = bench_context("temspc_bench_fig1");
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    group.bench_function("control_chart", |b| {
+        b.iter(|| {
+            let r = fig1::run(black_box(&ctx)).expect("fig1");
+            black_box(r.fraction_below_99)
+        })
+    });
+    group.bench_function("fig2_wire_trace", |b| {
+        b.iter(|| {
+            let r = fig2::run(black_box(&ctx)).expect("fig2");
+            black_box(r.received_xmeas1)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

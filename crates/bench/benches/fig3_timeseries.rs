@@ -1,0 +1,23 @@
+//! FIG3 bench: regenerating the XMEAS(1) traces of Figure 3 (IDV(6) vs
+//! integrity attack on XMV(3)) at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use temspc::experiments::fig3;
+use temspc_bench::bench_context;
+
+fn bench_fig3(c: &mut Criterion) {
+    let ctx = bench_context("temspc_bench_fig3");
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("xmeas1_traces", |b| {
+        b.iter(|| {
+            let r = fig3::run(black_box(&ctx)).expect("fig3");
+            black_box((r.pre_onset_mean, r.post_onset_mean))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! FIG4/FIG5 bench: regenerating the dual-level oMEDA panels of Figures 4
+//! and 5 at reduced scale (one run per scenario).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use temspc::experiments::fig45;
+use temspc_bench::bench_context;
+
+fn bench_fig45(c: &mut Criterion) {
+    let ctx = bench_context("temspc_bench_fig45");
+    let mut group = c.benchmark_group("fig45");
+    group.sample_size(10);
+    group.bench_function("omeda_panels", |b| {
+        b.iter(|| {
+            let r = fig45::run(black_box(&ctx)).expect("fig45");
+            black_box(r.controller_panels.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig45);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Micro-benchmarks of the extension substrates: TPB persistence, the GMM
+//! baseline, PRESS cross-validation and traffic aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use temspc_linalg::rng::GaussianSampler;
+use temspc_linalg::Matrix;
+use temspc_mspc::crossval::press_cross_validation;
+use temspc_mspc::gmm::{GmmConfig, GmmModel};
+use temspc_mspc::{MspcConfig, MspcModel};
+use temspc_fieldbus::TrafficMonitor;
+
+fn synthetic(n: usize, m: usize, seed: u64) -> Matrix {
+    let mut rng = GaussianSampler::seed_from(seed);
+    let mut x = Matrix::zeros(n, m);
+    for r in 0..n {
+        let t1 = rng.next_gaussian();
+        let t2 = rng.next_gaussian();
+        for c in 0..m {
+            let w1 = ((c * 3 + 1) % 7) as f64 / 7.0 - 0.5;
+            let w2 = ((c * 5 + 2) % 11) as f64 / 11.0 - 0.5;
+            x.set(r, c, w1 * t1 + w2 * t2 + 0.1 * rng.next_gaussian());
+        }
+    }
+    x
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_extensions");
+
+    // TPB persistence of a realistic MSPC model.
+    let calib = synthetic(1000, 53, 1);
+    let model = MspcModel::fit(&calib, MspcConfig::default()).unwrap();
+    group.bench_function("tpb_serialize_mspc_model", |b| {
+        b.iter(|| temspc_persist::to_bytes(black_box(&model)).unwrap())
+    });
+    let bytes = temspc_persist::to_bytes(&model).unwrap();
+    group.bench_function("tpb_deserialize_mspc_model", |b| {
+        b.iter(|| temspc_persist::from_bytes::<MspcModel>(black_box(&bytes)).unwrap())
+    });
+
+    // GMM baseline.
+    let gx = synthetic(500, 20, 2);
+    group.sample_size(10);
+    group.bench_function("gmm_fit_500x20_k4", |b| {
+        b.iter(|| GmmModel::fit(black_box(&gx), GmmConfig::default()).unwrap())
+    });
+    let gmm = GmmModel::fit(&gx, GmmConfig::default()).unwrap();
+    let obs: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
+    group.bench_function("gmm_score_20", |b| {
+        b.iter(|| gmm.score(black_box(&obs)).unwrap())
+    });
+
+    // PRESS cross-validation.
+    let px = synthetic(150, 8, 3);
+    group.bench_function("press_cv_150x8_a4_f4", |b| {
+        b.iter(|| press_cross_validation(black_box(&px), 4, 4).unwrap())
+    });
+
+    // Traffic aggregation throughput.
+    group.bench_function("traffic_observe_window", |b| {
+        let mut tap = TrafficMonitor::new(0.02, 41, 12);
+        let up = vec![1.0; 41];
+        let down = vec![50.0; 12];
+        let mut hour = 0.0;
+        b.iter(|| {
+            hour += 0.0005;
+            black_box(tap.observe_uplink(hour, 346, &up));
+            black_box(tap.observe_downlink(hour, 114, &down));
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the MSPC kernels: PCA fit, observation scoring,
+//! dataset scoring, oMEDA, control-limit computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use temspc_linalg::rng::GaussianSampler;
+use temspc_linalg::Matrix;
+use temspc_mspc::pca::ComponentSelection;
+use temspc_mspc::{omeda, MspcConfig, MspcModel, PcaModel};
+
+/// Synthetic 53-variable plant-like calibration data.
+fn synthetic(n: usize, m: usize, seed: u64) -> Matrix {
+    let mut rng = GaussianSampler::seed_from(seed);
+    let mut x = Matrix::zeros(n, m);
+    let k = 8.min(m);
+    for r in 0..n {
+        let latents: Vec<f64> = (0..k).map(|_| rng.next_gaussian()).collect();
+        for c in 0..m {
+            let mut v = 0.1 * rng.next_gaussian();
+            for (j, l) in latents.iter().enumerate() {
+                v += l * (((c + j * 7) % 13) as f64 / 13.0 - 0.5);
+            }
+            x.set(r, c, v);
+        }
+    }
+    x
+}
+
+fn bench_mspc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_mspc");
+
+    for &n in &[500usize, 2000] {
+        let x = synthetic(n, 53, 1);
+        group.bench_with_input(BenchmarkId::new("pca_fit_eigen", n), &x, |b, x| {
+            b.iter(|| PcaModel::fit(black_box(x), ComponentSelection::VarianceFraction(0.9)))
+        });
+    }
+
+    let x = synthetic(500, 12, 2);
+    group.bench_function("pca_fit_nipals_500x12_a4", |b| {
+        b.iter(|| PcaModel::fit_nipals(black_box(&x), 4))
+    });
+
+    let calib = synthetic(2000, 53, 3);
+    let model = MspcModel::fit(&calib, MspcConfig::default()).unwrap();
+    let obs: Vec<f64> = (0..53).map(|i| (i as f64 * 0.37).sin()).collect();
+    group.bench_function("score_observation_53", |b| {
+        b.iter(|| model.score(black_box(&obs)))
+    });
+
+    let fresh = synthetic(2000, 53, 4);
+    group.bench_function("score_dataset_2000x53", |b| {
+        b.iter(|| model.score_dataset(black_box(&fresh)))
+    });
+
+    let event = synthetic(100, 53, 5);
+    let dummy = vec![1.0; 100];
+    group.bench_function("omeda_100x53", |b| {
+        b.iter(|| omeda(black_box(&event), black_box(&dummy), model.pca()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mspc);
+criterion_main!(benches);

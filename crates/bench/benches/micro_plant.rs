@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the simulation substrate: plant step, control
+//! scan, full closed-loop hour, and the fieldbus frame codec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use temspc::{ClosedLoopRunner, Scenario, ScenarioKind};
+use temspc_control::DecentralizedController;
+use temspc_fieldbus::{Frame, FrameKind};
+use temspc_tesim::{PlantConfig, TePlant};
+
+fn bench_plant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_plant");
+
+    group.bench_function("plant_step_1.8s", |b| {
+        let mut plant = TePlant::new(PlantConfig::default(), 1);
+        let xmv = plant.nominal_xmv();
+        b.iter(|| {
+            if plant.step(black_box(&xmv)).is_err() {
+                plant = TePlant::new(PlantConfig::default(), 1);
+            }
+            black_box(plant.hour())
+        })
+    });
+
+    group.bench_function("measurements_41", |b| {
+        let mut plant = TePlant::new(PlantConfig::default(), 2);
+        let xmv = plant.nominal_xmv();
+        plant.step(&xmv).unwrap();
+        b.iter(|| black_box(plant.measurements()))
+    });
+
+    group.bench_function("control_scan_53", |b| {
+        let mut plant = TePlant::new(PlantConfig::default(), 3);
+        let xmv = plant.nominal_xmv();
+        plant.step(&xmv).unwrap();
+        let xmeas = plant.measurements();
+        let mut controller = DecentralizedController::new();
+        b.iter(|| black_box(controller.step(black_box(xmeas.as_slice()))))
+    });
+
+    let mut group2 = {
+        group.finish();
+        c.benchmark_group("closed_loop")
+    };
+    group2.sample_size(10);
+    group2.bench_function("one_hour_2000_steps", |b| {
+        b.iter(|| {
+            let scenario = Scenario::short(ScenarioKind::Normal, 1.0, f64::INFINITY, 7);
+            let data = ClosedLoopRunner::new(&scenario).run(100, |_| {}).unwrap();
+            black_box(data.hours.len())
+        })
+    });
+    group2.finish();
+
+    let mut group3 = c.benchmark_group("fieldbus");
+    let frame = Frame::new(FrameKind::SensorReport, 42, 10.0, vec![1.5; 41]);
+    group3.bench_function("frame_encode_41", |b| b.iter(|| black_box(&frame).encode()));
+    let wire = frame.encode();
+    group3.bench_function("frame_decode_41", |b| {
+        b.iter(|| Frame::decode(black_box(&wire)).unwrap())
+    });
+    group3.finish();
+}
+
+criterion_group!(benches, bench_plant);
+criterion_main!(benches);

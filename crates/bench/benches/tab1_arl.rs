@@ -1,0 +1,48 @@
+//! TAB1 bench: regenerating the ARL table (detection run lengths per
+//! scenario) at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use temspc::experiments::{arl, netdos, verdicts};
+use temspc::netmon::NetworkMonitor;
+use temspc::CalibrationConfig;
+use temspc_bench::bench_context;
+
+fn bench_tab1(c: &mut Criterion) {
+    let ctx = bench_context("temspc_bench_tab1");
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("tab1_arl", |b| {
+        b.iter(|| {
+            let r = arl::run(black_box(&ctx)).expect("arl");
+            black_box(r.rows.len())
+        })
+    });
+    group.bench_function("tab2_verdicts", |b| {
+        b.iter(|| {
+            let r = verdicts::run(black_box(&ctx)).expect("verdicts");
+            black_box(r.accuracy())
+        })
+    });
+    let network = NetworkMonitor::calibrate(
+        &CalibrationConfig {
+            runs: 2,
+            duration_hours: 0.5,
+            record_every: 50,
+            base_seed: 900,
+            threads: 0,
+        },
+        0.02,
+    )
+    .expect("network calibration");
+    group.bench_function("tab3_network_ablation", |b| {
+        b.iter(|| {
+            let r = netdos::run(black_box(&ctx), black_box(&network)).expect("netdos");
+            black_box(r.network_arl)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tab1);
+criterion_main!(benches);

@@ -1,0 +1,201 @@
+//! A small, dependency-free command-line argument parser.
+//!
+//! Supports `--key value`, `--key=value` and boolean `--flag` options
+//! after a positional subcommand, with typed accessors and precise error
+//! messages.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    subcommand: Option<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Argument-parsing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// An option was given without a value.
+    MissingValue(String),
+    /// A value could not be parsed as the requested type.
+    BadValue {
+        /// Option name.
+        option: String,
+        /// Provided value.
+        value: String,
+        /// Target type name.
+        ty: &'static str,
+    },
+    /// A positional argument appeared after options.
+    UnexpectedPositional(String),
+    /// A required option was absent.
+    Required(String),
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::MissingValue(o) => write!(f, "option --{o} requires a value"),
+            ArgsError::BadValue { option, value, ty } => {
+                write!(f, "option --{option}: '{value}' is not a valid {ty}")
+            }
+            ArgsError::UnexpectedPositional(p) => write!(f, "unexpected argument '{p}'"),
+            ArgsError::Required(o) => write!(f, "missing required option --{o}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+/// Option names that do not take a value.
+const BOOLEAN_FLAGS: &[&str] = &["no-noise", "verbose", "network"];
+
+impl ParsedArgs {
+    /// Parses a raw argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] for malformed input.
+    pub fn parse<I, S>(args: I) -> Result<Self, ArgsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut parsed = ParsedArgs::default();
+        let mut iter = args.into_iter().map(Into::into).peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(stripped) = arg.strip_prefix("--") {
+                if let Some((key, value)) = stripped.split_once('=') {
+                    parsed.options.insert(key.to_string(), value.to_string());
+                } else if BOOLEAN_FLAGS.contains(&stripped) {
+                    parsed.flags.push(stripped.to_string());
+                } else {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| ArgsError::MissingValue(stripped.to_string()))?;
+                    parsed.options.insert(stripped.to_string(), value);
+                }
+            } else if parsed.subcommand.is_none() {
+                parsed.subcommand = Some(arg);
+            } else {
+                return Err(ArgsError::UnexpectedPositional(arg));
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The subcommand, if any.
+    pub fn subcommand(&self) -> Option<&str> {
+        self.subcommand.as_deref()
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// String option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Required string option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::Required`] when absent.
+    pub fn require(&self, key: &str) -> Result<&str, ArgsError> {
+        self.get(key).ok_or_else(|| ArgsError::Required(key.into()))
+    }
+
+    /// Typed option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::BadValue`] if present but unparsable.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, ArgsError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgsError::BadValue {
+                option: key.to_string(),
+                value: raw.to_string(),
+                ty: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_subcommand_and_options() {
+        let a = ParsedArgs::parse(["simulate", "--hours", "4", "--idv=6", "--no-noise"]).unwrap();
+        assert_eq!(a.subcommand(), Some("simulate"));
+        assert_eq!(a.get("hours"), Some("4"));
+        assert_eq!(a.get("idv"), Some("6"));
+        assert!(a.flag("no-noise"));
+        assert!(!a.flag("verbose"));
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let a = ParsedArgs::parse(["x", "--hours", "2.5", "--seed", "42"]).unwrap();
+        assert_eq!(a.get_parsed("hours", 1.0).unwrap(), 2.5);
+        assert_eq!(a.get_parsed("seed", 0u64).unwrap(), 42);
+        assert_eq!(a.get_parsed("missing", 7i32).unwrap(), 7);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(
+            ParsedArgs::parse(["x", "--hours"]).unwrap_err(),
+            ArgsError::MissingValue("hours".into())
+        );
+        let a = ParsedArgs::parse(["x", "--hours", "abc"]).unwrap();
+        assert!(matches!(
+            a.get_parsed("hours", 0.0f64),
+            Err(ArgsError::BadValue { .. })
+        ));
+        assert_eq!(
+            ParsedArgs::parse(["x", "y"]).unwrap_err(),
+            ArgsError::UnexpectedPositional("y".into())
+        );
+        let a = ParsedArgs::parse(["x"]).unwrap();
+        assert_eq!(a.require("out").unwrap_err(), ArgsError::Required("out".into()));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let a = ParsedArgs::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(a.subcommand(), None);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert_eq!(
+            ArgsError::Required("out".into()).to_string(),
+            "missing required option --out"
+        );
+        assert!(ArgsError::BadValue {
+            option: "hours".into(),
+            value: "x".into(),
+            ty: "f64"
+        }
+        .to_string()
+        .contains("not a valid f64"));
+    }
+}

@@ -1,0 +1,317 @@
+//! Implementations of the CLI subcommands.
+
+use std::error::Error;
+
+use temspc::diagnosis::{diagnose, VerdictThresholds};
+use temspc::experiments::{arl, fig1, fig2, fig3, fig45, verdicts, ExperimentContext};
+use temspc::persistence::{
+    load_monitor, load_network_monitor, save_monitor, save_network_monitor,
+};
+use temspc::{
+    CalibrationConfig, ClosedLoopRunner, DualMspc, NetworkMonitor, Scenario, ScenarioKind,
+};
+use temspc_fieldbus::{Attack, AttackKind, AttackTarget};
+use temspc_tesim::measurement::XMEAS_INFO;
+
+use crate::args::ParsedArgs;
+
+/// Usage text.
+pub const USAGE: &str = r#"temspc — disturbances vs intrusions in process control, with dual-level MSPC
+
+USAGE:
+  temspc simulate  [--hours 4] [--idv 0] [--attack none|xmv3|xmeas1|dos]
+                   [--onset <h>] [--seed 1] [--csv run.csv] [--no-noise]
+  temspc calibrate [--runs 4] [--hours 2] --out model.tpb [--net-out net.tpb]
+  temspc detect    --model model.tpb [--net net.tpb] [--scenario idv6]
+                   [--hours 4] [--onset 1] [--seed 42]
+  temspc experiments [--mode quick|paper] [--out results]
+  temspc list
+  temspc help
+
+SCENARIOS: normal, idv6, xmv3 (integrity), xmeas1 (integrity), dos"#;
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+fn scenario_kind(name: &str) -> Result<ScenarioKind, String> {
+    Ok(match name {
+        "normal" => ScenarioKind::Normal,
+        "idv6" => ScenarioKind::Idv6,
+        "xmv3" | "integrity_xmv3" => ScenarioKind::IntegrityXmv3,
+        "xmeas1" | "integrity_xmeas1" => ScenarioKind::IntegrityXmeas1,
+        "dos" | "dos_xmv3" => ScenarioKind::DosXmv3,
+        other => return Err(format!("unknown scenario '{other}'")),
+    })
+}
+
+/// `temspc simulate` — run the closed loop, print a summary, optionally
+/// dump a CSV of both views.
+pub fn simulate(args: &ParsedArgs) -> CmdResult {
+    let hours: f64 = args.get_parsed("hours", 4.0)?;
+    let idv: usize = args.get_parsed("idv", 0)?;
+    let onset: f64 = args.get_parsed("onset", hours / 2.0)?;
+    let seed: u64 = args.get_parsed("seed", 1)?;
+    let attack = args.get_or("attack", "none").to_string();
+
+    let mut scenario = Scenario::short(ScenarioKind::Normal, hours, onset, seed);
+    if idv == 6 && attack == "none" {
+        scenario.kind = ScenarioKind::Idv6;
+    }
+    let attacks: Vec<Attack> = match attack.as_str() {
+        "none" => Vec::new(),
+        "xmv3" => vec![Attack::new(
+            AttackTarget::Actuator(3),
+            AttackKind::IntegrityConstant(0.0),
+            onset..f64::INFINITY,
+        )],
+        "xmeas1" => vec![Attack::new(
+            AttackTarget::Sensor(1),
+            AttackKind::IntegrityConstant(0.0),
+            onset..f64::INFINITY,
+        )],
+        "dos" => vec![Attack::new(
+            AttackTarget::Actuator(3),
+            AttackKind::DenialOfService,
+            onset..f64::INFINITY,
+        )],
+        other => return Err(format!("unknown attack '{other}'").into()),
+    };
+    if idv > 0 && idv != 6 {
+        // Arbitrary disturbances: schedule through the generic path.
+        let mut set = temspc_tesim::DisturbanceSet::new();
+        set.schedule(temspc_tesim::Disturbance::from_idv_number(idv), onset);
+        // Run manually to honor both the custom IDV and custom attacks.
+        return simulate_custom(hours, set, attacks, seed, args);
+    }
+
+    let runner = if attacks.is_empty() {
+        ClosedLoopRunner::new(&scenario)
+    } else {
+        ClosedLoopRunner::with_attacks(&scenario, attacks)
+    };
+    let data = runner.run(20, |_| {})?;
+    print_run_summary(&data);
+    maybe_write_csv(args, &data)?;
+    Ok(())
+}
+
+fn simulate_custom(
+    hours: f64,
+    idv: temspc_tesim::DisturbanceSet,
+    attacks: Vec<Attack>,
+    seed: u64,
+    args: &ParsedArgs,
+) -> CmdResult {
+    use temspc_control::DecentralizedController;
+    use temspc_fieldbus::{FieldbusLink, MitmAdversary};
+    use temspc_tesim::{PlantConfig, TePlant, SAMPLES_PER_HOUR};
+
+    let mut cfg = PlantConfig::default();
+    if args.flag("no-noise") {
+        cfg.measurement_noise = false;
+        cfg.process_randomness = false;
+    }
+    let mut plant = TePlant::new(cfg, seed);
+    plant.set_disturbances(idv);
+    let mut controller = DecentralizedController::new();
+    let mut link = FieldbusLink::new(MitmAdversary::new(attacks));
+    let mut hours_v = Vec::new();
+    let mut cview = temspc_linalg_matrix();
+    let mut pview = temspc_linalg_matrix();
+    let steps = (hours * SAMPLES_PER_HOUR as f64) as usize;
+    for k in 0..steps {
+        let hour = plant.hour();
+        let xmeas = plant.measurements();
+        let received = link.uplink(hour, xmeas.as_slice())?;
+        let commanded = controller.step(&received);
+        let delivered = link.downlink(hour, &commanded)?;
+        if plant.step(&delivered).is_err() {
+            break;
+        }
+        if k % 20 == 0 {
+            hours_v.push(hour);
+            let mut c = received.clone();
+            c.extend_from_slice(&commanded);
+            cview.push_row(&c);
+            let mut p = xmeas.as_slice().to_vec();
+            p.extend_from_slice(&delivered);
+            pview.push_row(&p);
+        }
+    }
+    let data = temspc::RunData {
+        scenario: Scenario::short(ScenarioKind::Normal, hours, f64::INFINITY, seed),
+        hours: hours_v,
+        controller_view: cview,
+        process_view: pview,
+        shutdown: plant.shutdown(),
+    };
+    print_run_summary(&data);
+    maybe_write_csv(args, &data)?;
+    Ok(())
+}
+
+fn temspc_linalg_matrix() -> temspc_linalg::Matrix {
+    temspc_linalg::Matrix::default()
+}
+
+fn print_run_summary(data: &temspc::RunData) {
+    let last = data.hours.len().saturating_sub(1);
+    println!("samples recorded : {}", data.hours.len());
+    if data.hours.is_empty() {
+        return;
+    }
+    println!("final hour       : {:.3}", data.hours[last]);
+    println!(
+        "XMEAS(1) A feed  : {:.3} kscmh",
+        data.process_view.get(last, 0)
+    );
+    println!(
+        "reactor pressure : {:.1} kPa",
+        data.process_view.get(last, 6)
+    );
+    println!(
+        "stripper level   : {:.1} %",
+        data.process_view.get(last, 14)
+    );
+    match data.shutdown {
+        Some((reason, hour)) => println!("SHUTDOWN at {hour:.3} h: {reason}"),
+        None => println!("no shutdown"),
+    }
+}
+
+fn maybe_write_csv(args: &ParsedArgs, data: &temspc::RunData) -> CmdResult {
+    if let Some(path) = args.get("csv") {
+        let mut header = vec!["hour".to_string(), "level".to_string()];
+        for i in 0..temspc::N_MONITORED {
+            header.push(temspc::variable_name(i));
+        }
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut csv = temspc::csv::CsvWriter::with_header(&header_refs);
+        for (i, h) in data.hours.iter().enumerate() {
+            csv.push_labelled(
+                &format!("{h},controller"),
+                data.controller_view.row(i),
+            );
+            csv.push_labelled(&format!("{h},process"), data.process_view.row(i));
+        }
+        csv.write_to(path)?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `temspc calibrate` — calibrate and persist monitors.
+pub fn calibrate(args: &ParsedArgs) -> CmdResult {
+    let runs: usize = args.get_parsed("runs", 4)?;
+    let hours: f64 = args.get_parsed("hours", 2.0)?;
+    let out = args.require("out")?;
+    let cfg = CalibrationConfig {
+        runs,
+        duration_hours: hours,
+        record_every: 10,
+        base_seed: args.get_parsed("seed", 1_000)?,
+        threads: 0,
+    };
+    println!("calibrating dual-level monitor on {runs} x {hours} h ...");
+    let monitor = DualMspc::calibrate(&cfg)?;
+    save_monitor(&monitor, out)?;
+    println!(
+        "saved {out} ({} PCs, T2_99 = {:.2}, SPE_99 = {:.2})",
+        monitor.controller_model().pca().n_components(),
+        monitor.controller_model().limits().t2_99,
+        monitor.controller_model().limits().spe_99
+    );
+    if let Some(net_out) = args.get("net-out") {
+        println!("calibrating network-level monitor ...");
+        let network = NetworkMonitor::calibrate(&cfg, 0.02)?;
+        save_network_monitor(&network, net_out)?;
+        println!("saved {net_out}");
+    }
+    Ok(())
+}
+
+/// `temspc detect` — monitor a scenario with persisted models.
+pub fn detect(args: &ParsedArgs) -> CmdResult {
+    let model_path = args.require("model")?;
+    let kind = scenario_kind(args.get_or("scenario", "idv6"))?;
+    let hours: f64 = args.get_parsed("hours", 4.0)?;
+    let onset: f64 = args.get_parsed("onset", 1.0)?;
+    let seed: u64 = args.get_parsed("seed", 42)?;
+
+    let monitor = load_monitor(model_path)?;
+    let scenario = Scenario::short(kind, hours, onset, seed);
+    println!("scenario: {}", kind.description());
+    let outcome = monitor.run_scenario(&scenario)?;
+    match outcome.detection.run_length(onset) {
+        Some(rl) => println!("detected {:.1} s after onset", rl * 3600.0),
+        None => println!("not detected within {hours} h"),
+    }
+    if outcome.false_alarms > 0 {
+        println!("false alarms before onset: {}", outcome.false_alarms);
+    }
+    if let Some(diag) = diagnose(&monitor, &outcome, VerdictThresholds::default()) {
+        println!("{}", temspc::incident_report(&outcome, &diag));
+    }
+    if let Some(net_path) = args.get("net") {
+        let network = load_network_monitor(net_path)?;
+        let net = network.run_scenario(&scenario)?;
+        match net.detected_hour {
+            Some(h) => println!(
+                "network level: detected {:.1} s after onset, implicates {}",
+                (h - onset) * 3600.0,
+                net.implicated_feature.as_deref().unwrap_or("-")
+            ),
+            None => println!("network level: no detection"),
+        }
+    }
+    if let Some((reason, hour)) = outcome.run.shutdown {
+        println!("plant shut down at {hour:.3} h: {reason}");
+    }
+    Ok(())
+}
+
+/// `temspc experiments` — the full figure/table campaign.
+pub fn experiments(args: &ParsedArgs) -> CmdResult {
+    let mode = args.get_or("mode", "quick");
+    let out = args.get_or("out", "results");
+    println!("calibrating ({mode} scale) ...");
+    let ctx = match mode {
+        "paper" => ExperimentContext::paper(out)?,
+        _ => {
+            let mut ctx = ExperimentContext::quick(out, 4.0)?;
+            ctx.onset_hour = 1.0;
+            ctx
+        }
+    };
+    fig1::run(&ctx)?;
+    fig2::run(&ctx)?;
+    fig3::run(&ctx)?;
+    fig45::run(&ctx)?;
+    arl::run(&ctx)?;
+    let v = verdicts::run(&ctx)?;
+    println!(
+        "experiments complete; verdict accuracy {:.1} %; artifacts in {out}/",
+        100.0 * v.accuracy()
+    );
+    Ok(())
+}
+
+/// `temspc list` — enumerate scenarios, disturbances and variables.
+pub fn list() -> CmdResult {
+    println!("scenarios:");
+    for kind in ScenarioKind::anomalous() {
+        println!("  {:<18} {}", kind.id(), kind.description());
+    }
+    println!("\ndisturbances (IDV):");
+    for n in 1..=20 {
+        let d = temspc_tesim::Disturbance::from_idv_number(n);
+        println!("  IDV({n:>2})  {d:?}");
+    }
+    println!("\nmeasurements (XMEAS):");
+    for info in XMEAS_INFO.iter() {
+        println!(
+            "  XMEAS({:>2})  {:<36} [{}]  nominal {}",
+            info.number, info.name, info.unit, info.nominal
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! `temspc` — the command-line interface of the workspace.
+//!
+//! ```text
+//! temspc simulate  --hours 4 --idv 6 --attack xmv3 --onset 2 --seed 1 [--csv run.csv] [--no-noise]
+//! temspc calibrate --runs 4 --hours 2 --out model.tpb [--net-out net.tpb]
+//! temspc detect    --model model.tpb --scenario idv6 --hours 4 --onset 1 [--net net.tpb]
+//! temspc experiments --mode quick|paper --out results/
+//! temspc list
+//! ```
+//!
+//! Run `temspc help` for details.
+
+mod args;
+mod commands;
+
+use args::ParsedArgs;
+
+fn main() {
+    let parsed = match ParsedArgs::parse(std::env::args().skip(1)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let outcome = match parsed.subcommand() {
+        Some("simulate") => commands::simulate(&parsed),
+        Some("calibrate") => commands::calibrate(&parsed),
+        Some("detect") => commands::detect(&parsed),
+        Some("experiments") => commands::experiments(&parsed),
+        Some("list") => commands::list(),
+        Some("help") | None => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        Some(other) => {
+            eprintln!("error: unknown subcommand '{other}'");
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Diagnostic: run the closed loop for N hours and print hourly snapshots.
+//!
+//! Usage: `cargo run --release -p temspc-control --example settle [hours] [idv] [seed]`
+
+use temspc_control::DecentralizedController;
+use temspc_tesim::{Disturbance, DisturbanceSet, PlantConfig, TePlant, SAMPLES_PER_HOUR};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let hours: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(24.0);
+    let idv: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let quiet = std::env::var("SETTLE_QUIET").is_ok();
+    let mut cfg = PlantConfig::default();
+    if quiet {
+        cfg.measurement_noise = false;
+        cfg.process_randomness = false;
+    }
+    let mut plant = TePlant::new(cfg, seed);
+    if idv > 0 {
+        let mut set = DisturbanceSet::new();
+        set.schedule(Disturbance::from_idv_number(idv), 10.0);
+        plant.set_disturbances(set);
+        println!("# IDV({idv}) scheduled at hour 10");
+    }
+    let mut controller = DecentralizedController::new();
+
+    println!(
+        "{:>6} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "hour", "XM1", "P_r", "T_r", "lvl_r", "lvl_s", "lvl_st", "T_s", "T_st", "purge",
+        "XMV3", "XMV6", "XMV10", "feed%A"
+    );
+    let steps = (hours * SAMPLES_PER_HOUR as f64) as usize;
+    for k in 0..steps {
+        let xmeas = plant.measurements();
+        let xmv = controller.step(xmeas.as_slice());
+        if let Err(e) = plant.step(&xmv) {
+            println!("# {e}");
+            break;
+        }
+        if k % (SAMPLES_PER_HOUR / 2) == 0 {
+            let s = plant.state();
+            eprintln!(
+                "h{:>6.2} Rliq F={:.1} G={:.1} H={:.1} | Rgas A={:.2} B={:.2} C={:.2} D={:.2} E={:.2} | SepV G={:.2} H={:.2} | SepL E={:.1} G={:.1} H={:.1} | St G={:.1} H={:.1}",
+                plant.hour(),
+                s.reactor_liquid[5], s.reactor_liquid[6], s.reactor_liquid[7],
+                s.reactor_gas[0], s.reactor_gas[1], s.reactor_gas[2], s.reactor_gas[3], s.reactor_gas[4],
+                s.sep_vapor[6], s.sep_vapor[7],
+                s.sep_liquid[4], s.sep_liquid[6], s.sep_liquid[7],
+                s.strip_liquid[6], s.strip_liquid[7],
+            );
+            let m = plant.measurements();
+            println!(
+                "{:>6.2} {:>8.4} {:>8.1} {:>8.2} {:>7.1} {:>7.1} {:>7.1} {:>7.2} {:>7.2} {:>7.4} {:>7.1} {:>7.1} {:>7.1} {:>7.1}",
+                plant.hour(),
+                m.xmeas(1),
+                m.xmeas(7),
+                m.xmeas(9),
+                m.xmeas(8),
+                m.xmeas(12),
+                m.xmeas(15),
+                m.xmeas(11),
+                m.xmeas(18),
+                m.xmeas(10),
+                xmv[2],
+                xmv[5],
+                xmv[9],
+                m.xmeas(23),
+            );
+        }
+    }
+    if let Some((reason, hour)) = plant.shutdown() {
+        println!("# SHUTDOWN at {hour:.3}: {reason}");
+    } else {
+        println!("# completed {hours} h without shutdown");
+    }
+    // Final full measurement dump for calibration of nominal tables.
+    let m = plant.measurements();
+    println!("# final XMEAS:");
+    for (i, v) in m.as_slice().iter().enumerate() {
+        println!("#   XMEAS({}) = {:.4}", i + 1, v);
+    }
+    println!("# final XMV: {:?}", controller.last_xmv());
+    if quiet {
+        println!("# final state: {:?}", plant.state());
+        println!("# final valves: {:?}", plant.valve_positions());
+    }
+}

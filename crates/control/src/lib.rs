@@ -1,0 +1,36 @@
+//! Decentralized plant-wide control for the TE-like process.
+//!
+//! Implements a Ricker-style (Ricker 1996) decentralized PI strategy: flow
+//! loops on the four feeds, reactor-pressure control via the purge,
+//! level loops on the separator and stripper, temperature loops on the
+//! reactor, separator and stripper, a slow composition cascade trimming
+//! the A-feed setpoint, and a reactor-pressure override on the A+C feed.
+//!
+//! The controller is *sample-driven*: call
+//! [`DecentralizedController::step`] once per 1.8 s scan with the 41
+//! XMEAS values it received (which, under attack, may not be what the
+//! plant actually sent) and apply the returned 12 XMV commands.
+//!
+//! # Example
+//!
+//! ```
+//! use temspc_tesim::{TePlant, PlantConfig};
+//! use temspc_control::DecentralizedController;
+//!
+//! let mut plant = TePlant::new(PlantConfig::default(), 7);
+//! let mut controller = DecentralizedController::new();
+//! for _ in 0..50 {
+//!     let xmeas = plant.measurements();
+//!     let xmv = controller.step(xmeas.as_slice());
+//!     plant.step(&xmv).unwrap();
+//! }
+//! assert!(!plant.is_shut_down());
+//! ```
+
+#![warn(missing_docs)]
+
+mod pid;
+mod ricker;
+
+pub use pid::{Action, Pid, PidConfig};
+pub use ricker::{ControllerConfig, DecentralizedController, Setpoints};

@@ -1,0 +1,252 @@
+//! Discrete PI/PID controller with anti-windup.
+
+use serde::{Deserialize, Serialize};
+
+/// Controller action: how the error is computed from PV and SP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action {
+    /// Output increases when the PV is *below* the setpoint
+    /// (e.g. a feed valve on a flow loop): `e = SP - PV`.
+    Reverse,
+    /// Output increases when the PV is *above* the setpoint
+    /// (e.g. a purge valve on a pressure loop): `e = PV - SP`.
+    Direct,
+}
+
+/// Static configuration of a PID loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PidConfig {
+    /// Proportional gain, output units per PV unit.
+    pub kc: f64,
+    /// Integral time in hours; `f64::INFINITY` for P-only control.
+    pub ti_hours: f64,
+    /// Derivative time in hours; 0 for PI control.
+    pub td_hours: f64,
+    /// Controller action.
+    pub action: Action,
+    /// Output low clamp.
+    pub out_min: f64,
+    /// Output high clamp.
+    pub out_max: f64,
+}
+
+impl PidConfig {
+    /// PI configuration with reverse action and 0–100 % output range.
+    pub fn pi(kc: f64, ti_hours: f64, action: Action) -> Self {
+        PidConfig {
+            kc,
+            ti_hours,
+            td_hours: 0.0,
+            action,
+            out_min: 0.0,
+            out_max: 100.0,
+        }
+    }
+}
+
+/// A discrete PID controller (positional form) with conditional-integration
+/// anti-windup and a configurable bias.
+///
+/// # Example
+///
+/// ```
+/// use temspc_control::{Action, Pid, PidConfig};
+///
+/// // A reverse-acting flow loop biased at 50 % output.
+/// let mut pid = Pid::new(PidConfig::pi(2.0, 0.1, Action::Reverse), 10.0, 50.0);
+/// let out = pid.update(8.0, 0.0005); // PV below SP -> output rises
+/// assert!(out > 50.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pid {
+    config: PidConfig,
+    setpoint: f64,
+    bias: f64,
+    integral: f64,
+    last_error: Option<f64>,
+}
+
+impl Pid {
+    /// Creates a controller with the given setpoint and output bias (the
+    /// output when the error and integral are zero).
+    pub fn new(config: PidConfig, setpoint: f64, bias: f64) -> Self {
+        Pid {
+            config,
+            setpoint,
+            bias,
+            integral: 0.0,
+            last_error: None,
+        }
+    }
+
+    /// Current setpoint.
+    pub fn setpoint(&self) -> f64 {
+        self.setpoint
+    }
+
+    /// Changes the setpoint (used by cascade outer loops).
+    pub fn set_setpoint(&mut self, setpoint: f64) {
+        self.setpoint = setpoint;
+    }
+
+    /// The loop configuration.
+    pub fn config(&self) -> &PidConfig {
+        &self.config
+    }
+
+    /// Resets the integral state and derivative memory.
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.last_error = None;
+    }
+
+    /// Computes the next output for measurement `pv` over scan interval
+    /// `dt_hours`.
+    ///
+    /// The output is clamped to `[out_min, out_max]`; integration is
+    /// suspended while the output is saturated in the direction that the
+    /// error would push it further (conditional integration anti-windup).
+    pub fn update(&mut self, pv: f64, dt_hours: f64) -> f64 {
+        let error = match self.config.action {
+            Action::Reverse => self.setpoint - pv,
+            Action::Direct => pv - self.setpoint,
+        };
+        let p = self.config.kc * error;
+        let d = if self.config.td_hours > 0.0 && dt_hours > 0.0 {
+            match self.last_error {
+                Some(prev) => self.config.kc * self.config.td_hours * (error - prev) / dt_hours,
+                None => 0.0,
+            }
+        } else {
+            0.0
+        };
+        self.last_error = Some(error);
+
+        let candidate_integral = if self.config.ti_hours.is_finite() && self.config.ti_hours > 0.0
+        {
+            self.integral + self.config.kc / self.config.ti_hours * error * dt_hours
+        } else {
+            self.integral
+        };
+        let unclamped = self.bias + p + candidate_integral + d;
+        let clamped = unclamped.clamp(self.config.out_min, self.config.out_max);
+        // Anti-windup: only accept the new integral if it does not push the
+        // output further into saturation.
+        if (unclamped > self.config.out_max && candidate_integral > self.integral)
+            || (unclamped < self.config.out_min && candidate_integral < self.integral)
+        {
+            // keep the previous integral
+        } else {
+            self.integral = candidate_integral;
+        }
+        clamped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DT: f64 = 0.0005;
+
+    #[test]
+    fn reverse_action_raises_output_when_pv_low() {
+        let mut pid = Pid::new(PidConfig::pi(1.0, 0.1, Action::Reverse), 50.0, 40.0);
+        let out = pid.update(45.0, DT);
+        assert!(out > 40.0);
+    }
+
+    #[test]
+    fn direct_action_raises_output_when_pv_high() {
+        let mut pid = Pid::new(PidConfig::pi(1.0, 0.1, Action::Direct), 50.0, 40.0);
+        let out = pid.update(60.0, DT);
+        assert!(out > 40.0);
+        let out2 = pid.update(40.0, DT);
+        assert!(out2 < out);
+    }
+
+    #[test]
+    fn integral_removes_offset() {
+        // Simulated first-order process: pv' = -(pv - u) / tau.
+        let mut pid = Pid::new(PidConfig::pi(0.5, 0.02, Action::Reverse), 70.0, 0.0);
+        let mut pv = 50.0;
+        for _ in 0..40_000 {
+            let u = pid.update(pv, DT);
+            pv += (u - pv) / 0.01 * DT;
+        }
+        assert!((pv - 70.0).abs() < 0.5, "pv = {pv}");
+    }
+
+    #[test]
+    fn output_is_clamped() {
+        let mut pid = Pid::new(PidConfig::pi(100.0, 0.001, Action::Reverse), 100.0, 50.0);
+        for _ in 0..1000 {
+            let out = pid.update(0.0, DT);
+            assert!(out <= 100.0);
+        }
+    }
+
+    #[test]
+    fn anti_windup_recovers_quickly() {
+        let mut pid = Pid::new(PidConfig::pi(1.0, 0.01, Action::Reverse), 50.0, 50.0);
+        // Saturate high for a long time.
+        for _ in 0..10_000 {
+            pid.update(0.0, DT);
+        }
+        // Error reverses; without anti-windup the output would stay pinned
+        // for thousands of steps.
+        let mut steps_to_recover = 0;
+        for _ in 0..2000 {
+            let out = pid.update(100.0, DT);
+            steps_to_recover += 1;
+            if out < 100.0 {
+                break;
+            }
+        }
+        assert!(steps_to_recover < 100, "took {steps_to_recover} steps");
+    }
+
+    #[test]
+    fn p_only_with_infinite_ti() {
+        let cfg = PidConfig {
+            kc: 2.0,
+            ti_hours: f64::INFINITY,
+            td_hours: 0.0,
+            action: Action::Reverse,
+            out_min: 0.0,
+            out_max: 100.0,
+        };
+        let mut pid = Pid::new(cfg, 50.0, 30.0);
+        // Constant error -> constant output (no integration).
+        let o1 = pid.update(40.0, DT);
+        let o2 = pid.update(40.0, DT);
+        assert_eq!(o1, o2);
+        assert!((o1 - 50.0).abs() < 1e-12); // 30 + 2*10
+    }
+
+    #[test]
+    fn derivative_term_reacts_to_error_slope() {
+        let cfg = PidConfig {
+            kc: 1.0,
+            ti_hours: f64::INFINITY,
+            td_hours: 0.01,
+            action: Action::Reverse,
+            out_min: -1000.0,
+            out_max: 1000.0,
+        };
+        let mut pid = Pid::new(cfg, 0.0, 0.0);
+        pid.update(0.0, DT);
+        let out = pid.update(-1.0, DT); // error jumped from 0 to 1
+        // P contributes 1; D contributes kc*td*de/dt = 0.01/0.0005 = 20.
+        assert!(out > 20.0, "out = {out}");
+    }
+
+    #[test]
+    fn setpoint_change_applies() {
+        let mut pid = Pid::new(PidConfig::pi(1.0, f64::INFINITY, Action::Reverse), 10.0, 0.0);
+        assert_eq!(pid.setpoint(), 10.0);
+        pid.set_setpoint(20.0);
+        let out = pid.update(10.0, DT);
+        assert!((out - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,453 @@
+//! The Ricker-style decentralized control strategy for the TE-like plant.
+
+use serde::{Deserialize, Serialize};
+use temspc_tesim::{N_XMV, STEP_HOURS};
+
+use crate::pid::{Action, Pid, PidConfig};
+
+/// First-order low-pass filter for noisy process measurements.
+///
+/// Flow transmitters are noisy; industrial flow controllers filter the PV
+/// before the PI so the valve does not chase measurement noise. This also
+/// keeps the valves' normal-operation variance small, which matters for
+/// MSPC: an attacked valve then stands far outside its calibration band.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LowPass {
+    tau_hours: f64,
+    state: Option<f64>,
+}
+
+impl LowPass {
+    /// Creates a filter with time constant `tau_hours`.
+    pub fn new(tau_hours: f64) -> Self {
+        LowPass {
+            tau_hours,
+            state: None,
+        }
+    }
+
+    /// Filters one sample over `dt_hours`.
+    pub fn update(&mut self, value: f64, dt_hours: f64) -> f64 {
+        let alpha = 1.0 - (-dt_hours / self.tau_hours.max(1e-9)).exp();
+        let s = match self.state {
+            Some(prev) => prev + alpha * (value - prev),
+            None => value,
+        };
+        self.state = Some(s);
+        s
+    }
+}
+
+/// Setpoints of the decentralized strategy.
+///
+/// Defaults correspond to the plant's base case; experiments normally leave
+/// them untouched.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Setpoints {
+    /// D feed, kg/h — XMEAS(2).
+    pub d_feed: f64,
+    /// E feed, kg/h — XMEAS(3).
+    pub e_feed: f64,
+    /// A feed, kscmh — XMEAS(1); also the cascade inner setpoint.
+    pub a_feed: f64,
+    /// A+C feed, kscmh — XMEAS(4).
+    pub ac_feed: f64,
+    /// Reactor pressure, kPa — XMEAS(7).
+    pub reactor_pressure: f64,
+    /// Reactor temperature, °C — XMEAS(9).
+    pub reactor_temp: f64,
+    /// Separator temperature, °C — XMEAS(11).
+    pub separator_temp: f64,
+    /// Separator level, % — XMEAS(12).
+    pub separator_level: f64,
+    /// Stripper level, % — XMEAS(15).
+    pub stripper_level: f64,
+    /// Stripper temperature, °C — XMEAS(18).
+    pub stripper_temp: f64,
+    /// %A in the reactor feed, mol% — XMEAS(23), cascade outer setpoint.
+    pub feed_pct_a: f64,
+    /// Reactor level, % — XMEAS(8), regulated by trimming production.
+    pub reactor_level: f64,
+}
+
+impl Default for Setpoints {
+    fn default() -> Self {
+        Setpoints {
+            d_feed: 3379.5,
+            e_feed: 4187.0,
+            a_feed: 3.913,
+            ac_feed: 5.10,
+            reactor_pressure: 2705.0,
+            reactor_temp: 120.40,
+            separator_temp: 80.11,
+            separator_level: 50.0,
+            stripper_level: 50.0,
+            stripper_temp: 65.73,
+            feed_pct_a: 33.0,
+            reactor_level: 65.0,
+        }
+    }
+}
+
+/// Configuration of the decentralized controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Loop setpoints.
+    pub setpoints: Setpoints,
+    /// Enable the slow %A-in-feed composition cascade that trims the
+    /// A-feed flow setpoint.
+    pub composition_cascade: bool,
+    /// Enable the reactor-pressure override that cuts the A+C feed when
+    /// the pressure approaches the interlock limit.
+    pub pressure_override: bool,
+    /// Enable the slow reactor-level loop that trims the D and E feed
+    /// setpoints (the production master).
+    pub production_trim: bool,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            setpoints: Setpoints::default(),
+            composition_cascade: true,
+            pressure_override: true,
+            production_trim: true,
+        }
+    }
+}
+
+/// The decentralized controller: 10 PI loops + 1 cascade + 1 override.
+///
+/// See the crate docs for the loop pairing. Call
+/// [`DecentralizedController::step`] once per 1.8 s scan.
+#[derive(Debug, Clone)]
+pub struct DecentralizedController {
+    config: ControllerConfig,
+    d_feed: Pid,
+    e_feed: Pid,
+    a_feed: Pid,
+    ac_feed: Pid,
+    pressure: Pid,
+    sep_level: Pid,
+    strip_level: Pid,
+    strip_temp: Pid,
+    reactor_temp: Pid,
+    sep_temp: Pid,
+    a_composition: Pid,
+    production: Pid,
+    flow_filters: [LowPass; 4],
+    last_xmv: [f64; N_XMV],
+}
+
+impl Default for DecentralizedController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DecentralizedController {
+    /// Creates the controller with default setpoints and tuning.
+    pub fn new() -> Self {
+        Self::with_config(ControllerConfig::default())
+    }
+
+    /// Creates the controller with explicit configuration.
+    pub fn with_config(config: ControllerConfig) -> Self {
+        let sp = &config.setpoints;
+        let d_feed = Pid::new(PidConfig::pi(0.0086, 0.01, Action::Reverse), sp.d_feed, 58.15);
+        let e_feed = Pid::new(PidConfig::pi(0.006, 0.01, Action::Reverse), sp.e_feed, 50.15);
+        let a_feed = Pid::new(PidConfig::pi(2.0, 0.05, Action::Reverse), sp.a_feed, 61.90);
+        let ac_feed = Pid::new(PidConfig::pi(3.3, 0.01, Action::Reverse), sp.ac_feed, 61.33);
+        let pressure = Pid::new(
+            PidConfig::pi(0.12, 0.5, Action::Direct),
+            sp.reactor_pressure,
+            55.65,
+        );
+        let sep_level = Pid::new(
+            PidConfig::pi(2.0, 1.0, Action::Direct),
+            sp.separator_level,
+            30.01,
+        );
+        let strip_level = Pid::new(
+            PidConfig::pi(2.0, 1.0, Action::Direct),
+            sp.stripper_level,
+            36.38,
+        );
+        let strip_temp = Pid::new(
+            PidConfig::pi(3.0, 0.2, Action::Reverse),
+            sp.stripper_temp,
+            36.76,
+        );
+        let reactor_temp = Pid::new(
+            PidConfig::pi(12.0, 0.15, Action::Direct),
+            sp.reactor_temp,
+            23.54,
+        );
+        let sep_temp = Pid::new(
+            PidConfig::pi(1.5, 0.2, Action::Direct),
+            sp.separator_temp,
+            16.73,
+        );
+        // Outer cascade: output is the A-feed flow setpoint in kscmh.
+        let a_composition = Pid::new(
+            PidConfig {
+                kc: 0.010,
+                ti_hours: 3.0,
+                td_hours: 0.0,
+                action: Action::Reverse,
+                out_min: 0.5,
+                out_max: 6.0,
+            },
+            sp.feed_pct_a,
+            sp.a_feed,
+        );
+        // Production master: reactor level trims the D/E feed setpoints via
+        // a bounded multiplicative factor.
+        let production = Pid::new(
+            PidConfig {
+                kc: 0.004,
+                ti_hours: 6.0,
+                td_hours: 0.0,
+                action: Action::Reverse,
+                out_min: 0.30,
+                out_max: 1.15,
+            },
+            sp.reactor_level,
+            1.0,
+        );
+        DecentralizedController {
+            config,
+            d_feed,
+            e_feed,
+            a_feed,
+            ac_feed,
+            pressure,
+            sep_level,
+            strip_level,
+            strip_temp,
+            reactor_temp,
+            sep_temp,
+            a_composition,
+            production,
+            flow_filters: std::array::from_fn(|_| LowPass::new(20.0 / 3600.0)),
+            last_xmv: temspc_tesim::plant::NOMINAL_XMV,
+        }
+    }
+
+    /// The controller configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// The most recent XMV command (what the controller believes it sent).
+    pub fn last_xmv(&self) -> [f64; N_XMV] {
+        self.last_xmv
+    }
+
+    /// Current A-feed flow setpoint (moves when the cascade is enabled).
+    pub fn a_feed_setpoint(&self) -> f64 {
+        self.a_feed.setpoint()
+    }
+
+    /// Runs one 1.8 s control scan on the received measurement vector and
+    /// returns the 12 XMV commands (percent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xmeas.len() != 41`.
+    pub fn step(&mut self, xmeas: &[f64]) -> [f64; N_XMV] {
+        assert_eq!(xmeas.len(), 41, "expected 41 XMEAS values");
+        let dt = STEP_HOURS;
+        let x = |n: usize| xmeas[n - 1];
+
+        if self.config.composition_cascade {
+            let sp = self.a_composition.update(x(23), dt);
+            self.a_feed.set_setpoint(sp);
+        }
+        // High-pressure feed rundown: approaching the 3000 kPa interlock,
+        // cut the A+C feed hard and run down the D/E feeds too.
+        let rundown = if self.config.pressure_override {
+            (1.0 - (x(7) - 2820.0) / 120.0).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        if self.config.production_trim {
+            let factor = self.production.update(x(8), dt) * rundown.powf(0.7);
+            self.d_feed.set_setpoint(self.config.setpoints.d_feed * factor);
+            self.e_feed.set_setpoint(self.config.setpoints.e_feed * factor);
+        }
+
+        // Filtered flow PVs: the valves must not chase transmitter noise.
+        let f_d = self.flow_filters[0].update(x(2), dt);
+        let f_e = self.flow_filters[1].update(x(3), dt);
+        let f_a = self.flow_filters[2].update(x(1), dt);
+        let f_ac = self.flow_filters[3].update(x(4), dt);
+
+        let mut xmv = [0.0; N_XMV];
+        xmv[0] = self.d_feed.update(f_d, dt);
+        xmv[1] = self.e_feed.update(f_e, dt);
+        xmv[2] = self.a_feed.update(f_a, dt);
+        let mut ac = self.ac_feed.update(f_ac, dt);
+        ac *= rundown;
+        xmv[3] = ac;
+        xmv[4] = 22.21; // compressor recycle valve: fixed (Ricker)
+        xmv[5] = self.pressure.update(x(7), dt);
+        xmv[6] = self.sep_level.update(x(12), dt);
+        xmv[7] = self.strip_level.update(x(15), dt);
+        xmv[8] = self.strip_temp.update(x(18), dt);
+        xmv[9] = self.reactor_temp.update(x(9), dt);
+        xmv[10] = self.sep_temp.update(x(11), dt);
+        xmv[11] = 50.0; // agitator: fixed
+        self.last_xmv = xmv;
+        xmv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temspc_tesim::measurement::MeasurementVector;
+
+    fn nominal_scan(ctl: &mut DecentralizedController) -> [f64; N_XMV] {
+        let m = MeasurementVector::nominal();
+        ctl.step(m.as_slice())
+    }
+
+    #[test]
+    fn nominal_measurements_give_near_nominal_commands() {
+        let mut ctl = DecentralizedController::new();
+        let xmv = nominal_scan(&mut ctl);
+        for (i, (&cmd, &nom)) in xmv
+            .iter()
+            .zip(temspc_tesim::plant::NOMINAL_XMV.iter())
+            .enumerate()
+        {
+            assert!(
+                (cmd - nom).abs() < 8.0,
+                "XMV({}) = {cmd}, nominal {nom}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn zero_a_feed_measurement_opens_xmv3() {
+        let mut ctl = DecentralizedController::new();
+        let mut vals = MeasurementVector::nominal().as_slice().to_vec();
+        vals[0] = 0.0; // XMEAS(1) forged/lost to zero
+        let mut last = 0.0;
+        for _ in 0..2000 {
+            last = ctl.step(&vals)[2];
+        }
+        assert!(last > 95.0, "XMV(3) should saturate open, got {last}");
+    }
+
+    #[test]
+    fn high_pressure_opens_purge_and_cuts_feed() {
+        let mut ctl = DecentralizedController::new();
+        let mut vals = MeasurementVector::nominal().as_slice().to_vec();
+        vals[6] = 2950.0;
+        let xmv = ctl.step(&vals);
+        assert!(xmv[5] > 60.0, "purge valve should open, got {}", xmv[5]);
+        assert!(xmv[3] < 20.0, "A+C feed should be cut, got {}", xmv[3]);
+    }
+
+    #[test]
+    fn cascade_trims_a_feed_setpoint() {
+        let mut ctl = DecentralizedController::new();
+        let mut vals = MeasurementVector::nominal().as_slice().to_vec();
+        vals[22] = 45.0; // too much A in the feed
+        let sp0 = ctl.a_feed_setpoint();
+        for _ in 0..5000 {
+            ctl.step(&vals);
+        }
+        assert!(
+            ctl.a_feed_setpoint() < sp0,
+            "setpoint should be trimmed down"
+        );
+    }
+
+    #[test]
+    fn cascade_can_be_disabled() {
+        let cfg = ControllerConfig {
+            composition_cascade: false,
+            ..ControllerConfig::default()
+        };
+        let mut ctl = DecentralizedController::with_config(cfg);
+        let mut vals = MeasurementVector::nominal().as_slice().to_vec();
+        vals[22] = 45.0;
+        let sp0 = ctl.a_feed_setpoint();
+        for _ in 0..1000 {
+            ctl.step(&vals);
+        }
+        assert_eq!(ctl.a_feed_setpoint(), sp0);
+    }
+
+    #[test]
+    fn fixed_valves_stay_fixed() {
+        let mut ctl = DecentralizedController::new();
+        let xmv = nominal_scan(&mut ctl);
+        assert_eq!(xmv[4], 22.21);
+        assert_eq!(xmv[11], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 41")]
+    fn wrong_length_panics() {
+        DecentralizedController::new().step(&[0.0; 10]);
+    }
+
+    #[test]
+    fn production_trim_raises_feeds_when_reactor_level_low() {
+        let mut ctl = DecentralizedController::new();
+        let mut vals = MeasurementVector::nominal().as_slice().to_vec();
+        vals[7] = 40.0; // reactor level far below the 65 % setpoint
+        let mut last = [0.0; N_XMV];
+        for _ in 0..20_000 {
+            last = ctl.step(&vals);
+        }
+        // D and E feed valves open beyond nominal to rebuild inventory.
+        assert!(last[0] > 60.0, "XMV(1) = {}", last[0]);
+        assert!(last[1] > 52.0, "XMV(2) = {}", last[1]);
+    }
+
+    #[test]
+    fn rundown_cuts_all_feeds_near_the_pressure_interlock() {
+        let mut ctl = DecentralizedController::new();
+        let mut vals = MeasurementVector::nominal().as_slice().to_vec();
+        vals[6] = 2940.0; // rundown fully active at 2940 kPa
+        let xmv = ctl.step(&vals);
+        assert_eq!(xmv[3], 0.0, "A+C feed must be cut");
+        // D/E setpoints run down with factor^0.7 — after some scans the
+        // flow loops chase the reduced setpoints downward.
+        for _ in 0..5_000 {
+            ctl.step(&vals);
+        }
+        let xmv = ctl.step(&vals);
+        assert!(xmv[0] < 40.0, "XMV(1) = {}", xmv[0]);
+    }
+
+    #[test]
+    fn flow_filter_smooths_noisy_pv() {
+        let mut f = LowPass::new(20.0 / 3600.0);
+        let dt = temspc_tesim::STEP_HOURS;
+        // Alternate +1/-1 around 5.0: the filtered value stays near 5.
+        let mut out = 0.0;
+        for k in 0..2000 {
+            let v = 5.0 + if k % 2 == 0 { 1.0 } else { -1.0 };
+            out = f.update(v, dt);
+        }
+        assert!((out - 5.0).abs() < 0.3, "filtered = {out}");
+    }
+
+    #[test]
+    fn flow_filter_tracks_dc_changes() {
+        let mut f = LowPass::new(20.0 / 3600.0);
+        let dt = temspc_tesim::STEP_HOURS;
+        let mut out = 0.0;
+        for _ in 0..500 {
+            out = f.update(10.0, dt);
+        }
+        assert!((out - 10.0).abs() < 0.05, "filtered = {out}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Terminal-friendly line and bar charts for the experiment outputs.
+//!
+//! The paper's figures are MATLAB plots; the experiment harness renders
+//! the same data as ASCII so the reproduction is self-contained. Each
+//! experiment additionally writes CSV files for external plotting.
+
+/// Renders a line chart of `(x, y)` series.
+///
+/// `width`/`height` are the plot-area dimensions in characters. Multiple
+/// calls with the same data are deterministic.
+pub fn line_chart(title: &str, x: &[f64], y: &[f64], width: usize, height: usize) -> String {
+    assert_eq!(x.len(), y.len(), "x and y lengths differ");
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if x.is_empty() || width == 0 || height == 0 {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (xmin, xmax) = bounds(x);
+    let (mut ymin, mut ymax) = bounds(y);
+    if (ymax - ymin).abs() < 1e-12 {
+        ymin -= 1.0;
+        ymax += 1.0;
+    }
+    let mut grid = vec![vec![b' '; width]; height];
+    for (&xv, &yv) in x.iter().zip(y) {
+        let col = ((xv - xmin) / (xmax - xmin).max(1e-300) * (width - 1) as f64).round() as usize;
+        let row = ((ymax - yv) / (ymax - ymin) * (height - 1) as f64).round() as usize;
+        let (col, row) = (col.min(width - 1), row.min(height - 1));
+        grid[row][col] = b'*';
+    }
+    for (r, line) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{ymax:>10.3} |")
+        } else if r == height - 1 {
+            format!("{ymin:>10.3} |")
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.push_str(std::str::from_utf8(line).expect("ascii"));
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>10} +{}\n{:>12}{:<width$}\n",
+        "",
+        "-".repeat(width),
+        format!("{xmin:.2}"),
+        format!("{:>w$.2}", xmax, w = width.saturating_sub(4)),
+        width = width
+    ));
+    out
+}
+
+/// Renders a horizontal bar chart (one row per labelled value) — the
+/// shape of the paper's oMEDA plots. Bars extend left (negative) or right
+/// (positive) of a zero axis.
+pub fn bar_chart(title: &str, labels: &[String], values: &[f64], width: usize) -> String {
+    assert_eq!(labels.len(), values.len(), "labels and values differ");
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if values.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let max_abs = values.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-300);
+    let half = width / 2;
+    let label_w = labels.iter().map(|l| l.len()).max().unwrap_or(0);
+    for (label, &v) in labels.iter().zip(values) {
+        let len = ((v.abs() / max_abs) * half as f64).round() as usize;
+        let len = len.min(half);
+        let mut line = String::new();
+        if v < 0.0 {
+            line.push_str(&" ".repeat(half - len));
+            line.push_str(&"#".repeat(len));
+            line.push('|');
+            line.push_str(&" ".repeat(half));
+        } else {
+            line.push_str(&" ".repeat(half));
+            line.push('|');
+            line.push_str(&"#".repeat(len));
+            line.push_str(&" ".repeat(half - len));
+        }
+        out.push_str(&format!("{label:>label_w$} {line} {v:>12.2}\n"));
+    }
+    out
+}
+
+fn bounds(v: &[f64]) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &x in v {
+        if x.is_finite() {
+            min = min.min(x);
+            max = max.max(x);
+        }
+    }
+    if !min.is_finite() {
+        (0.0, 1.0)
+    } else {
+        (min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_contains_points_and_labels() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64 * 0.1).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.sin()).collect();
+        let s = line_chart("sine", &x, &y, 60, 12);
+        assert!(s.starts_with("sine"));
+        assert!(s.contains('*'));
+        assert!(s.contains("1.000") || s.contains("0.999")); // ymax label
+    }
+
+    #[test]
+    fn empty_series_is_handled() {
+        let s = line_chart("empty", &[], &[], 60, 10);
+        assert!(s.contains("(no data)"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let x = [0.0, 1.0, 2.0];
+        let y = [5.0, 5.0, 5.0];
+        let s = line_chart("flat", &x, &y, 30, 5);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn bar_chart_directions() {
+        let labels = vec!["a".to_string(), "bb".to_string()];
+        let s = bar_chart("bars", &labels, &[-2.0, 1.0], 40);
+        let lines: Vec<&str> = s.lines().collect();
+        // Negative bar: hashes before the axis; positive: after.
+        let neg = lines[1];
+        let pos = lines[2];
+        assert!(neg.find('#').unwrap() < neg.find('|').unwrap());
+        assert!(pos.find('#').unwrap() > pos.find('|').unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mismatched_lengths_panic() {
+        line_chart("bad", &[1.0], &[], 10, 5);
+    }
+}

@@ -1,0 +1,148 @@
+//! Calibration-data generation: repeated normal-operation runs, executed
+//! in parallel.
+
+use temspc_linalg::Matrix;
+
+use crate::runner::{ClosedLoopRunner, RunError};
+use crate::scenario::{Scenario, ScenarioKind};
+
+/// Configuration of the calibration campaign.
+///
+/// The paper uses 30 runs of 72 h recorded at 2000 samples/hour; the MSPC
+/// model is built from the runs decimated by `record_every` (monitoring
+/// itself always happens at full rate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationConfig {
+    /// Number of normal-operation runs (paper: 30).
+    pub runs: usize,
+    /// Duration of each run in hours (paper: 72).
+    pub duration_hours: f64,
+    /// Keep every n-th sample for model building (50 → one sample per
+    /// 90 s).
+    pub record_every: usize,
+    /// Seed of the first run; run `k` uses `base_seed + k`.
+    pub base_seed: u64,
+    /// Worker threads (0 = one per run, capped at 16).
+    pub threads: usize,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig {
+            runs: 30,
+            duration_hours: 72.0,
+            record_every: 50,
+            base_seed: 1_000,
+            threads: 0,
+        }
+    }
+}
+
+impl CalibrationConfig {
+    /// A small configuration for tests and benches.
+    pub fn quick() -> Self {
+        CalibrationConfig {
+            runs: 3,
+            duration_hours: 2.0,
+            record_every: 10,
+            base_seed: 1_000,
+            threads: 0,
+        }
+    }
+}
+
+/// Runs the calibration campaign and returns the stacked
+/// `(controller_view, process_view)` matrices.
+///
+/// Runs execute in parallel on `threads` workers (crossbeam scoped
+/// threads).
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`] of any run.
+pub fn collect_calibration_data(config: &CalibrationConfig) -> Result<(Matrix, Matrix), RunError> {
+    let n_workers = if config.threads == 0 {
+        config.runs.min(16).max(1)
+    } else {
+        config.threads
+    };
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<parking_lot::Mutex<Option<Result<(Matrix, Matrix), RunError>>>> =
+        (0..config.runs).map(|_| parking_lot::Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|_| loop {
+                let k = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if k >= config.runs {
+                    break;
+                }
+                let scenario = Scenario::short(
+                    ScenarioKind::Normal,
+                    config.duration_hours,
+                    f64::INFINITY,
+                    config.base_seed + k as u64,
+                );
+                let outcome = ClosedLoopRunner::new(&scenario)
+                    .run(config.record_every, |_| {})
+                    .map(|d| (d.controller_view, d.process_view));
+                *slots[k].lock() = Some(outcome);
+            });
+        }
+    })
+    .expect("calibration worker panicked");
+
+    let mut controller = Matrix::default();
+    let mut process = Matrix::default();
+    for slot in slots {
+        let (c, p) = slot.into_inner().expect("slot filled")?;
+        for row in c.iter_rows() {
+            controller.push_row(row);
+        }
+        for row in p.iter_rows() {
+            process.push_row(row);
+        }
+    }
+    Ok((controller, process))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names::N_MONITORED;
+
+    #[test]
+    fn quick_calibration_produces_stacked_matrices() {
+        let cfg = CalibrationConfig {
+            runs: 2,
+            duration_hours: 0.2,
+            record_every: 20,
+            base_seed: 5,
+            threads: 2,
+        };
+        let (c, p) = collect_calibration_data(&cfg).unwrap();
+        assert_eq!(c.ncols(), N_MONITORED);
+        assert_eq!(c.shape(), p.shape());
+        // 0.2 h * 2000 / 20 = 20 rows per run, 2 runs.
+        assert_eq!(c.nrows(), 40);
+        // Normal operation: both views identical.
+        assert_eq!(c, p);
+        assert!(c.all_finite());
+    }
+
+    #[test]
+    fn runs_use_distinct_seeds() {
+        let cfg = CalibrationConfig {
+            runs: 2,
+            duration_hours: 0.05,
+            record_every: 5,
+            base_seed: 77,
+            threads: 1,
+        };
+        let (c, _) = collect_calibration_data(&cfg).unwrap();
+        // Rows from run 1 and run 2 at the same in-run index differ
+        // (different noise realizations).
+        let half = c.nrows() / 2;
+        assert_ne!(c.row(1), c.row(half + 1));
+    }
+}

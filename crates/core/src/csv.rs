@@ -1,0 +1,131 @@
+//! A tiny CSV writer for the experiment outputs (no external dependency;
+//! all emitted values are plain numbers or simple identifiers).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Builds CSV content in memory.
+#[derive(Debug, Default, Clone)]
+pub struct CsvWriter {
+    content: String,
+    columns: usize,
+}
+
+impl CsvWriter {
+    /// Creates a writer with a header row.
+    pub fn with_header(columns: &[&str]) -> Self {
+        let mut w = CsvWriter {
+            content: String::new(),
+            columns: columns.len(),
+        };
+        w.push_row_str(columns);
+        w
+    }
+
+    fn push_row_str(&mut self, row: &[&str]) {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                self.content.push(',');
+            }
+            debug_assert!(
+                !cell.contains(',') && !cell.contains('"') && !cell.contains('\n'),
+                "experiment CSV cells are plain identifiers/numbers"
+            );
+            self.content.push_str(cell);
+        }
+        self.content.push('\n');
+    }
+
+    /// Appends a row of numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_numbers(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.columns, "CSV row width mismatch");
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                self.content.push(',');
+            }
+            let _ = write!(self.content, "{v}");
+        }
+        self.content.push('\n');
+    }
+
+    /// Appends a row with one or more leading label cells (comma-separated
+    /// inside `label`) followed by numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total cell count differs from the header width.
+    pub fn push_labelled(&mut self, label: &str, numbers: &[f64]) {
+        let label_cells = label.split(',').count();
+        assert_eq!(
+            label_cells + numbers.len(),
+            self.columns,
+            "CSV row width mismatch"
+        );
+        self.content.push_str(label);
+        for v in numbers {
+            let _ = write!(self.content, ",{v}");
+        }
+        self.content.push('\n');
+    }
+
+    /// The CSV text built so far.
+    pub fn as_str(&self) -> &str {
+        &self.content
+    }
+
+    /// Writes the content to a file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, &self.content)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_rows() {
+        let mut w = CsvWriter::with_header(&["hour", "value"]);
+        w.push_numbers(&[1.0, 2.5]);
+        w.push_labelled("x", &[3.0]);
+        assert_eq!(w.as_str(), "hour,value\n1,2.5\nx,3\n");
+    }
+
+    #[test]
+    fn multi_cell_labels() {
+        let mut w = CsvWriter::with_header(&["a", "b", "v"]);
+        w.push_labelled("x,y", &[1.0]);
+        assert_eq!(w.as_str(), "a,b,v\nx,y,1\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_panics() {
+        let mut w = CsvWriter::with_header(&["a", "b"]);
+        w.push_numbers(&[1.0]);
+    }
+
+    #[test]
+    fn write_creates_directories() {
+        let dir = std::env::temp_dir().join("temspc_csv_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.csv");
+        let mut w = CsvWriter::with_header(&["v"]);
+        w.push_numbers(&[7.0]);
+        w.write_to(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "v\n7\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,194 @@
+//! Anomaly diagnosis: comparing controller-level and process-level oMEDA
+//! vectors to distinguish disturbances from intrusions.
+//!
+//! This module is the executable form of §V-A of the paper:
+//!
+//! * a **disturbance** produces the *same* diagnosis at both levels (the
+//!   two views carry identical data when nobody tampers with the fieldbus);
+//! * an **integrity attack** produces diverging diagnoses — e.g. the
+//!   controller view blames `XMEAS(1)` while the process view reveals
+//!   `XMV(3)` as the manipulated variable;
+//! * a **DoS** detects late and diagnoses diffusely (low "clarity").
+
+use serde::{Deserialize, Serialize};
+use temspc_mspc::omeda::{diagnosis_clarity, dominant_variable, omeda};
+
+use crate::monitor::{DualMspc, ScenarioOutcome};
+use crate::names::variable_name;
+
+/// The verdict on an anomaly's origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Both levels tell the same story: a process disturbance.
+    Disturbance,
+    /// The levels diverge: someone is forging data in flight.
+    Intrusion,
+    /// Detected, but the diagnosis does not implicate clear variables.
+    Inconclusive,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Verdict::Disturbance => "disturbance",
+            Verdict::Intrusion => "intrusion",
+            Verdict::Inconclusive => "inconclusive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A full dual-level diagnosis of one anomalous event.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnomalyDiagnosis {
+    /// oMEDA vector from the controller-level view (53 entries).
+    pub controller_omeda: Vec<f64>,
+    /// oMEDA vector from the process-level view (53 entries).
+    pub process_omeda: Vec<f64>,
+    /// Dominant variable (0-based index, signed value) per level.
+    pub controller_dominant: (usize, f64),
+    /// Dominant variable of the process-level view.
+    pub process_dominant: (usize, f64),
+    /// Clarity (0..1) of each level's bar plot.
+    pub controller_clarity: f64,
+    /// Clarity of the process-level plot.
+    pub process_clarity: f64,
+    /// Divergence between the two levels (0 = identical stories).
+    pub divergence: f64,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+impl AnomalyDiagnosis {
+    /// Name of the variable the controller-level view implicates.
+    pub fn controller_variable(&self) -> String {
+        variable_name(self.controller_dominant.0)
+    }
+
+    /// Name of the variable the process-level view implicates.
+    pub fn process_variable(&self) -> String {
+        variable_name(self.process_dominant.0)
+    }
+}
+
+/// Divergence between two oMEDA vectors: `1 − cosine similarity` of the
+/// normalized vectors, in `[0, 2]` (0 = same story, 2 = opposite).
+pub fn omeda_divergence(a: &[f64], b: &[f64]) -> f64 {
+    let na: f64 = a.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if na < 1e-300 || nb < 1e-300 {
+        return 0.0;
+    }
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    1.0 - dot / (na * nb)
+}
+
+/// Thresholds of the verdict rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VerdictThresholds {
+    /// Divergence above this ⇒ intrusion.
+    pub divergence: f64,
+    /// Maximum clarity below this ⇒ inconclusive.
+    pub clarity: f64,
+}
+
+impl Default for VerdictThresholds {
+    fn default() -> Self {
+        VerdictThresholds {
+            divergence: 0.10,
+            clarity: 0.30,
+        }
+    }
+}
+
+/// Diagnoses a monitored scenario outcome.
+///
+/// Computes oMEDA at both levels over the anomalous-event window, then
+/// applies the verdict rule: diverging levels ⇒ intrusion; agreeing,
+/// clear levels ⇒ disturbance; unclear ⇒ inconclusive.
+///
+/// Returns `None` if the outcome contains no anomalous window (nothing
+/// was detected).
+pub fn diagnose(
+    monitor: &DualMspc,
+    outcome: &ScenarioOutcome,
+    thresholds: VerdictThresholds,
+) -> Option<AnomalyDiagnosis> {
+    if outcome.event_rows_controller.nrows() == 0 {
+        return None;
+    }
+    let dummy = vec![1.0; outcome.event_rows_controller.nrows()];
+    let controller_omeda = omeda(
+        &outcome.event_rows_controller,
+        &dummy,
+        monitor.controller_model().pca(),
+    )
+    .ok()?;
+    let process_omeda = omeda(
+        &outcome.event_rows_process,
+        &dummy,
+        monitor.process_model().pca(),
+    )
+    .ok()?;
+    let controller_dominant = dominant_variable(&controller_omeda)?;
+    let process_dominant = dominant_variable(&process_omeda)?;
+    let controller_clarity = diagnosis_clarity(&controller_omeda);
+    let process_clarity = diagnosis_clarity(&process_omeda);
+    let divergence = omeda_divergence(&controller_omeda, &process_omeda);
+
+    let verdict = if divergence > thresholds.divergence {
+        Verdict::Intrusion
+    } else if controller_clarity.max(process_clarity) < thresholds.clarity {
+        Verdict::Inconclusive
+    } else {
+        Verdict::Disturbance
+    };
+
+    Some(AnomalyDiagnosis {
+        controller_omeda,
+        process_omeda,
+        controller_dominant,
+        process_dominant,
+        controller_clarity,
+        process_clarity,
+        divergence,
+        verdict,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divergence_of_identical_vectors_is_zero() {
+        let v = vec![1.0, -2.0, 3.0];
+        assert!(omeda_divergence(&v, &v) < 1e-12);
+    }
+
+    #[test]
+    fn divergence_of_orthogonal_vectors_is_one() {
+        let a = vec![1.0, 0.0];
+        let b = vec![0.0, 1.0];
+        assert!((omeda_divergence(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divergence_of_opposite_vectors_is_two() {
+        let a = vec![1.0, 2.0];
+        let b = vec![-1.0, -2.0];
+        assert!((omeda_divergence(&a, &b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_vectors_have_zero_divergence() {
+        assert_eq!(omeda_divergence(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(Verdict::Disturbance.to_string(), "disturbance");
+        assert_eq!(Verdict::Intrusion.to_string(), "intrusion");
+        assert_eq!(Verdict::Inconclusive.to_string(), "inconclusive");
+    }
+}

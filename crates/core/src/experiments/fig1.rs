@@ -1,0 +1,102 @@
+//! FIG1 — Figure 1 of the paper: an example control chart with 95 % and
+//! 99 % control limits.
+//!
+//! The paper's Figure 1 is illustrative: observations over time, most
+//! below the limits, a few excursions. We regenerate it with real data:
+//! the D-statistic (T²) of a fresh normal-operation run scored against
+//! the calibrated controller-level model.
+
+use crate::ascii_plot::line_chart;
+use crate::csv::CsvWriter;
+use crate::experiments::ExperimentContext;
+use crate::scenario::{Scenario, ScenarioKind};
+use temspc_mspc::MspcError;
+
+/// Summary of the regenerated control chart.
+#[derive(Debug, Clone)]
+pub struct Fig1Result {
+    /// Hours of the plotted observations.
+    pub hours: Vec<f64>,
+    /// D-statistic series.
+    pub t2: Vec<f64>,
+    /// 95 % control limit.
+    pub limit_95: f64,
+    /// 99 % control limit.
+    pub limit_99: f64,
+    /// Fraction of observations below the 99 % limit (paper: ~99 %).
+    pub fraction_below_99: f64,
+}
+
+/// Regenerates Figure 1. Writes `fig1_control_chart.csv` and
+/// `fig1_control_chart.txt` into the results directory.
+///
+/// # Errors
+///
+/// Returns [`MspcError`] if the run or scoring fails.
+pub fn run(ctx: &ExperimentContext) -> Result<Fig1Result, MspcError> {
+    let scenario = Scenario::short(
+        ScenarioKind::Normal,
+        ctx.duration_hours.min(24.0),
+        f64::INFINITY,
+        ctx.base_seed + 7_000,
+    );
+    let outcome = ctx
+        .monitor
+        .run_scenario(&scenario)
+        .map_err(|_| MspcError::Numeric(temspc_linalg::LinalgError::Empty))?;
+    let model = ctx.monitor.controller_model();
+    let (t2, _) = model.score_dataset(&outcome.run.controller_view)?;
+    let hours = outcome.run.hours.clone();
+    let limit_95 = model.limits().t2_95;
+    let limit_99 = model.limits().t2_99;
+    let below = t2.iter().filter(|&&v| v <= limit_99).count();
+    let fraction_below_99 = below as f64 / t2.len().max(1) as f64;
+
+    let mut csv = CsvWriter::with_header(&["hour", "t2", "limit_95", "limit_99"]);
+    for (h, v) in hours.iter().zip(&t2) {
+        csv.push_numbers(&[*h, *v, limit_95, limit_99]);
+    }
+    let _ = csv.write_to(ctx.results_dir.join("fig1_control_chart.csv"));
+
+    let chart = line_chart(
+        &format!(
+            "Figure 1: D-statistic control chart (95% = {limit_95:.2}, 99% = {limit_99:.2})"
+        ),
+        &hours,
+        &t2,
+        100,
+        18,
+    );
+    let _ = std::fs::create_dir_all(&ctx.results_dir);
+    let _ = std::fs::write(ctx.results_dir.join("fig1_control_chart.txt"), &chart);
+
+    Ok(Fig1Result {
+        hours,
+        t2,
+        limit_95,
+        limit_99,
+        fraction_below_99,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_normal_chart_stays_mostly_in_control() {
+        let dir = std::env::temp_dir().join("temspc_fig1_test");
+        let ctx = ExperimentContext::quick(&dir, 1.0).unwrap();
+        let result = run(&ctx).unwrap();
+        assert!(result.limit_99 > result.limit_95);
+        // "Under normal process operating conditions, 99% of all the
+        // points will fall under the upper control limit."
+        assert!(
+            result.fraction_below_99 > 0.9,
+            "fraction below 99% limit = {}",
+            result.fraction_below_99
+        );
+        assert!(dir.join("fig1_control_chart.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,135 @@
+//! FIG3 — Figure 3 of the paper: the evolution of XMEAS(1) under
+//! disturbance IDV(6) (3a) versus an integrity attack on XMV(3) (3b).
+//!
+//! The paper's point: from the A-feed flow measurement alone the two
+//! situations are nearly indistinguishable — the flow collapses abruptly
+//! at the onset (hour 10) in both, and the plant later shuts down in
+//! both. We regenerate both traces and quantify their similarity.
+
+use crate::ascii_plot::line_chart;
+use crate::csv::CsvWriter;
+use crate::experiments::ExperimentContext;
+use crate::names::xmeas_index;
+use crate::runner::{ClosedLoopRunner, RunError};
+use crate::scenario::{Scenario, ScenarioKind};
+use temspc_tesim::ShutdownReason;
+
+/// One of the two traces of Figure 3.
+#[derive(Debug, Clone)]
+pub struct Fig3Trace {
+    /// Scenario kind (IDV(6) or the XMV(3) attack).
+    pub kind: ScenarioKind,
+    /// Sample hours.
+    pub hours: Vec<f64>,
+    /// XMEAS(1), kscmh.
+    pub xmeas1: Vec<f64>,
+    /// Shutdown `(reason, hour)`, if the plant tripped.
+    pub shutdown: Option<(ShutdownReason, f64)>,
+}
+
+/// The regenerated Figure 3.
+#[derive(Debug, Clone)]
+pub struct Fig3Result {
+    /// Trace (a): disturbance IDV(6).
+    pub idv6: Fig3Trace,
+    /// Trace (b): integrity attack on XMV(3).
+    pub attack: Fig3Trace,
+    /// Mean XMEAS(1) before onset, averaged over both traces.
+    pub pre_onset_mean: f64,
+    /// Mean XMEAS(1) after onset (excluding the collapse transient).
+    pub post_onset_mean: f64,
+}
+
+fn run_trace(ctx: &ExperimentContext, kind: ScenarioKind) -> Result<Fig3Trace, RunError> {
+    let scenario = Scenario::short(
+        kind,
+        ctx.duration_hours,
+        ctx.onset_hour,
+        ctx.base_seed + 300,
+    );
+    let data = ClosedLoopRunner::new(&scenario).run(10, |_| {})?;
+    let x1 = xmeas_index(1);
+    Ok(Fig3Trace {
+        kind,
+        xmeas1: data.process_view.col(x1),
+        hours: data.hours,
+        shutdown: data.shutdown,
+    })
+}
+
+/// Regenerates Figure 3: writes `fig3_xmeas1.csv`, `fig3a_idv6.txt` and
+/// `fig3b_attack.txt`.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if a closed-loop run fails.
+pub fn run(ctx: &ExperimentContext) -> Result<Fig3Result, RunError> {
+    let idv6 = run_trace(ctx, ScenarioKind::Idv6)?;
+    let attack = run_trace(ctx, ScenarioKind::IntegrityXmv3)?;
+
+    let mut csv = CsvWriter::with_header(&["hour_idv6", "xmeas1_idv6", "hour_attack", "xmeas1_attack"]);
+    let n = idv6.hours.len().max(attack.hours.len());
+    for i in 0..n {
+        let row = [
+            idv6.hours.get(i).copied().unwrap_or(f64::NAN),
+            idv6.xmeas1.get(i).copied().unwrap_or(f64::NAN),
+            attack.hours.get(i).copied().unwrap_or(f64::NAN),
+            attack.xmeas1.get(i).copied().unwrap_or(f64::NAN),
+        ];
+        csv.push_numbers(&row);
+    }
+    let _ = csv.write_to(ctx.results_dir.join("fig3_xmeas1.csv"));
+
+    let _ = std::fs::create_dir_all(&ctx.results_dir);
+    for (trace, name, label) in [
+        (&idv6, "fig3a_idv6.txt", "Figure 3a: XMEAS(1) under IDV(6)"),
+        (&attack, "fig3b_attack.txt", "Figure 3b: XMEAS(1) under integrity attack on XMV(3)"),
+    ] {
+        let mut text = line_chart(label, &trace.hours, &trace.xmeas1, 100, 16);
+        if let Some((reason, hour)) = trace.shutdown {
+            text.push_str(&format!("\nplant shut down at hour {hour:.2}: {reason}\n"));
+        }
+        let _ = std::fs::write(ctx.results_dir.join(name), text);
+    }
+
+    // Quantify the "nearly identical" claim: pre/post onset means.
+    let mut pre = Vec::new();
+    let mut post = Vec::new();
+    for trace in [&idv6, &attack] {
+        for (h, v) in trace.hours.iter().zip(&trace.xmeas1) {
+            if *h < ctx.onset_hour {
+                pre.push(*v);
+            } else if *h > ctx.onset_hour + 0.2 {
+                post.push(*v);
+            }
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    Ok(Fig3Result {
+        pre_onset_mean: mean(&pre),
+        post_onset_mean: mean(&post),
+        idv6,
+        attack,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_traces_collapse_after_onset() {
+        let dir = std::env::temp_dir().join("temspc_fig3_test");
+        let ctx = ExperimentContext::quick(&dir, 1.5).unwrap();
+        let r = run(&ctx).unwrap();
+        // Pre-onset: near nominal (~3.9 kscmh); post-onset: collapsed.
+        assert!(r.pre_onset_mean > 3.0, "pre = {}", r.pre_onset_mean);
+        assert!(r.post_onset_mean < 0.4, "post = {}", r.post_onset_mean);
+        // The two traces collapse to the same value.
+        let last_a = *r.idv6.xmeas1.last().unwrap();
+        let last_b = *r.attack.xmeas1.last().unwrap();
+        assert!((last_a - last_b).abs() < 0.3, "a = {last_a}, b = {last_b}");
+        assert!(dir.join("fig3_xmeas1.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

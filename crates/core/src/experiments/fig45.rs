@@ -1,0 +1,210 @@
+//! FIG4/FIG5 — Figures 4 and 5 of the paper: oMEDA diagnosis of the four
+//! anomalous scenarios, from the controller point of view (Figure 4) and
+//! from the process point of view (Figure 5).
+//!
+//! Per the paper's protocol each scenario is run several times; the
+//! oMEDA chart is computed over the pooled first violating observations
+//! of all runs, once against the controller-level model and once against
+//! the process-level model.
+//!
+//! Expected shapes:
+//!
+//! * 4a/5a (IDV(6)): both views implicate `XMEAS(1)` with a large
+//!   negative bar;
+//! * 4b (XMV(3) attack, controller view): like 4a — `XMEAS(1)` negative;
+//!   5b (process view): **`XMV(3)` negative** — the forged actuator is
+//!   exposed;
+//! * 4c (XMEAS(1) attack, controller view): `XMEAS(1)` negative (the
+//!   forged sensor); 5c (process view): `XMEAS(1)`/`XMV(3)` **positive**
+//!   (the controller over-opened the real valve);
+//! * 4d/5d (DoS): no variable stands out clearly.
+
+use temspc_linalg::Matrix;
+use temspc_mspc::omeda::{diagnosis_clarity, dominant_variable, omeda};
+
+use crate::ascii_plot::bar_chart;
+use crate::csv::CsvWriter;
+use crate::experiments::ExperimentContext;
+use crate::names::{variable_name, N_MONITORED};
+use crate::runner::RunError;
+use crate::scenario::{Scenario, ScenarioKind};
+
+/// oMEDA outcome of one scenario at one level.
+#[derive(Debug, Clone)]
+pub struct OmedaPanel {
+    /// Scenario of this panel.
+    pub kind: ScenarioKind,
+    /// The 53-entry oMEDA vector.
+    pub omeda: Vec<f64>,
+    /// Dominant variable `(index, value)`.
+    pub dominant: (usize, f64),
+    /// Clarity of the plot.
+    pub clarity: f64,
+}
+
+impl OmedaPanel {
+    /// Name of the dominant variable.
+    pub fn dominant_name(&self) -> String {
+        variable_name(self.dominant.0)
+    }
+}
+
+/// The regenerated Figures 4 and 5: per scenario, a controller-level and
+/// a process-level panel, plus detection bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Fig45Result {
+    /// Figure 4 panels (controller level), in paper order a–d.
+    pub controller_panels: Vec<OmedaPanel>,
+    /// Figure 5 panels (process level), in paper order a–d.
+    pub process_panels: Vec<OmedaPanel>,
+    /// Runs (per scenario) in which the anomaly was detected.
+    pub detected_runs: Vec<usize>,
+}
+
+/// Regenerates Figures 4 and 5. Writes one CSV with all oMEDA vectors
+/// (`fig45_omeda.csv`) and eight ASCII bar charts
+/// (`fig4{a-d}_*.txt`, `fig5{a-d}_*.txt`).
+///
+/// # Errors
+///
+/// Returns [`RunError`] if a closed-loop run fails.
+pub fn run(ctx: &ExperimentContext) -> Result<Fig45Result, RunError> {
+    let mut controller_panels = Vec::new();
+    let mut process_panels = Vec::new();
+    let mut detected_runs = Vec::new();
+    let labels: Vec<String> = (0..N_MONITORED).map(variable_name).collect();
+
+    let mut csv = CsvWriter::with_header(&["scenario", "level", "variable", "omeda"]);
+    let _ = std::fs::create_dir_all(&ctx.results_dir);
+
+    for (panel_idx, kind) in ScenarioKind::anomalous().into_iter().enumerate() {
+        // Pool the first violating observations across runs (the paper's
+        // "set of the first observations that surpass control limits in
+        // each of the ten runs").
+        let mut pooled_controller = Matrix::default();
+        let mut pooled_process = Matrix::default();
+        let mut detected = 0;
+        for run_idx in 0..ctx.scenario_runs {
+            let scenario = Scenario::short(
+                kind,
+                ctx.duration_hours,
+                ctx.onset_hour,
+                ctx.base_seed + 10 * run_idx as u64,
+            );
+            let outcome = ctx.monitor.run_scenario(&scenario)?;
+            if outcome.detection.earliest_hour().is_some() {
+                detected += 1;
+            }
+            for row in outcome.event_rows_controller.iter_rows() {
+                pooled_controller.push_row(row);
+            }
+            for row in outcome.event_rows_process.iter_rows() {
+                pooled_process.push_row(row);
+            }
+        }
+        detected_runs.push(detected);
+
+        let dummy = vec![1.0; pooled_controller.nrows().max(1)];
+        let (c_vec, p_vec) = if pooled_controller.nrows() == 0 {
+            (vec![0.0; N_MONITORED], vec![0.0; N_MONITORED])
+        } else {
+            (
+                omeda(&pooled_controller, &dummy, ctx.monitor.controller_model().pca())
+                    .unwrap_or_else(|_| vec![0.0; N_MONITORED]),
+                omeda(&pooled_process, &dummy, ctx.monitor.process_model().pca())
+                    .unwrap_or_else(|_| vec![0.0; N_MONITORED]),
+            )
+        };
+
+        let letter = ['a', 'b', 'c', 'd'][panel_idx];
+        for (level, vec, fig) in [("controller", &c_vec, 4), ("process", &p_vec, 5)] {
+            for (i, v) in vec.iter().enumerate() {
+                csv.push_labelled(&format!("{},{},{}", kind.id(), level, labels[i]), &[*v]);
+            }
+            let chart = bar_chart(
+                &format!(
+                    "Figure {fig}{letter}: oMEDA ({} view) — {}",
+                    level,
+                    kind.description()
+                ),
+                &labels,
+                vec,
+                60,
+            );
+            let _ = std::fs::write(
+                ctx.results_dir
+                    .join(format!("fig{fig}{letter}_{}.txt", kind.id())),
+                chart,
+            );
+        }
+
+        controller_panels.push(OmedaPanel {
+            kind,
+            dominant: dominant_variable(&c_vec).unwrap_or((0, 0.0)),
+            clarity: diagnosis_clarity(&c_vec),
+            omeda: c_vec,
+        });
+        process_panels.push(OmedaPanel {
+            kind,
+            dominant: dominant_variable(&p_vec).unwrap_or((0, 0.0)),
+            clarity: diagnosis_clarity(&p_vec),
+            omeda: p_vec,
+        });
+    }
+    let _ = csv.write_to(ctx.results_dir.join("fig45_omeda.csv"));
+
+    Ok(Fig45Result {
+        controller_panels,
+        process_panels,
+        detected_runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names::{xmeas_index, xmv_index};
+
+    #[test]
+    fn fig45_shapes_match_paper() {
+        let dir = std::env::temp_dir().join("temspc_fig45_test");
+        let mut ctx = ExperimentContext::quick(&dir, 1.2).unwrap();
+        ctx.scenario_runs = 1;
+        let r = run(&ctx).unwrap();
+
+        // Panel order: IDV6, IntegrityXmv3, IntegrityXmeas1, DosXmv3.
+        let x1 = xmeas_index(1);
+        let v3 = xmv_index(3);
+
+        // 4a: controller view of IDV6 implicates XMEAS(1), negative.
+        let p4a = &r.controller_panels[0];
+        assert_eq!(p4a.dominant.0, x1, "4a dominant = {}", p4a.dominant_name());
+        assert!(p4a.dominant.1 < 0.0);
+
+        // 4b: controller view of the XMV(3) attack also implicates
+        // XMEAS(1) — indistinguishable from 4a.
+        let p4b = &r.controller_panels[1];
+        assert_eq!(p4b.dominant.0, x1, "4b dominant = {}", p4b.dominant_name());
+        assert!(p4b.dominant.1 < 0.0);
+
+        // 5b: process view exposes XMV(3), negative.
+        let p5b = &r.process_panels[1];
+        assert_eq!(p5b.dominant.0, v3, "5b dominant = {}", p5b.dominant_name());
+        assert!(p5b.dominant.1 < 0.0);
+
+        // 4c: controller view of the XMEAS(1) attack: XMEAS(1) negative.
+        let p4c = &r.controller_panels[2];
+        assert_eq!(p4c.dominant.0, x1, "4c dominant = {}", p4c.dominant_name());
+        assert!(p4c.dominant.1 < 0.0);
+
+        // 5c: process view: the real flow and valve are *high*.
+        let p5c = &r.process_panels[2];
+        assert!(
+            p5c.omeda[x1] > 0.0 && p5c.omeda[v3] > 0.0,
+            "5c: xmeas1 = {}, xmv3 = {}",
+            p5c.omeda[x1],
+            p5c.omeda[v3]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,96 @@
+//! Regeneration of every figure and table of the paper.
+//!
+//! | Experiment | Paper artifact | Module |
+//! |------------|----------------|--------|
+//! | FIG1 | Figure 1 — example control chart (95 %/99 % limits) | [`fig1`] |
+//! | FIG2 | Figure 2 — PCS architecture and attack model | [`fig2`] |
+//! | FIG3 | Figure 3 — XMEAS(1) under IDV(6) vs. XMV(3) attack | [`fig3`] |
+//! | FIG4/FIG5 | Figures 4 & 5 — oMEDA at controller/process level | [`fig45`] |
+//! | TAB1 | §V ARL discussion — run lengths per scenario | [`arl`] |
+//! | TAB2 | §V-A discussion — dual-level verdict matrix | [`verdicts`] |
+//! | TAB3 | §VII future work — network-level DoS ablation (ours) | [`netdos`] |
+//! | TAB4 | pipeline ablations: PC count, detection rule, EWMA (ours) | [`ablations`] |
+//! | TAB5 | GMM single-level baseline (Kiss et al., the paper's §II critique) | [`baseline`] |
+//!
+//! Each module has a `run(ctx)` entry point that writes CSV files and
+//! ASCII plots into `ctx.results_dir` and returns a summary struct.
+//! `examples/paper_experiments.rs` drives them all at paper scale;
+//! the benches in `crates/bench` drive them at reduced scale.
+
+pub mod ablations;
+pub mod arl;
+pub mod baseline;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig45;
+pub mod netdos;
+pub mod verdicts;
+
+use std::path::PathBuf;
+
+use crate::calibration::CalibrationConfig;
+use crate::monitor::{DualMspc, MonitorConfig};
+use temspc_mspc::MspcError;
+
+/// Shared context of an experiment campaign: scale parameters and the
+/// calibrated dual-level monitor.
+#[derive(Debug)]
+pub struct ExperimentContext {
+    /// Output directory for CSV/ASCII artifacts.
+    pub results_dir: PathBuf,
+    /// Number of runs per anomalous scenario (paper: 10).
+    pub scenario_runs: usize,
+    /// Scenario duration, hours (paper: 72).
+    pub duration_hours: f64,
+    /// Anomaly onset, hours (paper: 10).
+    pub onset_hour: f64,
+    /// First seed for scenario runs.
+    pub base_seed: u64,
+    /// The calibrated monitor.
+    pub monitor: DualMspc,
+}
+
+impl ExperimentContext {
+    /// Calibrates at full paper scale: 30 calibration runs of 72 h, ten
+    /// 72 h runs per scenario, onset at hour 10.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MspcError`] if calibration fails.
+    pub fn paper(results_dir: impl Into<PathBuf>) -> Result<Self, MspcError> {
+        let monitor = DualMspc::calibrate_with(
+            &CalibrationConfig::default(),
+            MonitorConfig::default(),
+        )?;
+        Ok(ExperimentContext {
+            results_dir: results_dir.into(),
+            scenario_runs: 10,
+            duration_hours: 72.0,
+            onset_hour: 10.0,
+            base_seed: 42,
+            monitor,
+        })
+    }
+
+    /// A reduced-scale context for tests and benches: 3 calibration runs
+    /// of 2 h, 2 runs per scenario of `duration` hours, onset at 0.5 h.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MspcError`] if calibration fails.
+    pub fn quick(results_dir: impl Into<PathBuf>, duration: f64) -> Result<Self, MspcError> {
+        let monitor = DualMspc::calibrate_with(
+            &CalibrationConfig::quick(),
+            MonitorConfig::default(),
+        )?;
+        Ok(ExperimentContext {
+            results_dir: results_dir.into(),
+            scenario_runs: 2,
+            duration_hours: duration,
+            onset_hour: 0.5,
+            base_seed: 42,
+            monitor,
+        })
+    }
+}

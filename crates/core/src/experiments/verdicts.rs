@@ -1,0 +1,186 @@
+//! TAB2 — the executable form of the paper's §V-A discussion: for every
+//! scenario run, the dual-level diagnosis and the disturbance-vs-intrusion
+//! verdict, compared against ground truth.
+
+use crate::csv::CsvWriter;
+use crate::diagnosis::{diagnose, Verdict, VerdictThresholds};
+use crate::experiments::ExperimentContext;
+use crate::runner::RunError;
+use crate::scenario::{Scenario, ScenarioKind};
+
+/// Verdict of one run.
+#[derive(Debug, Clone)]
+pub struct VerdictRow {
+    /// Scenario.
+    pub kind: ScenarioKind,
+    /// Run index.
+    pub run: usize,
+    /// Whether the anomaly was detected at all.
+    pub detected: bool,
+    /// The verdict (if detected and diagnosable).
+    pub verdict: Option<Verdict>,
+    /// Variable implicated by the controller-level view.
+    pub controller_variable: Option<String>,
+    /// Variable implicated by the process-level view.
+    pub process_variable: Option<String>,
+    /// oMEDA divergence between the levels.
+    pub divergence: Option<f64>,
+    /// Whether the verdict matches the ground truth.
+    pub correct: Option<bool>,
+}
+
+/// The regenerated verdict matrix.
+#[derive(Debug, Clone)]
+pub struct VerdictsResult {
+    /// One row per scenario run.
+    pub rows: Vec<VerdictRow>,
+}
+
+impl VerdictsResult {
+    /// Fraction of detected runs whose verdict matches ground truth
+    /// (counting `Inconclusive` as incorrect).
+    pub fn accuracy(&self) -> f64 {
+        let judged: Vec<&VerdictRow> = self.rows.iter().filter(|r| r.detected).collect();
+        if judged.is_empty() {
+            return 0.0;
+        }
+        let correct = judged.iter().filter(|r| r.correct == Some(true)).count();
+        correct as f64 / judged.len() as f64
+    }
+
+    /// Rows of one scenario.
+    pub fn rows_for(&self, kind: ScenarioKind) -> impl Iterator<Item = &VerdictRow> {
+        self.rows.iter().filter(move |r| r.kind == kind)
+    }
+}
+
+/// Runs the verdict experiment; writes `tab2_verdicts.csv` and
+/// `tab2_verdicts.txt`.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if a closed-loop run fails.
+pub fn run(ctx: &ExperimentContext) -> Result<VerdictsResult, RunError> {
+    let thresholds = VerdictThresholds::default();
+    let mut rows = Vec::new();
+    for kind in ScenarioKind::anomalous() {
+        for run_idx in 0..ctx.scenario_runs {
+            let scenario = Scenario::short(
+                kind,
+                ctx.duration_hours,
+                ctx.onset_hour,
+                ctx.base_seed + 10 * run_idx as u64,
+            );
+            let outcome = ctx.monitor.run_scenario(&scenario)?;
+            let detected = outcome.detection.earliest_hour().is_some();
+            let diag = diagnose(&ctx.monitor, &outcome, thresholds);
+            let (verdict, cv, pv, div) = match &diag {
+                Some(d) => (
+                    Some(d.verdict),
+                    Some(d.controller_variable()),
+                    Some(d.process_variable()),
+                    Some(d.divergence),
+                ),
+                None => (None, None, None, None),
+            };
+            let correct = verdict.map(|v| match v {
+                Verdict::Disturbance => !kind.is_attack(),
+                Verdict::Intrusion => kind.is_attack(),
+                Verdict::Inconclusive => false,
+            });
+            rows.push(VerdictRow {
+                kind,
+                run: run_idx,
+                detected,
+                verdict,
+                controller_variable: cv,
+                process_variable: pv,
+                divergence: div,
+                correct,
+            });
+        }
+    }
+
+    let mut csv = CsvWriter::with_header(&[
+        "scenario",
+        "run",
+        "detected",
+        "verdict",
+        "controller_variable",
+        "process_variable",
+        "divergence",
+        "correct",
+    ]);
+    let mut text = String::from(
+        "Table 2: dual-level diagnosis verdicts\n\
+         scenario            run det verdict       ctrl-var    proc-var   diverg ok\n",
+    );
+    for r in &rows {
+        let verdict_s = r.verdict.map_or("-".to_string(), |v| v.to_string());
+        let cv = r.controller_variable.clone().unwrap_or_else(|| "-".into());
+        let pv = r.process_variable.clone().unwrap_or_else(|| "-".into());
+        csv.push_labelled(
+            &format!(
+                "{},{},{},{},{},{}",
+                r.kind.id(),
+                r.run,
+                r.detected as u8,
+                verdict_s,
+                cv,
+                pv
+            ),
+            &[
+                r.divergence.unwrap_or(f64::NAN),
+                r.correct.map_or(f64::NAN, |c| c as u8 as f64),
+            ],
+        );
+        text.push_str(&format!(
+            "{:<19} {:>3} {:>3} {:<13} {:<11} {:<10} {:>7.3} {}\n",
+            r.kind.id(),
+            r.run,
+            if r.detected { "yes" } else { "no" },
+            verdict_s,
+            cv,
+            pv,
+            r.divergence.unwrap_or(f64::NAN),
+            match r.correct {
+                Some(true) => "y",
+                Some(false) => "n",
+                None => "-",
+            }
+        ));
+    }
+    let result = VerdictsResult { rows };
+    text.push_str(&format!(
+        "\naccuracy over detected runs: {:.1} %\n",
+        100.0 * result.accuracy()
+    ));
+    let _ = csv.write_to(ctx.results_dir.join("tab2_verdicts.csv"));
+    let _ = std::fs::create_dir_all(&ctx.results_dir);
+    let _ = std::fs::write(ctx.results_dir.join("tab2_verdicts.txt"), &text);
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdicts_separate_disturbance_from_integrity_attacks() {
+        let dir = std::env::temp_dir().join("temspc_verdicts_test");
+        let mut ctx = ExperimentContext::quick(&dir, 1.2).unwrap();
+        ctx.scenario_runs = 1;
+        let r = run(&ctx).unwrap();
+
+        let idv6 = r.rows_for(ScenarioKind::Idv6).next().unwrap();
+        assert_eq!(idv6.verdict, Some(Verdict::Disturbance), "{idv6:?}");
+
+        let xmv3 = r.rows_for(ScenarioKind::IntegrityXmv3).next().unwrap();
+        assert_eq!(xmv3.verdict, Some(Verdict::Intrusion), "{xmv3:?}");
+
+        let xmeas1 = r.rows_for(ScenarioKind::IntegrityXmeas1).next().unwrap();
+        assert_eq!(xmeas1.verdict, Some(Verdict::Intrusion), "{xmeas1:?}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

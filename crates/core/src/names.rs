@@ -1,0 +1,90 @@
+//! Naming of the 53 monitored variables: XMEAS(1..41) then XMV(1..12).
+
+use temspc_tesim::measurement::XMEAS_INFO;
+use temspc_tesim::{N_XMEAS, N_XMV};
+
+/// Number of monitored variables per level: 41 XMEAS + 12 XMV.
+pub const N_MONITORED: usize = N_XMEAS + N_XMV;
+
+/// Human-readable name of monitored variable `index` (0-based):
+/// `XMEAS(1)`..`XMEAS(41)` then `XMV(1)`..`XMV(12)`.
+///
+/// # Panics
+///
+/// Panics if `index >= 53`.
+pub fn variable_name(index: usize) -> String {
+    assert!(index < N_MONITORED, "monitored-variable index out of range");
+    if index < N_XMEAS {
+        format!("XMEAS({})", index + 1)
+    } else {
+        format!("XMV({})", index - N_XMEAS + 1)
+    }
+}
+
+/// Long descriptive name (includes the sensor description for XMEAS).
+///
+/// # Panics
+///
+/// Panics if `index >= 53`.
+pub fn variable_description(index: usize) -> String {
+    assert!(index < N_MONITORED, "monitored-variable index out of range");
+    if index < N_XMEAS {
+        format!("XMEAS({}) {}", index + 1, XMEAS_INFO[index].name)
+    } else {
+        variable_name(index)
+    }
+}
+
+/// Monitored-variable index of `XMEAS(n)` (1-based `n`).
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or greater than 41.
+pub fn xmeas_index(n: usize) -> usize {
+    assert!((1..=N_XMEAS).contains(&n), "XMEAS number out of range");
+    n - 1
+}
+
+/// Monitored-variable index of `XMV(n)` (1-based `n`).
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or greater than 12.
+pub fn xmv_index(n: usize) -> usize {
+    assert!((1..=N_XMV).contains(&n), "XMV number out of range");
+    N_XMEAS + n - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_cover_both_blocks() {
+        assert_eq!(variable_name(0), "XMEAS(1)");
+        assert_eq!(variable_name(40), "XMEAS(41)");
+        assert_eq!(variable_name(41), "XMV(1)");
+        assert_eq!(variable_name(52), "XMV(12)");
+    }
+
+    #[test]
+    fn index_helpers_roundtrip() {
+        assert_eq!(xmeas_index(1), 0);
+        assert_eq!(xmeas_index(41), 40);
+        assert_eq!(xmv_index(1), 41);
+        assert_eq!(xmv_index(3), 43);
+        assert_eq!(variable_name(xmv_index(3)), "XMV(3)");
+    }
+
+    #[test]
+    fn descriptions_include_sensor_names() {
+        assert!(variable_description(0).contains("A feed"));
+        assert_eq!(variable_description(43), "XMV(3)");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        variable_name(53);
+    }
+}

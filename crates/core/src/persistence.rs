@@ -1,0 +1,176 @@
+//! Saving and loading calibrated monitors.
+//!
+//! Calibrating at paper scale costs minutes of simulated plant time; a
+//! deployed detector should calibrate once and reload the frozen models.
+//! Files use the TPB format of [`temspc_persist`] with a short magic
+//! header for fail-fast version checks.
+
+use std::io;
+use std::path::Path;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::monitor::DualMspc;
+use crate::netmon::NetworkMonitor;
+use temspc_persist::PersistError;
+
+/// File magic + format version.
+const MAGIC: &[u8; 8] = b"TEMSPC\x01\x00";
+
+/// Errors from monitor persistence.
+#[derive(Debug)]
+pub enum PersistenceError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// Encoding/decoding failure.
+    Format(PersistError),
+    /// The file does not start with the expected magic/version header.
+    BadHeader,
+}
+
+impl std::fmt::Display for PersistenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistenceError::Io(e) => write!(f, "i/o failure: {e}"),
+            PersistenceError::Format(e) => write!(f, "format failure: {e}"),
+            PersistenceError::BadHeader => write!(f, "not a temspc model file (bad header)"),
+        }
+    }
+}
+
+impl std::error::Error for PersistenceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistenceError::Io(e) => Some(e),
+            PersistenceError::Format(e) => Some(e),
+            PersistenceError::BadHeader => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistenceError {
+    fn from(e: io::Error) -> Self {
+        PersistenceError::Io(e)
+    }
+}
+
+impl From<PersistError> for PersistenceError {
+    fn from(e: PersistError) -> Self {
+        PersistenceError::Format(e)
+    }
+}
+
+fn save<T: Serialize>(value: &T, path: &Path) -> Result<(), PersistenceError> {
+    let mut bytes = Vec::with_capacity(1024);
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&temspc_persist::to_bytes(value)?);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, bytes)?;
+    Ok(())
+}
+
+fn load<T: DeserializeOwned>(path: &Path) -> Result<T, PersistenceError> {
+    let bytes = std::fs::read(path)?;
+    let payload = bytes
+        .strip_prefix(MAGIC.as_slice())
+        .ok_or(PersistenceError::BadHeader)?;
+    Ok(temspc_persist::from_bytes(payload)?)
+}
+
+/// Saves a calibrated dual-level monitor to `path`.
+///
+/// # Errors
+///
+/// Returns [`PersistenceError`] on I/O or encoding failures.
+pub fn save_monitor(monitor: &DualMspc, path: impl AsRef<Path>) -> Result<(), PersistenceError> {
+    save(monitor, path.as_ref())
+}
+
+/// Loads a dual-level monitor saved with [`save_monitor`].
+///
+/// # Errors
+///
+/// Returns [`PersistenceError`] on I/O, header or decoding failures.
+pub fn load_monitor(path: impl AsRef<Path>) -> Result<DualMspc, PersistenceError> {
+    load(path.as_ref())
+}
+
+/// Saves a calibrated network-level monitor to `path`.
+///
+/// # Errors
+///
+/// Returns [`PersistenceError`] on I/O or encoding failures.
+pub fn save_network_monitor(
+    monitor: &NetworkMonitor,
+    path: impl AsRef<Path>,
+) -> Result<(), PersistenceError> {
+    save(monitor, path.as_ref())
+}
+
+/// Loads a network-level monitor saved with [`save_network_monitor`].
+///
+/// # Errors
+///
+/// Returns [`PersistenceError`] on I/O, header or decoding failures.
+pub fn load_network_monitor(path: impl AsRef<Path>) -> Result<NetworkMonitor, PersistenceError> {
+    load(path.as_ref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::CalibrationConfig;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join("temspc_persistence_test").join(name)
+    }
+
+    #[test]
+    fn monitor_roundtrips_through_disk() {
+        let cfg = CalibrationConfig {
+            runs: 2,
+            duration_hours: 0.3,
+            record_every: 10,
+            base_seed: 60,
+            threads: 0,
+        };
+        let monitor = DualMspc::calibrate(&cfg).unwrap();
+        let path = tmp("dual.tpb");
+        save_monitor(&monitor, &path).unwrap();
+        let loaded = load_monitor(&path).unwrap();
+        // Identical limits and identical scoring.
+        assert_eq!(
+            monitor.controller_model().limits().t2_99,
+            loaded.controller_model().limits().t2_99
+        );
+        let obs: Vec<f64> = (0..53).map(|i| i as f64 * 0.3).collect();
+        assert_eq!(
+            monitor.controller_model().score(&obs).unwrap(),
+            loaded.controller_model().score(&obs).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(tmp(""));
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        let path = tmp("garbage.tpb");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, b"NOTAMODEL").unwrap();
+        assert!(matches!(
+            load_monitor(&path),
+            Err(PersistenceError::BadHeader)
+        ));
+        let _ = std::fs::remove_dir_all(tmp(""));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            load_monitor("/nonexistent/temspc/model.tpb"),
+            Err(PersistenceError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,176 @@
+//! Operator incident reports: a human-readable rendering of one
+//! detection + diagnosis, the artifact a SOC analyst or plant operator
+//! would actually read.
+
+use std::fmt::Write as _;
+
+use crate::diagnosis::AnomalyDiagnosis;
+use crate::monitor::ScenarioOutcome;
+use crate::names::{variable_description, variable_name};
+
+/// Renders a full incident report for a monitored scenario outcome and
+/// its diagnosis.
+///
+/// Sections: detection timeline, chart states, top implicated variables
+/// per level, level comparison and verdict, and the recommended operator
+/// action.
+pub fn incident_report(outcome: &ScenarioOutcome, diagnosis: &AnomalyDiagnosis) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "==================== INCIDENT REPORT ====================");
+
+    // ---- detection timeline ----
+    let _ = writeln!(out, "\n[detection]");
+    match outcome.detection.controller {
+        Some(e) => {
+            let _ = writeln!(
+                out,
+                "  controller-level charts : flagged at hour {:.4} (first violation {:.4}; {}{})",
+                e.detected_hour,
+                e.first_violation_hour,
+                if e.t2_violating { "T2 " } else { "" },
+                if e.spe_violating { "SPE" } else { "" },
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  controller-level charts : no event");
+        }
+    }
+    match outcome.detection.process {
+        Some(e) => {
+            let _ = writeln!(
+                out,
+                "  process-level charts    : flagged at hour {:.4}",
+                e.detected_hour
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  process-level charts    : no event");
+        }
+    }
+    if outcome.false_alarms > 0 {
+        let _ = writeln!(
+            out,
+            "  note: {} pre-onset event(s) discarded as false alarms",
+            outcome.false_alarms
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  anomalous observations collected for diagnosis: {}",
+        outcome.event_rows_controller.nrows()
+    );
+
+    // ---- per-level diagnosis ----
+    for (label, omeda) in [
+        ("controller-level view", &diagnosis.controller_omeda),
+        ("process-level view", &diagnosis.process_omeda),
+    ] {
+        let _ = writeln!(out, "\n[oMEDA — {label}]");
+        let mut ranked: Vec<(usize, f64)> = omeda.iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
+        for (idx, value) in ranked.iter().take(5) {
+            let _ = writeln!(
+                out,
+                "  {:>10} {:>+14.0}   {}",
+                variable_name(*idx),
+                value,
+                variable_description(*idx)
+            );
+        }
+    }
+
+    // ---- verdict ----
+    let _ = writeln!(out, "\n[level comparison]");
+    let _ = writeln!(
+        out,
+        "  divergence between levels : {:.3} (0 = identical stories)",
+        diagnosis.divergence
+    );
+    let _ = writeln!(
+        out,
+        "  clarity (controller / process): {:.2} / {:.2}",
+        diagnosis.controller_clarity, diagnosis.process_clarity
+    );
+    let _ = writeln!(out, "\n[VERDICT] {}", diagnosis.verdict);
+
+    let action = match diagnosis.verdict {
+        crate::diagnosis::Verdict::Disturbance => format!(
+            "Process disturbance involving {}. Engage operations: check the\n\
+             associated feed/utility and stabilize the unit; no security\n\
+             response indicated by the data.",
+            diagnosis.process_variable()
+        ),
+        crate::diagnosis::Verdict::Intrusion => format!(
+            "The two monitoring levels disagree: data is being forged in\n\
+             flight. The process-level view implicates {} while the\n\
+             controllers see {}. Treat the fieldbus segment carrying these\n\
+             points as compromised: isolate it, switch affected loops to\n\
+             manual/local control, and preserve traffic captures.",
+            diagnosis.process_variable(),
+            diagnosis.controller_variable()
+        ),
+        crate::diagnosis::Verdict::Inconclusive => "An anomaly is confirmed but no variable stands out (the DoS\n\
+             signature). Correlate with network-level monitoring; inspect\n\
+             channels whose values have stopped updating."
+            .to_string(),
+    };
+    let _ = writeln!(out, "\n[recommended action]\n  {}", action.replace('\n', "\n  "));
+    if let Some((reason, hour)) = outcome.run.shutdown {
+        let _ = writeln!(
+            out,
+            "\n[plant status] SHUT DOWN at hour {hour:.3} ({reason})"
+        );
+    }
+    let _ = writeln!(out, "==========================================================");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::CalibrationConfig;
+    use crate::diagnosis::{diagnose, VerdictThresholds};
+    use crate::monitor::DualMspc;
+    use crate::scenario::{Scenario, ScenarioKind};
+
+    #[test]
+    fn intrusion_report_names_both_variables() {
+        let monitor = DualMspc::calibrate(&CalibrationConfig {
+            runs: 3,
+            duration_hours: 1.0,
+            record_every: 10,
+            base_seed: 100,
+            threads: 0,
+        })
+        .unwrap();
+        let outcome = monitor
+            .run_scenario(&Scenario::short(ScenarioKind::IntegrityXmv3, 1.5, 0.5, 42))
+            .unwrap();
+        let diag = diagnose(&monitor, &outcome, VerdictThresholds::default()).unwrap();
+        let report = incident_report(&outcome, &diag);
+        assert!(report.contains("[VERDICT] intrusion"));
+        assert!(report.contains("XMV(3)"));
+        assert!(report.contains("XMEAS(1)"));
+        assert!(report.contains("isolate"));
+        assert!(report.contains("[detection]"));
+    }
+
+    #[test]
+    fn disturbance_report_recommends_operations() {
+        let monitor = DualMspc::calibrate(&CalibrationConfig {
+            runs: 3,
+            duration_hours: 1.0,
+            record_every: 10,
+            base_seed: 100,
+            threads: 0,
+        })
+        .unwrap();
+        let outcome = monitor
+            .run_scenario(&Scenario::short(ScenarioKind::Idv6, 1.5, 0.5, 42))
+            .unwrap();
+        let diag = diagnose(&monitor, &outcome, VerdictThresholds::default()).unwrap();
+        let report = incident_report(&outcome, &diag);
+        assert!(report.contains("[VERDICT] disturbance"));
+        assert!(report.contains("no security"));
+    }
+}

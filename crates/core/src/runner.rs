@@ -1,0 +1,298 @@
+//! The closed-loop runner: plant + controller + fieldbus + adversary,
+//! with dual-level recording.
+//!
+//! Each 1.8 s step performs the loop of Figure 2 of the paper:
+//!
+//! 1. the plant's sensors produce the true XMEAS,
+//! 2. the **uplink** carries them to the controller (the adversary may
+//!    forge them) — the received values are the *controller-level* XMEAS,
+//! 3. the controller computes the XMV commands — the *controller-level*
+//!    XMV,
+//! 4. the **downlink** carries them to the actuators (the adversary may
+//!    forge them) — the delivered values are the *process-level* XMV,
+//! 5. the plant advances one step.
+//!
+//! The *process-level* view is `[true XMEAS, delivered XMV]`; the
+//! *controller-level* view is `[received XMEAS, commanded XMV]`. In an
+//! attack-free run the two views are identical (the paper's observation).
+
+use temspc_control::DecentralizedController;
+use temspc_fieldbus::{FieldbusLink, LinkError, MitmAdversary};
+use temspc_linalg::Matrix;
+use temspc_tesim::{PlantConfig, ShutdownReason, TePlant, N_XMV, SAMPLES_PER_HOUR};
+
+use crate::names::N_MONITORED;
+use crate::scenario::Scenario;
+
+/// One full-rate sample of the closed loop, handed to streaming
+/// observers.
+#[derive(Debug, Clone)]
+pub struct StepSample {
+    /// Simulation hour of the sample.
+    pub hour: f64,
+    /// Controller-level view: received XMEAS ++ commanded XMV (53).
+    pub controller_view: Vec<f64>,
+    /// Process-level view: true XMEAS ++ delivered XMV (53).
+    pub process_view: Vec<f64>,
+}
+
+/// Recorded (decimated) data of one run.
+#[derive(Debug, Clone)]
+pub struct RunData {
+    /// Scenario that produced the run.
+    pub scenario: Scenario,
+    /// Hours of the recorded rows.
+    pub hours: Vec<f64>,
+    /// Controller-level rows (`N x 53`).
+    pub controller_view: Matrix,
+    /// Process-level rows (`N x 53`).
+    pub process_view: Matrix,
+    /// Shutdown, if the plant tripped: `(reason, hour)`.
+    pub shutdown: Option<(ShutdownReason, f64)>,
+}
+
+impl RunData {
+    /// Whether the plant survived the full scheduled duration.
+    pub fn survived(&self) -> bool {
+        self.shutdown.is_none()
+    }
+}
+
+/// Errors from running a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The fieldbus failed (cannot happen with the modelled attacks).
+    Link(LinkError),
+    /// An MSPC model fit or scoring step failed.
+    Model(temspc_mspc::MspcError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Link(e) => write!(f, "fieldbus failure: {e}"),
+            RunError::Model(e) => write!(f, "model failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<LinkError> for RunError {
+    fn from(e: LinkError) -> Self {
+        RunError::Link(e)
+    }
+}
+
+impl From<temspc_mspc::MspcError> for RunError {
+    fn from(e: temspc_mspc::MspcError) -> Self {
+        RunError::Model(e)
+    }
+}
+
+/// Drives one closed-loop scenario run.
+///
+/// ```no_run
+/// use temspc::{ClosedLoopRunner, Scenario, ScenarioKind};
+///
+/// let scenario = Scenario::short(ScenarioKind::Normal, 1.0, 0.5, 7);
+/// let data = ClosedLoopRunner::new(&scenario).run(50, |_s| {}).unwrap();
+/// assert!(data.survived());
+/// ```
+#[derive(Debug)]
+pub struct ClosedLoopRunner {
+    scenario: Scenario,
+    plant: TePlant,
+    controller: DecentralizedController,
+    link: FieldbusLink,
+}
+
+impl ClosedLoopRunner {
+    /// Builds the closed loop for a scenario (plant noise and process
+    /// randomness enabled, per the paper's randomized TE model).
+    pub fn new(scenario: &Scenario) -> Self {
+        let mut plant = TePlant::new(PlantConfig::default(), scenario.seed);
+        plant.set_disturbances(scenario.disturbances());
+        let link = FieldbusLink::new(MitmAdversary::new(scenario.attacks()));
+        ClosedLoopRunner {
+            scenario: scenario.clone(),
+            plant,
+            controller: DecentralizedController::new(),
+            link,
+        }
+    }
+
+    /// Builds the closed loop with a custom attack set, overriding the
+    /// scenario's own attacks (for adversaries beyond the paper's four
+    /// scenarios; the scenario still provides duration, onset, seed and
+    /// disturbances).
+    pub fn with_attacks(scenario: &Scenario, attacks: Vec<temspc_fieldbus::Attack>) -> Self {
+        let mut plant = TePlant::new(PlantConfig::default(), scenario.seed);
+        plant.set_disturbances(scenario.disturbances());
+        let link = FieldbusLink::new(MitmAdversary::new(attacks));
+        ClosedLoopRunner {
+            scenario: scenario.clone(),
+            plant,
+            controller: DecentralizedController::new(),
+            link,
+        }
+    }
+
+    /// Builds the closed loop with a custom plant configuration
+    /// (e.g. noise disabled for deterministic tests).
+    pub fn with_plant_config(scenario: &Scenario, config: PlantConfig) -> Self {
+        let mut plant = TePlant::new(config, scenario.seed);
+        plant.set_disturbances(scenario.disturbances());
+        let link = FieldbusLink::new(MitmAdversary::new(scenario.attacks()));
+        ClosedLoopRunner {
+            scenario: scenario.clone(),
+            plant,
+            controller: DecentralizedController::new(),
+            link,
+        }
+    }
+
+    /// Runs the scenario to completion (scheduled duration or shutdown).
+    ///
+    /// Every full-rate sample is passed to `observer`; every
+    /// `record_every`-th sample is stored in the returned [`RunData`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Link`] on a fieldbus failure (not produced by
+    /// the modelled attacks).
+    pub fn run<F: FnMut(&StepSample)>(
+        mut self,
+        record_every: usize,
+        mut observer: F,
+    ) -> Result<RunData, RunError> {
+        let record_every = record_every.max(1);
+        let steps = (self.scenario.duration_hours * SAMPLES_PER_HOUR as f64).round() as usize;
+        let mut hours = Vec::new();
+        let mut controller_rows = Matrix::default();
+        let mut process_rows = Matrix::default();
+
+        for k in 0..steps {
+            let hour = self.plant.hour();
+            // 1. True sensor readings (process side of the uplink).
+            let true_xmeas = self.plant.measurements();
+            // 2. Uplink through the (possibly hostile) fieldbus.
+            let received_xmeas = self.link.uplink(hour, true_xmeas.as_slice())?;
+            // 3. Control scan on what the controller received.
+            let commanded_xmv = self.controller.step(&received_xmeas);
+            // 4. Downlink to the actuators.
+            let delivered_xmv = self.link.downlink(hour, &commanded_xmv)?;
+            // 5. Plant advances (errors only after a shutdown, which we
+            //    catch via the flag below).
+            let _ = self.plant.step(&delivered_xmv);
+
+            let mut controller_view = Vec::with_capacity(N_MONITORED);
+            controller_view.extend_from_slice(&received_xmeas);
+            controller_view.extend_from_slice(&commanded_xmv);
+            let mut process_view = Vec::with_capacity(N_MONITORED);
+            process_view.extend_from_slice(true_xmeas.as_slice());
+            process_view.extend_from_slice(&delivered_xmv[..N_XMV]);
+
+            let sample = StepSample {
+                hour,
+                controller_view,
+                process_view,
+            };
+            observer(&sample);
+            if k % record_every == 0 {
+                hours.push(sample.hour);
+                controller_rows.push_row(&sample.controller_view);
+                process_rows.push_row(&sample.process_view);
+            }
+            if self.plant.is_shut_down() {
+                break;
+            }
+        }
+        Ok(RunData {
+            scenario: self.scenario,
+            hours,
+            controller_view: controller_rows,
+            process_view: process_rows,
+            shutdown: self.plant.shutdown(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioKind;
+    use crate::names::{xmeas_index, xmv_index};
+
+    fn quiet_plant() -> PlantConfig {
+        PlantConfig {
+            measurement_noise: false,
+            process_randomness: false,
+            ..PlantConfig::default()
+        }
+    }
+
+    #[test]
+    fn normal_run_views_are_identical() {
+        let s = Scenario::short(ScenarioKind::Normal, 0.2, 0.1, 3);
+        let data = ClosedLoopRunner::new(&s).run(10, |_| {}).unwrap();
+        assert!(data.survived());
+        assert_eq!(data.controller_view, data.process_view);
+        assert_eq!(data.controller_view.ncols(), N_MONITORED);
+        assert_eq!(data.hours.len(), data.controller_view.nrows());
+    }
+
+    #[test]
+    fn xmv3_attack_splits_views() {
+        let s = Scenario::short(ScenarioKind::IntegrityXmv3, 0.4, 0.1, 3);
+        let data = ClosedLoopRunner::with_plant_config(&s, quiet_plant())
+            .run(1, |_| {})
+            .unwrap();
+        let last = data.process_view.nrows() - 1;
+        let xmv3 = xmv_index(3);
+        // Process receives 0; controller believes it commands high.
+        assert!(data.process_view.get(last, xmv3) < 1e-9);
+        assert!(data.controller_view.get(last, xmv3) > 50.0);
+        // Both views see the A-feed flow collapse.
+        let x1 = xmeas_index(1);
+        assert!(data.process_view.get(last, x1) < 0.5);
+        assert!(data.controller_view.get(last, x1) < 0.5);
+    }
+
+    #[test]
+    fn xmeas1_attack_splits_views_other_way() {
+        let s = Scenario::short(ScenarioKind::IntegrityXmeas1, 0.4, 0.1, 3);
+        let data = ClosedLoopRunner::with_plant_config(&s, quiet_plant())
+            .run(1, |_| {})
+            .unwrap();
+        let last = data.process_view.nrows() - 1;
+        let x1 = xmeas_index(1);
+        // Controller sees zero; the real flow is *above* nominal because
+        // the flow PI winds the valve open.
+        assert_eq!(data.controller_view.get(last, x1), 0.0);
+        assert!(data.process_view.get(last, x1) > 4.5, "real flow {}", data.process_view.get(last, x1));
+        let xmv3 = xmv_index(3);
+        assert!(data.process_view.get(last, xmv3) > 90.0);
+    }
+
+    #[test]
+    fn observer_sees_full_rate() {
+        let s = Scenario::short(ScenarioKind::Normal, 0.1, 0.05, 1);
+        let mut count = 0;
+        let data = ClosedLoopRunner::new(&s).run(50, |_| count += 1).unwrap();
+        assert_eq!(count, 200); // 0.1 h * 2000 samples/h
+        assert_eq!(data.hours.len(), 4); // every 50th
+    }
+
+    #[test]
+    fn idv6_run_records_shutdown() {
+        // Shortened IDV(6): onset almost immediately; the plant must trip
+        // within 12 h of onset.
+        let s = Scenario::short(ScenarioKind::Idv6, 14.0, 0.5, 5);
+        let data = ClosedLoopRunner::new(&s).run(100, |_| {}).unwrap();
+        assert!(!data.survived(), "IDV(6) must shut the plant down");
+        let (reason, hour) = data.shutdown.unwrap();
+        assert_eq!(reason, ShutdownReason::StripperLevelLow);
+        assert!(hour > 0.5 && hour < 14.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Scenario definitions, including the paper's four evaluation scenarios.
+
+use serde::{Deserialize, Serialize};
+use temspc_fieldbus::{Attack, AttackKind, AttackTarget};
+use temspc_tesim::{Disturbance, DisturbanceSet};
+
+/// The four anomalous situations evaluated in §V of the paper, plus
+/// normal operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScenarioKind {
+    /// Attack-free, disturbance-free normal operation (calibration).
+    Normal,
+    /// (a) Process disturbance IDV(6): loss of A feed.
+    Idv6,
+    /// (b) Integrity attack closing valve XMV(3) (actuator side).
+    IntegrityXmv3,
+    /// (c) Integrity attack forcing sensor XMEAS(1) to zero
+    /// (controller side).
+    IntegrityXmeas1,
+    /// (d) Denial of service on XMV(3): the actuator holds the last
+    /// pre-attack command.
+    DosXmv3,
+}
+
+impl ScenarioKind {
+    /// Short identifier used in file names and tables.
+    pub fn id(self) -> &'static str {
+        match self {
+            ScenarioKind::Normal => "normal",
+            ScenarioKind::Idv6 => "idv6",
+            ScenarioKind::IntegrityXmv3 => "integrity_xmv3",
+            ScenarioKind::IntegrityXmeas1 => "integrity_xmeas1",
+            ScenarioKind::DosXmv3 => "dos_xmv3",
+        }
+    }
+
+    /// The paper's description of the scenario.
+    pub fn description(self) -> &'static str {
+        match self {
+            ScenarioKind::Normal => "normal operation",
+            ScenarioKind::Idv6 => "disturbance IDV(6): A feed loss",
+            ScenarioKind::IntegrityXmv3 => "integrity attack on XMV(3): close A feed valve",
+            ScenarioKind::IntegrityXmeas1 => "integrity attack on XMEAS(1): forge A flow to zero",
+            ScenarioKind::DosXmv3 => "DoS on XMV(3): actuator holds last value",
+        }
+    }
+
+    /// Whether the anomaly is human-induced (an attack) rather than a
+    /// natural disturbance — the ground truth the paper's technique tries
+    /// to recover.
+    pub fn is_attack(self) -> bool {
+        matches!(
+            self,
+            ScenarioKind::IntegrityXmv3 | ScenarioKind::IntegrityXmeas1 | ScenarioKind::DosXmv3
+        )
+    }
+
+    /// All four anomalous scenarios, in the paper's order.
+    pub fn anomalous() -> [ScenarioKind; 4] {
+        [
+            ScenarioKind::Idv6,
+            ScenarioKind::IntegrityXmv3,
+            ScenarioKind::IntegrityXmeas1,
+            ScenarioKind::DosXmv3,
+        ]
+    }
+}
+
+/// A fully specified simulation scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario kind (drives disturbances/attacks).
+    pub kind: ScenarioKind,
+    /// Simulation length in hours (the paper: 72, or until shutdown).
+    pub duration_hours: f64,
+    /// Hour at which the anomaly starts (the paper: 10).
+    pub onset_hour: f64,
+    /// RNG seed for this run.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The paper's configuration: 72 h duration, anomaly onset at hour 10.
+    pub fn paper(kind: ScenarioKind, seed: u64) -> Self {
+        Scenario {
+            kind,
+            duration_hours: 72.0,
+            onset_hour: 10.0,
+            seed,
+        }
+    }
+
+    /// A shortened variant for tests and benches: `duration` hours with
+    /// onset at `onset`.
+    pub fn short(kind: ScenarioKind, duration: f64, onset: f64, seed: u64) -> Self {
+        Scenario {
+            kind,
+            duration_hours: duration,
+            onset_hour: onset,
+            seed,
+        }
+    }
+
+    /// The process disturbances this scenario schedules.
+    pub fn disturbances(&self) -> DisturbanceSet {
+        let mut set = DisturbanceSet::new();
+        if self.kind == ScenarioKind::Idv6 {
+            set.schedule(Disturbance::AFeedLoss, self.onset_hour);
+        }
+        set
+    }
+
+    /// The fieldbus attacks this scenario mounts.
+    pub fn attacks(&self) -> Vec<Attack> {
+        let window = self.onset_hour..f64::INFINITY;
+        match self.kind {
+            ScenarioKind::Normal | ScenarioKind::Idv6 => Vec::new(),
+            ScenarioKind::IntegrityXmv3 => vec![Attack::new(
+                AttackTarget::Actuator(3),
+                AttackKind::IntegrityConstant(0.0),
+                window,
+            )],
+            ScenarioKind::IntegrityXmeas1 => vec![Attack::new(
+                AttackTarget::Sensor(1),
+                AttackKind::IntegrityConstant(0.0),
+                window,
+            )],
+            ScenarioKind::DosXmv3 => vec![Attack::new(
+                AttackTarget::Actuator(3),
+                AttackKind::DenialOfService,
+                window,
+            )],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenarios_match_section_v() {
+        let s = Scenario::paper(ScenarioKind::Idv6, 1);
+        assert_eq!(s.duration_hours, 72.0);
+        assert_eq!(s.onset_hour, 10.0);
+        assert!(!s.disturbances().is_empty());
+        assert!(s.attacks().is_empty());
+
+        let b = Scenario::paper(ScenarioKind::IntegrityXmv3, 1);
+        assert!(b.disturbances().is_empty());
+        let attacks = b.attacks();
+        assert_eq!(attacks.len(), 1);
+        assert_eq!(attacks[0].target, AttackTarget::Actuator(3));
+        assert_eq!(attacks[0].kind, AttackKind::IntegrityConstant(0.0));
+        assert_eq!(attacks[0].window.start, 10.0);
+
+        let c = Scenario::paper(ScenarioKind::IntegrityXmeas1, 1);
+        assert_eq!(c.attacks()[0].target, AttackTarget::Sensor(1));
+
+        let d = Scenario::paper(ScenarioKind::DosXmv3, 1);
+        assert_eq!(d.attacks()[0].kind, AttackKind::DenialOfService);
+    }
+
+    #[test]
+    fn ground_truth_labels() {
+        assert!(!ScenarioKind::Normal.is_attack());
+        assert!(!ScenarioKind::Idv6.is_attack());
+        assert!(ScenarioKind::IntegrityXmv3.is_attack());
+        assert!(ScenarioKind::IntegrityXmeas1.is_attack());
+        assert!(ScenarioKind::DosXmv3.is_attack());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<&str> = ScenarioKind::anomalous().iter().map(|k| k.id()).collect();
+        ids.push(ScenarioKind::Normal.id());
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+    }
+}

@@ -1,0 +1,323 @@
+//! The Krotofil attack model: integrity attacks and DoS on sensor and
+//! actuator channels.
+//!
+//! Following Krotofil et al. (ASIA CCS'15), an attacked variable is
+//!
+//! ```text
+//! Y'(t) = Y(t)   for t ∉ Ta        (attack interval)
+//! Y'(t) = Ya(t)  for t ∈ Ta
+//! ```
+//!
+//! where `Ya` is the attacker's injected value. For a DoS starting at
+//! `ta`, `Ya(t) = Y(ta - 1)` — the receiver keeps consuming the last value
+//! it saw before communication stopped.
+
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+/// What the attack targets: a sensor (XMEAS) or an actuator (XMV) channel.
+///
+/// Numbers are 1-based, matching the paper (XMEAS(1)..(41),
+/// XMV(1)..(12)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackTarget {
+    /// Sensor channel: the forged value reaches the *controller*.
+    Sensor(usize),
+    /// Actuator channel: the forged value reaches the *process*.
+    Actuator(usize),
+}
+
+/// The attack primitive applied inside the attack window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// Integrity attack: replace the value with a constant
+    /// (e.g. "close the valve" = 0.0).
+    IntegrityConstant(f64),
+    /// Integrity attack: add a constant bias.
+    IntegrityBias(f64),
+    /// Integrity attack: multiply by a constant factor.
+    IntegrityScale(f64),
+    /// Denial of service: the receiver keeps seeing the last value from
+    /// before the attack started.
+    DenialOfService,
+    /// Replay: repeat the value observed exactly `period_hours` earlier
+    /// (the classic Stuxnet-style recording trick). Until one full period
+    /// has been recorded, behaves like [`AttackKind::DenialOfService`].
+    Replay {
+        /// Length of the recorded loop, hours.
+        period_hours: f64,
+    },
+}
+
+/// A single attack: target, primitive and time window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attack {
+    /// Attacked channel.
+    pub target: AttackTarget,
+    /// Attack primitive.
+    pub kind: AttackKind,
+    /// Active interval `[start, end)` in simulation hours.
+    pub window: Range<f64>,
+}
+
+impl Attack {
+    /// Creates an attack on `target` with primitive `kind`, active during
+    /// `window` (use `start..f64::INFINITY` for open-ended attacks).
+    pub fn new(target: AttackTarget, kind: AttackKind, window: Range<f64>) -> Self {
+        Attack {
+            target,
+            kind,
+            window,
+        }
+    }
+
+    /// Whether the attack is active at `hour`.
+    pub fn is_active(&self, hour: f64) -> bool {
+        self.window.contains(&hour)
+    }
+}
+
+/// Per-attack runtime state (DoS hold value, replay recording).
+#[derive(Debug, Clone)]
+struct AttackState {
+    attack: Attack,
+    /// Last clean value seen before the window opened (DoS hold).
+    held: Option<f64>,
+    /// Recording for replay: (hour, value) samples from before the attack.
+    recording: Vec<(f64, f64)>,
+}
+
+impl AttackState {
+    fn apply(&mut self, hour: f64, clean: f64) -> f64 {
+        if !self.attack.is_active(hour) {
+            // Outside the window: track the value so a future DoS can hold
+            // the last pre-attack value, and keep a bounded replay tape.
+            self.held = Some(clean);
+            if let AttackKind::Replay { period_hours } = self.attack.kind {
+                self.recording.push((hour, clean));
+                let cutoff = hour - period_hours;
+                self.recording.retain(|&(h, _)| h >= cutoff);
+            }
+            return clean;
+        }
+        match self.attack.kind {
+            AttackKind::IntegrityConstant(v) => v,
+            AttackKind::IntegrityBias(b) => clean + b,
+            AttackKind::IntegrityScale(s) => clean * s,
+            AttackKind::DenialOfService => self.held.unwrap_or(clean),
+            AttackKind::Replay { period_hours } => {
+                let target_hour = hour - period_hours;
+                self.recording
+                    .iter()
+                    .min_by(|a, b| {
+                        (a.0 - target_hour)
+                            .abs()
+                            .partial_cmp(&(b.0 - target_hour).abs())
+                            .unwrap()
+                    })
+                    .map(|&(_, v)| v)
+                    .or(self.held)
+                    .unwrap_or(clean)
+            }
+        }
+    }
+}
+
+/// A man-in-the-middle adversary holding a set of attacks.
+///
+/// The adversary sits on the fieldbus and rewrites values in flight:
+/// [`MitmAdversary::tamper_sensors`] on the uplink (XMEAS toward the
+/// controller) and [`MitmAdversary::tamper_actuators`] on the downlink
+/// (XMV toward the process).
+#[derive(Debug, Clone)]
+pub struct MitmAdversary {
+    states: Vec<AttackState>,
+}
+
+impl MitmAdversary {
+    /// Creates an adversary running the given attacks.
+    pub fn new(attacks: Vec<Attack>) -> Self {
+        MitmAdversary {
+            states: attacks
+                .into_iter()
+                .map(|attack| AttackState {
+                    attack,
+                    held: None,
+                    recording: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// An adversary that does nothing (attack-free runs).
+    pub fn passive() -> Self {
+        MitmAdversary::new(Vec::new())
+    }
+
+    /// Whether any attack is active at `hour`.
+    pub fn is_attacking(&self, hour: f64) -> bool {
+        self.states.iter().any(|s| s.attack.is_active(hour))
+    }
+
+    /// The configured attacks.
+    pub fn attacks(&self) -> impl Iterator<Item = &Attack> {
+        self.states.iter().map(|s| &s.attack)
+    }
+
+    /// Rewrites sensor values in flight. `values` are the XMEAS the plant
+    /// sent; after the call they are what the controller receives.
+    pub fn tamper_sensors(&mut self, hour: f64, values: &mut [f64]) {
+        for state in &mut self.states {
+            if let AttackTarget::Sensor(n) = state.attack.target {
+                if n >= 1 && n <= values.len() {
+                    values[n - 1] = state.apply(hour, values[n - 1]);
+                }
+            }
+        }
+    }
+
+    /// Rewrites actuator commands in flight. `values` are the XMV the
+    /// controller sent; after the call they are what the actuators
+    /// receive.
+    pub fn tamper_actuators(&mut self, hour: f64, values: &mut [f64]) {
+        for state in &mut self.states {
+            if let AttackTarget::Actuator(n) = state.attack.target {
+                if n >= 1 && n <= values.len() {
+                    values[n - 1] = state.apply(hour, values[n - 1]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sensor_values() -> Vec<f64> {
+        (1..=41).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn integrity_constant_replaces_only_in_window() {
+        let mut adv = MitmAdversary::new(vec![Attack::new(
+            AttackTarget::Sensor(1),
+            AttackKind::IntegrityConstant(0.0),
+            10.0..20.0,
+        )]);
+        let mut v = sensor_values();
+        adv.tamper_sensors(5.0, &mut v);
+        assert_eq!(v[0], 1.0);
+        adv.tamper_sensors(15.0, &mut v);
+        assert_eq!(v[0], 0.0);
+        let mut v2 = sensor_values();
+        adv.tamper_sensors(25.0, &mut v2);
+        assert_eq!(v2[0], 1.0);
+    }
+
+    #[test]
+    fn bias_and_scale() {
+        let mut adv = MitmAdversary::new(vec![
+            Attack::new(
+                AttackTarget::Sensor(2),
+                AttackKind::IntegrityBias(10.0),
+                0.0..f64::INFINITY,
+            ),
+            Attack::new(
+                AttackTarget::Sensor(3),
+                AttackKind::IntegrityScale(0.5),
+                0.0..f64::INFINITY,
+            ),
+        ]);
+        let mut v = sensor_values();
+        adv.tamper_sensors(1.0, &mut v);
+        assert_eq!(v[1], 12.0);
+        assert_eq!(v[2], 1.5);
+    }
+
+    #[test]
+    fn dos_holds_last_pre_attack_value() {
+        let mut adv = MitmAdversary::new(vec![Attack::new(
+            AttackTarget::Actuator(3),
+            AttackKind::DenialOfService,
+            10.0..f64::INFINITY,
+        )]);
+        let mut v = vec![50.0; 12];
+        v[2] = 44.0;
+        adv.tamper_actuators(9.9995, &mut v); // last clean sample
+        assert_eq!(v[2], 44.0);
+        // Controller keeps changing its command, but the actuator keeps
+        // receiving 44.0.
+        let mut v2 = vec![50.0; 12];
+        v2[2] = 99.0;
+        adv.tamper_actuators(10.0, &mut v2);
+        assert_eq!(v2[2], 44.0);
+        let mut v3 = vec![50.0; 12];
+        v3[2] = 0.0;
+        adv.tamper_actuators(30.0, &mut v3);
+        assert_eq!(v3[2], 44.0);
+    }
+
+    #[test]
+    fn dos_with_no_history_passes_current_value() {
+        let mut adv = MitmAdversary::new(vec![Attack::new(
+            AttackTarget::Sensor(1),
+            AttackKind::DenialOfService,
+            0.0..f64::INFINITY,
+        )]);
+        let mut v = sensor_values();
+        adv.tamper_sensors(0.0, &mut v);
+        assert_eq!(v[0], 1.0);
+    }
+
+    #[test]
+    fn replay_repeats_recorded_values() {
+        let mut adv = MitmAdversary::new(vec![Attack::new(
+            AttackTarget::Sensor(1),
+            AttackKind::Replay { period_hours: 1.0 },
+            10.0..f64::INFINITY,
+        )]);
+        // Record a ramp before the attack.
+        for k in 0..2000 {
+            let hour = 9.0 + k as f64 * 0.0005;
+            let mut v = vec![hour; 41];
+            adv.tamper_sensors(hour, &mut v);
+        }
+        // At hour 10.3 the replay should show ~9.3.
+        let mut v = vec![123.0; 41];
+        adv.tamper_sensors(10.3, &mut v);
+        assert!((v[0] - 9.3).abs() < 0.01, "got {}", v[0]);
+    }
+
+    #[test]
+    fn actuator_attack_does_not_touch_sensors() {
+        let mut adv = MitmAdversary::new(vec![Attack::new(
+            AttackTarget::Actuator(1),
+            AttackKind::IntegrityConstant(0.0),
+            0.0..f64::INFINITY,
+        )]);
+        let mut v = sensor_values();
+        adv.tamper_sensors(1.0, &mut v);
+        assert_eq!(v, sensor_values());
+    }
+
+    #[test]
+    fn out_of_range_target_is_ignored() {
+        let mut adv = MitmAdversary::new(vec![Attack::new(
+            AttackTarget::Sensor(99),
+            AttackKind::IntegrityConstant(0.0),
+            0.0..f64::INFINITY,
+        )]);
+        let mut v = sensor_values();
+        adv.tamper_sensors(1.0, &mut v);
+        assert_eq!(v, sensor_values());
+    }
+
+    #[test]
+    fn passive_adversary_never_attacks() {
+        let adv = MitmAdversary::passive();
+        assert!(!adv.is_attacking(0.0));
+        assert!(!adv.is_attacking(1e9));
+    }
+}

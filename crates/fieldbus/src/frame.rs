@@ -1,0 +1,232 @@
+//! A minimal unauthenticated wire format for sensor/actuator traffic.
+//!
+//! The format is intentionally in the spirit of legacy industrial
+//! protocols: a fixed header, a sequence number, a timestamp and raw IEEE
+//! 754 payload values — **no authentication, no integrity protection** —
+//! which is precisely what makes the man-in-the-middle attacks of the DSN
+//! 2016 paper possible.
+//!
+//! Layout (big endian):
+//!
+//! ```text
+//! [0..2]   magic 0x7E55
+//! [2]      kind: 0x01 sensor report, 0x02 actuator command
+//! [3]      reserved (0)
+//! [4..8]   sequence number, u32
+//! [8..16]  timestamp (simulation hour), f64
+//! [16..18] value count, u16
+//! [18..]   values, f64 each
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: u16 = 0x7E55;
+const HEADER_LEN: usize = 18;
+
+/// Frame direction/type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Sensor report (process → controller, XMEAS values).
+    SensorReport,
+    /// Actuator command (controller → process, XMV values).
+    ActuatorCommand,
+}
+
+impl FrameKind {
+    fn code(self) -> u8 {
+        match self {
+            FrameKind::SensorReport => 0x01,
+            FrameKind::ActuatorCommand => 0x02,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0x01 => Some(FrameKind::SensorReport),
+            0x02 => Some(FrameKind::ActuatorCommand),
+            _ => None,
+        }
+    }
+}
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Buffer shorter than the fixed header.
+    Truncated,
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unknown frame-kind code.
+    UnknownKind(u8),
+    /// Header advertised more values than the buffer holds.
+    LengthMismatch {
+        /// Values advertised in the header.
+        advertised: usize,
+        /// Values actually present.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame shorter than header"),
+            FrameError::BadMagic => write!(f, "bad magic bytes"),
+            FrameError::UnknownKind(c) => write!(f, "unknown frame kind 0x{c:02x}"),
+            FrameError::LengthMismatch {
+                advertised,
+                available,
+            } => write!(f, "frame advertises {advertised} values but holds {available}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A decoded fieldbus frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Frame type.
+    pub kind: FrameKind,
+    /// Monotonic sequence number.
+    pub seq: u32,
+    /// Timestamp, simulation hours.
+    pub hour: f64,
+    /// Payload values (XMEAS or XMV, depending on `kind`).
+    pub values: Vec<f64>,
+}
+
+impl Frame {
+    /// Builds a frame.
+    pub fn new(kind: FrameKind, seq: u32, hour: f64, values: Vec<f64>) -> Self {
+        Frame {
+            kind,
+            seq,
+            hour,
+            values,
+        }
+    }
+
+    /// Serializes the frame to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(HEADER_LEN + 8 * self.values.len());
+        buf.put_u16(MAGIC);
+        buf.put_u8(self.kind.code());
+        buf.put_u8(0);
+        buf.put_u32(self.seq);
+        buf.put_f64(self.hour);
+        buf.put_u16(self.values.len() as u16);
+        for &v in &self.values {
+            buf.put_f64(v);
+        }
+        buf.freeze()
+    }
+
+    /// Parses a frame from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FrameError`] for truncated buffers, bad magic, unknown
+    /// kinds, or inconsistent lengths.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, FrameError> {
+        if buf.len() < HEADER_LEN {
+            return Err(FrameError::Truncated);
+        }
+        if buf.get_u16() != MAGIC {
+            return Err(FrameError::BadMagic);
+        }
+        let kind_code = buf.get_u8();
+        let kind = FrameKind::from_code(kind_code).ok_or(FrameError::UnknownKind(kind_code))?;
+        let _reserved = buf.get_u8();
+        let seq = buf.get_u32();
+        let hour = buf.get_f64();
+        let advertised = buf.get_u16() as usize;
+        let available = buf.remaining() / 8;
+        if advertised > available {
+            return Err(FrameError::LengthMismatch {
+                advertised,
+                available,
+            });
+        }
+        let values = (0..advertised).map(|_| buf.get_f64()).collect();
+        Ok(Frame {
+            kind,
+            seq,
+            hour,
+            values,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_sensor_frame() {
+        let f = Frame::new(FrameKind::SensorReport, 42, 10.5, vec![1.0, -2.5, 3.25]);
+        let decoded = Frame::decode(&f.encode()).unwrap();
+        assert_eq!(decoded, f);
+    }
+
+    #[test]
+    fn roundtrip_actuator_frame() {
+        let f = Frame::new(FrameKind::ActuatorCommand, 7, 0.0, vec![55.0; 12]);
+        assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let f = Frame::new(FrameKind::SensorReport, 0, 0.0, vec![]);
+        assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(Frame::decode(&[0u8; 5]), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = Frame::new(FrameKind::SensorReport, 1, 1.0, vec![1.0])
+            .encode()
+            .to_vec();
+        bytes[0] = 0xFF;
+        assert_eq!(Frame::decode(&bytes), Err(FrameError::BadMagic));
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut bytes = Frame::new(FrameKind::SensorReport, 1, 1.0, vec![1.0])
+            .encode()
+            .to_vec();
+        bytes[2] = 0x09;
+        assert_eq!(Frame::decode(&bytes), Err(FrameError::UnknownKind(0x09)));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut bytes = Frame::new(FrameKind::SensorReport, 1, 1.0, vec![1.0])
+            .encode()
+            .to_vec();
+        bytes[17] = 200; // advertise 200 values
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(FrameError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tampering_is_undetectable() {
+        // The security premise of the paper: an attacker can rewrite a value
+        // and re-encode; the result is indistinguishable from a genuine
+        // frame.
+        let genuine = Frame::new(FrameKind::SensorReport, 9, 10.0, vec![3.9, 2.0]);
+        let mut tampered = Frame::decode(&genuine.encode()).unwrap();
+        tampered.values[0] = 0.0;
+        let reencoded = tampered.encode();
+        let redecoded = Frame::decode(&reencoded).unwrap();
+        assert_eq!(redecoded.values[0], 0.0);
+        assert_eq!(redecoded.seq, genuine.seq);
+    }
+}

@@ -1,0 +1,48 @@
+//! An insecure fieldbus between controllers and the physical process, with
+//! a man-in-the-middle adversary.
+//!
+//! The DSN 2016 paper's attack model (after Krotofil et al., ASIA CCS'15)
+//! assumes the controller ↔ sensor/actuator links run over unauthenticated
+//! legacy protocols, so an attacker can read and rewrite traffic in both
+//! directions:
+//!
+//! * **uplink** — sensor values (XMEAS) travelling to the controller may be
+//!   forged before the controller sees them;
+//! * **downlink** — actuator commands (XMV) travelling to the process may
+//!   be forged before the actuators receive them.
+//!
+//! [`FieldbusLink`] carries both directions as explicit wire [`frame`]s and
+//! exposes *taps at both endpoints*: the process-side view (what the plant
+//! really sent/received) and the controller-side view (what the controller
+//! received/sent). The paper's dual-level MSPC monitors exactly these two
+//! views.
+//!
+//! # Example
+//!
+//! ```
+//! use temspc_fieldbus::{Attack, AttackKind, AttackTarget, FieldbusLink, MitmAdversary};
+//!
+//! // Attacker forces sensor XMEAS(1) to zero from hour 10 onwards.
+//! let attack = Attack::new(
+//!     AttackTarget::Sensor(1),
+//!     AttackKind::IntegrityConstant(0.0),
+//!     10.0..f64::INFINITY,
+//! );
+//! let mut link = FieldbusLink::new(MitmAdversary::new(vec![attack]));
+//! let truth = vec![3.9; 41];
+//! let received = link.uplink(12.0, &truth).unwrap();
+//! assert_eq!(received[0], 0.0);      // controller sees the forged value
+//! assert_eq!(truth[0], 3.9);         // the process-side truth is intact
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod frame;
+mod link;
+pub mod netstat;
+
+pub use attack::{Attack, AttackKind, AttackTarget, MitmAdversary};
+pub use frame::{Frame, FrameError, FrameKind};
+pub use link::{FieldbusLink, LinkError};
+pub use netstat::{TrafficFeatures, TrafficMonitor};

@@ -1,0 +1,161 @@
+//! The controller ↔ process link, carrying framed traffic through the
+//! adversary.
+
+use crate::attack::MitmAdversary;
+use crate::frame::{Frame, FrameError, FrameKind};
+
+/// Errors surfaced by the link.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinkError {
+    /// A frame failed to decode (should not happen unless the adversary
+    /// corrupts framing, which the modelled attacks never do).
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::Frame(e) => write!(f, "frame error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+impl From<FrameError> for LinkError {
+    fn from(e: FrameError) -> Self {
+        LinkError::Frame(e)
+    }
+}
+
+/// A bidirectional fieldbus link with a man-in-the-middle position.
+///
+/// Every transfer is a real encode → tamper → decode round trip through
+/// the wire format, so the adversary operates exactly where a network
+/// attacker would. The sequence counters emulate the polling cycle of a
+/// legacy SCADA master.
+#[derive(Debug)]
+pub struct FieldbusLink {
+    adversary: MitmAdversary,
+    uplink_seq: u32,
+    downlink_seq: u32,
+}
+
+impl FieldbusLink {
+    /// Creates a link with the given man-in-the-middle adversary
+    /// (use [`MitmAdversary::passive`] for attack-free runs).
+    pub fn new(adversary: MitmAdversary) -> Self {
+        FieldbusLink {
+            adversary,
+            uplink_seq: 0,
+            downlink_seq: 0,
+        }
+    }
+
+    /// The adversary on this link.
+    pub fn adversary(&self) -> &MitmAdversary {
+        &self.adversary
+    }
+
+    /// Whether an attack is active at `hour`.
+    pub fn under_attack(&self, hour: f64) -> bool {
+        self.adversary.is_attacking(hour)
+    }
+
+    /// Carries a sensor report (XMEAS) from the process to the controller,
+    /// through the adversary. Returns what the controller receives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::Frame`] if the tampered frame fails to decode.
+    pub fn uplink(&mut self, hour: f64, xmeas: &[f64]) -> Result<Vec<f64>, LinkError> {
+        let frame = Frame::new(FrameKind::SensorReport, self.uplink_seq, hour, xmeas.to_vec());
+        self.uplink_seq = self.uplink_seq.wrapping_add(1);
+        let wire = frame.encode();
+        // Man-in-the-middle position: parse, rewrite, re-encode.
+        let mut intercepted = Frame::decode(&wire)?;
+        self.adversary.tamper_sensors(hour, &mut intercepted.values);
+        let forged_wire = intercepted.encode();
+        let delivered = Frame::decode(&forged_wire)?;
+        Ok(delivered.values)
+    }
+
+    /// Carries an actuator command (XMV) from the controller to the
+    /// process, through the adversary. Returns what the actuators receive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::Frame`] if the tampered frame fails to decode.
+    pub fn downlink(&mut self, hour: f64, xmv: &[f64]) -> Result<Vec<f64>, LinkError> {
+        let frame = Frame::new(
+            FrameKind::ActuatorCommand,
+            self.downlink_seq,
+            hour,
+            xmv.to_vec(),
+        );
+        self.downlink_seq = self.downlink_seq.wrapping_add(1);
+        let wire = frame.encode();
+        let mut intercepted = Frame::decode(&wire)?;
+        self.adversary.tamper_actuators(hour, &mut intercepted.values);
+        let forged_wire = intercepted.encode();
+        let delivered = Frame::decode(&forged_wire)?;
+        Ok(delivered.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{Attack, AttackKind, AttackTarget};
+
+    #[test]
+    fn passive_link_is_transparent() {
+        let mut link = FieldbusLink::new(MitmAdversary::passive());
+        let xmeas: Vec<f64> = (0..41).map(|i| i as f64 * 0.5).collect();
+        let received = link.uplink(1.0, &xmeas).unwrap();
+        assert_eq!(received, xmeas);
+        let xmv = vec![50.0; 12];
+        let delivered = link.downlink(1.0, &xmv).unwrap();
+        assert_eq!(delivered, xmv);
+    }
+
+    #[test]
+    fn uplink_attack_changes_controller_view_only() {
+        let mut link = FieldbusLink::new(MitmAdversary::new(vec![Attack::new(
+            AttackTarget::Sensor(1),
+            AttackKind::IntegrityConstant(0.0),
+            0.0..f64::INFINITY,
+        )]));
+        let xmeas = vec![3.9; 41];
+        let received = link.uplink(1.0, &xmeas).unwrap();
+        assert_eq!(received[0], 0.0);
+        assert_eq!(received[1], 3.9);
+        assert_eq!(xmeas[0], 3.9); // process-side truth untouched
+    }
+
+    #[test]
+    fn downlink_attack_changes_process_view_only() {
+        let mut link = FieldbusLink::new(MitmAdversary::new(vec![Attack::new(
+            AttackTarget::Actuator(3),
+            AttackKind::IntegrityConstant(0.0),
+            0.0..f64::INFINITY,
+        )]));
+        let xmv = vec![61.9; 12];
+        let delivered = link.downlink(1.0, &xmv).unwrap();
+        assert_eq!(delivered[2], 0.0);
+        assert_eq!(delivered[0], 61.9);
+        assert_eq!(xmv[2], 61.9); // the controller still believes 61.9
+    }
+
+    #[test]
+    fn under_attack_reflects_window() {
+        let link = FieldbusLink::new(MitmAdversary::new(vec![Attack::new(
+            AttackTarget::Sensor(1),
+            AttackKind::DenialOfService,
+            10.0..20.0,
+        )]));
+        assert!(!link.under_attack(5.0));
+        assert!(link.under_attack(15.0));
+        assert!(!link.under_attack(25.0));
+    }
+}

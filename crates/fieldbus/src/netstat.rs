@@ -1,0 +1,303 @@
+//! Network-level traffic statistics — the data source the paper's §VII
+//! proposes to add to the MSPC model.
+//!
+//! A passive tap near the process end of the fieldbus aggregates, per
+//! monitoring window: frame and byte rates in both directions, and — the
+//! decisive feature for the paper's DoS scenario — the per-channel
+//! *update fraction*: how often each sensor/actuator value actually
+//! changed between consecutive frames. A DoS that freezes a channel (the
+//! receiver keeps consuming a stale value) drives that channel's update
+//! fraction from ≈1 to 0 within one window, which is immediate and
+//! trivially attributable — precisely the paper's prediction that network
+//! variables "will also shorten the ARL required to detect anomalies".
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated traffic features of one monitoring window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficFeatures {
+    /// End hour of the window.
+    pub hour: f64,
+    /// Uplink frames per hour.
+    pub up_frame_rate: f64,
+    /// Downlink frames per hour.
+    pub down_frame_rate: f64,
+    /// Uplink bytes per hour.
+    pub up_byte_rate: f64,
+    /// Downlink bytes per hour.
+    pub down_byte_rate: f64,
+    /// Per-sensor fraction of frames in which the value changed (len 41).
+    pub up_change_fraction: Vec<f64>,
+    /// Per-actuator fraction of frames in which the value changed (len 12).
+    pub down_change_fraction: Vec<f64>,
+}
+
+impl TrafficFeatures {
+    /// Flattens to a monitoring vector:
+    /// `[up_frame_rate, down_frame_rate, up_byte_rate, down_byte_rate,
+    /// up_change_fraction x41, down_change_fraction x12]` (57 entries).
+    pub fn to_vector(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(4 + self.up_change_fraction.len() + self.down_change_fraction.len());
+        v.push(self.up_frame_rate);
+        v.push(self.down_frame_rate);
+        v.push(self.up_byte_rate);
+        v.push(self.down_byte_rate);
+        v.extend_from_slice(&self.up_change_fraction);
+        v.extend_from_slice(&self.down_change_fraction);
+        v
+    }
+
+    /// Number of features produced for `n_sensors` + `n_actuators`
+    /// channels.
+    pub fn vector_len(n_sensors: usize, n_actuators: usize) -> usize {
+        4 + n_sensors + n_actuators
+    }
+
+    /// Name of feature `index` in the flattened vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for this feature vector.
+    pub fn feature_name(&self, index: usize) -> String {
+        let ns = self.up_change_fraction.len();
+        let na = self.down_change_fraction.len();
+        match index {
+            0 => "up_frame_rate".into(),
+            1 => "down_frame_rate".into(),
+            2 => "up_byte_rate".into(),
+            3 => "down_byte_rate".into(),
+            i if i < 4 + ns => format!("up_change[XMEAS({})]", i - 4 + 1),
+            i if i < 4 + ns + na => format!("down_change[XMV({})]", i - 4 - ns + 1),
+            _ => panic!("feature index out of range"),
+        }
+    }
+}
+
+/// A passive per-window traffic aggregator.
+///
+/// Feed every frame the tap sees with [`TrafficMonitor::observe_uplink`] /
+/// [`TrafficMonitor::observe_downlink`]; when a window completes, the
+/// call returns its [`TrafficFeatures`].
+#[derive(Debug, Clone)]
+pub struct TrafficMonitor {
+    window_hours: f64,
+    window_start: Option<f64>,
+    up_frames: u64,
+    down_frames: u64,
+    up_bytes: u64,
+    down_bytes: u64,
+    last_up: Option<Vec<f64>>,
+    last_down: Option<Vec<f64>>,
+    up_changes: Vec<u64>,
+    down_changes: Vec<u64>,
+    up_comparisons: u64,
+    down_comparisons: u64,
+}
+
+/// Change threshold: values closer than this are "unchanged" (guards
+/// against float dust; real SCADA deadbands are far coarser).
+const CHANGE_EPS: f64 = 1e-12;
+
+impl TrafficMonitor {
+    /// Creates a monitor aggregating over `window_hours` windows for the
+    /// given channel counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_hours` is not positive.
+    pub fn new(window_hours: f64, n_sensors: usize, n_actuators: usize) -> Self {
+        assert!(window_hours > 0.0, "window must be positive");
+        TrafficMonitor {
+            window_hours,
+            window_start: None,
+            up_frames: 0,
+            down_frames: 0,
+            up_bytes: 0,
+            down_bytes: 0,
+            last_up: None,
+            last_down: None,
+            up_changes: vec![0; n_sensors],
+            down_changes: vec![0; n_actuators],
+            up_comparisons: 0,
+            down_comparisons: 0,
+        }
+    }
+
+    /// The monitoring window length, hours.
+    pub fn window_hours(&self) -> f64 {
+        self.window_hours
+    }
+
+    /// Observes one uplink (sensor report) frame of `wire_bytes` length
+    /// carrying `values`. Returns the completed window's features when the
+    /// window rolls over.
+    pub fn observe_uplink(
+        &mut self,
+        hour: f64,
+        wire_bytes: usize,
+        values: &[f64],
+    ) -> Option<TrafficFeatures> {
+        let out = self.roll_window(hour);
+        self.up_frames += 1;
+        self.up_bytes += wire_bytes as u64;
+        if let Some(prev) = &self.last_up {
+            self.up_comparisons += 1;
+            for (i, (a, b)) in prev.iter().zip(values).enumerate() {
+                if i < self.up_changes.len() && (a - b).abs() > CHANGE_EPS {
+                    self.up_changes[i] += 1;
+                }
+            }
+        }
+        self.last_up = Some(values.to_vec());
+        out
+    }
+
+    /// Observes one downlink (actuator command) frame; see
+    /// [`TrafficMonitor::observe_uplink`].
+    pub fn observe_downlink(
+        &mut self,
+        hour: f64,
+        wire_bytes: usize,
+        values: &[f64],
+    ) -> Option<TrafficFeatures> {
+        let out = self.roll_window(hour);
+        self.down_frames += 1;
+        self.down_bytes += wire_bytes as u64;
+        if let Some(prev) = &self.last_down {
+            self.down_comparisons += 1;
+            for (i, (a, b)) in prev.iter().zip(values).enumerate() {
+                if i < self.down_changes.len() && (a - b).abs() > CHANGE_EPS {
+                    self.down_changes[i] += 1;
+                }
+            }
+        }
+        self.last_down = Some(values.to_vec());
+        out
+    }
+
+    fn roll_window(&mut self, hour: f64) -> Option<TrafficFeatures> {
+        let start = *self.window_start.get_or_insert(hour);
+        if hour - start < self.window_hours {
+            return None;
+        }
+        let features = self.snapshot(hour);
+        self.window_start = Some(hour);
+        self.up_frames = 0;
+        self.down_frames = 0;
+        self.up_bytes = 0;
+        self.down_bytes = 0;
+        self.up_changes.iter_mut().for_each(|c| *c = 0);
+        self.down_changes.iter_mut().for_each(|c| *c = 0);
+        self.up_comparisons = 0;
+        self.down_comparisons = 0;
+        Some(features)
+    }
+
+    fn snapshot(&self, hour: f64) -> TrafficFeatures {
+        let dt = self.window_hours;
+        let frac = |changes: &[u64], comparisons: u64| -> Vec<f64> {
+            changes
+                .iter()
+                .map(|&c| c as f64 / comparisons.max(1) as f64)
+                .collect()
+        };
+        TrafficFeatures {
+            hour,
+            up_frame_rate: self.up_frames as f64 / dt,
+            down_frame_rate: self.down_frames as f64 / dt,
+            up_byte_rate: self.up_bytes as f64 / dt,
+            down_byte_rate: self.down_bytes as f64 / dt,
+            up_change_fraction: frac(&self.up_changes, self.up_comparisons),
+            down_change_fraction: frac(&self.down_changes, self.down_comparisons),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(monitor: &mut TrafficMonitor, hours: f64, freeze_channel: Option<usize>) -> Vec<TrafficFeatures> {
+        let mut out = Vec::new();
+        let dt = 0.0005;
+        let steps = (hours / dt) as usize;
+        for k in 0..steps {
+            let hour = k as f64 * dt;
+            // Sensors: all values jitter each frame.
+            let up: Vec<f64> = (0..41).map(|i| i as f64 + (k as f64 * 0.1).sin() * 0.01 + k as f64 * 1e-6).collect();
+            // Actuators: jitter, except an optionally frozen channel.
+            let down: Vec<f64> = (0..12)
+                .map(|i| {
+                    if Some(i) == freeze_channel {
+                        42.0
+                    } else {
+                        i as f64 + k as f64 * 1e-6
+                    }
+                })
+                .collect();
+            if let Some(f) = monitor.observe_uplink(hour, 346, &up) {
+                out.push(f);
+            }
+            if let Some(f) = monitor.observe_downlink(hour, 114, &down) {
+                out.push(f);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn window_rolls_and_rates_are_plausible() {
+        let mut m = TrafficMonitor::new(0.05, 41, 12);
+        let windows = drive(&mut m, 0.2, None);
+        assert!(windows.len() >= 3, "windows = {}", windows.len());
+        let f = &windows[1];
+        // 2000 frames/hour each direction.
+        assert!((f.up_frame_rate - 2000.0).abs() < 100.0, "{}", f.up_frame_rate);
+        assert!((f.down_frame_rate - 2000.0).abs() < 100.0);
+        assert!(f.up_byte_rate > 0.0 && f.down_byte_rate > 0.0);
+    }
+
+    #[test]
+    fn live_channels_have_full_change_fraction() {
+        let mut m = TrafficMonitor::new(0.05, 41, 12);
+        let windows = drive(&mut m, 0.2, None);
+        let f = windows.last().unwrap();
+        assert!(f.up_change_fraction.iter().all(|&c| c > 0.95));
+        assert!(f.down_change_fraction.iter().all(|&c| c > 0.95));
+    }
+
+    #[test]
+    fn frozen_channel_has_zero_change_fraction() {
+        let mut m = TrafficMonitor::new(0.05, 41, 12);
+        let windows = drive(&mut m, 0.2, Some(2)); // XMV(3) frozen
+        let f = windows.last().unwrap();
+        assert!(f.down_change_fraction[2] < 0.01, "{}", f.down_change_fraction[2]);
+        assert!(f.down_change_fraction[3] > 0.95);
+    }
+
+    #[test]
+    fn vector_layout_and_names() {
+        let mut m = TrafficMonitor::new(0.05, 41, 12);
+        let windows = drive(&mut m, 0.11, None);
+        let f = &windows[0];
+        let v = f.to_vector();
+        assert_eq!(v.len(), TrafficFeatures::vector_len(41, 12));
+        assert_eq!(f.feature_name(0), "up_frame_rate");
+        assert_eq!(f.feature_name(4), "up_change[XMEAS(1)]");
+        assert_eq!(f.feature_name(4 + 41 + 2), "down_change[XMV(3)]");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        TrafficMonitor::new(0.0, 41, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_feature_index_panics() {
+        let mut m = TrafficMonitor::new(0.05, 2, 1);
+        let w = drive(&mut m, 0.11, None);
+        let _ = w[0].feature_name(99);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests of the fieldbus wire format and attack algebra.
+
+use proptest::prelude::*;
+use temspc_fieldbus::{Attack, AttackKind, AttackTarget, Frame, FrameKind, MitmAdversary};
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    (
+        prop::bool::ANY,
+        any::<u32>(),
+        -1e6..1e6f64,
+        prop::collection::vec(-1e9..1e9f64, 0..64),
+    )
+        .prop_map(|(sensor, seq, hour, values)| {
+            Frame::new(
+                if sensor {
+                    FrameKind::SensorReport
+                } else {
+                    FrameKind::ActuatorCommand
+                },
+                seq,
+                hour,
+                values,
+            )
+        })
+}
+
+proptest! {
+    #[test]
+    fn frame_roundtrips(frame in frame_strategy()) {
+        let decoded = Frame::decode(&frame.encode()).unwrap();
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn truncated_frames_never_panic(frame in frame_strategy(), cut in 0usize..400) {
+        let wire = frame.encode();
+        let cut = cut.min(wire.len());
+        // Decoding any prefix either fails cleanly or yields a frame.
+        let _ = Frame::decode(&wire[..cut]);
+    }
+
+    #[test]
+    fn corrupted_bytes_never_panic(frame in frame_strategy(), pos in 0usize..100, byte in any::<u8>()) {
+        let mut wire = frame.encode().to_vec();
+        if !wire.is_empty() {
+            let p = pos % wire.len();
+            wire[p] = byte;
+            let _ = Frame::decode(&wire);
+        }
+    }
+
+    #[test]
+    fn integrity_constant_forces_exact_value(target in 1usize..42, value in -1e3..1e3f64, hour in 0.0..100.0f64) {
+        let mut adv = MitmAdversary::new(vec![Attack::new(
+            AttackTarget::Sensor(target),
+            AttackKind::IntegrityConstant(value),
+            0.0..f64::INFINITY,
+        )]);
+        let mut v: Vec<f64> = (0..41).map(|i| i as f64).collect();
+        adv.tamper_sensors(hour, &mut v);
+        prop_assert_eq!(v[target - 1], value);
+        // All other channels untouched.
+        for (i, &x) in v.iter().enumerate() {
+            if i != target - 1 {
+                prop_assert_eq!(x, i as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn attacks_outside_window_are_identity(start in 1.0..50.0f64, len in 0.1..10.0f64, hour in 0.0..100.0f64) {
+        let end = start + len;
+        let mut adv = MitmAdversary::new(vec![Attack::new(
+            AttackTarget::Sensor(1),
+            AttackKind::IntegrityScale(0.0),
+            start..end,
+        )]);
+        let mut v: Vec<f64> = (0..41).map(|i| 1.0 + i as f64).collect();
+        let original = v.clone();
+        adv.tamper_sensors(hour, &mut v);
+        if hour < start || hour >= end {
+            prop_assert_eq!(v, original);
+        } else {
+            prop_assert_eq!(v[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn bias_then_inverse_bias_is_identity(bias in -100.0..100.0f64, hour in 0.0..10.0f64) {
+        // Two adversaries in series with opposite biases cancel — the
+        // attack algebra is compositional.
+        let mut a1 = MitmAdversary::new(vec![Attack::new(
+            AttackTarget::Sensor(5),
+            AttackKind::IntegrityBias(bias),
+            0.0..f64::INFINITY,
+        )]);
+        let mut a2 = MitmAdversary::new(vec![Attack::new(
+            AttackTarget::Sensor(5),
+            AttackKind::IntegrityBias(-bias),
+            0.0..f64::INFINITY,
+        )]);
+        let mut v: Vec<f64> = (0..41).map(|i| i as f64 * 0.5).collect();
+        let original = v.clone();
+        a1.tamper_sensors(hour, &mut v);
+        a2.tamper_sensors(hour, &mut v);
+        for (x, y) in v.iter().zip(&original) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dos_holds_exactly_the_last_pre_attack_value(pre in prop::collection::vec(-10.0..10.0f64, 2..20), during in prop::collection::vec(-10.0..10.0f64, 1..20)) {
+        let onset = pre.len() as f64;
+        let mut adv = MitmAdversary::new(vec![Attack::new(
+            AttackTarget::Actuator(1),
+            AttackKind::DenialOfService,
+            onset..f64::INFINITY,
+        )]);
+        let mut last_clean = 0.0;
+        for (k, &x) in pre.iter().enumerate() {
+            let mut v = vec![0.0; 12];
+            v[0] = x;
+            adv.tamper_actuators(k as f64, &mut v);
+            last_clean = x;
+        }
+        for (k, &x) in during.iter().enumerate() {
+            let mut v = vec![0.0; 12];
+            v[0] = x;
+            adv.tamper_actuators(onset + k as f64, &mut v);
+            prop_assert_eq!(v[0], last_clean);
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! Matrix decompositions: symmetric eigendecomposition (cyclic Jacobi),
+//! thin SVD and Householder QR.
+//!
+//! PCA in [`temspc-mspc`](../../temspc_mspc/index.html) is computed with
+//! NIPALS, but the eigendecomposition here is used to cross-check NIPALS in
+//! tests, to compute the residual eigenvalues needed by the
+//! Jackson–Mudholkar SPE control limit, and to invert score covariance for
+//! Hotelling's T².
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Result of a symmetric eigendecomposition: `a = v * diag(values) * v^T`.
+///
+/// Eigenvalues are sorted in descending order and `vectors` stores the
+/// corresponding eigenvectors as columns.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns, in the same order as `values`.
+    pub vectors: Matrix,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix with the cyclic
+/// Jacobi method.
+///
+/// # Errors
+///
+/// * [`LinalgError::ShapeMismatch`] if `a` is not square.
+/// * [`LinalgError::Empty`] if `a` is empty.
+/// * [`LinalgError::NoConvergence`] if the off-diagonal mass does not vanish
+///   within the sweep budget (does not happen for well-formed symmetric
+///   input).
+pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
+    let n = a.nrows();
+    if n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if a.nrows() != a.ncols() {
+        return Err(LinalgError::ShapeMismatch {
+            left: a.shape(),
+            right: a.shape(),
+        });
+    }
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let max_sweeps = 100;
+    let scale = a.max_abs().max(f64::MIN_POSITIVE);
+    let tol = 1e-14 * scale;
+
+    for sweep in 0..max_sweeps {
+        let mut off = 0.0_f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off = off.max(m.get(p, q).abs());
+            }
+        }
+        if off <= tol {
+            return Ok(sort_eigen(m, v, n));
+        }
+        let _ = sweep;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= tol * 1e-2 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable rotation computation (Golub & Van Loan 8.4).
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        algorithm: "jacobi eigendecomposition",
+        iterations: max_sweeps,
+    })
+}
+
+fn sort_eigen(m: Matrix, v: Matrix, n: usize) -> SymmetricEigen {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    idx.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).unwrap());
+    let values: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_c, &old_c) in idx.iter().enumerate() {
+        for r in 0..n {
+            vectors.set(r, new_c, v.get(r, old_c));
+        }
+    }
+    SymmetricEigen { values, vectors }
+}
+
+/// Thin singular value decomposition `x = u * diag(s) * v^T`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (`n x k`), as columns.
+    pub u: Matrix,
+    /// Singular values, descending (`k`), where `k = min(n, m)`.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors (`m x k`), as columns.
+    pub v: Matrix,
+}
+
+/// Computes a thin SVD via the eigendecomposition of the smaller Gram
+/// matrix (`x^T x` or `x x^T`).
+///
+/// Adequate for the tall, well-conditioned data matrices used by MSPC; not
+/// recommended for matrices with condition numbers near `1/sqrt(eps)`.
+///
+/// # Errors
+///
+/// Propagates errors from [`symmetric_eigen`]; returns
+/// [`LinalgError::Empty`] for an empty input.
+pub fn svd(x: &Matrix) -> Result<Svd> {
+    let (n, m) = x.shape();
+    if n == 0 || m == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if m <= n {
+        let gram = x.transpose().matmul(x); // m x m
+        let eig = symmetric_eigen(&gram)?;
+        let singular_values: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
+        let v = eig.vectors;
+        // u_i = x v_i / s_i (columns with s_i ~ 0 are zeroed).
+        let xv = x.matmul(&v);
+        let mut u = Matrix::zeros(n, m);
+        for c in 0..m {
+            let s = singular_values[c];
+            if s > 1e-12 * singular_values[0].max(1e-300) {
+                for r in 0..n {
+                    u.set(r, c, xv.get(r, c) / s);
+                }
+            }
+        }
+        Ok(Svd {
+            u,
+            singular_values,
+            v,
+        })
+    } else {
+        let t = svd(&x.transpose())?;
+        Ok(Svd {
+            u: t.v,
+            singular_values: t.singular_values,
+            v: t.u,
+        })
+    }
+}
+
+/// Householder QR decomposition `a = q * r` with `q` orthogonal (`n x n`)
+/// and `r` upper trapezoidal (`n x m`).
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Orthogonal factor.
+    pub q: Matrix,
+    /// Upper-trapezoidal factor.
+    pub r: Matrix,
+}
+
+/// Computes the Householder QR decomposition of `a`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for an empty matrix.
+pub fn qr(a: &Matrix) -> Result<Qr> {
+    let (n, m) = a.shape();
+    if n == 0 || m == 0 {
+        return Err(LinalgError::Empty);
+    }
+    let mut r = a.clone();
+    let mut q = Matrix::identity(n);
+    for k in 0..m.min(n.saturating_sub(1)) {
+        // Build the Householder vector for column k.
+        let mut norm = 0.0;
+        for i in k..n {
+            norm += r.get(i, k) * r.get(i, k);
+        }
+        let norm = norm.sqrt();
+        if norm == 0.0 {
+            continue;
+        }
+        let alpha = if r.get(k, k) >= 0.0 { -norm } else { norm };
+        let mut v = vec![0.0; n];
+        v[k] = r.get(k, k) - alpha;
+        for (i, vi) in v.iter_mut().enumerate().take(n).skip(k + 1) {
+            *vi = r.get(i, k);
+        }
+        let vtv: f64 = v.iter().map(|x| x * x).sum();
+        if vtv == 0.0 {
+            continue;
+        }
+        // r <- (I - 2 v v^T / v^T v) r
+        for j in k..m {
+            let dot: f64 = (k..n).map(|i| v[i] * r.get(i, j)).sum();
+            let f = 2.0 * dot / vtv;
+            for i in k..n {
+                let val = r.get(i, j) - f * v[i];
+                r.set(i, j, val);
+            }
+        }
+        // q <- q (I - 2 v v^T / v^T v)
+        for i in 0..n {
+            let dot: f64 = (k..n).map(|j| q.get(i, j) * v[j]).sum();
+            let f = 2.0 * dot / vtv;
+            for j in k..n {
+                let val = q.get(i, j) - f * v[j];
+                q.set(i, j, val);
+            }
+        }
+    }
+    Ok(Qr { q, r })
+}
+
+/// Solves the symmetric positive-definite system `a x = b` via Cholesky.
+///
+/// Used to invert the score covariance in Hotelling's T² without forming an
+/// explicit inverse.
+///
+/// # Errors
+///
+/// * [`LinalgError::ShapeMismatch`] if `a` is not square or `b` has the
+///   wrong length.
+/// * [`LinalgError::Singular`] if `a` is not positive definite to working
+///   precision.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(LinalgError::ShapeMismatch {
+            left: a.shape(),
+            right: a.shape(),
+        });
+    }
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            left: a.shape(),
+            right: (b.len(), 1),
+        });
+    }
+    // Cholesky factorization a = l l^T.
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(LinalgError::Singular);
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    // Forward substitution: l y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l.get(i, k) * y[k];
+        }
+        y[i] = sum / l.get(i, i);
+    }
+    // Back substitution: l^T x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l.get(k, i) * x[k];
+        }
+        x[i] = sum / l.get(i, i);
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn eigen_of_diagonal_matrix() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!(approx(e.values[0], 3.0, 1e-12));
+        assert!(approx(e.values[1], 2.0, 1e-12));
+        assert!(approx(e.values[2], 1.0, 1e-12));
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, -0.2],
+            &[0.5, -0.2, 2.0],
+        ]);
+        let e = symmetric_eigen(&a).unwrap();
+        let lam = Matrix::from_diag(&e.values);
+        let rec = e.vectors.matmul(&lam).matmul(&e.vectors.transpose());
+        assert!(rec.try_sub(&a).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_vectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = symmetric_eigen(&a).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        assert!(vtv.try_sub(&Matrix::identity(2)).unwrap().max_abs() < 1e-12);
+        assert!(approx(e.values[0], 3.0, 1e-12));
+        assert!(approx(e.values[1], 1.0, 1e-12));
+    }
+
+    #[test]
+    fn eigen_rejects_nonsquare() {
+        assert!(symmetric_eigen(&Matrix::zeros(2, 3)).is_err());
+        assert!(matches!(
+            symmetric_eigen(&Matrix::default()),
+            Err(LinalgError::Empty)
+        ));
+    }
+
+    #[test]
+    fn svd_reconstructs_tall_matrix() {
+        let x = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+            &[7.0, 8.0],
+        ]);
+        let s = svd(&x).unwrap();
+        let rec = s
+            .u
+            .matmul(&Matrix::from_diag(&s.singular_values))
+            .matmul(&s.v.transpose());
+        assert!(rec.try_sub(&x).unwrap().max_abs() < 1e-9);
+        assert!(s.singular_values[0] >= s.singular_values[1]);
+    }
+
+    #[test]
+    fn svd_wide_matrix_via_transpose() {
+        let x = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0]]);
+        let s = svd(&x).unwrap();
+        let rec = s
+            .u
+            .matmul(&Matrix::from_diag(&s.singular_values))
+            .matmul(&s.v.transpose());
+        assert!(rec.try_sub(&x).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn svd_singular_values_match_eigenvalues() {
+        let x = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 0.5], &[0.0, 0.0]]);
+        let s = svd(&x).unwrap();
+        assert!(approx(s.singular_values[0], 2.0, 1e-12));
+        assert!(approx(s.singular_values[1], 0.5, 1e-12));
+    }
+
+    #[test]
+    fn qr_reconstructs_and_q_is_orthogonal() {
+        let a = Matrix::from_rows(&[
+            &[1.0, -1.0, 4.0],
+            &[1.0, 4.0, -2.0],
+            &[1.0, 4.0, 2.0],
+            &[1.0, -1.0, 0.0],
+        ]);
+        let f = qr(&a).unwrap();
+        let rec = f.q.matmul(&f.r);
+        assert!(rec.try_sub(&a).unwrap().max_abs() < 1e-10);
+        let qtq = f.q.transpose().matmul(&f.q);
+        assert!(qtq.try_sub(&Matrix::identity(4)).unwrap().max_abs() < 1e-10);
+        // R is upper-trapezoidal.
+        for i in 1..4 {
+            for j in 0..i.min(3) {
+                assert!(f.r.get(i, j).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_spd_known_system() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let b = [1.0, 2.0];
+        let x = solve_spd(&a, &b).unwrap();
+        // Verify a x = b.
+        let ax = a.matvec(&x);
+        assert!(approx(ax[0], 1.0, 1e-12));
+        assert!(approx(ax[1], 2.0, 1e-12));
+    }
+
+    #[test]
+    fn solve_spd_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, -1.0]]);
+        assert!(matches!(solve_spd(&a, &[1.0, 1.0]), Err(LinalgError::Singular)));
+    }
+}

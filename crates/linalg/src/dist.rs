@@ -1,0 +1,588 @@
+//! Special functions and probability distributions used to derive MSPC
+//! control limits.
+//!
+//! Hotelling's T² limit needs the F-distribution quantile; the SPE
+//! (Q-statistic) limit needs Normal and χ² quantiles (Jackson–Mudholkar and
+//! Box approximations). All functions are implemented from scratch:
+//! Lanczos log-gamma, regularized incomplete gamma/beta, and
+//! quantiles via analytic approximations refined with bisection/Newton.
+
+use crate::{LinalgError, Result};
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+///
+/// Accurate to ~15 significant digits for `x > 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients for g = 7, n = 9.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + 7.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Domain`] if `a <= 0` or `x < 0`.
+pub fn gamma_p(a: f64, x: f64) -> Result<f64> {
+    if a <= 0.0 || x < 0.0 {
+        return Err(LinalgError::Domain {
+            what: "gamma_p requires a > 0 and x >= 0",
+        });
+    }
+    if x == 0.0 {
+        return Ok(0.0);
+    }
+    if x < a + 1.0 {
+        // Series representation.
+        let mut ap = a;
+        let mut sum = 1.0 / a;
+        let mut del = sum;
+        for _ in 0..500 {
+            ap += 1.0;
+            del *= x / ap;
+            sum += del;
+            if del.abs() < sum.abs() * 1e-16 {
+                break;
+            }
+        }
+        Ok(sum * (-x + a * x.ln() - ln_gamma(a)).exp())
+    } else {
+        // Continued fraction for Q(a, x); P = 1 - Q.
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / 1e-300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-16 {
+                break;
+            }
+        }
+        let q = (-x + a * x.ln() - ln_gamma(a)).exp() * h;
+        Ok(1.0 - q)
+    }
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` (continued fraction,
+/// Numerical Recipes style).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Domain`] if `a <= 0`, `b <= 0` or `x` is outside
+/// `[0, 1]`.
+pub fn beta_inc(a: f64, b: f64, x: f64) -> Result<f64> {
+    if a <= 0.0 || b <= 0.0 {
+        return Err(LinalgError::Domain {
+            what: "beta_inc requires a > 0 and b > 0",
+        });
+    }
+    if !(0.0..=1.0).contains(&x) {
+        return Err(LinalgError::Domain {
+            what: "beta_inc requires x in [0, 1]",
+        });
+    }
+    if x == 0.0 {
+        return Ok(0.0);
+    }
+    if x == 1.0 {
+        return Ok(1.0);
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        Ok(front * beta_cf(a, b, x) / a)
+    } else {
+        Ok(1.0 - front * beta_cf(b, a, 1.0 - x) / b)
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < 1e-300 {
+        d = 1e-300;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..300 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < 1e-300 {
+            d = 1e-300;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < 1e-300 {
+            c = 1e-300;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < 1e-300 {
+            d = 1e-300;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < 1e-300 {
+            c = 1e-300;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h
+}
+
+/// The error function `erf(x)`, computed from the incomplete gamma
+/// function.
+pub fn erf(x: f64) -> f64 {
+    let p = gamma_p(0.5, x * x).unwrap_or(1.0);
+    if x >= 0.0 {
+        p
+    } else {
+        -p
+    }
+}
+
+/// Standard normal distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Normal;
+
+impl Normal {
+    /// Cumulative distribution function Φ(x).
+    pub fn cdf(&self, x: f64) -> f64 {
+        0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+    }
+
+    /// Quantile (inverse CDF) via the Acklam rational approximation refined
+    /// with one Halley step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Domain`] if `p` is outside `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..1.0).contains(&p) || p == 0.0 {
+            return Err(LinalgError::Domain {
+                what: "normal quantile requires p in (0, 1)",
+            });
+        }
+        // Acklam's algorithm.
+        const A: [f64; 6] = [
+            -3.969_683_028_665_376e1,
+            2.209_460_984_245_205e2,
+            -2.759_285_104_469_687e2,
+            1.383_577_518_672_690e2,
+            -3.066_479_806_614_716e1,
+            2.506_628_277_459_239,
+        ];
+        const B: [f64; 5] = [
+            -5.447_609_879_822_406e1,
+            1.615_858_368_580_409e2,
+            -1.556_989_798_598_866e2,
+            6.680_131_188_771_972e1,
+            -1.328_068_155_288_572e1,
+        ];
+        const C: [f64; 6] = [
+            -7.784_894_002_430_293e-3,
+            -3.223_964_580_411_365e-1,
+            -2.400_758_277_161_838,
+            -2.549_732_539_343_734,
+            4.374_664_141_464_968,
+            2.938_163_982_698_783,
+        ];
+        const D: [f64; 4] = [
+            7.784_695_709_041_462e-3,
+            3.224_671_290_700_398e-1,
+            2.445_134_137_142_996,
+            3.754_408_661_907_416,
+        ];
+        let p_low = 0.02425;
+        let x = if p < p_low {
+            let q = (-2.0 * p.ln()).sqrt();
+            (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+                / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        } else if p <= 1.0 - p_low {
+            let q = p - 0.5;
+            let r = q * q;
+            (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+                / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+        } else {
+            let q = (-2.0 * (1.0 - p).ln()).sqrt();
+            -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+                / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        };
+        // One Halley refinement step.
+        let e = self.cdf(x) - p;
+        let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+        Ok(x - u / (1.0 + x * u / 2.0))
+    }
+}
+
+/// Chi-squared distribution with `k` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquared {
+    /// Degrees of freedom (may be fractional, as in Box's SPE
+    /// approximation).
+    pub k: f64,
+}
+
+impl ChiSquared {
+    /// Creates a χ² distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Domain`] if `k <= 0`.
+    pub fn new(k: f64) -> Result<Self> {
+        if k <= 0.0 {
+            return Err(LinalgError::Domain {
+                what: "chi-squared requires k > 0",
+            });
+        }
+        Ok(ChiSquared { k })
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            gamma_p(self.k / 2.0, x / 2.0).unwrap_or(1.0)
+        }
+    }
+
+    /// Quantile (inverse CDF) via the Wilson–Hilferty start refined with
+    /// bisection/Newton.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Domain`] if `p` is outside `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..1.0).contains(&p) || p == 0.0 {
+            return Err(LinalgError::Domain {
+                what: "chi-squared quantile requires p in (0, 1)",
+            });
+        }
+        // Wilson–Hilferty initial guess.
+        let z = Normal.quantile(p)?;
+        let k = self.k;
+        let guess = k * (1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt()).powi(3);
+        let f = |x: f64| self.cdf(x) - p;
+        Ok(invert_cdf(f, guess.max(1e-10), 0.0, f64::INFINITY))
+    }
+}
+
+/// F-distribution with `d1` (numerator) and `d2` (denominator) degrees of
+/// freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FisherF {
+    /// Numerator degrees of freedom.
+    pub d1: f64,
+    /// Denominator degrees of freedom.
+    pub d2: f64,
+}
+
+impl FisherF {
+    /// Creates an F distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Domain`] if either parameter is not positive.
+    pub fn new(d1: f64, d2: f64) -> Result<Self> {
+        if d1 <= 0.0 || d2 <= 0.0 {
+            return Err(LinalgError::Domain {
+                what: "F distribution requires d1 > 0 and d2 > 0",
+            });
+        }
+        Ok(FisherF { d1, d2 })
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let t = self.d1 * x / (self.d1 * x + self.d2);
+        beta_inc(self.d1 / 2.0, self.d2 / 2.0, t).unwrap_or(1.0)
+    }
+
+    /// Quantile (inverse CDF), solved by monotone search on the CDF.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Domain`] if `p` is outside `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..1.0).contains(&p) || p == 0.0 {
+            return Err(LinalgError::Domain {
+                what: "F quantile requires p in (0, 1)",
+            });
+        }
+        let f = |x: f64| self.cdf(x) - p;
+        Ok(invert_cdf(f, 1.0, 0.0, f64::INFINITY))
+    }
+}
+
+/// Beta distribution with shape parameters `a` and `b`.
+///
+/// Used for the small-sample "beta limit" variant of the D-statistic
+/// control limit (Tracy–Widom–Young form for monitoring the calibration
+/// observations themselves).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BetaDist {
+    /// First shape parameter.
+    pub a: f64,
+    /// Second shape parameter.
+    pub b: f64,
+}
+
+impl BetaDist {
+    /// Creates a Beta distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Domain`] if either shape is not positive.
+    pub fn new(a: f64, b: f64) -> Result<Self> {
+        if a <= 0.0 || b <= 0.0 {
+            return Err(LinalgError::Domain {
+                what: "Beta distribution requires a > 0 and b > 0",
+            });
+        }
+        Ok(BetaDist { a, b })
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else if x >= 1.0 {
+            1.0
+        } else {
+            beta_inc(self.a, self.b, x).unwrap_or(1.0)
+        }
+    }
+
+    /// Quantile (inverse CDF) via bisection on `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Domain`] if `p` is outside `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..1.0).contains(&p) || p == 0.0 {
+            return Err(LinalgError::Domain {
+                what: "Beta quantile requires p in (0, 1)",
+            });
+        }
+        let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+}
+
+/// Inverts a monotone CDF-difference function `f` (which must be increasing
+/// and cross zero) starting from `guess`, by expanding a bracket then
+/// bisecting.
+fn invert_cdf<F: Fn(f64) -> f64>(f: F, guess: f64, lower: f64, upper: f64) -> f64 {
+    let mut lo = lower.max(1e-300);
+    let mut hi = guess.max(lo * 2.0);
+    // Expand hi until f(hi) >= 0.
+    let mut iters = 0;
+    while f(hi) < 0.0 && hi < upper && iters < 200 {
+        lo = hi;
+        hi *= 2.0;
+        iters += 1;
+    }
+    // Shrink lo until f(lo) <= 0.
+    iters = 0;
+    while f(lo) > 0.0 && iters < 200 {
+        hi = lo;
+        lo /= 2.0;
+        iters += 1;
+    }
+    for _ in 0..120 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Gamma(n) = (n-1)!
+        assert!(close(ln_gamma(1.0), 0.0, 1e-12));
+        assert!(close(ln_gamma(2.0), 0.0, 1e-12));
+        assert!(close(ln_gamma(5.0), (24.0_f64).ln(), 1e-12));
+        assert!(close(ln_gamma(11.0), (3_628_800.0_f64).ln(), 1e-10));
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Gamma(1/2) = sqrt(pi)
+        assert!(close(
+            ln_gamma(0.5),
+            0.5 * std::f64::consts::PI.ln(),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn gamma_p_limits() {
+        assert_eq!(gamma_p(2.0, 0.0).unwrap(), 0.0);
+        assert!(gamma_p(2.0, 100.0).unwrap() > 1.0 - 1e-12);
+        assert!(gamma_p(-1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!(close(erf(0.0), 0.0, 1e-15));
+        assert!(close(erf(1.0), 0.842_700_792_949_714_9, 1e-10));
+        assert!(close(erf(-1.0), -0.842_700_792_949_714_9, 1e-10));
+    }
+
+    #[test]
+    fn normal_cdf_symmetry_and_known_values() {
+        let n = Normal;
+        assert!(close(n.cdf(0.0), 0.5, 1e-15));
+        assert!(close(n.cdf(1.959_963_984_540_054), 0.975, 1e-9));
+        assert!(close(n.cdf(-1.0) + n.cdf(1.0), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn normal_quantile_roundtrip() {
+        let n = Normal;
+        for &p in &[0.001, 0.01, 0.05, 0.5, 0.95, 0.99, 0.999] {
+            let x = n.quantile(p).unwrap();
+            assert!(close(n.cdf(x), p, 1e-10), "p = {p}");
+        }
+        assert!(close(n.quantile(0.975).unwrap(), 1.959_963_984_540_054, 1e-8));
+    }
+
+    #[test]
+    fn chi2_quantile_known_values() {
+        // chi2(0.95; 1) = 3.8415, chi2(0.99; 10) = 23.209
+        let c1 = ChiSquared::new(1.0).unwrap();
+        assert!(close(c1.quantile(0.95).unwrap(), 3.841_458_820_694_124, 1e-6));
+        let c10 = ChiSquared::new(10.0).unwrap();
+        assert!(close(c10.quantile(0.99).unwrap(), 23.209_251_158_954_356, 1e-6));
+    }
+
+    #[test]
+    fn chi2_cdf_quantile_roundtrip() {
+        let c = ChiSquared::new(7.3).unwrap();
+        for &p in &[0.01, 0.25, 0.5, 0.9, 0.99] {
+            let x = c.quantile(p).unwrap();
+            assert!(close(c.cdf(x), p, 1e-9), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn f_quantile_known_values() {
+        // F(0.95; 2, 10) = 4.1028, F(0.99; 5, 20) = 4.1027
+        let f = FisherF::new(2.0, 10.0).unwrap();
+        assert!(close(f.quantile(0.95).unwrap(), 4.102_821, 1e-4));
+        let f2 = FisherF::new(5.0, 20.0).unwrap();
+        assert!(close(f2.quantile(0.99).unwrap(), 4.102_7, 2e-3));
+    }
+
+    #[test]
+    fn f_cdf_quantile_roundtrip() {
+        let f = FisherF::new(3.0, 57.0).unwrap();
+        for &p in &[0.05, 0.5, 0.95, 0.99] {
+            let x = f.quantile(p).unwrap();
+            assert!(close(f.cdf(x), p, 1e-9), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn beta_inc_matches_symmetry() {
+        // I_x(a, b) = 1 - I_{1-x}(b, a)
+        let v1 = beta_inc(2.0, 5.0, 0.3).unwrap();
+        let v2 = beta_inc(5.0, 2.0, 0.7).unwrap();
+        assert!(close(v1, 1.0 - v2, 1e-12));
+    }
+
+    #[test]
+    fn beta_uniform_case() {
+        // Beta(1, 1) is uniform: CDF(x) = x.
+        let b = BetaDist::new(1.0, 1.0).unwrap();
+        assert!(close(b.cdf(0.42), 0.42, 1e-12));
+        assert!(close(b.quantile(0.42).unwrap(), 0.42, 1e-9));
+    }
+
+    #[test]
+    fn beta_quantile_roundtrip() {
+        let b = BetaDist::new(3.5, 1.2).unwrap();
+        for &p in &[0.05, 0.5, 0.95] {
+            let x = b.quantile(p).unwrap();
+            assert!(close(b.cdf(x), p, 1e-9));
+        }
+    }
+
+    #[test]
+    fn domain_errors() {
+        assert!(Normal.quantile(0.0).is_err());
+        assert!(Normal.quantile(1.0).is_err());
+        assert!(ChiSquared::new(0.0).is_err());
+        assert!(FisherF::new(1.0, 0.0).is_err());
+        assert!(BetaDist::new(-1.0, 1.0).is_err());
+        assert!(beta_inc(1.0, 1.0, 2.0).is_err());
+    }
+}

@@ -1,0 +1,52 @@
+use std::fmt;
+
+/// Error type for linear-algebra operations in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes. Holds `(left, right)` shapes as
+    /// `(rows, cols)` pairs.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+    /// An operation required a non-empty matrix but received an empty one.
+    Empty,
+    /// An iterative algorithm failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the algorithm that failed.
+        algorithm: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An argument was outside the function's domain (e.g. a negative
+    /// variance, a probability outside `(0, 1)`).
+    Domain {
+        /// Description of the violated precondition.
+        what: &'static str,
+    },
+    /// A matrix that had to be (numerically) non-singular was singular.
+    Singular,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { left, right } => write!(
+                f,
+                "incompatible shapes: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::Empty => write!(f, "operation requires a non-empty matrix"),
+            LinalgError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            LinalgError::Domain { what } => write!(f, "argument outside domain: {what}"),
+            LinalgError::Singular => write!(f, "matrix is singular to working precision"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

@@ -1,0 +1,40 @@
+//! Dense linear algebra, multivariate statistics and distribution quantiles
+//! for PCA-based Multivariate Statistical Process Control (MSPC).
+//!
+//! This crate is the numerical substrate of the `temspc` workspace. It is
+//! deliberately self-contained: the only runtime dependencies are [`rand`]
+//! (sampling) and [`serde`] (model persistence). It provides:
+//!
+//! * [`Matrix`] — a row-major dense matrix with the operations PCA needs
+//!   (products, transpose, slicing, norms),
+//! * [`decomp`] — symmetric eigendecomposition (cyclic Jacobi), SVD and QR,
+//! * [`stats`] — column statistics, covariance/correlation and the
+//!   [`stats::AutoScaler`] used to freeze calibration preprocessing,
+//! * [`dist`] — special functions plus Normal, χ², F and Beta distributions
+//!   with quantile (inverse CDF) support, used for T²/SPE control limits,
+//! * [`rng`] — deterministic Gaussian/uniform sampling helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use temspc_linalg::Matrix;
+//!
+//! let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let xtx = x.transpose().matmul(&x);
+//! assert_eq!(xtx.get(0, 0), 10.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod decomp;
+pub mod dist;
+mod error;
+mod matrix;
+pub mod rng;
+pub mod stats;
+
+pub use error::LinalgError;
+pub use matrix::Matrix;
+
+/// Convenience result alias for fallible linear-algebra operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;

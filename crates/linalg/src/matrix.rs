@@ -1,0 +1,617 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{LinalgError, Result};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// `Matrix` is the workhorse type of the `temspc` workspace: observation
+/// datasets (`N x M`), PCA loadings (`M x A`) and scores (`N x A`) are all
+/// `Matrix` values. It favours clarity over raw BLAS speed, but the matmul
+/// kernel is cache-friendly (ikj loop order) and fast enough for the
+/// dataset sizes the paper uses (hundreds of thousands of rows, ~50
+/// columns).
+///
+/// # Example
+///
+/// ```
+/// use temspc_linalg::Matrix;
+///
+/// let eye = Matrix::identity(3);
+/// let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+/// assert_eq!(m.matmul(&eye), m);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        if rows.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "row {i} has length {} != {cols}", r.len());
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a column vector (`n x 1`) from a slice.
+    pub fn column_vector(values: &[f64]) -> Self {
+        Matrix {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let mut m = Matrix::zeros(diag.len(), diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            m.set(i, i, d);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns `true` if the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrows row `row` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= nrows()`.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f64] {
+        assert!(row < self.rows, "row index out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `row` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= nrows()`.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [f64] {
+        assert!(row < self.rows, "row index out of bounds");
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Copies column `col` into a new `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= ncols()`.
+    pub fn col(&self, col: usize) -> Vec<f64> {
+        assert!(col < self.cols, "column index out of bounds");
+        (0..self.rows).map(|r| self.get(r, col)).collect()
+    }
+
+    /// Borrows the underlying row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the row-major data vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns the transpose of the matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.ncols() != rhs.nrows()`; use [`Matrix::try_matmul`]
+    /// for a fallible variant.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        self.try_matmul(rhs).expect("matmul shape mismatch")
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the inner dimensions differ.
+    pub fn try_matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // ikj order: the inner loop walks contiguous memory of both the
+        // output row and the rhs row, which matters for the tall datasets
+        // PCA chews through.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.ncols()`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec shape mismatch");
+        (0..self.rows)
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .zip(v)
+                    .map(|(&a, &b)| a * b)
+                    .sum::<f64>()
+            })
+            .collect()
+    }
+
+    /// Element-wise sum `self + rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the shapes differ.
+    pub fn try_add(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Element-wise difference `self - rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the shapes differ.
+    pub fn try_sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Returns `self` scaled by `factor`.
+    pub fn scaled(&self, factor: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * factor).collect(),
+        }
+    }
+
+    /// Frobenius norm (root of the sum of squared entries).
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute entry; `0.0` for an empty matrix.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Extracts the sub-matrix of the given `rows` and `cols` index sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select(&self, rows: &[usize], cols: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(rows.len(), cols.len());
+        for (i, &r) in rows.iter().enumerate() {
+            for (j, &c) in cols.iter().enumerate() {
+                out.set(i, j, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Extracts the sub-matrix formed by the given rows (all columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, rows: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(rows.len(), self.cols);
+        for (i, &r) in rows.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Extracts the sub-matrix formed by the given columns (all rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_cols(&self, cols: &[usize]) -> Matrix {
+        let rows: Vec<usize> = (0..self.rows).collect();
+        self.select(&rows, cols)
+    }
+
+    /// Stacks `self` on top of `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the column counts differ.
+    pub fn vstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Places `self` to the left of `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the row counts differ.
+    pub fn hstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.data[r * out.cols..r * out.cols + self.cols].copy_from_slice(self.row(r));
+            out.data[r * out.cols + self.cols..(r + 1) * out.cols].copy_from_slice(other.row(r));
+        }
+        Ok(out)
+    }
+
+    /// Appends a row to the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != ncols()` on a non-empty matrix.
+    pub fn push_row(&mut self, row: &[f64]) {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = row.len();
+        }
+        assert_eq!(row.len(), self.cols, "push_row length mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Iterates over the rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks(self.cols.max(1))
+    }
+
+    /// Returns `true` if every entry is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl Default for Matrix {
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
+impl std::fmt::Display for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8;
+        for r in 0..self.rows.min(max_rows) {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{:>10.4} ", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  ... ({} more rows)", self.rows - max_rows)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_expected_shape_and_content() {
+        let m = Matrix::zeros(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_multiplication_is_neutral() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(Matrix::identity(3).matmul(&m), m);
+        assert_eq!(m.matmul(&Matrix::identity(2)), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.try_matmul(&b),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().shape(), (3, 2));
+        assert_eq!(m.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn matvec_matches_matmul_with_column() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let v = [5.0, 6.0];
+        let got = m.matvec(&v);
+        let expect = m.matmul(&Matrix::column_vector(&v));
+        assert_eq!(got, expect.col(0));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 4.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 3.0], &[-1.0, 2.0]]);
+        let sum = a.try_add(&b).unwrap();
+        let back = sum.try_sub(&b).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn select_rows_cols() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]);
+        let sub = m.select(&[0, 2], &[1, 2]);
+        assert_eq!(sub, Matrix::from_rows(&[&[2.0, 3.0], &[8.0, 9.0]]));
+        assert_eq!(m.select_rows(&[1]), Matrix::from_rows(&[&[4.0, 5.0, 6.0]]));
+        let sc = m.select_cols(&[0]);
+        assert_eq!(sc.col(0), vec![1.0, 4.0, 7.0]);
+    }
+
+    #[test]
+    fn stack_operations() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0]]);
+        let v = a.vstack(&b).unwrap();
+        assert_eq!(v.shape(), (2, 2));
+        assert_eq!(v.row(1), &[3.0, 4.0]);
+        let h = a.hstack(&b).unwrap();
+        assert_eq!(h.shape(), (1, 4));
+        assert_eq!(h.row(0), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn stack_shape_errors() {
+        let a = Matrix::zeros(1, 2);
+        let b = Matrix::zeros(1, 3);
+        assert!(a.vstack(&b).is_err());
+        let c = Matrix::zeros(2, 2);
+        assert!(a.hstack(&c).is_err());
+    }
+
+    #[test]
+    fn push_row_grows_matrix() {
+        let mut m = Matrix::default();
+        m.push_row(&[1.0, 2.0]);
+        m.push_row(&[3.0, 4.0]);
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn frobenius_norm_known_value() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_abs_empty_is_zero() {
+        assert_eq!(Matrix::default().max_abs(), 0.0);
+        assert_eq!(
+            Matrix::from_rows(&[&[-7.0, 2.0]]).max_abs(),
+            7.0
+        );
+    }
+
+    #[test]
+    fn diag_constructor() {
+        let d = Matrix::from_diag(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.get(1, 1), 2.0);
+        assert_eq!(d.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn display_does_not_panic_and_is_nonempty() {
+        let m = Matrix::zeros(20, 2);
+        let s = format!("{m}");
+        assert!(s.contains("more rows"));
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn get_out_of_bounds_panics() {
+        Matrix::zeros(1, 1).get(1, 0);
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut m = Matrix::zeros(1, 2);
+        assert!(m.all_finite());
+        m.set(0, 1, f64::NAN);
+        assert!(!m.all_finite());
+    }
+}

@@ -1,0 +1,419 @@
+//! Column statistics, covariance and the autoscaling preprocessing used by
+//! MSPC calibration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Arithmetic mean of a slice; `0.0` for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample variance (denominator `n - 1`); `0.0` for fewer than 2 values.
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64
+}
+
+/// Sample standard deviation (denominator `n - 1`).
+pub fn std_dev(values: &[f64]) -> f64 {
+    variance(values).sqrt()
+}
+
+/// Per-column means of a matrix.
+pub fn column_means(x: &Matrix) -> Vec<f64> {
+    let (n, m) = x.shape();
+    let mut means = vec![0.0; m];
+    if n == 0 {
+        return means;
+    }
+    for row in x.iter_rows() {
+        for (acc, &v) in means.iter_mut().zip(row) {
+            *acc += v;
+        }
+    }
+    for acc in &mut means {
+        *acc /= n as f64;
+    }
+    means
+}
+
+/// Per-column sample standard deviations of a matrix.
+pub fn column_stds(x: &Matrix) -> Vec<f64> {
+    let (n, m) = x.shape();
+    if n < 2 {
+        return vec![0.0; m];
+    }
+    let means = column_means(x);
+    let mut acc = vec![0.0; m];
+    for row in x.iter_rows() {
+        for ((a, &v), &mu) in acc.iter_mut().zip(row).zip(&means) {
+            let d = v - mu;
+            *a += d * d;
+        }
+    }
+    acc.iter().map(|a| (a / (n as f64 - 1.0)).sqrt()).collect()
+}
+
+/// Sample covariance matrix (`m x m`) of the columns of `x`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] if `x` has fewer than 2 rows.
+pub fn covariance(x: &Matrix) -> Result<Matrix> {
+    let (n, m) = x.shape();
+    if n < 2 {
+        return Err(LinalgError::Empty);
+    }
+    let means = column_means(x);
+    let mut cov = Matrix::zeros(m, m);
+    for row in x.iter_rows() {
+        for i in 0..m {
+            let di = row[i] - means[i];
+            for j in i..m {
+                let dj = row[j] - means[j];
+                let v = cov.get(i, j) + di * dj;
+                cov.set(i, j, v);
+            }
+        }
+    }
+    let denom = (n - 1) as f64;
+    for i in 0..m {
+        for j in i..m {
+            let v = cov.get(i, j) / denom;
+            cov.set(i, j, v);
+            cov.set(j, i, v);
+        }
+    }
+    Ok(cov)
+}
+
+/// Pearson correlation matrix of the columns of `x`.
+///
+/// Columns with (numerically) zero variance yield zero correlation with
+/// every other column and unit self-correlation.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] if `x` has fewer than 2 rows.
+pub fn correlation(x: &Matrix) -> Result<Matrix> {
+    let cov = covariance(x)?;
+    let m = cov.nrows();
+    let mut corr = Matrix::zeros(m, m);
+    for i in 0..m {
+        for j in 0..m {
+            let denom = (cov.get(i, i) * cov.get(j, j)).sqrt();
+            let v = if denom > 1e-300 {
+                cov.get(i, j) / denom
+            } else if i == j {
+                1.0
+            } else {
+                0.0
+            };
+            corr.set(i, j, v);
+        }
+    }
+    Ok(corr)
+}
+
+/// Empirical percentile (linear interpolation between order statistics,
+/// the "type 7" definition used by most statistics packages).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] on an empty slice or
+/// [`LinalgError::Domain`] if `p` is outside `[0, 1]`.
+pub fn percentile(values: &[f64], p: f64) -> Result<f64> {
+    if values.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(LinalgError::Domain {
+            what: "percentile requires p in [0, 1]",
+        });
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let h = p * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        Ok(sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo]))
+    }
+}
+
+/// Frozen autoscaling (z-score) parameters learned from calibration data.
+///
+/// MSPC requires that *new* observations are scaled with the calibration
+/// means/stds, never their own — `AutoScaler` freezes those parameters.
+/// Columns whose calibration standard deviation is numerically zero are
+/// scaled by 1.0 (they carry no variance information but must not produce
+/// NaN).
+///
+/// # Example
+///
+/// ```
+/// use temspc_linalg::{Matrix, stats::AutoScaler};
+///
+/// let calib = Matrix::from_rows(&[&[1.0, 10.0], &[3.0, 30.0], &[2.0, 20.0]]);
+/// let scaler = AutoScaler::fit(&calib).unwrap();
+/// let scaled = scaler.transform(&calib).unwrap();
+/// // Scaled calibration data has (approximately) zero column means.
+/// assert!(temspc_linalg::stats::column_means(&scaled)[0].abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl AutoScaler {
+    /// Learns means and standard deviations from calibration data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] if `x` has fewer than 2 rows.
+    pub fn fit(x: &Matrix) -> Result<Self> {
+        Self::fit_with_min_std(x, 0.0)
+    }
+
+    /// Like [`AutoScaler::fit`], but with a *relative* floor on the
+    /// standard deviation: each column's std is clamped to at least
+    /// `min_std_rel * max(|mean|, 1)`.
+    ///
+    /// With `min_std_rel = 0` a zero-variance column is scaled by 1.0 (it
+    /// carries no information). A positive floor instead declares a
+    /// smallest *meaningful* relative variation: columns that are
+    /// (nearly) constant during calibration then produce large z-scores
+    /// as soon as they move — needed for near-deterministic features such
+    /// as network update-fractions, where any departure is significant.
+    /// The floor scales with the column mean so large-magnitude features
+    /// (e.g. byte rates) are not over-sensitized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] if `x` has fewer than 2 rows, or
+    /// [`LinalgError::Domain`] if `min_std_rel` is negative.
+    pub fn fit_with_min_std(x: &Matrix, min_std_rel: f64) -> Result<Self> {
+        if min_std_rel < 0.0 {
+            return Err(LinalgError::Domain {
+                what: "min_std must be non-negative",
+            });
+        }
+        if x.nrows() < 2 {
+            return Err(LinalgError::Empty);
+        }
+        let means = column_means(x);
+        let stds = column_stds(x)
+            .into_iter()
+            .zip(&means)
+            .map(|(s, &mu)| {
+                if min_std_rel > 0.0 {
+                    s.max(min_std_rel * mu.abs().max(1.0))
+                } else if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Ok(AutoScaler { means, stds })
+    }
+
+    /// Number of variables the scaler was fitted on.
+    pub fn n_variables(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Frozen column means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Frozen column standard deviations (zero-variance columns report 1.0).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Applies the frozen scaling to a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the column count differs
+    /// from the calibration data.
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        if x.ncols() != self.means.len() {
+            return Err(LinalgError::ShapeMismatch {
+                left: x.shape(),
+                right: (1, self.means.len()),
+            });
+        }
+        let mut out = x.clone();
+        for r in 0..out.nrows() {
+            let row = out.row_mut(r);
+            for ((v, &mu), &sd) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = (*v - mu) / sd;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies the frozen scaling to a single observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the length differs from the
+    /// calibration data's column count.
+    pub fn transform_row(&self, row: &[f64]) -> Result<Vec<f64>> {
+        if row.len() != self.means.len() {
+            return Err(LinalgError::ShapeMismatch {
+                left: (1, row.len()),
+                right: (1, self.means.len()),
+            });
+        }
+        Ok(row
+            .iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((&v, &mu), &sd)| (v - mu) / sd)
+            .collect())
+    }
+
+    /// Undoes the scaling of a single observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the length differs from the
+    /// calibration data's column count.
+    pub fn inverse_transform_row(&self, row: &[f64]) -> Result<Vec<f64>> {
+        if row.len() != self.means.len() {
+            return Err(LinalgError::ShapeMismatch {
+                left: (1, row.len()),
+                right: (1, self.means.len()),
+            });
+        }
+        Ok(row
+            .iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((&v, &mu), &sd)| v * sd + mu)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_known_values() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        // Sample variance with n-1 denominator: 32/7.
+        assert!((variance(&v) - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn column_stats() {
+        let x = Matrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0]]);
+        assert_eq!(column_means(&x), vec![2.0, 20.0]);
+        let stds = column_stds(&x);
+        assert!((stds[0] - 1.0).abs() < 1e-12);
+        assert!((stds[1] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_of_perfectly_correlated_columns() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let cov = covariance(&x).unwrap();
+        assert!((cov.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!((cov.get(0, 1) - 2.0).abs() < 1e-12);
+        assert!((cov.get(1, 1) - 4.0).abs() < 1e-12);
+        let corr = correlation(&x).unwrap();
+        assert!((corr.get(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_constant_column_is_zero() {
+        let x = Matrix::from_rows(&[&[1.0, 5.0], &[2.0, 5.0], &[3.0, 5.0]]);
+        let corr = correlation(&x).unwrap();
+        assert_eq!(corr.get(0, 1), 0.0);
+        assert_eq!(corr.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&v, 1.0).unwrap(), 4.0);
+        assert!((percentile(&v, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert!(percentile(&[], 0.5).is_err());
+        assert!(percentile(&v, 1.5).is_err());
+    }
+
+    #[test]
+    fn autoscaler_zero_mean_unit_variance() {
+        let x = Matrix::from_rows(&[&[1.0, 100.0], &[2.0, 200.0], &[3.0, 300.0], &[4.0, 400.0]]);
+        let sc = AutoScaler::fit(&x).unwrap();
+        let z = sc.transform(&x).unwrap();
+        for c in 0..2 {
+            let col = z.col(c);
+            assert!(mean(&col).abs() < 1e-12);
+            assert!((std_dev(&col) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn autoscaler_constant_column_does_not_nan() {
+        let x = Matrix::from_rows(&[&[1.0, 7.0], &[2.0, 7.0], &[3.0, 7.0]]);
+        let sc = AutoScaler::fit(&x).unwrap();
+        let z = sc.transform(&x).unwrap();
+        assert!(z.all_finite());
+        assert_eq!(z.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn autoscaler_roundtrip_row() {
+        let x = Matrix::from_rows(&[&[1.0, -5.0], &[3.0, 5.0], &[2.0, 0.0]]);
+        let sc = AutoScaler::fit(&x).unwrap();
+        let row = [2.5, 3.0];
+        let z = sc.transform_row(&row).unwrap();
+        let back = sc.inverse_transform_row(&z).unwrap();
+        assert!((back[0] - row[0]).abs() < 1e-12);
+        assert!((back[1] - row[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_std_floor_amplifies_constant_columns() {
+        let x = Matrix::from_rows(&[&[1.0, 7.0], &[2.0, 7.0], &[3.0, 7.0]]);
+        let sc = AutoScaler::fit_with_min_std(&x, 0.05).unwrap();
+        // The constant column scales by 0.05 * 7 = 0.35: a move to 8.0 is
+        // 1/0.35 ≈ 2.857 sigma (relative floor).
+        let z = sc.transform_row(&[2.0, 8.0]).unwrap();
+        assert!((z[1] - 1.0 / 0.35).abs() < 1e-9, "z = {z:?}");
+        // Columns with real variance above the floor keep it.
+        assert!((sc.stds()[0] - 1.0).abs() < 1e-9);
+        // Negative floors are rejected.
+        assert!(AutoScaler::fit_with_min_std(&x, -1.0).is_err());
+    }
+
+    #[test]
+    fn autoscaler_shape_errors() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let sc = AutoScaler::fit(&x).unwrap();
+        assert!(sc.transform_row(&[1.0]).is_err());
+        assert!(sc.transform(&Matrix::zeros(2, 3)).is_err());
+        assert!(AutoScaler::fit(&Matrix::zeros(1, 2)).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests of the linear-algebra substrate.
+
+use proptest::prelude::*;
+use temspc_linalg::decomp::{qr, solve_spd, svd, symmetric_eigen};
+use temspc_linalg::dist::{BetaDist, ChiSquared, FisherF, Normal};
+use temspc_linalg::stats::{column_means, covariance, percentile, AutoScaler};
+use temspc_linalg::Matrix;
+
+fn matrix_strategy(max_n: usize, max_m: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_n, 1..=max_m).prop_flat_map(|(n, m)| {
+        prop::collection::vec(-100.0..100.0f64, n * m)
+            .prop_map(move |data| Matrix::from_vec(n, m, data))
+    })
+}
+
+fn symmetric_strategy(max_n: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_n).prop_flat_map(|n| {
+        prop::collection::vec(-10.0..10.0f64, n * n).prop_map(move |data| {
+            let a = Matrix::from_vec(n, n, data);
+            // (A + A^T) / 2 is symmetric.
+            a.try_add(&a.transpose()).unwrap().scaled(0.5)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in matrix_strategy(8, 8)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_is_neutral(m in matrix_strategy(8, 8)) {
+        let eye = Matrix::identity(m.ncols());
+        let prod = m.matmul(&eye);
+        for (a, b) in prod.as_slice().iter().zip(m.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in matrix_strategy(6, 6), b in matrix_strategy(6, 6)) {
+        // (A B)^T = B^T A^T whenever shapes allow.
+        if a.ncols() == b.nrows() {
+            let left = a.matmul(&b).transpose();
+            let right = b.transpose().matmul(&a.transpose());
+            prop_assert!(left.try_sub(&right).unwrap().max_abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn frobenius_norm_triangle_inequality(a in matrix_strategy(6, 6)) {
+        let b = a.scaled(-0.5);
+        let sum = a.try_add(&b).unwrap();
+        prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-9);
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric_matrices(a in symmetric_strategy(6)) {
+        let e = symmetric_eigen(&a).unwrap();
+        let lam = Matrix::from_diag(&e.values);
+        let rec = e.vectors.matmul(&lam).matmul(&e.vectors.transpose());
+        prop_assert!(rec.try_sub(&a).unwrap().max_abs() < 1e-7,
+            "reconstruction error {}", rec.try_sub(&a).unwrap().max_abs());
+    }
+
+    #[test]
+    fn eigenvalues_sum_to_trace(a in symmetric_strategy(6)) {
+        let e = symmetric_eigen(&a).unwrap();
+        let trace: f64 = (0..a.nrows()).map(|i| a.get(i, i)).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-7 * (1.0 + trace.abs()));
+    }
+
+    #[test]
+    fn svd_reconstructs(m in matrix_strategy(7, 5)) {
+        let s = svd(&m).unwrap();
+        let rec = s.u.matmul(&Matrix::from_diag(&s.singular_values)).matmul(&s.v.transpose());
+        prop_assert!(rec.try_sub(&m).unwrap().max_abs() < 1e-6,
+            "reconstruction error {}", rec.try_sub(&m).unwrap().max_abs());
+        // Singular values are non-negative and sorted.
+        for w in s.singular_values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        prop_assert!(s.singular_values.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn qr_reconstructs_and_q_orthogonal(m in matrix_strategy(7, 5)) {
+        let f = qr(&m).unwrap();
+        let rec = f.q.matmul(&f.r);
+        prop_assert!(rec.try_sub(&m).unwrap().max_abs() < 1e-8);
+        let qtq = f.q.transpose().matmul(&f.q);
+        prop_assert!(qtq.try_sub(&Matrix::identity(m.nrows())).unwrap().max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn spd_solve_satisfies_system(diag in prop::collection::vec(0.5..10.0f64, 2..6)) {
+        let n = diag.len();
+        // Build an SPD matrix: D + small symmetric perturbation scaled to
+        // keep diagonal dominance.
+        let mut a = Matrix::from_diag(&diag);
+        for i in 0..n {
+            for j in 0..i {
+                let v = 0.05 * ((i * 7 + j * 3) as f64).sin();
+                a.set(i, j, v);
+                a.set(j, i, v);
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 1.5).collect();
+        let x = solve_spd(&a, &b).unwrap();
+        let ax = a.matvec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn covariance_is_psd(m in matrix_strategy(12, 5)) {
+        if m.nrows() >= 2 {
+            let cov = covariance(&m).unwrap();
+            let e = symmetric_eigen(&cov).unwrap();
+            for &l in &e.values {
+                prop_assert!(l > -1e-7, "negative eigenvalue {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn autoscaler_roundtrip(m in matrix_strategy(10, 6), row in prop::collection::vec(-50.0..50.0f64, 6)) {
+        if m.nrows() >= 2 && m.ncols() == 6 {
+            let sc = AutoScaler::fit(&m).unwrap();
+            let z = sc.transform_row(&row).unwrap();
+            let back = sc.inverse_transform_row(&z).unwrap();
+            for (a, b) in back.iter().zip(&row) {
+                prop_assert!((a - b).abs() < 1e-8 * (1.0 + b.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p(v in prop::collection::vec(-100.0..100.0f64, 1..50), p1 in 0.0..1.0f64, p2 in 0.0..1.0f64) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = percentile(&v, lo).unwrap();
+        let b = percentile(&v, hi).unwrap();
+        prop_assert!(a <= b + 1e-12);
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf(p in 0.001..0.999f64) {
+        let x = Normal.quantile(p).unwrap();
+        prop_assert!((Normal.cdf(x) - p).abs() < 1e-8);
+    }
+
+    #[test]
+    fn chi2_quantile_inverts_cdf(k in 0.5..60.0f64, p in 0.01..0.99f64) {
+        let d = ChiSquared::new(k).unwrap();
+        let x = d.quantile(p).unwrap();
+        prop_assert!((d.cdf(x) - p).abs() < 1e-7);
+    }
+
+    #[test]
+    fn f_quantile_inverts_cdf(d1 in 1.0..30.0f64, d2 in 1.0..200.0f64, p in 0.05..0.99f64) {
+        let d = FisherF::new(d1, d2).unwrap();
+        let x = d.quantile(p).unwrap();
+        prop_assert!((d.cdf(x) - p).abs() < 1e-7);
+    }
+
+    #[test]
+    fn beta_quantile_inverts_cdf(a in 0.5..20.0f64, b in 0.5..20.0f64, p in 0.01..0.99f64) {
+        let d = BetaDist::new(a, b).unwrap();
+        let x = d.quantile(p).unwrap();
+        prop_assert!((d.cdf(x) - p).abs() < 1e-6);
+    }
+
+    #[test]
+    fn column_means_of_centered_data_are_zero(m in matrix_strategy(10, 4)) {
+        if m.nrows() >= 2 {
+            let sc = AutoScaler::fit(&m).unwrap();
+            let z = sc.transform(&m).unwrap();
+            for mean in column_means(&z) {
+                prop_assert!(mean.abs() < 1e-9, "mean = {mean}");
+            }
+        }
+    }
+}

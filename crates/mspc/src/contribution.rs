@@ -1,0 +1,135 @@
+//! Contribution plots: the classic single-observation diagnosis
+//! complement to oMEDA.
+//!
+//! Where oMEDA diagnoses a *group* of anomalous observations, contribution
+//! plots decompose the T² and SPE of a *single* observation into per-
+//! variable shares — the traditional MSPC practice (MacGregor & Kourti
+//! 1995) that the MEDA line of work refines. Having both lets the
+//! monitoring pipeline cross-check its diagnosis.
+
+use temspc_linalg::LinalgError;
+
+use crate::pca::PcaModel;
+
+/// Per-variable contributions to the SPE (Q-statistic) of one raw
+/// observation: `c_m = e_m²` with `Σ c_m = SPE`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] on a length mismatch.
+pub fn spe_contributions(model: &PcaModel, raw: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let (_, residual) = model.project(raw)?;
+    Ok(residual.iter().map(|e| e * e).collect())
+}
+
+/// Per-variable contributions to Hotelling's T² of one raw observation,
+/// using the standard decomposition
+/// `c_m = z_m · Σ_a (t_a / λ_a) p_{m,a}` (signed; sums to T²).
+///
+/// Negative contributions are possible (a variable can *reduce* T²); for
+/// ranking, use the absolute value.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] on a length mismatch.
+pub fn t2_contributions(model: &PcaModel, raw: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let (scores, _) = model.project(raw)?;
+    let z = model.scaler().transform_row(raw)?;
+    let p = model.loadings();
+    let a = model.n_components();
+    let m = model.n_variables();
+    let mut weights = vec![0.0; m];
+    for (c, (&t, &l)) in scores.iter().zip(model.eigenvalues()).enumerate() {
+        let w = t / l.max(1e-12);
+        for (j, wj) in weights.iter_mut().enumerate() {
+            *wj += w * p.get(j, c);
+        }
+    }
+    let _ = a;
+    Ok(z.iter().zip(&weights).map(|(&zj, &wj)| zj * wj).collect())
+}
+
+/// Index and value of the variable with the largest absolute
+/// contribution.
+///
+/// Returns `None` for an empty vector.
+pub fn top_contributor(contributions: &[f64]) -> Option<(usize, f64)> {
+    contributions
+        .iter()
+        .copied()
+        .enumerate()
+        .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pca::ComponentSelection;
+    use crate::statistics::observation_statistics;
+    use temspc_linalg::rng::GaussianSampler;
+    use temspc_linalg::Matrix;
+
+    fn model() -> PcaModel {
+        let mut rng = GaussianSampler::seed_from(41);
+        let mut x = Matrix::zeros(600, 4);
+        for r in 0..600 {
+            let t1 = rng.next_gaussian();
+            let t2 = rng.next_gaussian();
+            x.set(r, 0, t1 + 0.05 * rng.next_gaussian());
+            x.set(r, 1, -t1 + 0.05 * rng.next_gaussian());
+            x.set(r, 2, t2 + 0.05 * rng.next_gaussian());
+            x.set(r, 3, t1 + t2 + 0.05 * rng.next_gaussian());
+        }
+        PcaModel::fit(&x, ComponentSelection::Fixed(2)).unwrap()
+    }
+
+    #[test]
+    fn spe_contributions_sum_to_spe() {
+        let m = model();
+        let obs = [2.0, 1.5, -1.0, 0.3];
+        let contrib = spe_contributions(&m, &obs).unwrap();
+        let (_, spe) = observation_statistics(&m, &obs).unwrap();
+        let sum: f64 = contrib.iter().sum();
+        assert!((sum - spe).abs() < 1e-10, "sum {sum} vs spe {spe}");
+        assert!(contrib.iter().all(|&c| c >= 0.0));
+    }
+
+    #[test]
+    fn t2_contributions_sum_to_t2() {
+        let m = model();
+        let obs = [3.0, -3.0, 1.0, 4.0];
+        let contrib = t2_contributions(&m, &obs).unwrap();
+        let (t2, _) = observation_statistics(&m, &obs).unwrap();
+        let sum: f64 = contrib.iter().sum();
+        assert!((sum - t2).abs() < 1e-9, "sum {sum} vs t2 {t2}");
+    }
+
+    #[test]
+    fn broken_correlation_blames_the_right_variable() {
+        let m = model();
+        // Normal pattern: x0 = t1, x1 = -t1. Break x1.
+        let obs = [2.0, 2.0, 0.0, 2.0];
+        let contrib = spe_contributions(&m, &obs).unwrap();
+        let (idx, _) = top_contributor(&contrib).unwrap();
+        assert!(idx == 0 || idx == 1, "top SPE contributor = {idx}");
+    }
+
+    #[test]
+    fn in_model_excursion_shows_in_t2_contributions() {
+        let m = model();
+        // Consistent but extreme along the first latent direction.
+        let obs = [6.0, -6.0, 0.0, 6.0];
+        let contrib = t2_contributions(&m, &obs).unwrap();
+        let (idx, val) = top_contributor(&contrib).unwrap();
+        assert!(val.abs() > 1.0);
+        assert!(idx != 2, "variable 2 carries no t1 signal");
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let m = model();
+        assert!(spe_contributions(&m, &[1.0]).is_err());
+        assert!(t2_contributions(&m, &[1.0, 2.0, 3.0]).is_err());
+        assert!(top_contributor(&[]).is_none());
+    }
+}

@@ -1,0 +1,201 @@
+//! Cross-validated selection of the PCA component count.
+//!
+//! The paper (and the MEDA toolbox it uses) selects the number of
+//! principal components from calibration data; the standard chemometric
+//! criterion is **element-wise k-fold PRESS** (Wold/Camacho "ekf"):
+//! for held-out observations, each variable is predicted from the *other*
+//! variables through the PCA model (known-data regression), and the
+//! squared prediction errors accumulate into PRESS(A). The best A
+//! minimizes PRESS; unlike naive row-wise reconstruction error, this
+//! criterion increases again when components start fitting noise.
+
+use temspc_linalg::decomp::solve_spd;
+use temspc_linalg::stats::AutoScaler;
+use temspc_linalg::{LinalgError, Matrix};
+
+use crate::pca::{ComponentSelection, PcaModel};
+
+/// PRESS values per component count (index 0 → A = 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PressCurve {
+    /// PRESS(A) for A = 1..=max.
+    pub press: Vec<f64>,
+}
+
+impl PressCurve {
+    /// The component count minimizing PRESS.
+    pub fn best_components(&self) -> usize {
+        self.press
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i + 1)
+            .unwrap_or(1)
+    }
+}
+
+/// Computes the element-wise k-fold PRESS curve for `1..=max_components`.
+///
+/// `folds` row-folds are held out in turn; the model is fitted on the
+/// remaining rows. For each held-out element `x_ij`, the prediction uses
+/// the loadings restricted to the other variables:
+/// `t̂ = (P_{-j}ᵀ P_{-j})⁻¹ P_{-j}ᵀ x_{i,-j}`, `x̂_ij = p_jᵀ t̂`.
+///
+/// # Errors
+///
+/// * [`LinalgError::Domain`] if `max_components` is 0/too large or
+///   `folds < 2`.
+/// * [`LinalgError::Empty`] if a training fold would be empty.
+pub fn press_cross_validation(
+    x: &Matrix,
+    max_components: usize,
+    folds: usize,
+) -> Result<PressCurve, LinalgError> {
+    let (n, m) = x.shape();
+    if max_components == 0 || max_components >= m {
+        return Err(LinalgError::Domain {
+            what: "max_components must be in 1..M",
+        });
+    }
+    if folds < 2 || folds > n {
+        return Err(LinalgError::Domain {
+            what: "folds must be in 2..=N",
+        });
+    }
+    let mut press = vec![0.0; max_components];
+    for fold in 0..folds {
+        let test_rows: Vec<usize> = (0..n).filter(|i| i % folds == fold).collect();
+        let train_rows: Vec<usize> = (0..n).filter(|i| i % folds != fold).collect();
+        if train_rows.len() < 2 {
+            return Err(LinalgError::Empty);
+        }
+        let train = x.select_rows(&train_rows);
+        let scaler = AutoScaler::fit(&train)?;
+        let model = PcaModel::fit(&train, ComponentSelection::Fixed(max_components))?;
+        let p = model.loadings();
+
+        for &row in &test_rows {
+            let z = scaler.transform_row(x.row(row))?;
+            for a in 1..=max_components {
+                for j in 0..m {
+                    // Known-data regression: scores from all variables
+                    // except j, then predict variable j.
+                    let mut gram = Matrix::zeros(a, a);
+                    for r in 0..a {
+                        for c in 0..a {
+                            let mut v = 0.0;
+                            for k in 0..m {
+                                if k != j {
+                                    v += p.get(k, r) * p.get(k, c);
+                                }
+                            }
+                            gram.set(r, c, v);
+                        }
+                    }
+                    // Regularize the tiny Gram system lightly.
+                    for r in 0..a {
+                        gram.set(r, r, gram.get(r, r) + 1e-9);
+                    }
+                    let mut rhs = vec![0.0; a];
+                    for (r, rv) in rhs.iter_mut().enumerate() {
+                        let mut v = 0.0;
+                        for k in 0..m {
+                            if k != j {
+                                v += p.get(k, r) * z[k];
+                            }
+                        }
+                        *rv = v;
+                    }
+                    let t_hat = solve_spd(&gram, &rhs)?;
+                    let z_hat: f64 = (0..a).map(|c| p.get(j, c) * t_hat[c]).sum();
+                    let e = z[j] - z_hat;
+                    press[a - 1] += e * e;
+                }
+            }
+        }
+    }
+    Ok(PressCurve { press })
+}
+
+/// Fits a PCA model with the PRESS-selected component count.
+///
+/// # Errors
+///
+/// Propagates [`press_cross_validation`] and [`PcaModel::fit`] errors.
+pub fn fit_cross_validated(
+    x: &Matrix,
+    max_components: usize,
+    folds: usize,
+) -> Result<(PcaModel, PressCurve), LinalgError> {
+    let curve = press_cross_validation(x, max_components, folds)?;
+    let a = curve.best_components();
+    let model = PcaModel::fit(x, ComponentSelection::Fixed(a))?;
+    Ok((model, curve))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temspc_linalg::rng::GaussianSampler;
+
+    /// Data with exactly 2 latent factors + noise across 6 variables.
+    fn rank2_data(n: usize, noise: f64, seed: u64) -> Matrix {
+        let mut rng = GaussianSampler::seed_from(seed);
+        let mut x = Matrix::zeros(n, 6);
+        for r in 0..n {
+            let t1 = rng.next_gaussian();
+            let t2 = rng.next_gaussian();
+            let w = [
+                (1.0, 0.0),
+                (0.8, 0.6),
+                (0.0, 1.0),
+                (-0.7, 0.7),
+                (0.5, -0.5),
+                (-1.0, -0.3),
+            ];
+            for (c, (w1, w2)) in w.iter().enumerate() {
+                x.set(r, c, w1 * t1 + w2 * t2 + noise * rng.next_gaussian());
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn press_recovers_the_true_rank() {
+        let x = rank2_data(400, 0.15, 1);
+        let curve = press_cross_validation(&x, 5, 5).unwrap();
+        let best = curve.best_components();
+        assert!(
+            (2..=3).contains(&best),
+            "best = {best}, PRESS = {:?}",
+            curve.press
+        );
+        // PRESS must drop sharply from A=1 to A=2 and then flatten/rise.
+        assert!(curve.press[1] < 0.7 * curve.press[0]);
+    }
+
+    #[test]
+    fn fit_cross_validated_returns_consistent_model() {
+        let x = rank2_data(300, 0.1, 2);
+        let (model, curve) = fit_cross_validated(&x, 5, 4).unwrap();
+        assert_eq!(model.n_components(), curve.best_components());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let x = rank2_data(50, 0.1, 3);
+        assert!(press_cross_validation(&x, 0, 5).is_err());
+        assert!(press_cross_validation(&x, 6, 5).is_err());
+        assert!(press_cross_validation(&x, 3, 1).is_err());
+        assert!(press_cross_validation(&x, 3, 51).is_err());
+    }
+
+    #[test]
+    fn press_is_positive_and_finite() {
+        let x = rank2_data(120, 0.3, 4);
+        let curve = press_cross_validation(&x, 4, 4).unwrap();
+        for (i, &p) in curve.press.iter().enumerate() {
+            assert!(p.is_finite() && p > 0.0, "PRESS[{i}] = {p}");
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Anomaly detection on the control charts: the paper's
+//! 3-consecutive-over-99 % rule and run-length accounting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::limits::ControlLimits;
+
+/// Detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Number of consecutive 99 %-limit violations that flags an event
+    /// (the paper uses 3).
+    pub consecutive: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig { consecutive: 3 }
+    }
+}
+
+/// A flagged anomalous event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnomalousEvent {
+    /// Index of the first observation of the violating streak.
+    pub first_violation: usize,
+    /// Index of the observation at which the streak reached the
+    /// `consecutive` threshold (the detection instant).
+    pub detected_at: usize,
+    /// Hour of the first violation.
+    pub first_violation_hour: f64,
+    /// Hour of detection.
+    pub detected_hour: f64,
+    /// Whether the T² chart was violating at detection.
+    pub t2_violating: bool,
+    /// Whether the SPE chart was violating at detection.
+    pub spe_violating: bool,
+}
+
+impl AnomalousEvent {
+    /// Run length from an anomaly onset at `onset_hour` to detection,
+    /// in hours. This is what the paper averages into the ARL.
+    pub fn run_length(&self, onset_hour: f64) -> f64 {
+        self.detected_hour - onset_hour
+    }
+}
+
+/// Streaming 3-consecutive detector over a (T², SPE) chart pair.
+///
+/// Feed one observation per sample with [`ConsecutiveDetector::update`];
+/// the first time the streak reaches the threshold an
+/// [`AnomalousEvent`] is returned (and the detector keeps counting — use
+/// [`ConsecutiveDetector::events`] for the full list, where consecutive
+/// violating stretches produce one event each).
+#[derive(Debug, Clone)]
+pub struct ConsecutiveDetector {
+    config: DetectorConfig,
+    limits: ControlLimits,
+    streak: usize,
+    streak_start: Option<(usize, f64)>,
+    index: usize,
+    in_event: bool,
+    events: Vec<AnomalousEvent>,
+}
+
+impl ConsecutiveDetector {
+    /// Creates a detector for the given limits.
+    pub fn new(limits: ControlLimits, config: DetectorConfig) -> Self {
+        ConsecutiveDetector {
+            config,
+            limits,
+            streak: 0,
+            streak_start: None,
+            index: 0,
+            in_event: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// The control limits in use.
+    pub fn limits(&self) -> &ControlLimits {
+        &self.limits
+    }
+
+    /// Feeds one observation; returns a new event exactly when the streak
+    /// first reaches the configured length.
+    pub fn update(&mut self, hour: f64, t2: f64, spe: f64) -> Option<AnomalousEvent> {
+        let violating = self.limits.violates_99(t2, spe);
+        let mut new_event = None;
+        if violating {
+            if self.streak == 0 {
+                self.streak_start = Some((self.index, hour));
+            }
+            self.streak += 1;
+            if self.streak == self.config.consecutive && !self.in_event {
+                let (first_idx, first_hour) = self.streak_start.expect("streak started");
+                let event = AnomalousEvent {
+                    first_violation: first_idx,
+                    detected_at: self.index,
+                    first_violation_hour: first_hour,
+                    detected_hour: hour,
+                    t2_violating: t2 > self.limits.t2_99,
+                    spe_violating: spe > self.limits.spe_99,
+                };
+                self.events.push(event);
+                self.in_event = true;
+                new_event = Some(event);
+            }
+        } else {
+            self.streak = 0;
+            self.streak_start = None;
+            self.in_event = false;
+        }
+        self.index += 1;
+        new_event
+    }
+
+    /// All events flagged so far.
+    pub fn events(&self) -> &[AnomalousEvent] {
+        &self.events
+    }
+
+    /// The first flagged event, if any.
+    pub fn first_event(&self) -> Option<&AnomalousEvent> {
+        self.events.first()
+    }
+
+    /// Number of observations processed.
+    pub fn observations_seen(&self) -> usize {
+        self.index
+    }
+}
+
+/// Average Run Length across several runs' detections: mean of
+/// `detected_hour - onset_hour`, ignoring runs with no detection.
+///
+/// Returns `None` if no run detected anything.
+pub fn average_run_length(events: &[Option<AnomalousEvent>], onset_hour: f64) -> Option<f64> {
+    let detected: Vec<f64> = events
+        .iter()
+        .flatten()
+        .map(|e| e.run_length(onset_hour))
+        .collect();
+    if detected.is_empty() {
+        None
+    } else {
+        Some(detected.iter().sum::<f64>() / detected.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> ControlLimits {
+        ControlLimits {
+            t2_95: 5.0,
+            t2_99: 10.0,
+            spe_95: 0.5,
+            spe_99: 1.0,
+        }
+    }
+
+    #[test]
+    fn three_consecutive_violations_flag_event() {
+        let mut d = ConsecutiveDetector::new(limits(), DetectorConfig::default());
+        assert!(d.update(0.0, 1.0, 0.1).is_none());
+        assert!(d.update(0.1, 11.0, 0.1).is_none());
+        assert!(d.update(0.2, 12.0, 0.1).is_none());
+        let e = d.update(0.3, 13.0, 0.1).expect("event");
+        assert_eq!(e.first_violation, 1);
+        assert_eq!(e.detected_at, 3);
+        assert!(e.t2_violating);
+        assert!(!e.spe_violating);
+        assert!((e.run_length(0.0) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interrupted_streak_does_not_flag() {
+        let mut d = ConsecutiveDetector::new(limits(), DetectorConfig::default());
+        for k in 0..50 {
+            // Violate twice, then go quiet, repeatedly.
+            let t2 = if k % 3 == 2 { 1.0 } else { 20.0 };
+            assert!(d.update(k as f64 * 0.1, t2, 0.0).is_none(), "k = {k}");
+        }
+        assert!(d.events().is_empty());
+    }
+
+    #[test]
+    fn spe_chart_alone_can_flag() {
+        let mut d = ConsecutiveDetector::new(limits(), DetectorConfig::default());
+        d.update(0.0, 0.0, 2.0);
+        d.update(0.1, 0.0, 2.0);
+        let e = d.update(0.2, 0.0, 2.0).expect("event");
+        assert!(e.spe_violating && !e.t2_violating);
+    }
+
+    #[test]
+    fn one_event_per_violating_stretch() {
+        let mut d = ConsecutiveDetector::new(limits(), DetectorConfig::default());
+        for k in 0..10 {
+            d.update(k as f64, 20.0, 0.0);
+        }
+        assert_eq!(d.events().len(), 1);
+        // Recover, then violate again: second event.
+        d.update(10.0, 0.0, 0.0);
+        for k in 11..15 {
+            d.update(k as f64, 20.0, 0.0);
+        }
+        assert_eq!(d.events().len(), 2);
+    }
+
+    #[test]
+    fn custom_consecutive_threshold() {
+        let mut d = ConsecutiveDetector::new(limits(), DetectorConfig { consecutive: 1 });
+        assert!(d.update(0.0, 20.0, 0.0).is_some());
+    }
+
+    #[test]
+    fn average_run_length_ignores_missed_runs() {
+        let e1 = AnomalousEvent {
+            first_violation: 0,
+            detected_at: 2,
+            first_violation_hour: 10.0,
+            detected_hour: 10.2,
+            t2_violating: true,
+            spe_violating: false,
+        };
+        let e2 = AnomalousEvent {
+            detected_hour: 10.6,
+            ..e1
+        };
+        let arl = average_run_length(&[Some(e1), None, Some(e2)], 10.0).unwrap();
+        assert!((arl - 0.4).abs() < 1e-12);
+        assert!(average_run_length(&[None, None], 10.0).is_none());
+    }
+}

@@ -1,0 +1,211 @@
+//! EWMA-filtered MSPC charts: a classic sensitivity extension for slow
+//! drifts.
+//!
+//! The paper's DoS scenario is detected late because a frozen actuator
+//! only drifts away from plant consistency slowly — individual samples
+//! barely violate the Shewhart-style limits. EWMA (exponentially weighted
+//! moving average) charts accumulate small persistent shifts: the
+//! statistic `S_k = λ x_k + (1-λ) S_{k-1}` is compared against limits
+//! shrunk by the EWMA variance factor `λ/(2-λ)`.
+//!
+//! [`EwmaChart`] wraps a T²/SPE stream; the ablation experiment
+//! (`temspc::experiments`-adjacent bench) shows its effect on DoS run
+//! lengths.
+
+use serde::{Deserialize, Serialize};
+
+/// An EWMA filter over a scalar statistic with variance-adjusted limits.
+///
+/// For an i.i.d.-ish statistic with (upper) control limit `L`, the
+/// steady-state EWMA control limit is approximately
+/// `mean + (L - mean) * sqrt(lambda / (2 - lambda))`. We track the
+/// calibration mean explicitly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EwmaChart {
+    lambda: f64,
+    mean: f64,
+    filtered_limit: f64,
+    state: Option<f64>,
+}
+
+impl EwmaChart {
+    /// Creates an EWMA chart for a statistic with calibration `mean` and
+    /// raw (Shewhart) control `limit`; the filtered limit is derived with
+    /// the steady-state variance factor `sqrt(lambda / (2 - lambda))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is outside `(0, 1]`.
+    pub fn new(lambda: f64, mean: f64, limit: f64) -> Self {
+        assert!(
+            lambda > 0.0 && lambda <= 1.0,
+            "EWMA lambda must be in (0, 1]"
+        );
+        let filtered_limit = mean + (limit - mean) * (lambda / (2.0 - lambda)).sqrt();
+        EwmaChart {
+            lambda,
+            mean,
+            filtered_limit,
+            state: None,
+        }
+    }
+
+    /// Creates an EWMA chart with an explicit limit on the *filtered*
+    /// statistic — use when the limit was derived empirically (e.g. a
+    /// percentile of the EWMA-filtered calibration series), which is more
+    /// robust than the variance-factor approximation for autocorrelated
+    /// statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is outside `(0, 1]`.
+    pub fn with_filtered_limit(lambda: f64, mean: f64, filtered_limit: f64) -> Self {
+        assert!(
+            lambda > 0.0 && lambda <= 1.0,
+            "EWMA lambda must be in (0, 1]"
+        );
+        EwmaChart {
+            lambda,
+            mean,
+            filtered_limit,
+            state: None,
+        }
+    }
+
+    /// Runs the filter over a calibration series and returns the
+    /// `(mean, q)`-quantile of the filtered values — the empirical way to
+    /// set the filtered limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is outside `(0, 1]`, the series is empty, or
+    /// `q` is outside `[0, 1]`.
+    pub fn calibrate_filtered_limit(lambda: f64, series: &[f64], q: f64) -> (f64, f64) {
+        assert!(!series.is_empty(), "calibration series must be non-empty");
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        let mut chart = EwmaChart::with_filtered_limit(lambda, mean, f64::INFINITY);
+        let filtered: Vec<f64> = series.iter().map(|&v| chart.update(v)).collect();
+        let limit = temspc_linalg::stats::percentile(&filtered, q)
+            .expect("non-empty series, q validated by percentile");
+        (mean, limit)
+    }
+
+    /// The effective control limit on the filtered statistic.
+    pub fn limit(&self) -> f64 {
+        self.filtered_limit
+    }
+
+    /// Feeds one raw statistic value; returns the filtered value.
+    pub fn update(&mut self, value: f64) -> f64 {
+        let s = match self.state {
+            Some(prev) => self.lambda * value + (1.0 - self.lambda) * prev,
+            None => self.mean + self.lambda * (value - self.mean),
+        };
+        self.state = Some(s);
+        s
+    }
+
+    /// Feeds one value and reports whether the filtered statistic exceeds
+    /// the EWMA limit.
+    pub fn update_and_check(&mut self, value: f64) -> bool {
+        self.update(value) > self.limit()
+    }
+
+    /// Current filtered value (calibration mean before any update).
+    pub fn value(&self) -> f64 {
+        self.state.unwrap_or(self.mean)
+    }
+
+    /// Resets the filter state.
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temspc_linalg::rng::GaussianSampler;
+
+    #[test]
+    fn lambda_one_is_shewhart() {
+        let mut chart = EwmaChart::new(1.0, 1.0, 5.0);
+        assert!((chart.limit() - 5.0).abs() < 1e-12);
+        assert_eq!(chart.update(3.0), 3.0);
+        assert_eq!(chart.update(7.0), 7.0);
+    }
+
+    #[test]
+    fn small_lambda_shrinks_the_limit() {
+        let chart = EwmaChart::new(0.1, 1.0, 5.0);
+        // sqrt(0.1/1.9) = 0.229 -> limit = 1 + 4*0.229 = 1.917.
+        assert!((chart.limit() - 1.917).abs() < 0.01);
+    }
+
+    #[test]
+    fn empirical_filtered_limit_bounds_calibration() {
+        let mut rng = GaussianSampler::seed_from(77);
+        let series: Vec<f64> = (0..5000).map(|_| 2.0 + rng.next_gaussian()).collect();
+        let (mean, limit) = EwmaChart::calibrate_filtered_limit(0.05, &series, 0.99);
+        assert!((mean - 2.0).abs() < 0.1);
+        // Replaying the same series: ~1 % of filtered values exceed.
+        let mut chart = EwmaChart::with_filtered_limit(0.05, mean, limit);
+        let exceed = series.iter().filter(|&&v| chart.update(v) > limit).count();
+        let rate = exceed as f64 / series.len() as f64;
+        assert!((0.002..0.03).contains(&rate), "rate = {rate}");
+    }
+
+    #[test]
+    fn detects_small_persistent_shift_faster_than_shewhart() {
+        // Statistic ~ N(1, 1) normally; shifts to N(2.2, 1): rarely above
+        // the Shewhart limit of 5, but persistently above the EWMA limit.
+        let mut rng = GaussianSampler::seed_from(9);
+        let mut ewma = EwmaChart::new(0.05, 1.0, 5.0);
+        let mut shewhart_hits = 0;
+        let mut ewma_first_hit = None;
+        for k in 0..2000 {
+            let v = 2.2 + rng.next_gaussian();
+            if v > 5.0 {
+                shewhart_hits += 1;
+            }
+            if ewma.update_and_check(v) && ewma_first_hit.is_none() {
+                ewma_first_hit = Some(k);
+            }
+        }
+        let first = ewma_first_hit.expect("EWMA must flag the shift");
+        assert!(first < 100, "EWMA first hit at {first}");
+        // Shewhart sees only sporadic exceedances (never 3 consecutive,
+        // statistically), EWMA locks on.
+        assert!(shewhart_hits < 100);
+    }
+
+    #[test]
+    fn no_false_lockon_under_null() {
+        let mut rng = GaussianSampler::seed_from(10);
+        let mut ewma = EwmaChart::new(0.05, 1.0, 5.0);
+        let mut hits = 0;
+        for _ in 0..5000 {
+            let v = 1.0 + rng.next_gaussian();
+            if ewma.update_and_check(v) {
+                hits += 1;
+            }
+        }
+        // Some exceedances are expected but no persistent lock-on.
+        assert!(hits < 250, "null exceedances = {hits}");
+    }
+
+    #[test]
+    fn reset_restores_mean() {
+        let mut chart = EwmaChart::new(0.2, 2.0, 8.0);
+        chart.update(100.0);
+        assert!(chart.value() > 2.0);
+        chart.reset();
+        assert_eq!(chart.value(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn zero_lambda_panics() {
+        EwmaChart::new(0.0, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,339 @@
+//! A Gaussian-mixture-model anomaly detector — the baseline of Kiss,
+//! Genge & Haller (INDIN 2015), which the paper's related-work section
+//! critiques: it clusters sensor-level observations and flags low-density
+//! points, but "only considers attacks as possible factors for abnormal
+//! situations", so a process disturbance and an attack with the same
+//! sensor signature are indistinguishable.
+//!
+//! Implemented from scratch: k-means++ initialization and EM with
+//! diagonal covariances on autoscaled data; anomaly score = negative
+//! log-likelihood; the control limit is an empirical percentile of the
+//! calibration scores, mirroring the MSPC pipeline so the two detectors
+//! are compared on equal footing (see the TAB5 experiment in `temspc`).
+
+use serde::{Deserialize, Serialize};
+use temspc_linalg::rng::GaussianSampler;
+use temspc_linalg::stats::{percentile, AutoScaler};
+use temspc_linalg::{LinalgError, Matrix};
+
+/// Configuration of a GMM fit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GmmConfig {
+    /// Number of mixture components.
+    pub components: usize,
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the mean log-likelihood improvement.
+    pub tolerance: f64,
+    /// RNG seed for the k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for GmmConfig {
+    fn default() -> Self {
+        GmmConfig {
+            components: 4,
+            max_iters: 100,
+            tolerance: 1e-6,
+            seed: 7,
+        }
+    }
+}
+
+/// A fitted diagonal-covariance Gaussian mixture with an anomaly limit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GmmModel {
+    scaler: AutoScaler,
+    /// Component weights (sum to 1).
+    weights: Vec<f64>,
+    /// Component means (k x m, scaled space).
+    means: Matrix,
+    /// Component variances (k x m, scaled space).
+    variances: Matrix,
+    /// 99th-percentile anomaly score (negative log-likelihood) of the
+    /// calibration data.
+    score_99: f64,
+    /// 95th-percentile anomaly score.
+    score_95: f64,
+}
+
+const LN_2PI: f64 = 1.837_877_066_409_345_5;
+/// Variance floor in scaled space (prevents singular components).
+const VAR_FLOOR: f64 = 1e-4;
+
+impl GmmModel {
+    /// Fits the mixture on calibration data (rows = observations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for insufficient data or
+    /// [`LinalgError::Domain`] for a bad component count.
+    pub fn fit(x: &Matrix, config: GmmConfig) -> Result<Self, LinalgError> {
+        let n = x.nrows();
+        let m = x.ncols();
+        let k = config.components;
+        if k == 0 || k > n / 2 {
+            return Err(LinalgError::Domain {
+                what: "component count must be in 1..=n/2",
+            });
+        }
+        let scaler = AutoScaler::fit(x)?;
+        let z = scaler.transform(x)?;
+        let mut rng = GaussianSampler::seed_from(config.seed);
+
+        // k-means++ initialization on the scaled data.
+        let mut means = Matrix::zeros(k, m);
+        let first = (rng.next_uniform(0.0, n as f64) as usize).min(n - 1);
+        means.row_mut(0).copy_from_slice(z.row(first));
+        let mut d2 = vec![f64::INFINITY; n];
+        for c in 1..k {
+            for (i, d) in d2.iter_mut().enumerate() {
+                let dist: f64 = z
+                    .row(i)
+                    .iter()
+                    .zip(means.row(c - 1))
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                *d = d.min(dist);
+            }
+            let total: f64 = d2.iter().sum();
+            let mut pick = rng.next_uniform(0.0, total.max(1e-300));
+            let mut chosen = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                pick -= d;
+                if pick <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            means.row_mut(c).copy_from_slice(z.row(chosen));
+        }
+        let mut weights = vec![1.0 / k as f64; k];
+        let mut variances = Matrix::filled(k, m, 1.0);
+
+        // EM.
+        let mut resp = Matrix::zeros(n, k);
+        let mut last_ll = f64::NEG_INFINITY;
+        for _ in 0..config.max_iters {
+            // E step.
+            let mut total_ll = 0.0;
+            for i in 0..n {
+                let mut logp = vec![0.0; k];
+                for c in 0..k {
+                    logp[c] = weights[c].max(1e-300).ln()
+                        + log_gaussian_diag(z.row(i), means.row(c), variances.row(c));
+                }
+                let mx = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let sum_exp: f64 = logp.iter().map(|l| (l - mx).exp()).sum();
+                let log_norm = mx + sum_exp.ln();
+                total_ll += log_norm;
+                for c in 0..k {
+                    resp.set(i, c, (logp[c] - log_norm).exp());
+                }
+            }
+            // M step.
+            for c in 0..k {
+                let nk: f64 = (0..n).map(|i| resp.get(i, c)).sum();
+                let nk_safe = nk.max(1e-12);
+                weights[c] = nk / n as f64;
+                for j in 0..m {
+                    let mu: f64 = (0..n).map(|i| resp.get(i, c) * z.get(i, j)).sum::<f64>()
+                        / nk_safe;
+                    means.set(c, j, mu);
+                }
+                for j in 0..m {
+                    let mu = means.get(c, j);
+                    let var: f64 = (0..n)
+                        .map(|i| {
+                            let d = z.get(i, j) - mu;
+                            resp.get(i, c) * d * d
+                        })
+                        .sum::<f64>()
+                        / nk_safe;
+                    variances.set(c, j, var.max(VAR_FLOOR));
+                }
+            }
+            let mean_ll = total_ll / n as f64;
+            if (mean_ll - last_ll).abs() < config.tolerance {
+                break;
+            }
+            last_ll = mean_ll;
+        }
+
+        let mut model = GmmModel {
+            scaler,
+            weights,
+            means,
+            variances,
+            score_99: f64::INFINITY,
+            score_95: f64::INFINITY,
+        };
+        let scores: Vec<f64> = (0..n).map(|i| model.score_scaled(z.row(i))).collect();
+        model.score_99 = percentile(&scores, 0.99)?;
+        model.score_95 = percentile(&scores, 0.95)?;
+        Ok(model)
+    }
+
+    /// Number of mixture components.
+    pub fn n_components(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The 99 % anomaly-score limit.
+    pub fn limit_99(&self) -> f64 {
+        self.score_99
+    }
+
+    /// The 95 % anomaly-score limit.
+    pub fn limit_95(&self) -> f64 {
+        self.score_95
+    }
+
+    /// Anomaly score (negative mean log-likelihood) of a raw observation;
+    /// higher = more anomalous.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] on a length mismatch.
+    pub fn score(&self, raw: &[f64]) -> Result<f64, LinalgError> {
+        let z = self.scaler.transform_row(raw)?;
+        Ok(self.score_scaled(&z))
+    }
+
+    fn score_scaled(&self, z: &[f64]) -> f64 {
+        let k = self.n_components();
+        let mut logp = vec![0.0; k];
+        for c in 0..k {
+            logp[c] = self.weights[c].max(1e-300).ln()
+                + log_gaussian_diag(z, self.means.row(c), self.variances.row(c));
+        }
+        let mx = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let ll = mx + logp.iter().map(|l| (l - mx).exp()).sum::<f64>().ln();
+        -ll
+    }
+
+    /// Whether an observation violates the 99 % limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] on a length mismatch.
+    pub fn is_violation_99(&self, raw: &[f64]) -> Result<bool, LinalgError> {
+        Ok(self.score(raw)? > self.score_99)
+    }
+}
+
+fn log_gaussian_diag(x: &[f64], mean: &[f64], var: &[f64]) -> f64 {
+    let mut ll = 0.0;
+    for ((&xi, &mu), &v) in x.iter().zip(mean).zip(var) {
+        let v = v.max(VAR_FLOOR);
+        let d = xi - mu;
+        ll += -0.5 * (LN_2PI + v.ln() + d * d / v);
+    }
+    ll
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated clusters.
+    fn two_cluster_data(n: usize, seed: u64) -> Matrix {
+        let mut rng = GaussianSampler::seed_from(seed);
+        let mut x = Matrix::zeros(n, 3);
+        for r in 0..n {
+            let (cx, cy) = if r % 2 == 0 { (5.0, 5.0) } else { (-5.0, -5.0) };
+            x.set(r, 0, cx + 0.3 * rng.next_gaussian());
+            x.set(r, 1, cy + 0.3 * rng.next_gaussian());
+            x.set(r, 2, 0.3 * rng.next_gaussian());
+        }
+        x
+    }
+
+    #[test]
+    fn fits_two_clusters_and_scores_them_low() {
+        let x = two_cluster_data(400, 1);
+        let model = GmmModel::fit(
+            &x,
+            GmmConfig {
+                components: 2,
+                ..GmmConfig::default()
+            },
+        )
+        .unwrap();
+        // In-cluster points score below the limit; a point between the
+        // clusters scores far above.
+        assert!(!model.is_violation_99(&[5.0, 5.0, 0.0]).unwrap());
+        assert!(!model.is_violation_99(&[-5.0, -5.0, 0.0]).unwrap());
+        assert!(model.is_violation_99(&[0.0, 0.0, 5.0]).unwrap());
+    }
+
+    #[test]
+    fn calibration_exceedance_is_about_one_percent() {
+        let x = two_cluster_data(1000, 2);
+        let model = GmmModel::fit(
+            &x,
+            GmmConfig {
+                components: 2,
+                ..GmmConfig::default()
+            },
+        )
+        .unwrap();
+        let exceed = (0..x.nrows())
+            .filter(|&i| model.is_violation_99(x.row(i)).unwrap())
+            .count();
+        let rate = exceed as f64 / x.nrows() as f64;
+        assert!((0.002..0.03).contains(&rate), "rate = {rate}");
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let x = two_cluster_data(300, 3);
+        let model = GmmModel::fit(
+            &x,
+            GmmConfig {
+                components: 3,
+                ..GmmConfig::default()
+            },
+        )
+        .unwrap();
+        let sum: f64 = model.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(model.n_components(), 3);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let x = two_cluster_data(200, 4);
+        let cfg = GmmConfig {
+            components: 2,
+            ..GmmConfig::default()
+        };
+        let a = GmmModel::fit(&x, cfg).unwrap();
+        let b = GmmModel::fit(&x, cfg).unwrap();
+        assert_eq!(a.score(&[1.0, 2.0, 3.0]).unwrap(), b.score(&[1.0, 2.0, 3.0]).unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_component_counts() {
+        let x = two_cluster_data(20, 5);
+        assert!(GmmModel::fit(&x, GmmConfig { components: 0, ..GmmConfig::default() }).is_err());
+        assert!(GmmModel::fit(&x, GmmConfig { components: 15, ..GmmConfig::default() }).is_err());
+    }
+
+    #[test]
+    fn score_is_monotone_in_distance_from_cluster() {
+        let x = two_cluster_data(400, 6);
+        let model = GmmModel::fit(
+            &x,
+            GmmConfig {
+                components: 2,
+                ..GmmConfig::default()
+            },
+        )
+        .unwrap();
+        let near = model.score(&[5.0, 5.0, 0.0]).unwrap();
+        let mid = model.score(&[7.0, 7.0, 0.0]).unwrap();
+        let far = model.score(&[12.0, 12.0, 0.0]).unwrap();
+        assert!(near < mid && mid < far, "{near} {mid} {far}");
+    }
+}

@@ -1,0 +1,62 @@
+//! PCA-based Multivariate Statistical Process Control (MSPC) with anomaly
+//! diagnosis — the core technique of the DSN 2016 paper.
+//!
+//! The pipeline, following MacGregor & Kourti (1995) and the MEDA toolbox
+//! (Camacho et al. 2015):
+//!
+//! 1. **Calibration**: autoscale `N x M` normal-operation data, fit a PCA
+//!    model with `A` principal components ([`pca`]).
+//! 2. **Monitoring statistics**: for every observation compute the
+//!    **D-statistic** (Hotelling's T², scores) and the **Q-statistic**
+//!    (SPE, residuals) ([`statistics`]).
+//! 3. **Control limits**: 95 % and 99 % limits for both charts, from the
+//!    F distribution (D) and the Jackson–Mudholkar / Box approximations
+//!    (Q), or empirically from calibration percentiles ([`limits`]).
+//! 4. **Detection**: an anomalous event is flagged when **3 consecutive
+//!    observations** exceed the 99 % limit in either chart
+//!    ([`detector`]); the detection delay is the Average Run Length (ARL).
+//! 5. **Diagnosis**: **oMEDA** bar plots ([`omeda()`]) relate the anomalous
+//!    observations back to the original variables.
+//!
+//! The high-level entry point is [`MspcModel`].
+//!
+//! # Example
+//!
+//! ```
+//! use temspc_linalg::Matrix;
+//! use temspc_mspc::{MspcModel, MspcConfig};
+//!
+//! // Calibrate on (synthetic) normal operation: two correlated variables.
+//! let mut rows = Vec::new();
+//! for k in 0..500 {
+//!     let t = (k as f64 * 0.7).sin();
+//!     rows.push(vec![t + 0.01 * (k as f64).cos(), 2.0 * t]);
+//! }
+//! let calib = Matrix::from_vec(500, 2, rows.concat());
+//! let model = MspcModel::fit(&calib, MspcConfig::default()).unwrap();
+//!
+//! // A clearly abnormal observation violates the model.
+//! let scores = model.score(&[10.0, -20.0]).unwrap();
+//! assert!(scores.spe > model.limits().spe_99 || scores.t2 > model.limits().t2_99);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod contribution;
+pub mod crossval;
+pub mod detector;
+pub mod ewma;
+pub mod gmm;
+pub mod limits;
+pub mod meda;
+mod model;
+pub mod omeda;
+pub mod pca;
+pub mod statistics;
+
+pub use detector::{AnomalousEvent, ConsecutiveDetector, DetectorConfig};
+pub use limits::ControlLimits;
+pub use model::{MspcConfig, MspcError, MspcModel, ObservationScore};
+pub use ewma::EwmaChart;
+pub use omeda::omeda;
+pub use pca::PcaModel;

@@ -1,0 +1,104 @@
+//! MEDA: Missing-data based Exploratory Data Analysis (Camacho 2010) —
+//! the variable-to-variable relatedness map of the MEDA toolbox.
+//!
+//! `MEDA(i, j)` measures how well variable `j` is recovered from variable
+//! `i` through the latent model: values near 1 mean the model ties the
+//! two variables strongly. Useful to verify that the plant data has the
+//! correlation structure MSPC exploits.
+
+use temspc_linalg::{LinalgError, Matrix};
+
+use crate::pca::PcaModel;
+
+/// Computes the `M x M` MEDA matrix of the model.
+///
+/// Implementation: for each variable `i`, build the one-hot scaled
+/// observation `e_i`, project it through the model (`ê_i = e_i P Pᵀ`) and
+/// normalize: `MEDA(i, j) = ê_{i,j}² / (ê_{i,i} · max_k ê_{k,j}²)`-style
+/// scaling reduced to the standard form `q_{ij}²` with column scaling.
+/// The matrix is clamped to `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] if the model has no variables.
+pub fn meda_matrix(model: &PcaModel) -> Result<Matrix, LinalgError> {
+    let m = model.n_variables();
+    if m == 0 {
+        return Err(LinalgError::Empty);
+    }
+    let p = model.loadings();
+    let a = model.n_components();
+    // q = P Pᵀ (projection matrix onto the model plane).
+    let mut q = Matrix::zeros(m, m);
+    for i in 0..m {
+        for j in 0..m {
+            let v: f64 = (0..a).map(|c| p.get(i, c) * p.get(j, c)).sum();
+            q.set(i, j, v);
+        }
+    }
+    let mut meda = Matrix::zeros(m, m);
+    for i in 0..m {
+        let qii = q.get(i, i).max(1e-12);
+        for j in 0..m {
+            let qjj = q.get(j, j).max(1e-12);
+            let val = (q.get(i, j) * q.get(i, j)) / (qii * qjj);
+            meda.set(i, j, val.clamp(0.0, 1.0));
+        }
+    }
+    Ok(meda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pca::ComponentSelection;
+    use temspc_linalg::rng::GaussianSampler;
+
+    fn two_block_data() -> Matrix {
+        // Variables {0,1} share one factor; {2,3} share another.
+        let mut rng = GaussianSampler::seed_from(31);
+        let mut x = Matrix::zeros(800, 4);
+        for r in 0..800 {
+            let t1 = rng.next_gaussian();
+            let t2 = rng.next_gaussian();
+            x.set(r, 0, t1 + 0.02 * rng.next_gaussian());
+            x.set(r, 1, -t1 + 0.02 * rng.next_gaussian());
+            x.set(r, 2, t2 + 0.02 * rng.next_gaussian());
+            x.set(r, 3, 0.7 * t2 + 0.02 * rng.next_gaussian());
+        }
+        x
+    }
+
+    #[test]
+    fn meda_reveals_block_structure() {
+        let model = PcaModel::fit(&two_block_data(), ComponentSelection::Fixed(2)).unwrap();
+        let meda = meda_matrix(&model).unwrap();
+        // Within-block relatedness high, across-block low.
+        assert!(meda.get(0, 1) > 0.8, "meda(0,1) = {}", meda.get(0, 1));
+        assert!(meda.get(2, 3) > 0.8, "meda(2,3) = {}", meda.get(2, 3));
+        assert!(meda.get(0, 2) < 0.2, "meda(0,2) = {}", meda.get(0, 2));
+        assert!(meda.get(1, 3) < 0.2, "meda(1,3) = {}", meda.get(1, 3));
+    }
+
+    #[test]
+    fn meda_diagonal_is_one() {
+        let model = PcaModel::fit(&two_block_data(), ComponentSelection::Fixed(2)).unwrap();
+        let meda = meda_matrix(&model).unwrap();
+        for i in 0..4 {
+            assert!((meda.get(i, i) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn meda_is_symmetric_and_bounded() {
+        let model = PcaModel::fit(&two_block_data(), ComponentSelection::Fixed(2)).unwrap();
+        let meda = meda_matrix(&model).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let v = meda.get(i, j);
+                assert!((0.0..=1.0).contains(&v));
+                assert!((v - meda.get(j, i)).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! oMEDA: observation-based Missing-data methods for Exploratory Data
+//! Analysis (Camacho 2011) — the paper's diagnosis tool.
+//!
+//! Given a group of observations selected by a dummy vector `d` (1 for
+//! observations in the anomalous event, 0 elsewhere; ±1 to contrast two
+//! groups), the oMEDA vector `d²_A` has one entry per original variable.
+//! Variables unrelated to the event give values near zero; variables that
+//! deviate during the event give large bars whose **sign matches the
+//! deviation direction** — exactly the bar plots of Figures 4 and 5 of
+//! the paper.
+
+use temspc_linalg::{LinalgError, Matrix};
+
+use crate::pca::PcaModel;
+
+/// Computes the oMEDA vector for the observation group selected by
+/// `dummy`, under the PCA `model`.
+///
+/// `x` holds raw (unscaled) observations as rows; `dummy` has one weight
+/// per row. Following the MEDA-toolbox formulation:
+///
+/// ```text
+/// Z  = autoscale(X)        (calibration scaling)
+/// Ẑ  = Z P Pᵀ              (projection onto the model subspace)
+/// s  = Zᵀ d,   ŝ = Ẑᵀ d
+/// d²A,m = (2 s_m − ŝ_m) · |ŝ_m| / ‖d‖
+/// ```
+///
+/// # Errors
+///
+/// * [`LinalgError::ShapeMismatch`] if `dummy.len() != x.nrows()` or the
+///   column count differs from the model.
+/// * [`LinalgError::Empty`] if `dummy` is all zeros.
+pub fn omeda(x: &Matrix, dummy: &[f64], model: &PcaModel) -> Result<Vec<f64>, LinalgError> {
+    if dummy.len() != x.nrows() {
+        return Err(LinalgError::ShapeMismatch {
+            left: x.shape(),
+            right: (dummy.len(), 1),
+        });
+    }
+    if x.ncols() != model.n_variables() {
+        return Err(LinalgError::ShapeMismatch {
+            left: x.shape(),
+            right: (1, model.n_variables()),
+        });
+    }
+    let norm = dummy.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm == 0.0 {
+        return Err(LinalgError::Empty);
+    }
+    let m = model.n_variables();
+    let a = model.n_components();
+    let p = model.loadings();
+    let mut s = vec![0.0; m];
+    let mut s_hat = vec![0.0; m];
+    for (r, &w) in dummy.iter().enumerate() {
+        if w == 0.0 {
+            continue;
+        }
+        let z = model.scaler().transform_row(x.row(r))?;
+        // Projection of z onto the model plane.
+        let mut scores = vec![0.0; a];
+        for c in 0..a {
+            scores[c] = (0..m).map(|j| z[j] * p.get(j, c)).sum();
+        }
+        for j in 0..m {
+            let z_hat: f64 = (0..a).map(|c| scores[c] * p.get(j, c)).sum();
+            s[j] += w * z[j];
+            s_hat[j] += w * z_hat;
+        }
+    }
+    Ok((0..m)
+        .map(|j| (2.0 * s[j] - s_hat[j]) * s_hat[j].abs() / norm)
+        .collect())
+}
+
+/// Convenience: oMEDA for a contiguous index range of anomalous
+/// observations (dummy = 1 on the range, 0 elsewhere).
+///
+/// # Errors
+///
+/// Same as [`omeda`]; additionally rejects an empty or out-of-bounds
+/// range.
+pub fn omeda_for_range(
+    x: &Matrix,
+    range: std::ops::Range<usize>,
+    model: &PcaModel,
+) -> Result<Vec<f64>, LinalgError> {
+    if range.is_empty() || range.end > x.nrows() {
+        return Err(LinalgError::Empty);
+    }
+    let mut dummy = vec![0.0; x.nrows()];
+    for w in &mut dummy[range] {
+        *w = 1.0;
+    }
+    omeda(x, &dummy, model)
+}
+
+/// Index (0-based) and value of the dominant oMEDA variable: the entry
+/// with the largest absolute value.
+///
+/// Returns `None` for an empty vector.
+pub fn dominant_variable(omeda_vec: &[f64]) -> Option<(usize, f64)> {
+    omeda_vec
+        .iter()
+        .copied()
+        .enumerate()
+        .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+}
+
+/// A "clarity" score in `[0, 1]`: how concentrated the plot's mass is in
+/// its top three bars, normalized against a flat plot (0 = uniform bars,
+/// 1 = all mass in at most three variables).
+///
+/// The paper's DoS diagnosis — "neither of the oMEDA plots show a
+/// variable that stands out clearly" — corresponds to low clarity. Up to
+/// three variables may legitimately co-deviate in a *clear* diagnosis
+/// (e.g. `XMEAS(1)` and `XMV(3)` in the paper's Figure 5c).
+pub fn diagnosis_clarity(omeda_vec: &[f64]) -> f64 {
+    let n = omeda_vec.len();
+    if n < 4 {
+        return 0.0;
+    }
+    let mut mags: Vec<f64> = omeda_vec.iter().map(|v| v.abs()).collect();
+    mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let total: f64 = mags.iter().sum();
+    if total <= 1e-300 {
+        return 0.0;
+    }
+    let top3: f64 = mags[..3].iter().sum();
+    let share = top3 / total;
+    let baseline = 3.0 / n as f64;
+    ((share - baseline) / (1.0 - baseline)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pca::ComponentSelection;
+    use temspc_linalg::rng::GaussianSampler;
+
+    /// Calibration data: 4 variables driven by 2 latent factors.
+    fn calib() -> Matrix {
+        let mut rng = GaussianSampler::seed_from(21);
+        let mut x = Matrix::zeros(600, 4);
+        for r in 0..600 {
+            let t1 = rng.next_gaussian();
+            let t2 = rng.next_gaussian();
+            x.set(r, 0, t1 + 0.05 * rng.next_gaussian());
+            x.set(r, 1, t1 + t2 + 0.05 * rng.next_gaussian());
+            x.set(r, 2, t2 + 0.05 * rng.next_gaussian());
+            x.set(r, 3, t1 - t2 + 0.05 * rng.next_gaussian());
+        }
+        x
+    }
+
+    fn model() -> PcaModel {
+        PcaModel::fit(&calib(), ComponentSelection::Fixed(2)).unwrap()
+    }
+
+    /// Anomalous block: variable 0 collapses far below normal.
+    fn anomalous_block(shift: f64, var: usize) -> Matrix {
+        let mut rng = GaussianSampler::seed_from(22);
+        let mut x = Matrix::zeros(50, 4);
+        for r in 0..50 {
+            let t1 = rng.next_gaussian() * 0.2;
+            let t2 = rng.next_gaussian() * 0.2;
+            x.set(r, 0, t1);
+            x.set(r, 1, t1 + t2);
+            x.set(r, 2, t2);
+            x.set(r, 3, t1 - t2);
+            x.set(r, var, x.get(r, var) + shift);
+        }
+        x
+    }
+
+    #[test]
+    fn negative_shift_gives_negative_dominant_bar() {
+        let m = model();
+        let block = anomalous_block(-6.0, 0);
+        let v = omeda_for_range(&block, 0..50, &m).unwrap();
+        let (idx, val) = dominant_variable(&v).unwrap();
+        assert_eq!(idx, 0, "oMEDA = {v:?}");
+        assert!(val < 0.0, "oMEDA = {v:?}");
+    }
+
+    #[test]
+    fn positive_shift_gives_positive_dominant_bar() {
+        let m = model();
+        let block = anomalous_block(5.0, 2);
+        let v = omeda_for_range(&block, 0..50, &m).unwrap();
+        let (idx, val) = dominant_variable(&v).unwrap();
+        assert_eq!(idx, 2, "oMEDA = {v:?}");
+        assert!(val > 0.0);
+    }
+
+    #[test]
+    fn unshifted_block_has_flat_omeda() {
+        let m = model();
+        let block = anomalous_block(0.0, 0);
+        let v = omeda_for_range(&block, 0..50, &m).unwrap();
+        let shifted = omeda_for_range(&anomalous_block(-6.0, 0), 0..50, &m).unwrap();
+        let max_flat = v.iter().fold(0.0_f64, |acc, x| acc.max(x.abs()));
+        let max_shifted = shifted.iter().fold(0.0_f64, |acc, x| acc.max(x.abs()));
+        assert!(
+            max_shifted > 10.0 * max_flat,
+            "flat = {max_flat}, shifted = {max_shifted}"
+        );
+    }
+
+    #[test]
+    fn clarity_distinguishes_clear_and_diffuse_plots() {
+        // One dominant bar among eight: clear.
+        assert!(
+            diagnosis_clarity(&[10.0, 0.5, -0.2, 0.1, 0.1, -0.1, 0.2, 0.1]) > 0.8
+        );
+        // Everything the same magnitude: diffuse.
+        assert!(
+            diagnosis_clarity(&[1.0, -0.95, 0.9, -0.85, 0.92, -0.88, 0.97, -0.9]) < 0.1
+        );
+        // Two co-deviating variables still count as clear.
+        assert!(
+            diagnosis_clarity(&[8.0, 7.5, 0.3, -0.2, 0.1, 0.2, -0.1, 0.15]) > 0.8
+        );
+        assert_eq!(diagnosis_clarity(&[0.0, 0.0, 0.0, 0.0]), 0.0);
+        assert_eq!(diagnosis_clarity(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn dummy_contrast_groups() {
+        // +1 on a positively shifted block, -1 on a negatively shifted
+        // block: the contrast doubles the signal on the shifted variable.
+        let m = model();
+        let pos = anomalous_block(4.0, 1);
+        let neg = anomalous_block(-4.0, 1);
+        let both = pos.vstack(&neg).unwrap();
+        let mut dummy = vec![1.0; 50];
+        dummy.extend(vec![-1.0; 50]);
+        let v = omeda(&both, &dummy, &m).unwrap();
+        let (idx, val) = dominant_variable(&v).unwrap();
+        assert_eq!(idx, 1);
+        assert!(val > 0.0);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        let m = model();
+        let block = anomalous_block(1.0, 0);
+        assert!(omeda(&block, &[1.0; 3], &m).is_err());
+        assert!(omeda(&block, &[0.0; 50], &m).is_err());
+        assert!(omeda_for_range(&block, 10..10, &m).is_err());
+        assert!(omeda_for_range(&block, 0..1000, &m).is_err());
+        let wrong = Matrix::zeros(5, 7);
+        assert!(omeda(&wrong, &[1.0; 5], &m).is_err());
+    }
+}

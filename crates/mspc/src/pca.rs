@@ -1,0 +1,392 @@
+//! Principal Component Analysis: NIPALS and eigendecomposition fits.
+
+use serde::{Deserialize, Serialize};
+use temspc_linalg::decomp::symmetric_eigen;
+use temspc_linalg::stats::{correlation, AutoScaler};
+use temspc_linalg::{LinalgError, Matrix};
+
+/// How many principal components to keep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ComponentSelection {
+    /// Exactly this many components.
+    Fixed(usize),
+    /// The smallest number of components whose cumulative explained
+    /// variance reaches this fraction (in `(0, 1]`).
+    VarianceFraction(f64),
+}
+
+impl Default for ComponentSelection {
+    fn default() -> Self {
+        // Typical MSPC practice: retain most systematic variation, leave
+        // noise in the residual subspace for the Q-statistic.
+        ComponentSelection::VarianceFraction(0.9)
+    }
+}
+
+/// A fitted PCA model on autoscaled data.
+///
+/// Holds the frozen [`AutoScaler`], the `M x A` loading matrix, the score
+/// variances (eigenvalues) of the retained components and the residual
+/// eigenvalues needed for SPE control limits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PcaModel {
+    scaler: AutoScaler,
+    loadings: Matrix,
+    eigenvalues: Vec<f64>,
+    residual_eigenvalues: Vec<f64>,
+    n_calibration: usize,
+}
+
+impl PcaModel {
+    /// Fits a PCA model from raw calibration data (rows = observations).
+    ///
+    /// Internally autoscales, forms the correlation matrix and
+    /// eigendecomposes it — numerically equivalent to NIPALS on the scaled
+    /// data but faster for long matrices.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Empty`] if there are fewer than 2 rows.
+    /// * [`LinalgError::Domain`] if the requested component count is not
+    ///   satisfiable (0 or more than `M`).
+    pub fn fit(x: &Matrix, selection: ComponentSelection) -> Result<Self, LinalgError> {
+        Self::fit_with_min_std(x, selection, 0.0)
+    }
+
+    /// Like [`PcaModel::fit`], with a floor on the per-variable scaling
+    /// standard deviation (see
+    /// [`AutoScaler::fit_with_min_std`](temspc_linalg::stats::AutoScaler::fit_with_min_std)).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PcaModel::fit`], plus [`LinalgError::Domain`] for a
+    /// negative floor.
+    pub fn fit_with_min_std(
+        x: &Matrix,
+        selection: ComponentSelection,
+        min_std: f64,
+    ) -> Result<Self, LinalgError> {
+        let scaler = AutoScaler::fit_with_min_std(x, min_std)?;
+        let corr = correlation(x)?;
+        Self::fit_from_correlation(&corr, scaler, x.nrows(), selection)
+    }
+
+    /// Fits from a precomputed correlation matrix (streaming calibration).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PcaModel::fit`].
+    pub fn fit_from_correlation(
+        corr: &Matrix,
+        scaler: AutoScaler,
+        n_calibration: usize,
+        selection: ComponentSelection,
+    ) -> Result<Self, LinalgError> {
+        let m = corr.nrows();
+        let eig = symmetric_eigen(corr)?;
+        let total: f64 = eig.values.iter().map(|v| v.max(0.0)).sum();
+        let a = match selection {
+            ComponentSelection::Fixed(a) => {
+                if a == 0 || a > m {
+                    return Err(LinalgError::Domain {
+                        what: "component count must be in 1..=M",
+                    });
+                }
+                a
+            }
+            ComponentSelection::VarianceFraction(f) => {
+                if !(0.0..=1.0).contains(&f) || f == 0.0 {
+                    return Err(LinalgError::Domain {
+                        what: "variance fraction must be in (0, 1]",
+                    });
+                }
+                let mut cum = 0.0;
+                let mut a = m;
+                for (i, &l) in eig.values.iter().enumerate() {
+                    cum += l.max(0.0);
+                    if cum >= f * total {
+                        a = i + 1;
+                        break;
+                    }
+                }
+                a.max(1)
+            }
+        };
+        let cols: Vec<usize> = (0..a).collect();
+        let loadings = eig.vectors.select_cols(&cols);
+        let eigenvalues: Vec<f64> = eig.values[..a].iter().map(|&v| v.max(1e-12)).collect();
+        let residual_eigenvalues: Vec<f64> = eig.values[a..].iter().map(|&v| v.max(0.0)).collect();
+        Ok(PcaModel {
+            scaler,
+            loadings,
+            eigenvalues,
+            residual_eigenvalues,
+            n_calibration,
+        })
+    }
+
+    /// Reference NIPALS implementation, fitting `a` components directly on
+    /// the (internally autoscaled) data matrix. Used to cross-validate the
+    /// eigendecomposition path.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Empty`] for fewer than 2 rows.
+    /// * [`LinalgError::Domain`] for an unsatisfiable component count.
+    /// * [`LinalgError::NoConvergence`] if a component fails to converge.
+    pub fn fit_nipals(x: &Matrix, a: usize) -> Result<Self, LinalgError> {
+        let m = x.ncols();
+        if a == 0 || a > m {
+            return Err(LinalgError::Domain {
+                what: "component count must be in 1..=M",
+            });
+        }
+        let scaler = AutoScaler::fit(x)?;
+        let mut e = scaler.transform(x)?;
+        let n = e.nrows();
+        let mut loadings = Matrix::zeros(m, a);
+        let mut eigenvalues = Vec::with_capacity(a);
+        for comp in 0..a {
+            // Start from the column with the largest remaining variance.
+            let mut best_col = 0;
+            let mut best_ss = -1.0;
+            for c in 0..m {
+                let ss: f64 = e.col(c).iter().map(|v| v * v).sum();
+                if ss > best_ss {
+                    best_ss = ss;
+                    best_col = c;
+                }
+            }
+            let mut t = e.col(best_col);
+            let mut p = vec![0.0; m];
+            let mut converged = false;
+            for _ in 0..500 {
+                // p = E^T t / (t^T t)
+                let tt: f64 = t.iter().map(|v| v * v).sum();
+                if tt < 1e-30 {
+                    converged = true; // degenerate: no variance left
+                    break;
+                }
+                for (c, pc) in p.iter_mut().enumerate() {
+                    *pc = e.col(c).iter().zip(&t).map(|(&x, &ti)| x * ti).sum::<f64>() / tt;
+                }
+                let pn: f64 = p.iter().map(|v| v * v).sum::<f64>().sqrt();
+                for pc in &mut p {
+                    *pc /= pn.max(1e-300);
+                }
+                // t_new = E p
+                let t_new: Vec<f64> = (0..n)
+                    .map(|r| e.row(r).iter().zip(&p).map(|(&x, &pc)| x * pc).sum())
+                    .collect();
+                let diff: f64 = t_new
+                    .iter()
+                    .zip(&t)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                let scale: f64 = t_new.iter().map(|v| v * v).sum::<f64>().sqrt();
+                t = t_new;
+                if diff <= 1e-12 * scale.max(1e-300) {
+                    converged = true;
+                    break;
+                }
+            }
+            if !converged {
+                return Err(LinalgError::NoConvergence {
+                    algorithm: "NIPALS",
+                    iterations: 500,
+                });
+            }
+            // Deflate: E <- E - t p^T
+            for r in 0..n {
+                let row = e.row_mut(r);
+                for (c, pc) in p.iter().enumerate() {
+                    row[c] -= t[r] * pc;
+                }
+            }
+            for (c, &pc) in p.iter().enumerate() {
+                loadings.set(c, comp, pc);
+            }
+            let var = t.iter().map(|v| v * v).sum::<f64>() / (n as f64 - 1.0);
+            eigenvalues.push(var.max(1e-12));
+        }
+        // Residual eigenvalues from the deflated matrix.
+        let residual_eigenvalues = match correlation(&e) {
+            Ok(_) => {
+                let cov = temspc_linalg::stats::covariance(&e)?;
+                let eig = symmetric_eigen(&cov)?;
+                eig.values
+                    .into_iter()
+                    .take(m - a)
+                    .map(|v| v.max(0.0))
+                    .collect()
+            }
+            Err(_) => vec![0.0; m - a],
+        };
+        Ok(PcaModel {
+            scaler,
+            loadings,
+            eigenvalues,
+            residual_eigenvalues,
+            n_calibration: n,
+        })
+    }
+
+    /// Number of retained principal components.
+    pub fn n_components(&self) -> usize {
+        self.eigenvalues.len()
+    }
+
+    /// Number of original variables.
+    pub fn n_variables(&self) -> usize {
+        self.loadings.nrows()
+    }
+
+    /// Number of calibration observations.
+    pub fn n_calibration(&self) -> usize {
+        self.n_calibration
+    }
+
+    /// The frozen autoscaler.
+    pub fn scaler(&self) -> &AutoScaler {
+        &self.scaler
+    }
+
+    /// The `M x A` loading matrix.
+    pub fn loadings(&self) -> &Matrix {
+        &self.loadings
+    }
+
+    /// Score variances (eigenvalues) of the retained components.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Eigenvalues of the residual subspace (for SPE limits).
+    pub fn residual_eigenvalues(&self) -> &[f64] {
+        &self.residual_eigenvalues
+    }
+
+    /// Fraction of total variance explained by the retained components.
+    pub fn explained_variance(&self) -> f64 {
+        let kept: f64 = self.eigenvalues.iter().sum();
+        let resid: f64 = self.residual_eigenvalues.iter().sum();
+        kept / (kept + resid).max(1e-300)
+    }
+
+    /// Projects a raw observation: returns `(scores, residual)` where
+    /// `scores` has length `A` and `residual` length `M` (in scaled
+    /// units).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the observation length is
+    /// not `M`.
+    pub fn project(&self, raw: &[f64]) -> Result<(Vec<f64>, Vec<f64>), LinalgError> {
+        let z = self.scaler.transform_row(raw)?;
+        let a = self.n_components();
+        let m = self.n_variables();
+        let mut scores = vec![0.0; a];
+        for c in 0..a {
+            scores[c] = (0..m).map(|r| z[r] * self.loadings.get(r, c)).sum();
+        }
+        let mut residual = z;
+        for (r, res) in residual.iter_mut().enumerate() {
+            let recon: f64 = (0..a).map(|c| scores[c] * self.loadings.get(r, c)).sum();
+            *res -= recon;
+        }
+        Ok((scores, residual))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temspc_linalg::rng::GaussianSampler;
+
+    /// Synthetic dataset with one dominant latent direction.
+    fn latent_data(n: usize, seed: u64) -> Matrix {
+        let mut rng = GaussianSampler::seed_from(seed);
+        let mut x = Matrix::zeros(n, 3);
+        for r in 0..n {
+            let t = rng.next_gaussian();
+            x.set(r, 0, 2.0 * t + 0.05 * rng.next_gaussian());
+            x.set(r, 1, -1.0 * t + 0.05 * rng.next_gaussian());
+            x.set(r, 2, 0.5 * t + 0.05 * rng.next_gaussian());
+        }
+        x
+    }
+
+    #[test]
+    fn one_component_captures_latent_structure() {
+        let x = latent_data(400, 1);
+        let model = PcaModel::fit(&x, ComponentSelection::Fixed(1)).unwrap();
+        assert_eq!(model.n_components(), 1);
+        // One latent factor drives everything: > 95 % variance explained.
+        assert!(model.explained_variance() > 0.95, "{}", model.explained_variance());
+    }
+
+    #[test]
+    fn variance_fraction_selection() {
+        let x = latent_data(400, 2);
+        let model = PcaModel::fit(&x, ComponentSelection::VarianceFraction(0.9)).unwrap();
+        assert_eq!(model.n_components(), 1);
+        let all = PcaModel::fit(&x, ComponentSelection::VarianceFraction(1.0)).unwrap();
+        assert_eq!(all.n_components(), 3);
+    }
+
+    #[test]
+    fn loadings_are_orthonormal() {
+        let x = latent_data(300, 3);
+        let model = PcaModel::fit(&x, ComponentSelection::Fixed(2)).unwrap();
+        let ptp = model.loadings().transpose().matmul(model.loadings());
+        assert!(ptp.try_sub(&Matrix::identity(2)).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn nipals_matches_eigen_path() {
+        let x = latent_data(300, 4);
+        let eigen = PcaModel::fit(&x, ComponentSelection::Fixed(2)).unwrap();
+        let nipals = PcaModel::fit_nipals(&x, 2).unwrap();
+        for c in 0..2 {
+            // Loadings match up to sign.
+            let col_e: Vec<f64> = (0..3).map(|r| eigen.loadings().get(r, c)).collect();
+            let col_n: Vec<f64> = (0..3).map(|r| nipals.loadings().get(r, c)).collect();
+            let dot: f64 = col_e.iter().zip(&col_n).map(|(a, b)| a * b).sum();
+            assert!(dot.abs() > 0.999, "component {c}: |dot| = {}", dot.abs());
+            let ratio = eigen.eigenvalues()[c] / nipals.eigenvalues()[c];
+            assert!((ratio - 1.0).abs() < 0.05, "eigenvalue ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn projection_reconstructs_in_model_plane() {
+        let x = latent_data(300, 5);
+        let model = PcaModel::fit(&x, ComponentSelection::Fixed(1)).unwrap();
+        // In-model observation: tiny residual.
+        let (scores, residual) = model.project(&[2.0, -1.0, 0.5]).unwrap();
+        assert_eq!(scores.len(), 1);
+        let spe: f64 = residual.iter().map(|v| v * v).sum();
+        assert!(spe < 0.5, "spe = {spe}");
+        // Off-model observation: large residual.
+        let (_, residual) = model.project(&[2.0, 2.0, -3.0]).unwrap();
+        let spe: f64 = residual.iter().map(|v| v * v).sum();
+        assert!(spe > 5.0, "spe = {spe}");
+    }
+
+    #[test]
+    fn fixed_zero_components_rejected() {
+        let x = latent_data(50, 6);
+        assert!(PcaModel::fit(&x, ComponentSelection::Fixed(0)).is_err());
+        assert!(PcaModel::fit(&x, ComponentSelection::Fixed(7)).is_err());
+        assert!(PcaModel::fit(&x, ComponentSelection::VarianceFraction(0.0)).is_err());
+    }
+
+    #[test]
+    fn eigenvalue_ordering_descends() {
+        let x = latent_data(200, 7);
+        let model = PcaModel::fit(&x, ComponentSelection::Fixed(3)).unwrap();
+        let ev = model.eigenvalues();
+        assert!(ev[0] >= ev[1] && ev[1] >= ev[2]);
+    }
+}

@@ -1,0 +1,129 @@
+//! The two MSPC monitoring statistics: D (Hotelling's T²) and Q (SPE).
+
+use crate::pca::PcaModel;
+use temspc_linalg::LinalgError;
+
+/// Hotelling's T² (D-statistic) for a score vector: `Σ t_a² / λ_a`.
+///
+/// `eigenvalues` are the calibration score variances; entries are clamped
+/// away from zero to avoid division blow-ups on degenerate components.
+pub fn t2_statistic(scores: &[f64], eigenvalues: &[f64]) -> f64 {
+    scores
+        .iter()
+        .zip(eigenvalues)
+        .map(|(&t, &l)| t * t / l.max(1e-12))
+        .sum()
+}
+
+/// Q-statistic (Squared Prediction Error) for a residual vector: `Σ e_m²`.
+pub fn spe_statistic(residual: &[f64]) -> f64 {
+    residual.iter().map(|&e| e * e).sum()
+}
+
+/// Computes `(T², SPE)` for one raw observation under a PCA model.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] if the observation length does
+/// not match the model.
+pub fn observation_statistics(model: &PcaModel, raw: &[f64]) -> Result<(f64, f64), LinalgError> {
+    let (scores, residual) = model.project(raw)?;
+    Ok((
+        t2_statistic(&scores, model.eigenvalues()),
+        spe_statistic(&residual),
+    ))
+}
+
+/// Computes `(T², SPE)` for every row of a dataset.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] on a column-count mismatch.
+pub fn dataset_statistics(
+    model: &PcaModel,
+    x: &temspc_linalg::Matrix,
+) -> Result<(Vec<f64>, Vec<f64>), LinalgError> {
+    let mut t2 = Vec::with_capacity(x.nrows());
+    let mut spe = Vec::with_capacity(x.nrows());
+    for row in x.iter_rows() {
+        let (t, q) = observation_statistics(model, row)?;
+        t2.push(t);
+        spe.push(q);
+    }
+    Ok((t2, spe))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pca::ComponentSelection;
+    use temspc_linalg::rng::GaussianSampler;
+    use temspc_linalg::Matrix;
+
+    fn calibration_data(n: usize) -> Matrix {
+        let mut rng = GaussianSampler::seed_from(11);
+        let mut x = Matrix::zeros(n, 4);
+        for r in 0..n {
+            let t1 = rng.next_gaussian();
+            let t2 = rng.next_gaussian();
+            x.set(r, 0, t1 + 0.1 * rng.next_gaussian());
+            x.set(r, 1, t1 - t2 + 0.1 * rng.next_gaussian());
+            x.set(r, 2, t2 + 0.1 * rng.next_gaussian());
+            x.set(r, 3, 0.5 * t1 + 0.5 * t2 + 0.1 * rng.next_gaussian());
+        }
+        x
+    }
+
+    #[test]
+    fn t2_of_zero_scores_is_zero() {
+        assert_eq!(t2_statistic(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(spe_statistic(&[0.0; 5]), 0.0);
+    }
+
+    #[test]
+    fn t2_weights_by_eigenvalue() {
+        // Same score magnitude, smaller eigenvalue -> larger T².
+        let a = t2_statistic(&[1.0], &[1.0]);
+        let b = t2_statistic(&[1.0], &[0.25]);
+        assert!(b > a);
+        assert!((b - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_statistics_are_moderate() {
+        let x = calibration_data(500);
+        let model = crate::pca::PcaModel::fit(&x, ComponentSelection::Fixed(2)).unwrap();
+        let (t2, spe) = dataset_statistics(&model, &x).unwrap();
+        // Calibration data itself: T² averages ~A (chi-square-ish).
+        let mean_t2: f64 = t2.iter().sum::<f64>() / t2.len() as f64;
+        assert!((1.0..4.0).contains(&mean_t2), "mean T² = {mean_t2}");
+        assert!(spe.iter().all(|&q| q >= 0.0));
+    }
+
+    #[test]
+    fn score_space_shift_raises_t2_not_spe() {
+        let x = calibration_data(500);
+        let model = crate::pca::PcaModel::fit(&x, ComponentSelection::Fixed(2)).unwrap();
+        // An observation far along the latent directions but consistent
+        // with the correlation structure: t1 = 5 -> (5, 5, 0, 2.5).
+        let (t2, spe) = observation_statistics(&model, &[5.0, 5.0, 0.0, 2.5]).unwrap();
+        assert!(t2 > 9.0, "t2 = {t2}");
+        assert!(spe < 2.0, "spe = {spe}");
+    }
+
+    #[test]
+    fn correlation_break_raises_spe() {
+        let x = calibration_data(500);
+        let model = crate::pca::PcaModel::fit(&x, ComponentSelection::Fixed(2)).unwrap();
+        // Break the structure: x0 high while x1 says t1 - t2 inconsistent.
+        let (_, spe) = observation_statistics(&model, &[3.0, -3.0, 3.0, -3.0]).unwrap();
+        assert!(spe > 5.0, "spe = {spe}");
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let x = calibration_data(100);
+        let model = crate::pca::PcaModel::fit(&x, ComponentSelection::Fixed(1)).unwrap();
+        assert!(observation_statistics(&model, &[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests of the MSPC invariants.
+
+use proptest::prelude::*;
+use temspc_linalg::rng::GaussianSampler;
+use temspc_linalg::Matrix;
+use temspc_mspc::contribution::{spe_contributions, t2_contributions};
+use temspc_mspc::detector::{ConsecutiveDetector, DetectorConfig};
+use temspc_mspc::limits::ControlLimits;
+use temspc_mspc::pca::ComponentSelection;
+use temspc_mspc::statistics::observation_statistics;
+use temspc_mspc::{omeda, MspcConfig, MspcModel, PcaModel};
+
+/// Correlated calibration data with `m` variables driven by 2 latents.
+fn calibration(n: usize, m: usize, seed: u64) -> Matrix {
+    let mut rng = GaussianSampler::seed_from(seed);
+    let mut x = Matrix::zeros(n, m);
+    for r in 0..n {
+        let t1 = rng.next_gaussian();
+        let t2 = rng.next_gaussian();
+        for c in 0..m {
+            let w1 = ((c * 3 + 1) % 7) as f64 / 7.0 - 0.5;
+            let w2 = ((c * 5 + 2) % 11) as f64 / 11.0 - 0.5;
+            x.set(r, c, w1 * t1 + w2 * t2 + 0.1 * rng.next_gaussian());
+        }
+    }
+    x
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pca_explained_variance_grows_with_components(seed in 0u64..50, a in 1usize..4) {
+        let x = calibration(300, 5, seed);
+        let m1 = PcaModel::fit(&x, ComponentSelection::Fixed(a)).unwrap();
+        let m2 = PcaModel::fit(&x, ComponentSelection::Fixed(a + 1)).unwrap();
+        prop_assert!(m2.explained_variance() >= m1.explained_variance() - 1e-12);
+    }
+
+    #[test]
+    fn statistics_are_invariant_to_observation_scaling_of_model(seed in 0u64..50) {
+        // Scoring the same raw observation through the same model twice is
+        // deterministic; T2 and SPE are finite and non-negative for any
+        // finite input.
+        let x = calibration(300, 5, seed);
+        let model = PcaModel::fit(&x, ComponentSelection::Fixed(2)).unwrap();
+        let obs = [1.0, -2.0, 0.5, 7.0, -3.0];
+        let (t2a, spea) = observation_statistics(&model, &obs).unwrap();
+        let (t2b, speb) = observation_statistics(&model, &obs).unwrap();
+        prop_assert_eq!(t2a, t2b);
+        prop_assert_eq!(spea, speb);
+        prop_assert!(t2a >= 0.0 && spea >= 0.0);
+    }
+
+    #[test]
+    fn contributions_decompose_statistics(seed in 0u64..50, scale in -5.0..5.0f64) {
+        let x = calibration(300, 5, seed);
+        let model = PcaModel::fit(&x, ComponentSelection::Fixed(2)).unwrap();
+        let obs = [scale, -scale, 2.0 * scale, 0.1, -0.7];
+        let (t2, spe) = observation_statistics(&model, &obs).unwrap();
+        let ct2: f64 = t2_contributions(&model, &obs).unwrap().iter().sum();
+        let cspe: f64 = spe_contributions(&model, &obs).unwrap().iter().sum();
+        prop_assert!((ct2 - t2).abs() < 1e-8 * (1.0 + t2));
+        prop_assert!((cspe - spe).abs() < 1e-8 * (1.0 + spe));
+    }
+
+    #[test]
+    fn omeda_is_linear_in_dummy_scaling(seed in 0u64..30) {
+        // Scaling the dummy vector by a positive constant scales the
+        // oMEDA vector by the same constant (the 1/||d|| normalization
+        // divides once, the sums scale once each; net effect: linear).
+        let x = calibration(300, 5, seed);
+        let model = PcaModel::fit(&x, ComponentSelection::Fixed(2)).unwrap();
+        let block = calibration(40, 5, seed + 1000);
+        let d1 = vec![1.0; 40];
+        let d2 = vec![2.0; 40];
+        let v1 = omeda(&block, &d1, &model).unwrap();
+        let v2 = omeda(&block, &d2, &model).unwrap();
+        for (a, b) in v1.iter().zip(&v2) {
+            prop_assert!((2.0 * a - b).abs() < 1e-6 * (1.0 + b.abs()), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn omeda_sign_flips_with_dummy_sign(seed in 0u64..30) {
+        let x = calibration(300, 5, seed);
+        let model = PcaModel::fit(&x, ComponentSelection::Fixed(2)).unwrap();
+        let block = calibration(40, 5, seed + 2000);
+        let dpos = vec![1.0; 40];
+        let dneg = vec![-1.0; 40];
+        let vp = omeda(&block, &dpos, &model).unwrap();
+        let vn = omeda(&block, &dneg, &model).unwrap();
+        for (a, b) in vp.iter().zip(&vn) {
+            prop_assert!((a + b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn empirical_limits_are_ordered(seed in 0u64..50) {
+        let x = calibration(400, 5, seed);
+        let model = MspcModel::fit(&x, MspcConfig::default()).unwrap();
+        let l = model.limits();
+        prop_assert!(l.t2_99 >= l.t2_95);
+        prop_assert!(l.spe_99 >= l.spe_95);
+        prop_assert!(l.t2_95 > 0.0 && l.spe_95 > 0.0);
+    }
+
+    #[test]
+    fn detector_never_fires_below_limits(n in 10usize..200) {
+        let limits = ControlLimits { t2_95: 5.0, t2_99: 10.0, spe_95: 0.5, spe_99: 1.0 };
+        let mut det = ConsecutiveDetector::new(limits, DetectorConfig::default());
+        for k in 0..n {
+            let fired = det.update(k as f64, 9.9, 0.99);
+            prop_assert!(fired.is_none());
+        }
+        prop_assert!(det.events().is_empty());
+    }
+
+    #[test]
+    fn detector_fires_exactly_once_per_stretch(len in 3usize..50) {
+        let limits = ControlLimits { t2_95: 5.0, t2_99: 10.0, spe_95: 0.5, spe_99: 1.0 };
+        let mut det = ConsecutiveDetector::new(limits, DetectorConfig::default());
+        for k in 0..len {
+            det.update(k as f64, 20.0, 0.0);
+        }
+        prop_assert_eq!(det.events().len(), 1);
+        let e = det.events()[0];
+        prop_assert_eq!(e.first_violation, 0);
+        prop_assert_eq!(e.detected_at, 2);
+    }
+
+    #[test]
+    fn jackson_mudholkar_limit_is_monotone_in_alpha(l1 in 0.01..2.0f64, l2 in 0.01..2.0f64) {
+        let eig = [l1, l2];
+        let a95 = ControlLimits::spe_theoretical(&eig, 0.95).unwrap();
+        let a99 = ControlLimits::spe_theoretical(&eig, 0.99).unwrap();
+        prop_assert!(a99 > a95, "a95={a95} a99={a99}");
+    }
+
+    #[test]
+    fn t2_limit_monotone_in_confidence_and_components(n in 30usize..500, a in 1usize..8) {
+        if n > a + 2 {
+            let l95 = ControlLimits::t2_theoretical(n, a, 0.95).unwrap();
+            let l99 = ControlLimits::t2_theoretical(n, a, 0.99).unwrap();
+            prop_assert!(l99 > l95);
+            let l95_more = ControlLimits::t2_theoretical(n, a + 1, 0.95);
+            if let Ok(lm) = l95_more {
+                prop_assert!(lm > l95, "more components -> larger limit");
+            }
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! The TPB deserializer.
+
+use serde::de::{self, DeserializeSeed, Visitor};
+
+use crate::error::PersistError;
+use crate::Tag;
+
+/// Deserializes a value from TPB bytes, requiring the whole buffer to be
+/// consumed.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on truncated/corrupted input, tag mismatches
+/// or trailing bytes.
+pub fn from_bytes<'de, T: de::Deserialize<'de>>(bytes: &'de [u8]) -> Result<T, PersistError> {
+    let mut de = Deserializer::new(bytes);
+    let value = T::deserialize(&mut de)?;
+    if !de.is_empty() {
+        return Err(PersistError::TrailingBytes(de.remaining()));
+    }
+    Ok(value)
+}
+
+/// A serde deserializer reading the TPB format from a byte slice.
+#[derive(Debug)]
+pub struct Deserializer<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> Deserializer<'de> {
+    /// Creates a deserializer over `input`.
+    pub fn new(input: &'de [u8]) -> Self {
+        Deserializer { input }
+    }
+
+    /// Whether all input has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.input.is_empty()
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'de [u8], PersistError> {
+        if self.input.len() < n {
+            return Err(PersistError::UnexpectedEof);
+        }
+        let (head, tail) = self.input.split_at(n);
+        self.input = tail;
+        Ok(head)
+    }
+
+    fn byte(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn peek_tag(&self) -> Result<Tag, PersistError> {
+        let b = *self.input.first().ok_or(PersistError::UnexpectedEof)?;
+        Tag::from_byte(b).ok_or(PersistError::UnknownTag(b))
+    }
+
+    fn expect_tag(&mut self, expected: Tag) -> Result<(), PersistError> {
+        let b = self.byte()?;
+        let tag = Tag::from_byte(b).ok_or(PersistError::UnknownTag(b))?;
+        if tag != expected {
+            return Err(PersistError::TagMismatch {
+                expected: expected.name(),
+                found: tag.name(),
+            });
+        }
+        Ok(())
+    }
+
+    fn u32_raw(&mut self) -> Result<u32, PersistError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64_value(&mut self) -> Result<u64, PersistError> {
+        self.expect_tag(Tag::U64)?;
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn i64_value(&mut self) -> Result<i64, PersistError> {
+        self.expect_tag(Tag::I64)?;
+        let b = self.take(8)?;
+        Ok(i64::from_be_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn str_value(&mut self) -> Result<&'de str, PersistError> {
+        self.expect_tag(Tag::Str)?;
+        let len = self.u32_raw()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map_err(|_| PersistError::InvalidUtf8)
+    }
+
+    fn seq_len(&mut self) -> Result<usize, PersistError> {
+        self.expect_tag(Tag::Seq)?;
+        Ok(self.u32_raw()? as usize)
+    }
+}
+
+macro_rules! deserialize_signed {
+    ($method:ident, $visit:ident, $ty:ty) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, PersistError> {
+            let v = self.i64_value()?;
+            let narrowed: $ty = v.try_into().map_err(|_| PersistError::IntegerOverflow)?;
+            visitor.$visit(narrowed)
+        }
+    };
+}
+
+macro_rules! deserialize_unsigned {
+    ($method:ident, $visit:ident, $ty:ty) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, PersistError> {
+            let v = self.u64_value()?;
+            let narrowed: $ty = v.try_into().map_err(|_| PersistError::IntegerOverflow)?;
+            visitor.$visit(narrowed)
+        }
+    };
+}
+
+impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
+    type Error = PersistError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, PersistError> {
+        // The format is tagged, so limited self-description is possible.
+        match self.peek_tag()? {
+            Tag::Unit => self.deserialize_unit(visitor),
+            Tag::Bool => self.deserialize_bool(visitor),
+            Tag::U64 => self.deserialize_u64(visitor),
+            Tag::I64 => self.deserialize_i64(visitor),
+            Tag::F64 => self.deserialize_f64(visitor),
+            Tag::F32 => self.deserialize_f32(visitor),
+            Tag::Char => self.deserialize_char(visitor),
+            Tag::Str => self.deserialize_str(visitor),
+            Tag::Bytes => self.deserialize_byte_buf(visitor),
+            Tag::None | Tag::Some => self.deserialize_option(visitor),
+            Tag::Seq => self.deserialize_seq(visitor),
+            Tag::Map => self.deserialize_map(visitor),
+            Tag::Variant => Err(PersistError::Message(
+                "cannot deserialize enum without type information".into(),
+            )),
+        }
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, PersistError> {
+        self.expect_tag(Tag::Bool)?;
+        visitor.visit_bool(self.byte()? != 0)
+    }
+
+    deserialize_signed!(deserialize_i8, visit_i8, i8);
+    deserialize_signed!(deserialize_i16, visit_i16, i16);
+    deserialize_signed!(deserialize_i32, visit_i32, i32);
+
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, PersistError> {
+        let v = self.i64_value()?;
+        visitor.visit_i64(v)
+    }
+
+    deserialize_unsigned!(deserialize_u8, visit_u8, u8);
+    deserialize_unsigned!(deserialize_u16, visit_u16, u16);
+    deserialize_unsigned!(deserialize_u32, visit_u32, u32);
+
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, PersistError> {
+        let v = self.u64_value()?;
+        visitor.visit_u64(v)
+    }
+
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, PersistError> {
+        self.expect_tag(Tag::F32)?;
+        let b = self.take(4)?;
+        visitor.visit_f32(f32::from_be_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, PersistError> {
+        self.expect_tag(Tag::F64)?;
+        let b = self.take(8)?;
+        visitor.visit_f64(f64::from_be_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, PersistError> {
+        self.expect_tag(Tag::Char)?;
+        let scalar = self.u32_raw()?;
+        let c = char::from_u32(scalar).ok_or(PersistError::InvalidChar(scalar))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, PersistError> {
+        visitor.visit_borrowed_str(self.str_value()?)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, PersistError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, PersistError> {
+        self.expect_tag(Tag::Bytes)?;
+        let len = self.u32_raw()? as usize;
+        visitor.visit_borrowed_bytes(self.take(len)?)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, PersistError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, PersistError> {
+        match self.peek_tag()? {
+            Tag::None => {
+                self.expect_tag(Tag::None)?;
+                visitor.visit_none()
+            }
+            Tag::Some => {
+                self.expect_tag(Tag::Some)?;
+                visitor.visit_some(self)
+            }
+            other => Err(PersistError::TagMismatch {
+                expected: "option",
+                found: other.name(),
+            }),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, PersistError> {
+        self.expect_tag(Tag::Unit)?;
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, PersistError> {
+        self.deserialize_unit(visitor)
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, PersistError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, PersistError> {
+        let len = self.seq_len()?;
+        visitor.visit_seq(SeqAccess { de: self, left: len })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, PersistError> {
+        self.deserialize_seq(visitor)
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, PersistError> {
+        self.deserialize_seq(visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, PersistError> {
+        self.expect_tag(Tag::Map)?;
+        let len = self.u32_raw()? as usize;
+        visitor.visit_map(MapAccess { de: self, left: len })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, PersistError> {
+        let len = self.seq_len()?;
+        if len != fields.len() {
+            return Err(PersistError::Message(format!(
+                "struct field count mismatch: encoded {len}, expected {}",
+                fields.len()
+            )));
+        }
+        visitor.visit_seq(SeqAccess { de: self, left: len })
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, PersistError> {
+        self.expect_tag(Tag::Variant)?;
+        let index = self.u32_raw()?;
+        visitor.visit_enum(EnumAccess { de: self, index })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, PersistError> {
+        Err(PersistError::Message(
+            "TPB encodes fields positionally; identifiers are not stored".into(),
+        ))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, PersistError> {
+        self.deserialize_any(visitor)
+    }
+}
+
+struct SeqAccess<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+    left: usize,
+}
+
+impl<'de> de::SeqAccess<'de> for SeqAccess<'_, 'de> {
+    type Error = PersistError;
+
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, PersistError> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.left)
+    }
+}
+
+struct MapAccess<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+    left: usize,
+}
+
+impl<'de> de::MapAccess<'de> for MapAccess<'_, 'de> {
+    type Error = PersistError;
+
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, PersistError> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, PersistError> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.left)
+    }
+}
+
+struct EnumAccess<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+    index: u32,
+}
+
+impl<'a, 'de> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
+    type Error = PersistError;
+    type Variant = VariantAccess<'a, 'de>;
+
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), PersistError> {
+        let index = self.index;
+        let value = seed.deserialize(de::value::U32Deserializer::new(index))?;
+        Ok((value, VariantAccess { de: self.de }))
+    }
+}
+
+struct VariantAccess<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+}
+
+impl<'de> de::VariantAccess<'de> for VariantAccess<'_, 'de> {
+    type Error = PersistError;
+
+    fn unit_variant(self) -> Result<(), PersistError> {
+        self.de.expect_tag(Tag::Unit)
+    }
+
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, PersistError> {
+        seed.deserialize(self.de)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, PersistError> {
+        de::Deserializer::deserialize_seq(self.de, visitor)
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, PersistError> {
+        de::Deserializer::deserialize_struct(self.de, "variant", fields, visitor)
+    }
+}

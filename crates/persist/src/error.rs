@@ -1,0 +1,61 @@
+//! Error type of the TPB format.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding TPB data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PersistError {
+    /// A free-form message from serde (required by the `ser::Error` /
+    /// `de::Error` traits).
+    Message(String),
+    /// The input ended before the value was complete.
+    UnexpectedEof,
+    /// An unknown type tag was encountered.
+    UnknownTag(u8),
+    /// A different type tag was expected.
+    TagMismatch {
+        /// Tag the decoder expected.
+        expected: &'static str,
+        /// Tag actually found.
+        found: &'static str,
+    },
+    /// A string was not valid UTF-8.
+    InvalidUtf8,
+    /// A char value was out of range.
+    InvalidChar(u32),
+    /// An integer did not fit the requested width.
+    IntegerOverflow,
+    /// Bytes remained after the top-level value was decoded.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Message(m) => f.write_str(m),
+            PersistError::UnexpectedEof => write!(f, "unexpected end of input"),
+            PersistError::UnknownTag(b) => write!(f, "unknown type tag 0x{b:02x}"),
+            PersistError::TagMismatch { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            PersistError::InvalidUtf8 => write!(f, "string is not valid UTF-8"),
+            PersistError::InvalidChar(c) => write!(f, "invalid char scalar 0x{c:08x}"),
+            PersistError::IntegerOverflow => write!(f, "integer does not fit requested width"),
+            PersistError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl serde::ser::Error for PersistError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        PersistError::Message(msg.to_string())
+    }
+}
+
+impl serde::de::Error for PersistError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        PersistError::Message(msg.to_string())
+    }
+}

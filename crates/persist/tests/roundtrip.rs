@@ -1,0 +1,202 @@
+//! Round-trip and robustness tests of the TPB format.
+
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use temspc_persist::{from_bytes, to_bytes, PersistError};
+
+#[derive(Serialize, Deserialize, Debug, PartialEq, Clone)]
+enum Mode {
+    Off,
+    Fixed(u32),
+    Scheduled { start: f64, gain: f64 },
+}
+
+#[derive(Serialize, Deserialize, Debug, PartialEq, Clone)]
+struct Nested {
+    name: String,
+    values: Vec<f64>,
+    tags: BTreeMap<String, i32>,
+    mode: Mode,
+    maybe: Option<Box<Nested>>,
+    flag: bool,
+    tuple: (u8, i64, f64),
+}
+
+fn sample() -> Nested {
+    let mut tags = BTreeMap::new();
+    tags.insert("alpha".into(), -3);
+    tags.insert("beta".into(), 99);
+    Nested {
+        name: "calibration".into(),
+        values: vec![1.5, -2.25, f64::MAX, f64::MIN_POSITIVE, 0.0],
+        tags,
+        mode: Mode::Scheduled {
+            start: 10.0,
+            gain: -0.5,
+        },
+        maybe: Some(Box::new(Nested {
+            name: String::new(),
+            values: vec![],
+            tags: BTreeMap::new(),
+            mode: Mode::Off,
+            maybe: None,
+            flag: false,
+            tuple: (0, -1, 2.0),
+        })),
+        flag: true,
+        tuple: (255, i64::MIN, f64::NEG_INFINITY),
+    }
+}
+
+#[test]
+fn complex_struct_roundtrips() {
+    let value = sample();
+    let bytes = to_bytes(&value).unwrap();
+    let back: Nested = from_bytes(&bytes).unwrap();
+    assert_eq!(back, value);
+}
+
+#[test]
+fn all_enum_variants_roundtrip() {
+    for mode in [
+        Mode::Off,
+        Mode::Fixed(42),
+        Mode::Scheduled {
+            start: 1.0,
+            gain: 2.0,
+        },
+    ] {
+        let bytes = to_bytes(&mode).unwrap();
+        let back: Mode = from_bytes(&bytes).unwrap();
+        assert_eq!(back, mode);
+    }
+}
+
+#[test]
+fn nan_roundtrips_as_nan() {
+    let bytes = to_bytes(&f64::NAN).unwrap();
+    let back: f64 = from_bytes(&bytes).unwrap();
+    assert!(back.is_nan());
+}
+
+#[test]
+fn truncated_input_fails_cleanly() {
+    let bytes = to_bytes(&sample()).unwrap();
+    for cut in 0..bytes.len() {
+        let r: Result<Nested, _> = from_bytes(&bytes[..cut]);
+        assert!(r.is_err(), "prefix of {cut} bytes decoded successfully");
+    }
+}
+
+#[test]
+fn trailing_bytes_rejected() {
+    let mut bytes = to_bytes(&1u64).unwrap();
+    bytes.push(0xFF);
+    let r: Result<u64, _> = from_bytes(&bytes);
+    assert_eq!(r, Err(PersistError::TrailingBytes(1)));
+}
+
+#[test]
+fn type_confusion_is_detected() {
+    let bytes = to_bytes(&"hello".to_string()).unwrap();
+    let r: Result<u64, _> = from_bytes(&bytes);
+    assert!(matches!(r, Err(PersistError::TagMismatch { .. })), "{r:?}");
+}
+
+#[test]
+fn integer_narrowing_is_checked() {
+    let bytes = to_bytes(&300u64).unwrap();
+    let r: Result<u8, _> = from_bytes(&bytes);
+    assert_eq!(r, Err(PersistError::IntegerOverflow));
+    let ok: u16 = from_bytes(&bytes).unwrap();
+    assert_eq!(ok, 300);
+}
+
+#[test]
+fn struct_field_count_mismatch_is_detected() {
+    #[derive(Serialize)]
+    struct Two {
+        a: u8,
+        b: u8,
+    }
+    #[derive(Deserialize, Debug)]
+    struct Three {
+        _a: u8,
+        _b: u8,
+        _c: u8,
+    }
+    let bytes = to_bytes(&Two { a: 1, b: 2 }).unwrap();
+    let r: Result<Three, _> = from_bytes(&bytes);
+    assert!(matches!(r, Err(PersistError::Message(_))), "{r:?}");
+}
+
+#[test]
+fn unknown_tag_is_reported() {
+    let r: Result<u64, _> = from_bytes(&[0xEE, 0, 0, 0, 0, 0, 0, 0, 0]);
+    assert_eq!(r, Err(PersistError::UnknownTag(0xEE)));
+}
+
+proptest! {
+    #[test]
+    fn u64_roundtrip(v in any::<u64>()) {
+        let bytes = to_bytes(&v).unwrap();
+        prop_assert_eq!(from_bytes::<u64>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn i64_roundtrip(v in any::<i64>()) {
+        let bytes = to_bytes(&v).unwrap();
+        prop_assert_eq!(from_bytes::<i64>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn f64_roundtrip(v in any::<f64>()) {
+        let bytes = to_bytes(&v).unwrap();
+        let back: f64 = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn string_roundtrip(v in ".*") {
+        let bytes = to_bytes(&v).unwrap();
+        prop_assert_eq!(from_bytes::<String>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn vec_f64_roundtrip(v in prop::collection::vec(any::<f64>(), 0..200)) {
+        let bytes = to_bytes(&v).unwrap();
+        let back: Vec<f64> = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.len(), v.len());
+        for (a, b) in back.iter().zip(&v) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn map_roundtrip(m in prop::collection::btree_map(".{0,8}", any::<i32>(), 0..16)) {
+        let bytes = to_bytes(&m).unwrap();
+        prop_assert_eq!(from_bytes::<BTreeMap<String, i32>>(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn option_roundtrip(v in prop::option::of(any::<u32>())) {
+        let bytes = to_bytes(&v).unwrap();
+        prop_assert_eq!(from_bytes::<Option<u32>>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn corrupted_buffers_never_panic(v in prop::collection::vec(any::<f64>(), 0..20), pos in 0usize..400, byte in any::<u8>()) {
+        let mut bytes = to_bytes(&v).unwrap();
+        if !bytes.is_empty() {
+            let p = pos % bytes.len();
+            bytes[p] = byte;
+            let _: Result<Vec<f64>, _> = from_bytes(&bytes);
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic(v in prop::collection::vec(any::<i64>(), 0..50)) {
+        prop_assert_eq!(to_bytes(&v).unwrap(), to_bytes(&v).unwrap());
+    }
+}

@@ -1,0 +1,146 @@
+//! The eight chemical species of the TE-like process.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of chemical components in the process.
+pub const N_COMPONENTS: usize = 8;
+
+/// The eight components of the TE process.
+///
+/// Following Downs & Vogel: A, B and C are light gases (B is inert), D and
+/// E are gaseous reactants, F is a by-product and G and H are the liquid
+/// products.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Component {
+    A,
+    B,
+    C,
+    D,
+    E,
+    F,
+    G,
+    H,
+}
+
+/// All components in index order.
+pub const ALL_COMPONENTS: [Component; N_COMPONENTS] = [
+    Component::A,
+    Component::B,
+    Component::C,
+    Component::D,
+    Component::E,
+    Component::F,
+    Component::G,
+    Component::H,
+];
+
+impl Component {
+    /// Zero-based index (A = 0 … H = 7) used throughout the state arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Component from a zero-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 8`.
+    pub fn from_index(index: usize) -> Self {
+        ALL_COMPONENTS[index]
+    }
+
+    /// Molecular weight in kg/kmol (the fictionalized Downs & Vogel values).
+    pub fn molecular_weight(self) -> f64 {
+        match self {
+            Component::A => 2.0,
+            Component::B => 25.4,
+            Component::C => 28.0,
+            Component::D => 32.0,
+            Component::E => 46.0,
+            Component::F => 48.0,
+            Component::G => 62.0,
+            Component::H => 76.0,
+        }
+    }
+
+    /// Liquid molar volume in m³/kmol (used for level calculations).
+    ///
+    /// Only meaningful for the condensable components D–H; the light gases
+    /// get a nominal value used for trace dissolved amounts.
+    pub fn liquid_molar_volume(self) -> f64 {
+        match self {
+            Component::A | Component::B | Component::C => 0.050,
+            Component::D => 0.080,
+            Component::E => 0.090,
+            Component::F => 0.095,
+            Component::G => 0.100,
+            Component::H => 0.108,
+        }
+    }
+
+    /// Whether the component condenses appreciably at separator conditions.
+    ///
+    /// F, G and H are condensable; A, B, C, D and E travel with the gas
+    /// loop (D and E are captured only in traces by the separator liquid).
+    pub fn is_condensable(self) -> bool {
+        matches!(self, Component::F | Component::G | Component::H)
+    }
+
+    /// One-letter display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::A => "A",
+            Component::B => "B",
+            Component::C => "C",
+            Component::D => "D",
+            Component::E => "E",
+            Component::F => "F",
+            Component::G => "G",
+            Component::H => "H",
+        }
+    }
+}
+
+impl std::fmt::Display for Component {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, c) in ALL_COMPONENTS.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(Component::from_index(i), *c);
+        }
+    }
+
+    #[test]
+    fn molecular_weights_increase_from_a_to_h() {
+        for w in ALL_COMPONENTS.windows(2) {
+            assert!(w[0].molecular_weight() < w[1].molecular_weight());
+        }
+    }
+
+    #[test]
+    fn condensables_are_f_g_h() {
+        let cond: Vec<Component> = ALL_COMPONENTS
+            .iter()
+            .copied()
+            .filter(|c| c.is_condensable())
+            .collect();
+        assert_eq!(cond, vec![Component::F, Component::G, Component::H]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Component::A.to_string(), "A");
+        assert_eq!(Component::H.to_string(), "H");
+    }
+}

@@ -1,0 +1,221 @@
+//! The 20 process disturbances (IDV) of the TE-like process.
+//!
+//! Numbering and semantics follow Downs & Vogel (1993) Table 8. Step
+//! disturbances change an exogenous condition instantly; random-variation
+//! disturbances widen the amplitude of the corresponding
+//! Ornstein–Uhlenbeck exogenous driver; the two "sticking valve"
+//! disturbances enable valve stiction; IDV(16)–IDV(20) are the "unknown"
+//! disturbances, implemented here as miscellaneous step/random effects so
+//! all 20 switches do something.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of modelled disturbances.
+pub const N_IDV: usize = 20;
+
+/// One of the 20 TE process disturbances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Disturbance {
+    /// IDV(1): A/C feed-ratio step in stream 4 (B composition constant).
+    AcFeedRatioStep,
+    /// IDV(2): B composition step in stream 4 (A/C ratio constant).
+    BCompositionStep,
+    /// IDV(3): D feed temperature step (stream 2).
+    DFeedTempStep,
+    /// IDV(4): reactor cooling-water inlet temperature step.
+    ReactorCwTempStep,
+    /// IDV(5): condenser cooling-water inlet temperature step.
+    CondenserCwTempStep,
+    /// IDV(6): loss of A feed (stream 1) — the paper's headline
+    /// disturbance.
+    AFeedLoss,
+    /// IDV(7): C header pressure loss — reduced availability (stream 4).
+    CHeaderPressureLoss,
+    /// IDV(8): random variation of the A/B/C composition of stream 4.
+    FeedCompositionRandom,
+    /// IDV(9): random variation of the D feed temperature.
+    DFeedTempRandom,
+    /// IDV(10): random variation of the C feed (stream 4) temperature.
+    CFeedTempRandom,
+    /// IDV(11): random variation of the reactor CW inlet temperature.
+    ReactorCwTempRandom,
+    /// IDV(12): random variation of the condenser CW inlet temperature.
+    CondenserCwTempRandom,
+    /// IDV(13): slow drift of the reaction kinetics.
+    KineticsDrift,
+    /// IDV(14): reactor cooling-water valve sticks.
+    ReactorCwValveStick,
+    /// IDV(15): condenser cooling-water valve sticks.
+    CondenserCwValveStick,
+    /// IDV(16): unknown — implemented as a stripper steam-supply
+    /// pressure disturbance (random).
+    SteamSupplyRandom,
+    /// IDV(17): unknown — implemented as reactor heat-transfer fouling
+    /// drift.
+    ReactorFoulingDrift,
+    /// IDV(18): unknown — implemented as an E feed temperature step.
+    EFeedTempStep,
+    /// IDV(19): unknown — implemented as increased friction on several
+    /// valves (small stiction everywhere).
+    ValveFrictionRandom,
+    /// IDV(20): unknown — implemented as a combined slow random walk on
+    /// feed header pressures.
+    HeaderPressureRandom,
+}
+
+/// All disturbances in IDV order (`ALL_IDV[0]` is IDV(1)).
+pub const ALL_IDV: [Disturbance; N_IDV] = [
+    Disturbance::AcFeedRatioStep,
+    Disturbance::BCompositionStep,
+    Disturbance::DFeedTempStep,
+    Disturbance::ReactorCwTempStep,
+    Disturbance::CondenserCwTempStep,
+    Disturbance::AFeedLoss,
+    Disturbance::CHeaderPressureLoss,
+    Disturbance::FeedCompositionRandom,
+    Disturbance::DFeedTempRandom,
+    Disturbance::CFeedTempRandom,
+    Disturbance::ReactorCwTempRandom,
+    Disturbance::CondenserCwTempRandom,
+    Disturbance::KineticsDrift,
+    Disturbance::ReactorCwValveStick,
+    Disturbance::CondenserCwValveStick,
+    Disturbance::SteamSupplyRandom,
+    Disturbance::ReactorFoulingDrift,
+    Disturbance::EFeedTempStep,
+    Disturbance::ValveFrictionRandom,
+    Disturbance::HeaderPressureRandom,
+];
+
+impl Disturbance {
+    /// 1-based IDV number as in Downs & Vogel.
+    pub fn idv_number(self) -> usize {
+        ALL_IDV
+            .iter()
+            .position(|d| *d == self)
+            .expect("disturbance present in ALL_IDV")
+            + 1
+    }
+
+    /// Disturbance from a 1-based IDV number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `number` is 0 or greater than 20.
+    pub fn from_idv_number(number: usize) -> Self {
+        assert!(
+            (1..=N_IDV).contains(&number),
+            "IDV number must be in 1..=20"
+        );
+        ALL_IDV[number - 1]
+    }
+
+    /// Whether the disturbance is of the random-variation kind (as opposed
+    /// to a step or a valve effect).
+    pub fn is_random_variation(self) -> bool {
+        matches!(
+            self,
+            Disturbance::FeedCompositionRandom
+                | Disturbance::DFeedTempRandom
+                | Disturbance::CFeedTempRandom
+                | Disturbance::ReactorCwTempRandom
+                | Disturbance::CondenserCwTempRandom
+                | Disturbance::KineticsDrift
+                | Disturbance::SteamSupplyRandom
+                | Disturbance::ReactorFoulingDrift
+                | Disturbance::ValveFrictionRandom
+                | Disturbance::HeaderPressureRandom
+        )
+    }
+}
+
+/// The set of currently active disturbances, with activation times.
+///
+/// # Example
+///
+/// ```
+/// use temspc_tesim::{Disturbance, DisturbanceSet};
+///
+/// let mut idv = DisturbanceSet::new();
+/// idv.schedule(Disturbance::AFeedLoss, 10.0); // activates at hour 10
+/// assert!(!idv.is_active(Disturbance::AFeedLoss, 9.9));
+/// assert!(idv.is_active(Disturbance::AFeedLoss, 10.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DisturbanceSet {
+    scheduled: Vec<(Disturbance, f64)>,
+}
+
+impl DisturbanceSet {
+    /// Creates an empty set (normal operation).
+    pub fn new() -> Self {
+        DisturbanceSet::default()
+    }
+
+    /// Schedules `disturbance` to activate at `start_hour` (and stay on).
+    pub fn schedule(&mut self, disturbance: Disturbance, start_hour: f64) {
+        self.scheduled.push((disturbance, start_hour));
+    }
+
+    /// Whether `disturbance` is active at simulation time `hour`.
+    pub fn is_active(&self, disturbance: Disturbance, hour: f64) -> bool {
+        self.scheduled
+            .iter()
+            .any(|(d, t)| *d == disturbance && hour >= *t)
+    }
+
+    /// Iterates over the scheduled `(disturbance, start_hour)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &(Disturbance, f64)> {
+        self.scheduled.iter()
+    }
+
+    /// Whether no disturbances are scheduled at all.
+    pub fn is_empty(&self) -> bool {
+        self.scheduled.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idv_numbering_roundtrip() {
+        for n in 1..=N_IDV {
+            assert_eq!(Disturbance::from_idv_number(n).idv_number(), n);
+        }
+    }
+
+    #[test]
+    fn idv6_is_a_feed_loss() {
+        assert_eq!(Disturbance::from_idv_number(6), Disturbance::AFeedLoss);
+    }
+
+    #[test]
+    fn random_variation_classification() {
+        assert!(Disturbance::FeedCompositionRandom.is_random_variation());
+        assert!(!Disturbance::AFeedLoss.is_random_variation());
+        assert!(!Disturbance::ReactorCwValveStick.is_random_variation());
+        let n_random = ALL_IDV.iter().filter(|d| d.is_random_variation()).count();
+        assert_eq!(n_random, 10);
+    }
+
+    #[test]
+    fn schedule_and_query() {
+        let mut set = DisturbanceSet::new();
+        assert!(set.is_empty());
+        set.schedule(Disturbance::AFeedLoss, 10.0);
+        set.schedule(Disturbance::BCompositionStep, 5.0);
+        assert!(!set.is_empty());
+        assert!(set.is_active(Disturbance::BCompositionStep, 6.0));
+        assert!(!set.is_active(Disturbance::AFeedLoss, 6.0));
+        assert!(set.is_active(Disturbance::AFeedLoss, 12.0));
+        assert!(!set.is_active(Disturbance::DFeedTempStep, 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "IDV number")]
+    fn idv_21_panics() {
+        Disturbance::from_idv_number(21);
+    }
+}

@@ -1,0 +1,53 @@
+//! A Tennessee-Eastman–like chemical plant simulator.
+//!
+//! This crate is a from-scratch Rust implementation of a plant in the image
+//! of the Tennessee-Eastman (TE) challenge process (Downs & Vogel 1993): a
+//! reactor / condenser+separator / stripper / compressor-recycle flowsheet
+//! with eight components (A–H), the four TE gas-phase reactions, **41
+//! measured variables (XMEAS)**, **12 manipulated variables (XMV)**, **20
+//! process disturbances (IDV)** and the TE safety interlocks.
+//!
+//! It is *TE-like*, not a port of the original Fortran `TEPROB`: the
+//! physical constants are chosen so that the steady state approximates the
+//! TE base case and — crucially for the DSN 2016 reproduction — so that the
+//! qualitative responses match:
+//!
+//! * `IDV(6)` (loss of A feed) collapses `XMEAS(1)` and eventually trips
+//!   the stripper low-level interlock,
+//! * closing valve `XMV(3)` produces a nearly identical `XMEAS(1)` trace,
+//! * the plant exhibits correlated, noisy normal operation suitable for
+//!   PCA-based monitoring (the Krotofil-style randomness model).
+//!
+//! The main entry point is [`TePlant`]; see also the `temspc-control` crate
+//! for the decentralized control layer that keeps it alive.
+//!
+//! # Example
+//!
+//! ```
+//! use temspc_tesim::{TePlant, PlantConfig};
+//!
+//! let mut plant = TePlant::new(PlantConfig::default(), 42);
+//! let xmv = plant.nominal_xmv();
+//! for _ in 0..100 {
+//!     plant.step(&xmv).unwrap();
+//! }
+//! let xmeas = plant.measurements();
+//! assert!(xmeas.reactor_pressure() > 2000.0); // kPa, near TE base case
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod component;
+pub mod disturbance;
+pub mod measurement;
+pub mod plant;
+pub mod reaction;
+pub mod shutdown;
+pub mod thermo;
+pub mod valve;
+
+pub use component::Component;
+pub use disturbance::{Disturbance, DisturbanceSet};
+pub use measurement::{MeasurementVector, N_XMEAS};
+pub use plant::{FlowSummary, PlantConfig, PlantError, PlantState, TePlant, N_XMV, SAMPLES_PER_HOUR, STEP_HOURS};
+pub use shutdown::{InterlockLimits, ShutdownReason};

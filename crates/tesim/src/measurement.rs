@@ -1,0 +1,225 @@
+//! The 41 measured variables (XMEAS) of the TE-like process.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of measured variables.
+pub const N_XMEAS: usize = 41;
+
+/// Metadata describing one measured variable.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasurementInfo {
+    /// 1-based XMEAS number, as in Downs & Vogel.
+    pub number: usize,
+    /// Short name.
+    pub name: &'static str,
+    /// Engineering unit.
+    pub unit: &'static str,
+    /// Base-case nominal value (TE base case where applicable).
+    pub nominal: f64,
+    /// Gaussian measurement-noise standard deviation (same unit).
+    pub noise_std: f64,
+    /// Analyzer sampling period in hours; 0 for continuous measurements.
+    pub sampling_period: f64,
+}
+
+/// Metadata for all 41 XMEAS, indexed by `number - 1`.
+///
+/// Nominal values follow the TE base case (Downs & Vogel Table 5-ish);
+/// composition nominals follow the base-case stream compositions. Noise
+/// standard deviations are roughly 0.5–1.5% of span, in the spirit of the
+/// Krotofil randomness model.
+pub const XMEAS_INFO: [MeasurementInfo; N_XMEAS] = [
+    m(1, "A feed (stream 1)", "kscmh", 3.913, 0.03, 0.0),
+    m(2, "D feed (stream 2)", "kg/h", 3379.5, 25.0, 0.0),
+    m(3, "E feed (stream 3)", "kg/h", 4187.0, 30.0, 0.0),
+    m(4, "A+C feed (stream 4)", "kscmh", 5.1, 0.05, 0.0),
+    m(5, "Recycle flow (stream 5)", "kscmh", 31.61, 0.25, 0.0),
+    m(6, "Reactor feed rate (stream 6)", "kscmh", 45.27, 0.3, 0.0),
+    m(7, "Reactor pressure", "kPa gauge", 2705.0, 6.0, 0.0),
+    m(8, "Reactor level", "%", 65.0, 0.5, 0.0),
+    m(9, "Reactor temperature", "degC", 120.4, 0.08, 0.0),
+    m(10, "Purge rate (stream 9)", "kscmh", 0.751, 0.008, 0.0),
+    m(11, "Separator temperature", "degC", 80.11, 0.15, 0.0),
+    m(12, "Separator level", "%", 50.0, 0.6, 0.0),
+    m(13, "Separator pressure", "kPa gauge", 2642.6, 6.0, 0.0),
+    m(14, "Separator underflow (stream 10)", "m3/h", 20.52, 0.2, 0.0),
+    m(15, "Stripper level", "%", 50.0, 0.6, 0.0),
+    m(16, "Stripper pressure", "kPa gauge", 2830.2, 8.0, 0.0),
+    m(17, "Stripper underflow (stream 11)", "m3/h", 19.53, 0.2, 0.0),
+    m(18, "Stripper temperature", "degC", 65.73, 0.12, 0.0),
+    m(19, "Stripper steam flow", "kg/h", 178.4, 2.5, 0.0),
+    m(20, "Compressor work", "kW", 392.6, 2.5, 0.0),
+    m(21, "Reactor CW outlet temperature", "degC", 109.85, 0.1, 0.0),
+    m(22, "Separator CW outlet temperature", "degC", 77.89, 0.1, 0.0),
+    // Reactor feed analysis (stream 6), sampled every 0.1 h, mol%.
+    m(23, "Reactor feed %A", "mol%", 33.0, 0.1, 0.1),
+    m(24, "Reactor feed %B", "mol%", 2.79, 0.04, 0.1),
+    m(25, "Reactor feed %C", "mol%", 38.07, 0.1, 0.1),
+    m(26, "Reactor feed %D", "mol%", 7.01, 0.05, 0.1),
+    m(27, "Reactor feed %E", "mol%", 15.71, 0.08, 0.1),
+    m(28, "Reactor feed %F", "mol%", 0.5, 0.02, 0.1),
+    // Purge gas analysis (stream 9), sampled every 0.1 h, mol%.
+    m(29, "Purge %A", "mol%", 33.11, 0.12, 0.1),
+    m(30, "Purge %B", "mol%", 3.9, 0.05, 0.1),
+    m(31, "Purge %C", "mol%", 40.21, 0.1, 0.1),
+    m(32, "Purge %D", "mol%", 2.55, 0.04, 0.1),
+    m(33, "Purge %E", "mol%", 15.68, 0.08, 0.1),
+    m(34, "Purge %F", "mol%", 0.48, 0.02, 0.1),
+    m(35, "Purge %G", "mol%", 2.88, 0.05, 0.1),
+    m(36, "Purge %H", "mol%", 1.19, 0.03, 0.1),
+    // Product analysis (stream 11), sampled every 0.25 h, mol%.
+    m(37, "Product %D", "mol%", 0.01, 0.005, 0.25),
+    m(38, "Product %E", "mol%", 0.77, 0.03, 0.25),
+    m(39, "Product %F", "mol%", 0.42, 0.02, 0.25),
+    m(40, "Product %G", "mol%", 54.56, 0.15, 0.25),
+    m(41, "Product %H", "mol%", 44.2, 0.15, 0.25),
+];
+
+const fn m(
+    number: usize,
+    name: &'static str,
+    unit: &'static str,
+    nominal: f64,
+    noise_std: f64,
+    sampling_period: f64,
+) -> MeasurementInfo {
+    MeasurementInfo {
+        number,
+        name,
+        unit,
+        nominal,
+        noise_std,
+        sampling_period,
+    }
+}
+
+/// A snapshot of all 41 measured variables.
+///
+/// Access by 1-based XMEAS number via [`MeasurementVector::xmeas`], or with
+/// the named convenience getters for the variables the DSN 2016 scenarios
+/// focus on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementVector {
+    values: Vec<f64>,
+}
+
+impl MeasurementVector {
+    /// Creates a measurement vector from 41 raw values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != 41`.
+    pub fn from_values(values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), N_XMEAS, "expected 41 XMEAS values");
+        MeasurementVector { values }
+    }
+
+    /// Creates a vector holding the base-case nominal values.
+    pub fn nominal() -> Self {
+        MeasurementVector {
+            values: XMEAS_INFO.iter().map(|i| i.nominal).collect(),
+        }
+    }
+
+    /// Value of XMEAS(`number`) — `number` is 1-based as in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `number` is 0 or greater than 41.
+    pub fn xmeas(&self, number: usize) -> f64 {
+        assert!((1..=N_XMEAS).contains(&number), "XMEAS number out of range");
+        self.values[number - 1]
+    }
+
+    /// All 41 values as a slice (index 0 = XMEAS(1)).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// A feed flow, XMEAS(1), kscmh.
+    pub fn a_feed(&self) -> f64 {
+        self.xmeas(1)
+    }
+
+    /// Reactor pressure, XMEAS(7), kPa gauge.
+    pub fn reactor_pressure(&self) -> f64 {
+        self.xmeas(7)
+    }
+
+    /// Reactor level, XMEAS(8), percent.
+    pub fn reactor_level(&self) -> f64 {
+        self.xmeas(8)
+    }
+
+    /// Reactor temperature, XMEAS(9), °C.
+    pub fn reactor_temperature(&self) -> f64 {
+        self.xmeas(9)
+    }
+
+    /// Separator level, XMEAS(12), percent.
+    pub fn separator_level(&self) -> f64 {
+        self.xmeas(12)
+    }
+
+    /// Stripper level, XMEAS(15), percent.
+    pub fn stripper_level(&self) -> f64 {
+        self.xmeas(15)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn info_table_is_consistent() {
+        for (i, info) in XMEAS_INFO.iter().enumerate() {
+            assert_eq!(info.number, i + 1);
+            assert!(info.noise_std >= 0.0);
+            assert!(info.sampling_period >= 0.0);
+        }
+    }
+
+    #[test]
+    fn composition_nominals_sum_to_about_100() {
+        let feed: f64 = (23..=28).map(|n| XMEAS_INFO[n - 1].nominal).sum();
+        // Stream 6 analysis covers A-F only (G, H are trace in the feed).
+        assert!((90.0..=101.0).contains(&feed), "feed sum = {feed}");
+        let purge: f64 = (29..=36).map(|n| XMEAS_INFO[n - 1].nominal).sum();
+        assert!((80.0..=101.0).contains(&purge), "purge sum = {purge}");
+        let product: f64 = (37..=41).map(|n| XMEAS_INFO[n - 1].nominal).sum();
+        assert!((95.0..=101.0).contains(&product), "product sum = {product}");
+    }
+
+    #[test]
+    fn nominal_vector_matches_info() {
+        let v = MeasurementVector::nominal();
+        assert_eq!(v.xmeas(1), 3.913);
+        assert_eq!(v.reactor_pressure(), 2705.0);
+        assert_eq!(v.xmeas(41), 44.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn xmeas_zero_panics() {
+        MeasurementVector::nominal().xmeas(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 41")]
+    fn wrong_length_panics() {
+        MeasurementVector::from_values(vec![0.0; 40]);
+    }
+
+    #[test]
+    fn named_getters_match_indices() {
+        let mut vals = vec![0.0; N_XMEAS];
+        vals[0] = 1.0;
+        vals[6] = 7.0;
+        vals[14] = 15.0;
+        let v = MeasurementVector::from_values(vals);
+        assert_eq!(v.a_feed(), 1.0);
+        assert_eq!(v.reactor_pressure(), 7.0);
+        assert_eq!(v.stripper_level(), 15.0);
+    }
+}

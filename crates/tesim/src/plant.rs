@@ -1,0 +1,1338 @@
+//! The TE-like plant: state, flows, integrator, measurements, disturbances
+//! and interlocks wired together.
+
+use serde::{Deserialize, Serialize};
+use temspc_linalg::rng::GaussianSampler;
+
+use crate::component::{Component, N_COMPONENTS};
+use crate::disturbance::{Disturbance, DisturbanceSet};
+use crate::measurement::{MeasurementVector, N_XMEAS, XMEAS_INFO};
+use crate::reaction::{reactions, Reaction};
+use crate::shutdown::{InterlockLimits, ShutdownReason};
+use crate::thermo::{vapor_pressure, CP_GAS, CP_LIQ, CP_WATER, LATENT_HEAT, R_GAS, REACTION_HEAT};
+use crate::valve::Valve;
+
+/// Number of manipulated variables (XMV).
+pub const N_XMV: usize = 12;
+
+/// Recorded samples per simulated hour (the paper records 2000/h).
+pub const SAMPLES_PER_HOUR: usize = 2000;
+
+/// Simulation step in hours (1.8 s — the paper's recording period).
+pub const STEP_HOURS: f64 = 1.0 / SAMPLES_PER_HOUR as f64;
+
+/// kmol/h per kscmh (1000 standard m³/h at 22.414 m³/kmol).
+const KMOL_PER_KSCMH: f64 = 44.615;
+
+// ------------------------------------------------------------------
+// Geometry and sizing constants (calibrated to TE base-case magnitudes).
+// ------------------------------------------------------------------
+const V_REACTOR: f64 = 36.8; // m³
+const V_SEPARATOR: f64 = 99.1; // m³
+const REACTOR_LEVEL_SPAN: (f64, f64) = (2.0, 24.0); // m³ mapped to 0..100 %
+const SEP_LEVEL_SPAN: f64 = 16.0; // m³ at 100 %
+const STRIP_LEVEL_SPAN: f64 = 8.8; // m³ at 100 %
+
+const CV_A_FEED: f64 = 282.0; // kmol/h at 100 % valve
+const CV_D_FEED: f64 = 181.6;
+const CV_E_FEED: f64 = 181.5;
+const CV_AC_FEED: f64 = 371.0;
+const CV_EFFLUENT: f64 = 26.6; // kmol/h per kPa of (Pr - Ps)
+const CV_RECYCLE: f64 = 5403.0; // kmol/h at 100 % valve and nominal head
+const DP_COMPRESSOR: f64 = 120.0; // kPa of compressor head
+const DP_RECYCLE_NOM: f64 = 49.0; // kPa nominal recycle driving force
+const CV_PURGE: f64 = 60.0; // kmol/h at 100 % valve and nominal pressure
+const PS_NOM: f64 = 2634.0;
+const CV_SEP_LIQ: f64 = 93.4; // m³/h at 100 % valve, sqrt(level)
+const CV_STRIP_LIQ: f64 = 69.8; // m³/h at 100 % valve, sqrt(level)
+const CV_STEAM: f64 = 485.4; // kg/h at 100 % valve
+const H_STEAM: f64 = 2.0; // MJ/kg
+
+const CW_R_MAX: f64 = 55_170.0; // kg/h reactor CW at 100 %
+const CW_S_MAX: f64 = 227_000.0; // kg/h condenser CW at 100 %
+const UA_REACTOR: f64 = 113.5; // MJ/(h·K)
+const UA_SEPARATOR: f64 = 478.0; // MJ/(h·K)
+const UA_STRIP_LOSS: f64 = 12.4; // MJ/(h·K) heat loss to ambient
+const T_AMBIENT: f64 = 298.0; // K
+
+const METAL_HEAT_REACTOR: f64 = 15.0; // MJ/K
+const METAL_HEAT_SEPARATOR: f64 = 14.0; // MJ/K
+const METAL_HEAT_STRIPPER: f64 = 5.0; // MJ/K
+
+const K_CONDENSE: f64 = 8.0; // kmol/h per kPa of condensation driving force
+const K_ABSORB: f64 = 20.0; // 1/h approach rate of dissolved light gases
+
+/// Boil-up cutoff holdup (kmol): the condensable effluent flux scales with
+/// `N² / (N² + N_HALF_BOILUP²)` — close to 1 at the nominal ~180 kmol
+/// inventory, collapsing once the liquid runs low. A shrinking inventory
+/// then exports less product vapor, so a production collapse propagates
+/// downstream (separator, then stripper) instead of simply draining the
+/// reactor through its own interlock.
+const N_HALF_BOILUP: f64 = 40.0;
+
+/// Henry-like equilibrium solubility (mole fraction per kPa of partial
+/// pressure) of the light gases in the separator liquid.
+fn henry(c: Component) -> f64 {
+    match c {
+        Component::A => 2.0e-6,
+        Component::B => 3.0e-6,
+        Component::C => 4.0e-6,
+        Component::D => 1.2e-5,
+        Component::E => 9.0e-5,
+        _ => 0.0,
+    }
+}
+
+/// Base stripping rate constants (1/h) at nominal steam and gas flow.
+fn strip_kappa(c: Component) -> f64 {
+    match c {
+        Component::A | Component::B | Component::C => 60.0,
+        Component::D => 29.0,
+        Component::E => 15.8,
+        Component::F => 18.0,
+        Component::G => 0.05,
+        Component::H => 0.02,
+    }
+}
+
+/// Feed stream 1 (A feed) composition.
+const STREAM1_A: f64 = 0.999;
+const STREAM1_B: f64 = 0.001;
+/// Feed stream 4 (A+C) base composition. In this TE-like flowsheet the
+/// stream is C-rich and stream 1 is the primary A makeup — this is what
+/// makes IDV(6) (loss of stream 1) fatal, as the paper requires.
+const STREAM4_A: f64 = 0.11;
+const STREAM4_B: f64 = 0.005;
+// C takes the remainder.
+
+/// Configuration of a plant instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlantConfig {
+    /// Inner Euler substeps per recorded sample (default 8 → 0.225 s).
+    pub substeps: usize,
+    /// Gaussian measurement noise on/off.
+    pub measurement_noise: bool,
+    /// Krotofil-style exogenous process randomness on/off.
+    pub process_randomness: bool,
+    /// Safety interlocks (shutdown limits).
+    pub interlocks: InterlockLimits,
+    /// Whether interlocks trip the plant (disable for open-loop tests).
+    pub interlocks_enabled: bool,
+}
+
+impl Default for PlantConfig {
+    fn default() -> Self {
+        PlantConfig {
+            substeps: 8,
+            measurement_noise: true,
+            process_randomness: true,
+            interlocks: InterlockLimits::default(),
+            interlocks_enabled: true,
+        }
+    }
+}
+
+/// Errors returned by [`TePlant::step`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlantError {
+    /// The plant has tripped a safety interlock and is shut down.
+    ShutDown {
+        /// Interlock that tripped.
+        reason: ShutdownReason,
+        /// Simulation hour of the trip.
+        hour: f64,
+    },
+    /// The XMV command vector had the wrong length.
+    BadCommand {
+        /// Length that was provided.
+        provided: usize,
+    },
+}
+
+impl std::fmt::Display for PlantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlantError::ShutDown { reason, hour } => {
+                write!(f, "plant shut down at hour {hour:.3}: {reason}")
+            }
+            PlantError::BadCommand { provided } => {
+                write!(f, "expected 12 XMV values, got {provided}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlantError {}
+
+/// The physical state of the plant (component holdups in kmol,
+/// temperatures in K).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlantState {
+    /// Simulation time, hours.
+    pub hour: f64,
+    /// Reactor liquid holdup (F, G, H), kmol.
+    pub reactor_liquid: [f64; N_COMPONENTS],
+    /// Reactor gas holdup (A–E), kmol.
+    pub reactor_gas: [f64; N_COMPONENTS],
+    /// Reactor temperature, K.
+    pub reactor_temp: f64,
+    /// Separator vapor holdup, kmol.
+    pub sep_vapor: [f64; N_COMPONENTS],
+    /// Separator liquid holdup, kmol.
+    pub sep_liquid: [f64; N_COMPONENTS],
+    /// Separator temperature, K.
+    pub sep_temp: f64,
+    /// Stripper liquid holdup, kmol.
+    pub strip_liquid: [f64; N_COMPONENTS],
+    /// Stripper temperature, K.
+    pub strip_temp: f64,
+}
+
+impl PlantState {
+    /// Base-case initial state, near the closed-loop steady state.
+    pub fn base_case() -> Self {
+        // Snapshot of the deterministic closed-loop steady state (80 h
+        // settle under the decentralized controller, noise disabled).
+        PlantState {
+            hour: 0.0,
+            reactor_liquid: [0.0, 0.0, 0.0, 0.0, 0.0, 1.46779, 64.50234, 89.91432],
+            reactor_gas: [4.88106, 0.57584, 5.93191, 0.37696, 2.37792, 0.0, 0.0, 0.0],
+            reactor_temp: 393.54997,
+            sep_vapor: [27.13666, 3.20036, 32.95763, 2.08900, 12.85385, 0.39365, 2.35995, 0.97852],
+            sep_liquid: [0.12089, 0.02139, 0.29364, 0.05584, 2.57681, 1.57191, 40.61871, 32.69028],
+            sep_temp: 353.25996,
+            strip_liquid: [0.00482, 0.00085, 0.01170, 0.00429, 0.32684, 0.17984, 23.21152, 18.80633],
+            strip_temp: 338.87997,
+        }
+    }
+
+    /// Reactor liquid volume, m³.
+    pub fn reactor_liquid_volume(&self) -> f64 {
+        volume_of(&self.reactor_liquid)
+    }
+
+    /// Reactor level in percent of the measurement span.
+    pub fn reactor_level_pct(&self) -> f64 {
+        (self.reactor_liquid_volume() - REACTOR_LEVEL_SPAN.0)
+            / (REACTOR_LEVEL_SPAN.1 - REACTOR_LEVEL_SPAN.0)
+            * 100.0
+    }
+
+    /// Separator level in percent.
+    pub fn separator_level_pct(&self) -> f64 {
+        volume_of(&self.sep_liquid) / SEP_LEVEL_SPAN * 100.0
+    }
+
+    /// Stripper level in percent.
+    pub fn stripper_level_pct(&self) -> f64 {
+        volume_of(&self.strip_liquid) / STRIP_LEVEL_SPAN * 100.0
+    }
+}
+
+fn volume_of(moles: &[f64; N_COMPONENTS]) -> f64 {
+    moles
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| n.max(0.0) * Component::from_index(i).liquid_molar_volume())
+        .sum()
+}
+
+fn total(moles: &[f64; N_COMPONENTS]) -> f64 {
+    moles.iter().map(|&n| n.max(0.0)).sum()
+}
+
+fn fractions(moles: &[f64; N_COMPONENTS]) -> [f64; N_COMPONENTS] {
+    let t = total(moles).max(1e-9);
+    let mut out = [0.0; N_COMPONENTS];
+    for i in 0..N_COMPONENTS {
+        out[i] = moles[i].max(0.0) / t;
+    }
+    out
+}
+
+/// Exogenous conditions: Ornstein–Uhlenbeck drivers plus disturbance
+/// steps. These are what makes "normal operation" gently non-stationary —
+/// the Krotofil randomness model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Exogenous {
+    /// A feed header availability (1 = nominal, 0 = lost).
+    a_avail: f64,
+    /// Stream 4 header availability.
+    c_avail: f64,
+    /// Stream 4 A-fraction shift (added to A, removed from C).
+    x_a4_shift: f64,
+    /// Stream 4 B fraction.
+    x_b4: f64,
+    /// Reactor CW inlet temperature, K.
+    t_cw_reactor: f64,
+    /// Condenser CW inlet temperature, K.
+    t_cw_condenser: f64,
+    /// D feed temperature, K.
+    t_d_feed: f64,
+    /// E feed temperature, K.
+    t_e_feed: f64,
+    /// Stream 4 temperature, K.
+    t_c_feed: f64,
+    /// Kinetics multiplier.
+    kinetics: f64,
+    /// Steam availability multiplier.
+    steam_avail: f64,
+    /// Reactor heat-transfer fouling multiplier.
+    fouling: f64,
+}
+
+impl Exogenous {
+    fn nominal() -> Self {
+        Exogenous {
+            a_avail: 1.0,
+            c_avail: 1.0,
+            x_a4_shift: 0.0,
+            x_b4: STREAM4_B,
+            t_cw_reactor: 308.15, // 35 degC
+            t_cw_condenser: 308.15,
+            t_d_feed: 318.15, // 45 degC
+            t_e_feed: 318.15,
+            t_c_feed: 318.15,
+            kinetics: 1.0,
+            steam_avail: 1.0,
+            fouling: 1.0,
+        }
+    }
+}
+
+/// Public snapshot of the plant's instantaneous stream flows and duties.
+///
+/// Useful for flowsheet-level analyses and for mass/energy-balance
+/// verification in tests; all flows in kmol/h unless noted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowSummary {
+    /// A feed (stream 1), kmol/h.
+    pub a_feed: f64,
+    /// D feed (stream 2), kmol/h.
+    pub d_feed: f64,
+    /// E feed (stream 3), kmol/h.
+    pub e_feed: f64,
+    /// A+C feed (stream 4), kmol/h.
+    pub ac_feed: f64,
+    /// Compressor recycle (stream 5), kmol/h.
+    pub recycle: f64,
+    /// Combined reactor feed (stream 6), kmol/h.
+    pub reactor_feed: f64,
+    /// Reactor effluent (stream 7), kmol/h.
+    pub effluent: f64,
+    /// Purge (stream 9), kmol/h.
+    pub purge: f64,
+    /// Separator underflow (stream 10), m³/h.
+    pub sep_underflow_vol: f64,
+    /// Stripper underflow / product (stream 11), m³/h.
+    pub product_vol: f64,
+    /// Stripper steam, kg/h.
+    pub steam: f64,
+    /// Compressor work, kW.
+    pub compressor_work: f64,
+    /// Reactor pressure, kPa.
+    pub reactor_pressure: f64,
+    /// Separator pressure, kPa.
+    pub separator_pressure: f64,
+}
+
+/// Instantaneous flows and duties, kept for measurement construction.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct Flows {
+    f1: f64,       // A feed, kmol/h
+    f2: f64,       // D feed, kmol/h
+    f3: f64,       // E feed, kmol/h
+    f4: f64,       // A+C feed, kmol/h
+    f5: f64,       // recycle, kmol/h
+    f6: f64,       // reactor feed, kmol/h
+    f7: f64,       // reactor effluent, kmol/h
+    f9: f64,       // purge, kmol/h
+    f10_vol: f64,  // separator underflow, m³/h
+    f11_vol: f64,  // stripper underflow, m³/h
+    steam: f64,    // kg/h
+    comp_work: f64, // kW
+    t_cw_r_out: f64, // K
+    t_cw_s_out: f64, // K
+    p_reactor: f64,  // kPa
+    p_separator: f64, // kPa
+    p_stripper: f64,  // kPa
+    feed_comp: [f64; N_COMPONENTS],  // stream 6 fractions
+    purge_comp: [f64; N_COMPONENTS], // stream 9 fractions
+    product_comp: [f64; N_COMPONENTS], // stream 11 fractions
+}
+
+/// Sample-and-hold analyzer for composition measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Analyzer {
+    period: f64,
+    next_sample: f64,
+    held: [f64; N_COMPONENTS],
+}
+
+impl Analyzer {
+    fn new(period: f64, initial: [f64; N_COMPONENTS]) -> Self {
+        Analyzer {
+            period,
+            next_sample: period,
+            held: initial,
+        }
+    }
+
+    fn update(&mut self, hour: f64, current: &[f64; N_COMPONENTS]) {
+        if hour >= self.next_sample {
+            self.held = *current;
+            while self.next_sample <= hour {
+                self.next_sample += self.period;
+            }
+        }
+    }
+}
+
+/// The TE-like plant simulator.
+///
+/// Drive it by calling [`TePlant::step`] with a 12-element XMV command
+/// vector every 1.8 s of simulated time, and read the 41 measurements with
+/// [`TePlant::measurements`]. See the crate docs for an example.
+#[derive(Debug)]
+pub struct TePlant {
+    config: PlantConfig,
+    state: PlantState,
+    valves: [Valve; N_XMV],
+    exo: Exogenous,
+    disturbances: DisturbanceSet,
+    rng: GaussianSampler,
+    flows: Flows,
+    analyzers: [Analyzer; 3],
+    shutdown: Option<(ShutdownReason, f64)>,
+    reactions: [Reaction; 4],
+}
+
+/// Nominal (base-case) XMV positions, percent. Indices 0..12 are
+/// XMV(1)..XMV(12).
+pub const NOMINAL_XMV: [f64; N_XMV] = [
+    58.15, // XMV(1) D feed valve
+    50.15, // XMV(2) E feed valve
+    61.90, // XMV(3) A feed valve
+    61.33, // XMV(4) A+C feed valve
+    22.21, // XMV(5) compressor recycle valve
+    55.65, // XMV(6) purge valve
+    30.01, // XMV(7) separator underflow valve
+    36.38, // XMV(8) stripper underflow valve
+    36.76, // XMV(9) stripper steam valve
+    23.54, // XMV(10) reactor CW valve
+    16.73, // XMV(11) condenser CW valve
+    50.00, // XMV(12) agitator speed
+];
+
+impl TePlant {
+    /// Creates a plant at the base-case state.
+    ///
+    /// `seed` drives every stochastic element (measurement noise and
+    /// process randomness); two plants with the same seed and inputs
+    /// evolve identically.
+    pub fn new(config: PlantConfig, seed: u64) -> Self {
+        let state = PlantState::base_case();
+        let valve_tau = 10.0 / 3600.0; // 10 s actuator lag
+        let valves = std::array::from_fn(|i| Valve::new(NOMINAL_XMV[i], valve_tau));
+        let plant_feed0 = fractions(&{
+            let mut f = [0.0; N_COMPONENTS];
+            f[Component::A.index()] = 37.0;
+            f[Component::B.index()] = 5.3;
+            f[Component::C.index()] = 30.0;
+            f[Component::D.index()] = 7.9;
+            f[Component::E.index()] = 17.0;
+            f
+        });
+        let purge0 = fractions(&state.sep_vapor);
+        let product0 = fractions(&state.strip_liquid);
+        let mut plant = TePlant {
+            config,
+            state,
+            valves,
+            exo: Exogenous::nominal(),
+            disturbances: DisturbanceSet::new(),
+            rng: GaussianSampler::seed_from(seed),
+            flows: Flows::default(),
+            analyzers: [
+                Analyzer::new(0.1, plant_feed0),
+                Analyzer::new(0.1, purge0),
+                Analyzer::new(0.25, product0),
+            ],
+            shutdown: None,
+            reactions: reactions(),
+        };
+        // Populate the flow bookkeeping so measurements taken before the
+        // first step reflect the initial state instead of zeros.
+        let (_, flows) = plant.derivatives();
+        plant.flows = flows;
+        plant.analyzers[0].held = plant.flows.feed_comp;
+        plant
+    }
+
+    /// The base-case XMV command vector (a reasonable controller output at
+    /// steady state).
+    pub fn nominal_xmv(&self) -> [f64; N_XMV] {
+        NOMINAL_XMV
+    }
+
+    /// Schedules the process disturbances for this run.
+    pub fn set_disturbances(&mut self, disturbances: DisturbanceSet) {
+        self.disturbances = disturbances;
+    }
+
+    /// Current simulation time, hours.
+    pub fn hour(&self) -> f64 {
+        self.state.hour
+    }
+
+    /// Whether a safety interlock has tripped.
+    pub fn is_shut_down(&self) -> bool {
+        self.shutdown.is_some()
+    }
+
+    /// The interlock trip, if any: `(reason, hour)`.
+    pub fn shutdown(&self) -> Option<(ShutdownReason, f64)> {
+        self.shutdown
+    }
+
+    /// Read-only access to the physical state.
+    pub fn state(&self) -> &PlantState {
+        &self.state
+    }
+
+    /// Actual valve positions, percent (what the actuators did, which lags
+    /// the command and may differ under stiction).
+    pub fn valve_positions(&self) -> [f64; N_XMV] {
+        std::array::from_fn(|i| self.valves[i].position())
+    }
+
+    /// Snapshot of the current stream flows and duties.
+    pub fn flow_summary(&self) -> FlowSummary {
+        let f = &self.flows;
+        FlowSummary {
+            a_feed: f.f1,
+            d_feed: f.f2,
+            e_feed: f.f3,
+            ac_feed: f.f4,
+            recycle: f.f5,
+            reactor_feed: f.f6,
+            effluent: f.f7,
+            purge: f.f9,
+            sep_underflow_vol: f.f10_vol,
+            product_vol: f.f11_vol,
+            steam: f.steam,
+            compressor_work: f.comp_work,
+            reactor_pressure: f.p_reactor,
+            separator_pressure: f.p_separator,
+        }
+    }
+
+    /// Total component holdup of the plant (every vessel), kmol — the
+    /// conserved quantity of the mass balance, per component.
+    pub fn total_holdup(&self) -> [f64; N_COMPONENTS] {
+        let s = &self.state;
+        std::array::from_fn(|i| {
+            s.reactor_liquid[i]
+                + s.reactor_gas[i]
+                + s.sep_vapor[i]
+                + s.sep_liquid[i]
+                + s.strip_liquid[i]
+        })
+    }
+
+    /// Advances the plant by one sample period (1.8 s) under the given XMV
+    /// command.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlantError::BadCommand`] if `xmv.len() != 12`.
+    /// * [`PlantError::ShutDown`] once an interlock has tripped (the state
+    ///   is frozen from that point on).
+    pub fn step(&mut self, xmv: &[f64]) -> Result<(), PlantError> {
+        if xmv.len() != N_XMV {
+            return Err(PlantError::BadCommand {
+                provided: xmv.len(),
+            });
+        }
+        if let Some((reason, hour)) = self.shutdown {
+            return Err(PlantError::ShutDown { reason, hour });
+        }
+        let dt = STEP_HOURS;
+        self.update_exogenous(dt);
+        self.update_valve_stiction();
+        for (i, v) in self.valves.iter_mut().enumerate() {
+            v.step(xmv[i], dt);
+        }
+        let sub_dt = dt / self.config.substeps as f64;
+        for _ in 0..self.config.substeps {
+            let (derivs, flows) = self.derivatives();
+            self.flows = flows;
+            self.integrate(&derivs, sub_dt);
+        }
+        self.state.hour += dt;
+        let feed = self.flows.feed_comp;
+        let purge = self.flows.purge_comp;
+        let product = self.flows.product_comp;
+        self.analyzers[0].update(self.state.hour, &feed);
+        self.analyzers[1].update(self.state.hour, &purge);
+        self.analyzers[2].update(self.state.hour, &product);
+        if self.config.interlocks_enabled {
+            if let Some(reason) = self.config.interlocks.check(
+                self.flows.p_reactor,
+                self.state.reactor_level_pct(),
+                self.state.reactor_temp - 273.15,
+                self.state.separator_level_pct(),
+                self.state.stripper_level_pct(),
+            ) {
+                self.shutdown = Some((reason, self.state.hour));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the 41-element measurement vector for the current state,
+    /// applying measurement noise (if enabled) and analyzer sample/hold.
+    ///
+    /// Call once per step; each call draws fresh noise.
+    pub fn measurements(&mut self) -> MeasurementVector {
+        let f = &self.flows;
+        let mut v = [0.0; N_XMEAS];
+        v[0] = f.f1 / KMOL_PER_KSCMH;
+        v[1] = f.f2 * Component::D.molecular_weight();
+        v[2] = f.f3 * Component::E.molecular_weight();
+        v[3] = f.f4 / KMOL_PER_KSCMH;
+        v[4] = f.f5 / KMOL_PER_KSCMH;
+        v[5] = f.f6 / KMOL_PER_KSCMH;
+        v[6] = f.p_reactor;
+        v[7] = self.state.reactor_level_pct();
+        v[8] = self.state.reactor_temp - 273.15;
+        v[9] = f.f9 / KMOL_PER_KSCMH;
+        v[10] = self.state.sep_temp - 273.15;
+        v[11] = self.state.separator_level_pct();
+        v[12] = f.p_separator;
+        v[13] = f.f10_vol;
+        v[14] = self.state.stripper_level_pct();
+        v[15] = f.p_stripper;
+        v[16] = f.f11_vol;
+        v[17] = self.state.strip_temp - 273.15;
+        v[18] = f.steam;
+        v[19] = f.comp_work;
+        v[20] = f.t_cw_r_out - 273.15;
+        v[21] = f.t_cw_s_out - 273.15;
+        for (i, c) in [
+            Component::A,
+            Component::B,
+            Component::C,
+            Component::D,
+            Component::E,
+            Component::F,
+        ]
+        .iter()
+        .enumerate()
+        {
+            v[22 + i] = self.analyzers[0].held[c.index()] * 100.0;
+        }
+        for i in 0..N_COMPONENTS {
+            v[28 + i] = self.analyzers[1].held[i] * 100.0;
+        }
+        for (i, c) in [
+            Component::D,
+            Component::E,
+            Component::F,
+            Component::G,
+            Component::H,
+        ]
+        .iter()
+        .enumerate()
+        {
+            v[36 + i] = self.analyzers[2].held[c.index()] * 100.0;
+        }
+        if self.config.measurement_noise {
+            for (val, info) in v.iter_mut().zip(XMEAS_INFO.iter()) {
+                *val += self.rng.next_normal(0.0, info.noise_std);
+            }
+        }
+        MeasurementVector::from_values(v.to_vec())
+    }
+
+    // --------------------------------------------------------------
+    // Internals
+    // --------------------------------------------------------------
+
+    fn active(&self, d: Disturbance) -> bool {
+        self.disturbances.is_active(d, self.state.hour)
+    }
+
+    /// Ornstein–Uhlenbeck update helper.
+    fn ou(rng: &mut GaussianSampler, x: f64, mean: f64, sigma: f64, tau: f64, dt: f64) -> f64 {
+        let reversion = (mean - x) * dt / tau;
+        let diffusion = sigma * (2.0 * dt / tau).sqrt() * rng.next_gaussian();
+        x + reversion + diffusion
+    }
+
+    fn update_exogenous(&mut self, dt: f64) {
+        let on = self.config.process_randomness;
+        let base = if on { 1.0 } else { 0.0 };
+
+        // Header availabilities.
+        let a_sigma = base * 0.004 * if self.active(Disturbance::HeaderPressureRandom) { 6.0 } else { 1.0 };
+        let a_mean = if self.active(Disturbance::AFeedLoss) { 0.0 } else { 1.0 };
+        self.exo.a_avail = Self::ou(&mut self.rng, self.exo.a_avail, a_mean, a_sigma, 1.0, dt);
+        if self.active(Disturbance::AFeedLoss) {
+            // The feed header loses pressure fast: first-order collapse
+            // with a ~18 s time constant, comparable to a slamming valve —
+            // this is what makes Figures 3a and 3b nearly identical.
+            self.exo.a_avail *= (-dt / 0.005).exp();
+        }
+        self.exo.a_avail = self.exo.a_avail.clamp(0.0, 1.2);
+
+        let c_sigma = base * 0.004 * if self.active(Disturbance::HeaderPressureRandom) { 6.0 } else { 1.0 };
+        let c_mean = if self.active(Disturbance::CHeaderPressureLoss) { 0.80 } else { 1.0 };
+        self.exo.c_avail =
+            Self::ou(&mut self.rng, self.exo.c_avail, c_mean, c_sigma, 1.0, dt).clamp(0.0, 1.2);
+
+        // Stream 4 composition.
+        let comp_sigma = base * 0.004 * if self.active(Disturbance::FeedCompositionRandom) { 5.0 } else { 1.0 };
+        let shift_mean = if self.active(Disturbance::AcFeedRatioStep) { -0.04 } else { 0.0 };
+        self.exo.x_a4_shift = Self::ou(
+            &mut self.rng,
+            self.exo.x_a4_shift,
+            shift_mean,
+            comp_sigma,
+            0.5,
+            dt,
+        )
+        .clamp(-0.2, 0.2);
+        let b_mean = if self.active(Disturbance::BCompositionStep) { 0.012 } else { STREAM4_B };
+        self.exo.x_b4 = Self::ou(
+            &mut self.rng,
+            self.exo.x_b4,
+            b_mean,
+            comp_sigma * 0.3,
+            0.5,
+            dt,
+        )
+        .clamp(0.0, 0.05);
+
+        // Temperatures.
+        let t_cw_r_mean = 308.15 + if self.active(Disturbance::ReactorCwTempStep) { 5.0 } else { 0.0 };
+        let t_cw_r_sigma = base * 0.25 * if self.active(Disturbance::ReactorCwTempRandom) { 6.0 } else { 1.0 };
+        self.exo.t_cw_reactor = Self::ou(
+            &mut self.rng,
+            self.exo.t_cw_reactor,
+            t_cw_r_mean,
+            t_cw_r_sigma,
+            0.5,
+            dt,
+        );
+        let t_cw_s_mean = 308.15 + if self.active(Disturbance::CondenserCwTempStep) { 5.0 } else { 0.0 };
+        let t_cw_s_sigma = base * 0.25 * if self.active(Disturbance::CondenserCwTempRandom) { 6.0 } else { 1.0 };
+        self.exo.t_cw_condenser = Self::ou(
+            &mut self.rng,
+            self.exo.t_cw_condenser,
+            t_cw_s_mean,
+            t_cw_s_sigma,
+            0.5,
+            dt,
+        );
+        let t_d_mean = 318.15 + if self.active(Disturbance::DFeedTempStep) { 5.0 } else { 0.0 };
+        let t_d_sigma = base * 0.3 * if self.active(Disturbance::DFeedTempRandom) { 6.0 } else { 1.0 };
+        self.exo.t_d_feed = Self::ou(&mut self.rng, self.exo.t_d_feed, t_d_mean, t_d_sigma, 0.3, dt);
+        let t_e_mean = 318.15 + if self.active(Disturbance::EFeedTempStep) { 5.0 } else { 0.0 };
+        self.exo.t_e_feed = Self::ou(&mut self.rng, self.exo.t_e_feed, t_e_mean, base * 0.3, 0.3, dt);
+        let t_c4_sigma = base * 0.3 * if self.active(Disturbance::CFeedTempRandom) { 6.0 } else { 1.0 };
+        self.exo.t_c_feed = Self::ou(&mut self.rng, self.exo.t_c_feed, 318.15, t_c4_sigma, 0.3, dt);
+
+        // Kinetics drift: IDV(13) both widens and speeds up the drift.
+        let kin_active = self.active(Disturbance::KineticsDrift);
+        let kin_sigma = base * 0.002 + if kin_active { 0.06 } else { 0.0 };
+        let kin_tau = if kin_active { 1.5 } else { 5.0 };
+        self.exo.kinetics =
+            Self::ou(&mut self.rng, self.exo.kinetics, 1.0, kin_sigma, kin_tau, dt).clamp(0.5, 1.5);
+
+        // Steam availability.
+        let steam_sigma = base * 0.005 * if self.active(Disturbance::SteamSupplyRandom) { 8.0 } else { 1.0 };
+        self.exo.steam_avail =
+            Self::ou(&mut self.rng, self.exo.steam_avail, 1.0, steam_sigma, 0.5, dt).clamp(0.0, 1.3);
+
+        // Fouling drift (IDV 17): slow decay of the heat-transfer
+        // coefficient.
+        if self.active(Disturbance::ReactorFoulingDrift) {
+            self.exo.fouling = (self.exo.fouling - 0.04 * dt).max(0.6);
+        } else {
+            self.exo.fouling =
+                Self::ou(&mut self.rng, self.exo.fouling, 1.0, base * 0.002, 5.0, dt).clamp(0.6, 1.1);
+        }
+    }
+
+    fn update_valve_stiction(&mut self) {
+        let r_stick = self.active(Disturbance::ReactorCwValveStick);
+        let s_stick = self.active(Disturbance::CondenserCwValveStick);
+        let friction = self.active(Disturbance::ValveFrictionRandom);
+        self.valves[9].set_stiction(if r_stick { 8.0 } else if friction { 0.8 } else { 0.0 });
+        self.valves[10].set_stiction(if s_stick { 8.0 } else if friction { 0.8 } else { 0.0 });
+        if friction {
+            for i in [0usize, 1, 2, 3, 6, 7] {
+                self.valves[i].set_stiction(1.5);
+            }
+        } else {
+            for i in [0usize, 1, 2, 3, 6, 7] {
+                self.valves[i].set_stiction(0.0);
+            }
+        }
+    }
+
+    /// Computes the state derivative (kmol/h and K/h) and the associated
+    /// instantaneous flows.
+    fn derivatives(&self) -> (PlantState, Flows) {
+        let s = &self.state;
+        let exo = &self.exo;
+        let v: [f64; N_XMV] = std::array::from_fn(|i| self.valves[i].fraction());
+
+        // -------------------- feed flows --------------------
+        let f1 = CV_A_FEED * v[2] * exo.a_avail; // XMV(3)
+        let f2 = CV_D_FEED * v[0]; // XMV(1)
+        let f3 = CV_E_FEED * v[1]; // XMV(2)
+        let f4 = CV_AC_FEED * v[3] * exo.c_avail; // XMV(4)
+
+        // Stream 4 composition with disturbance shifts.
+        let x_a4 = (STREAM4_A + exo.x_a4_shift).clamp(0.0, 1.0);
+        let x_b4 = exo.x_b4.clamp(0.0, 0.05);
+        let x_c4 = (1.0 - x_a4 - x_b4).max(0.0);
+
+        // -------------------- reactor VLE --------------------
+        let v_liq_r = volume_of(&s.reactor_liquid);
+        let v_gas_r = (V_REACTOR - v_liq_r).max(2.0);
+        let x_r = fractions(&s.reactor_liquid);
+        let mut p = [0.0; N_COMPONENTS];
+        for i in 0..N_COMPONENTS {
+            let c = Component::from_index(i);
+            if c.is_condensable() {
+                p[i] = x_r[i] * vapor_pressure(c, s.reactor_temp);
+            } else {
+                p[i] = s.reactor_gas[i].max(0.0) * R_GAS * s.reactor_temp / v_gas_r;
+            }
+        }
+        let p_reactor: f64 = p.iter().sum();
+        let y7 = {
+            let mut y = [0.0; N_COMPONENTS];
+            for i in 0..N_COMPONENTS {
+                y[i] = p[i] / p_reactor.max(1.0);
+            }
+            y
+        };
+
+        // -------------------- separator pressures --------------------
+        let v_sl = volume_of(&s.sep_liquid);
+        let v_sv = (V_SEPARATOR - v_sl).max(5.0);
+        let mut p_sv = [0.0; N_COMPONENTS];
+        for i in 0..N_COMPONENTS {
+            p_sv[i] = s.sep_vapor[i].max(0.0) * R_GAS * s.sep_temp / v_sv;
+        }
+        let p_separator: f64 = p_sv.iter().sum();
+        let y_sv = fractions(&s.sep_vapor);
+
+        // -------------------- inter-unit flows --------------------
+        let f7 = CV_EFFLUENT * (p_reactor - p_separator).max(0.0);
+        let f5 = CV_RECYCLE * v[4] * (p_separator + DP_COMPRESSOR - p_reactor).max(0.0)
+            / DP_RECYCLE_NOM;
+        let f9 = CV_PURGE * v[5] * (p_separator / PS_NOM).max(0.0);
+        let sep_level_frac = (v_sl / SEP_LEVEL_SPAN).max(0.0);
+        // Liquid valves leak ~4 % of capacity: a vessel whose inflow stops
+        // drains even with its valve driven shut (this is what lets the
+        // stripper low-level interlock end the IDV(6) scenario, as in the
+        // paper).
+        let f10_vol = CV_SEP_LIQ * (0.015 + 0.985 * v[6]) * sep_level_frac.sqrt();
+        let x_sl = fractions(&s.sep_liquid);
+        let mvol_sl: f64 = (0..N_COMPONENTS)
+            .map(|i| x_sl[i] * Component::from_index(i).liquid_molar_volume())
+            .sum::<f64>()
+            .max(0.02);
+        let f10 = f10_vol / mvol_sl;
+        let strip_level_frac = (volume_of(&s.strip_liquid) / STRIP_LEVEL_SPAN).max(0.0);
+        let f11_vol = CV_STRIP_LIQ * (0.05 + 0.95 * v[7]) * strip_level_frac.sqrt();
+        let x_st = fractions(&s.strip_liquid);
+        let mvol_st: f64 = (0..N_COMPONENTS)
+            .map(|i| x_st[i] * Component::from_index(i).liquid_molar_volume())
+            .sum::<f64>()
+            .max(0.02);
+        let f11 = f11_vol / mvol_st;
+        let steam = CV_STEAM * v[8] * exo.steam_avail;
+
+        // -------------------- stripper --------------------
+        let strip_boost =
+            ((f4 / 228.0).max(0.05)).powf(0.6) * ((s.strip_temp - 338.88) / 25.0).exp();
+        let mut strip_rate = [0.0; N_COMPONENTS];
+        let mut strip_total = 0.0;
+        for i in 0..N_COMPONENTS {
+            let c = Component::from_index(i);
+            strip_rate[i] = strip_kappa(c) * strip_boost * s.strip_liquid[i].max(0.0);
+            strip_total += strip_rate[i];
+        }
+        let f_overhead = f4 + strip_total;
+
+        // -------------------- reactor feed assembly --------------------
+        let mut feed_in = [0.0; N_COMPONENTS];
+        feed_in[Component::A.index()] =
+            f1 * STREAM1_A + f4 * x_a4 + f5 * y_sv[Component::A.index()] + strip_rate[Component::A.index()];
+        feed_in[Component::B.index()] =
+            f1 * STREAM1_B + f4 * x_b4 + f5 * y_sv[Component::B.index()] + strip_rate[Component::B.index()];
+        feed_in[Component::C.index()] =
+            f4 * x_c4 + f5 * y_sv[Component::C.index()] + strip_rate[Component::C.index()];
+        feed_in[Component::D.index()] =
+            f2 + f5 * y_sv[Component::D.index()] + strip_rate[Component::D.index()];
+        feed_in[Component::E.index()] =
+            f3 + f5 * y_sv[Component::E.index()] + strip_rate[Component::E.index()];
+        for c in [Component::F, Component::G, Component::H] {
+            feed_in[c.index()] = f5 * y_sv[c.index()] + strip_rate[c.index()];
+        }
+        let f6: f64 = feed_in.iter().sum();
+
+        // -------------------- reactions --------------------
+        let mut rate = [0.0_f64; 4];
+        for (k, r) in self.reactions.iter().enumerate() {
+            // The kinetics drift (IDV 13) acts differentially: the second
+            // reaction's catalyst activity degrades/recovers faster than
+            // the first's, so a drift shifts the G/H product split — the
+            // classic IDV(13) signature in the TE literature.
+            let factor = if k == 1 {
+                exo.kinetics.powf(2.0)
+            } else {
+                exo.kinetics
+            };
+            rate[k] = r.rate(&p, s.reactor_temp) * factor;
+        }
+
+        // -------------------- reactor balances --------------------
+        let n_liq_r = total(&s.reactor_liquid);
+        let boilup = n_liq_r * n_liq_r / (n_liq_r * n_liq_r + N_HALF_BOILUP * N_HALF_BOILUP);
+        let mut d_gas = [0.0; N_COMPONENTS];
+        let mut d_liq_r = [0.0; N_COMPONENTS];
+        for i in 0..N_COMPONENTS {
+            let c = Component::from_index(i);
+            let rxn: f64 = self
+                .reactions
+                .iter()
+                .enumerate()
+                .map(|(k, r)| rate[k] * (r.produces[i] - r.consumes[i]))
+                .sum();
+            if c.is_condensable() {
+                d_liq_r[i] = feed_in[i] + rxn - f7 * y7[i] * boilup;
+            } else {
+                d_gas[i] = feed_in[i] + rxn - f7 * y7[i];
+            }
+        }
+
+        // -------------------- reactor energy --------------------
+        let q_rxn: f64 = rate
+            .iter()
+            .zip(REACTION_HEAT.iter())
+            .map(|(r, h)| r * h)
+            .sum();
+        let t6 = if f6 > 1.0 {
+            (f1 * 318.15
+                + f2 * exo.t_d_feed
+                + f3 * exo.t_e_feed
+                + f5 * s.sep_temp
+                + f_overhead * s.strip_temp)
+                / f6
+        } else {
+            s.reactor_temp
+        };
+        let f_cwr = (CW_R_MAX * v[9]).max(200.0);
+        let ua_r = UA_REACTOR * exo.fouling * (0.8 + 0.4 * v[11]);
+        let ntu_r = ua_r / (f_cwr * CP_WATER);
+        let t_cw_r_out =
+            s.reactor_temp - (s.reactor_temp - exo.t_cw_reactor) * (-ntu_r).exp();
+        let q_cw_r = f_cwr * CP_WATER * (t_cw_r_out - exo.t_cw_reactor);
+        let cond_in: f64 = [Component::F, Component::G, Component::H]
+            .iter()
+            .map(|c| feed_in[c.index()])
+            .sum();
+        let cond_out: f64 = [Component::F, Component::G, Component::H]
+            .iter()
+            .map(|c| f7 * y7[c.index()] * boilup)
+            .sum();
+        let net_vaporization = cond_out - cond_in;
+        let c_thermal_r = total(&s.reactor_liquid) * CP_LIQ
+            + total(&s.reactor_gas) * CP_GAS
+            + METAL_HEAT_REACTOR;
+        let d_t_reactor = (q_rxn + f6 * CP_GAS * (t6 - s.reactor_temp)
+            - q_cw_r
+            - LATENT_HEAT * net_vaporization)
+            / c_thermal_r;
+
+        // -------------------- separator balances --------------------
+        let mut d_sv = [0.0; N_COMPONENTS];
+        let mut d_sl = [0.0; N_COMPONENTS];
+        let mut latent_release = 0.0;
+        let n_sl_tot = total(&s.sep_liquid).max(1.0);
+        for i in 0..N_COMPONENTS {
+            let c = Component::from_index(i);
+            let transfer = if c.is_condensable() {
+                let p_eq = x_sl[i] * vapor_pressure(c, s.sep_temp);
+                K_CONDENSE * (p_sv[i] - p_eq)
+            } else {
+                let x_eq = henry(c) * p_sv[i];
+                K_ABSORB * (x_eq - x_sl[i]) * n_sl_tot
+            };
+            if c.is_condensable() {
+                latent_release += transfer;
+            }
+            let inflow = if c.is_condensable() {
+                f7 * y7[i] * boilup
+            } else {
+                f7 * y7[i]
+            };
+            d_sv[i] = inflow - (f5 + f9) * y_sv[i] - transfer;
+            d_sl[i] = transfer - f10 * x_sl[i];
+        }
+        let f_cws = (CW_S_MAX * v[10]).max(500.0);
+        let ntu_s = UA_SEPARATOR / (f_cws * CP_WATER);
+        let t_cw_s_out = s.sep_temp - (s.sep_temp - exo.t_cw_condenser) * (-ntu_s).exp();
+        let q_cw_s = f_cws * CP_WATER * (t_cw_s_out - exo.t_cw_condenser);
+        let c_thermal_s =
+            total(&s.sep_liquid) * CP_LIQ + total(&s.sep_vapor) * CP_GAS + METAL_HEAT_SEPARATOR;
+        let d_t_sep = (f7 * CP_GAS * (s.reactor_temp - s.sep_temp) + LATENT_HEAT * latent_release
+            - q_cw_s)
+            / c_thermal_s;
+
+        // -------------------- stripper balances --------------------
+        let mut d_st = [0.0; N_COMPONENTS];
+        for i in 0..N_COMPONENTS {
+            d_st[i] = f10 * x_sl[i] - f11 * x_st[i] - strip_rate[i];
+        }
+        let q_steam = H_STEAM * steam;
+        let c_thermal_st = total(&s.strip_liquid) * CP_LIQ + METAL_HEAT_STRIPPER;
+        let d_t_strip = (f10 * CP_LIQ * (s.sep_temp - s.strip_temp) + q_steam
+            - LATENT_HEAT * strip_total * 0.4
+            - f4 * CP_GAS * (s.strip_temp - exo.t_c_feed)
+            - UA_STRIP_LOSS * (s.strip_temp - T_AMBIENT))
+            / c_thermal_st;
+
+        // -------------------- bookkeeping --------------------
+        let p_stripper = p_reactor + 397.0 * (f_overhead / 425.0).powi(2);
+        let comp_work = 0.2845 * f5 * (1.0 + ((p_reactor - p_separator) - 71.0) / 400.0);
+
+        let flows = Flows {
+            f1,
+            f2,
+            f3,
+            f4,
+            f5,
+            f6,
+            f7,
+            f9,
+            f10_vol,
+            f11_vol,
+            steam,
+            comp_work,
+            t_cw_r_out,
+            t_cw_s_out,
+            p_reactor,
+            p_separator,
+            p_stripper,
+            feed_comp: {
+                let mut f = feed_in;
+                let t: f64 = f.iter().sum::<f64>().max(1e-9);
+                for x in &mut f {
+                    *x /= t;
+                }
+                f
+            },
+            purge_comp: y_sv,
+            product_comp: x_st,
+        };
+
+        let derivs = PlantState {
+            hour: 1.0,
+            reactor_liquid: d_liq_r,
+            reactor_gas: d_gas,
+            reactor_temp: d_t_reactor,
+            sep_vapor: d_sv,
+            sep_liquid: d_sl,
+            sep_temp: d_t_sep,
+            strip_liquid: d_st,
+            strip_temp: d_t_strip,
+        };
+        (derivs, flows)
+    }
+
+    fn integrate(&mut self, d: &PlantState, dt: f64) {
+        let s = &mut self.state;
+        for i in 0..N_COMPONENTS {
+            s.reactor_liquid[i] = (s.reactor_liquid[i] + d.reactor_liquid[i] * dt).max(0.0);
+            s.reactor_gas[i] = (s.reactor_gas[i] + d.reactor_gas[i] * dt).max(0.0);
+            s.sep_vapor[i] = (s.sep_vapor[i] + d.sep_vapor[i] * dt).max(0.0);
+            s.sep_liquid[i] = (s.sep_liquid[i] + d.sep_liquid[i] * dt).max(0.0);
+            s.strip_liquid[i] = (s.strip_liquid[i] + d.strip_liquid[i] * dt).max(0.0);
+        }
+        s.reactor_temp = (s.reactor_temp + d.reactor_temp * dt).clamp(250.0, 500.0);
+        s.sep_temp = (s.sep_temp + d.sep_temp * dt).clamp(250.0, 480.0);
+        s.strip_temp = (s.strip_temp + d.strip_temp * dt).clamp(250.0, 480.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_config() -> PlantConfig {
+        PlantConfig {
+            substeps: 8,
+            measurement_noise: false,
+            process_randomness: false,
+            interlocks: InterlockLimits::default(),
+            interlocks_enabled: true,
+        }
+    }
+
+    #[test]
+    fn plant_starts_near_base_case() {
+        let mut plant = TePlant::new(quiet_config(), 1);
+        let xmv = plant.nominal_xmv();
+        plant.step(&xmv).unwrap();
+        let m = plant.measurements();
+        assert!((2000.0..3000.0).contains(&m.reactor_pressure()), "P = {}", m.reactor_pressure());
+        assert!((100.0..140.0).contains(&m.reactor_temperature()));
+        assert!((50.0..100.0).contains(&m.reactor_level()));
+    }
+
+    #[test]
+    fn short_open_loop_run_stays_finite() {
+        let mut plant = TePlant::new(quiet_config(), 2);
+        let xmv = plant.nominal_xmv();
+        for _ in 0..SAMPLES_PER_HOUR / 10 {
+            // 6 min
+            if plant.step(&xmv).is_err() {
+                break;
+            }
+        }
+        let m = plant.measurements();
+        assert!(m.as_slice().iter().all(|v| v.is_finite()));
+        for &n in &plant.state().reactor_liquid {
+            assert!(n >= 0.0 && n.is_finite());
+        }
+    }
+
+    #[test]
+    fn bad_command_length_rejected() {
+        let mut plant = TePlant::new(quiet_config(), 3);
+        assert!(matches!(
+            plant.step(&[0.0; 5]),
+            Err(PlantError::BadCommand { provided: 5 })
+        ));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trajectory() {
+        let mut cfg = quiet_config();
+        cfg.measurement_noise = true;
+        cfg.process_randomness = true;
+        let mut p1 = TePlant::new(cfg.clone(), 42);
+        let mut p2 = TePlant::new(cfg, 42);
+        let xmv = p1.nominal_xmv();
+        for _ in 0..50 {
+            p1.step(&xmv).unwrap();
+            p2.step(&xmv).unwrap();
+        }
+        assert_eq!(p1.measurements().as_slice(), p2.measurements().as_slice());
+    }
+
+    #[test]
+    fn a_feed_loss_collapses_xmeas1() {
+        let mut plant = TePlant::new(quiet_config(), 4);
+        let mut idv = DisturbanceSet::new();
+        idv.schedule(Disturbance::AFeedLoss, 0.0);
+        plant.set_disturbances(idv);
+        let xmv = plant.nominal_xmv();
+        for _ in 0..SAMPLES_PER_HOUR / 10 {
+            // 6 minutes
+            if plant.step(&xmv).is_err() {
+                break;
+            }
+        }
+        let m = plant.measurements();
+        assert!(
+            m.a_feed() < 0.2,
+            "A feed should collapse, got {}",
+            m.a_feed()
+        );
+    }
+
+    #[test]
+    fn closing_xmv3_collapses_xmeas1_like_idv6() {
+        let mut plant = TePlant::new(quiet_config(), 5);
+        let mut xmv = plant.nominal_xmv();
+        xmv[2] = 0.0; // close the A feed valve
+        for _ in 0..SAMPLES_PER_HOUR / 10 {
+            if plant.step(&xmv).is_err() {
+                break;
+            }
+        }
+        let m = plant.measurements();
+        assert!(m.a_feed() < 0.2, "got {}", m.a_feed());
+    }
+
+    #[test]
+    fn measurement_noise_differs_between_calls() {
+        let mut cfg = quiet_config();
+        cfg.measurement_noise = true;
+        let mut plant = TePlant::new(cfg, 6);
+        let xmv = plant.nominal_xmv();
+        plant.step(&xmv).unwrap();
+        let m1 = plant.measurements();
+        let m2 = plant.measurements();
+        assert_ne!(m1.as_slice(), m2.as_slice());
+    }
+
+    #[test]
+    fn shutdown_freezes_plant() {
+        let mut cfg = quiet_config();
+        // Absurd limit so the first step trips.
+        cfg.interlocks.reactor_pressure_high = 1.0;
+        let mut plant = TePlant::new(cfg, 7);
+        let xmv = plant.nominal_xmv();
+        assert!(plant.step(&xmv).is_ok()); // the step that trips still succeeds
+        assert!(plant.is_shut_down());
+        let err = plant.step(&xmv).unwrap_err();
+        assert!(matches!(err, PlantError::ShutDown { .. }));
+    }
+
+    #[test]
+    fn analyzers_hold_between_samples() {
+        // Composition measurements are sample-and-hold: XMEAS(23) must
+        // stay constant within a 0.1 h analyzer period and change across
+        // periods.
+        let mut plant = TePlant::new(quiet_config(), 40);
+        let xmv = plant.nominal_xmv();
+        let mut values = Vec::new();
+        for k in 0..(SAMPLES_PER_HOUR / 4) {
+            plant.step(&xmv).unwrap();
+            if k % 10 == 0 {
+                values.push(plant.measurements().xmeas(23));
+            }
+        }
+        // Many consecutive identical values (hold), but not all identical
+        // over the 0.25 h horizon (at least one sampling instant passed).
+        let distinct: std::collections::BTreeSet<u64> =
+            values.iter().map(|v| v.to_bits()).collect();
+        assert!(distinct.len() >= 2, "analyzer never updated");
+        assert!(
+            distinct.len() < values.len(),
+            "analyzer must hold between samples"
+        );
+    }
+
+    #[test]
+    fn product_analyzer_is_slower_than_feed_analyzer() {
+        let mut plant = TePlant::new(quiet_config(), 41);
+        let xmv = plant.nominal_xmv();
+        let mut feed = Vec::new();
+        let mut product = Vec::new();
+        for _ in 0..SAMPLES_PER_HOUR {
+            plant.step(&xmv).unwrap();
+            let m = plant.measurements();
+            feed.push(m.xmeas(23).to_bits());
+            product.push(m.xmeas(40).to_bits());
+        }
+        let updates = |v: &[u64]| v.windows(2).filter(|w| w[0] != w[1]).count();
+        // 0.1 h period -> ~10 updates/h; 0.25 h -> ~4.
+        assert!(updates(&feed) > updates(&product), "feed {} vs product {}", updates(&feed), updates(&product));
+    }
+
+    #[test]
+    fn each_interlock_variant_can_trip() {
+        // Drive the quiet plant into each interlock by loosening all
+        // limits except the one under test.
+        use crate::shutdown::ShutdownReason;
+        let wide = InterlockLimits {
+            reactor_pressure_high: 1e9,
+            reactor_level: (-1e9, 1e9),
+            reactor_temp_high: 1e9,
+            separator_level: (-1e9, 1e9),
+            stripper_level: (-1e9, 1e9),
+        };
+        // Pressure high: close the purge and keep feeding.
+        let mut cfg = quiet_config();
+        cfg.interlocks = InterlockLimits {
+            reactor_pressure_high: 2850.0,
+            ..wide.clone()
+        };
+        let mut plant = TePlant::new(cfg, 42);
+        let mut xmv = plant.nominal_xmv();
+        xmv[5] = 0.0; // purge shut
+        for _ in 0..SAMPLES_PER_HOUR {
+            if plant.step(&xmv).is_err() {
+                break;
+            }
+        }
+        assert_eq!(
+            plant.shutdown().map(|s| s.0),
+            Some(ShutdownReason::ReactorPressureHigh)
+        );
+
+        // Separator level low: open the drain fully.
+        let mut cfg = quiet_config();
+        cfg.interlocks = InterlockLimits {
+            separator_level: (30.0, 1e9),
+            ..wide.clone()
+        };
+        let mut plant = TePlant::new(cfg, 43);
+        let mut xmv = plant.nominal_xmv();
+        xmv[6] = 100.0;
+        for _ in 0..SAMPLES_PER_HOUR {
+            if plant.step(&xmv).is_err() {
+                break;
+            }
+        }
+        assert_eq!(
+            plant.shutdown().map(|s| s.0),
+            Some(ShutdownReason::SeparatorLevelLow)
+        );
+
+        // Stripper level high: close the product valve.
+        let mut cfg = quiet_config();
+        cfg.interlocks = InterlockLimits {
+            stripper_level: (-1e9, 70.0),
+            ..wide
+        };
+        let mut plant = TePlant::new(cfg, 44);
+        let mut xmv = plant.nominal_xmv();
+        xmv[7] = 0.0;
+        for _ in 0..(2 * SAMPLES_PER_HOUR) {
+            if plant.step(&xmv).is_err() {
+                break;
+            }
+        }
+        assert_eq!(
+            plant.shutdown().map(|s| s.0),
+            Some(ShutdownReason::StripperLevelHigh)
+        );
+    }
+
+    #[test]
+    fn quiet_plant_is_fully_deterministic_without_noise() {
+        // With noise AND process randomness off, two different seeds give
+        // the exact same trajectory.
+        let mut p1 = TePlant::new(quiet_config(), 1);
+        let mut p2 = TePlant::new(quiet_config(), 999);
+        let xmv = p1.nominal_xmv();
+        for _ in 0..200 {
+            p1.step(&xmv).unwrap();
+            p2.step(&xmv).unwrap();
+        }
+        assert_eq!(p1.state(), p2.state());
+    }
+
+    #[test]
+    fn valve_positions_track_commands() {
+        let mut plant = TePlant::new(quiet_config(), 8);
+        let mut xmv = plant.nominal_xmv();
+        xmv[5] = 80.0;
+        for _ in 0..100 {
+            plant.step(&xmv).unwrap();
+        }
+        assert!((plant.valve_positions()[5] - 80.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! The four gas-phase reactions of the TE-like process.
+//!
+//! Following Downs & Vogel (1993):
+//!
+//! 1. `A(g) + C(g) + D(g) -> G(liq)`   (product 1)
+//! 2. `A(g) + C(g) + E(g) -> H(liq)`   (product 2)
+//! 3. `A(g) + E(g)        -> F(liq)`   (by-product)
+//! 4. `3 D(g)             -> 2 F(liq)` (by-product)
+//!
+//! Rates are Arrhenius in temperature and power-law in reactant partial
+//! pressures, normalized so that at base-case conditions (393.5 K and the
+//! base-case reactor atmosphere) the production rates approximate the TE
+//! base case (about 107 kmol/h G and 90 kmol/h H).
+
+use crate::component::{Component, N_COMPONENTS};
+
+/// Stoichiometry and kinetics of one reaction.
+#[derive(Debug, Clone)]
+pub struct Reaction {
+    /// Human-readable equation.
+    pub equation: &'static str,
+    /// Moles consumed per mole of extent, indexed by component.
+    pub consumes: [f64; N_COMPONENTS],
+    /// Moles produced per mole of extent, indexed by component.
+    pub produces: [f64; N_COMPONENTS],
+    /// Pre-exponential factor (kmol/h at unit pressure-term).
+    pub k0: f64,
+    /// Activation temperature `E/R` in K.
+    pub activation_temp: f64,
+    /// Partial-pressure exponents, indexed by component.
+    pub exponents: [f64; N_COMPONENTS],
+}
+
+/// Builds the four TE reactions.
+///
+/// `k0` values are calibrated in `plant.rs` tests so the base-case reactor
+/// atmosphere yields TE-like production rates.
+pub fn reactions() -> [Reaction; 4] {
+    let mut r1 = Reaction {
+        equation: "A + C + D -> G",
+        consumes: [0.0; N_COMPONENTS],
+        produces: [0.0; N_COMPONENTS],
+        k0: K0[0],
+        activation_temp: 5000.0,
+        exponents: [0.0; N_COMPONENTS],
+    };
+    r1.consumes[Component::A.index()] = 1.0;
+    r1.consumes[Component::C.index()] = 1.0;
+    r1.consumes[Component::D.index()] = 1.0;
+    r1.produces[Component::G.index()] = 1.0;
+    r1.exponents[Component::A.index()] = 1.08;
+    r1.exponents[Component::C.index()] = 0.311;
+    r1.exponents[Component::D.index()] = 0.874;
+
+    let mut r2 = Reaction {
+        equation: "A + C + E -> H",
+        consumes: [0.0; N_COMPONENTS],
+        produces: [0.0; N_COMPONENTS],
+        k0: K0[1],
+        activation_temp: 6000.0,
+        exponents: [0.0; N_COMPONENTS],
+    };
+    r2.consumes[Component::A.index()] = 1.0;
+    r2.consumes[Component::C.index()] = 1.0;
+    r2.consumes[Component::E.index()] = 1.0;
+    r2.produces[Component::H.index()] = 1.0;
+    r2.exponents[Component::A.index()] = 1.15;
+    r2.exponents[Component::C.index()] = 0.370;
+    r2.exponents[Component::E.index()] = 1.00;
+
+    let mut r3 = Reaction {
+        equation: "A + E -> F",
+        consumes: [0.0; N_COMPONENTS],
+        produces: [0.0; N_COMPONENTS],
+        k0: K0[2],
+        activation_temp: 7000.0,
+        exponents: [0.0; N_COMPONENTS],
+    };
+    r3.consumes[Component::A.index()] = 1.0;
+    r3.consumes[Component::E.index()] = 1.0;
+    r3.produces[Component::F.index()] = 1.0;
+    r3.exponents[Component::A.index()] = 1.0;
+    r3.exponents[Component::E.index()] = 1.0;
+
+    let mut r4 = Reaction {
+        equation: "3D -> 2F",
+        consumes: [0.0; N_COMPONENTS],
+        produces: [0.0; N_COMPONENTS],
+        k0: K0[3],
+        activation_temp: 6500.0,
+        exponents: [0.0; N_COMPONENTS],
+    };
+    r4.consumes[Component::D.index()] = 3.0;
+    r4.produces[Component::F.index()] = 2.0;
+    r4.exponents[Component::D.index()] = 1.5;
+
+    [r1, r2, r3, r4]
+}
+
+/// Pre-exponential factors, calibrated against the base-case atmosphere
+/// (see `base_case_rates_are_te_like` below). Units: kmol/h of extent when
+/// the pressure term is 1 (pressures normalized by `P_NORM`).
+const K0: [f64; 4] = [
+    5.32e8,  // R1 -> ~107 kmol/h G at base case
+    1.256e9, // R2 -> ~90 kmol/h H at base case
+    8.14e7,  // R3 -> ~0.55 kmol/h F
+    2.55e8,  // R4 -> ~0.25 kmol/h extent (~0.5 kmol/h F)
+];
+
+/// Pressure normalization (kPa) for the power-law terms.
+pub const P_NORM: f64 = 1000.0;
+
+impl Reaction {
+    /// Reaction extent rate (kmol/h) for the given partial pressures (kPa)
+    /// and temperature (K).
+    ///
+    /// Returns 0 when any consumed reactant has non-positive partial
+    /// pressure.
+    pub fn rate(&self, partial_pressures: &[f64; N_COMPONENTS], temp_k: f64) -> f64 {
+        let mut term = 1.0;
+        for i in 0..N_COMPONENTS {
+            let e = self.exponents[i];
+            if e != 0.0 {
+                let p = partial_pressures[i];
+                if p <= 0.0 {
+                    return 0.0;
+                }
+                term *= (p / P_NORM).powf(e);
+            }
+        }
+        let t = temp_k.max(250.0);
+        self.k0 * (-self.activation_temp / t).exp() * term
+    }
+}
+
+/// Base-case reactor atmosphere used for kinetic calibration (kPa).
+///
+/// Roughly: total ~2705 kPa with A 900, B 180, C 640, D 60, E 400 plus the
+/// condensable vapor pressures (F ≈ 100, G ≈ 290, H ≈ 130 at 393.5 K).
+pub fn base_case_atmosphere() -> [f64; N_COMPONENTS] {
+    let mut p = [0.0; N_COMPONENTS];
+    p[Component::A.index()] = 900.0;
+    p[Component::B.index()] = 180.0;
+    p[Component::C.index()] = 640.0;
+    p[Component::D.index()] = 60.0;
+    p[Component::E.index()] = 400.0;
+    p[Component::F.index()] = 100.0;
+    p[Component::G.index()] = 290.0;
+    p[Component::H.index()] = 130.0;
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE_TEMP: f64 = 393.5;
+
+    #[test]
+    fn base_case_rates_are_te_like() {
+        let p = base_case_atmosphere();
+        let rx = reactions();
+        let r1 = rx[0].rate(&p, BASE_TEMP);
+        let r2 = rx[1].rate(&p, BASE_TEMP);
+        let r3 = rx[2].rate(&p, BASE_TEMP);
+        let r4 = rx[3].rate(&p, BASE_TEMP);
+        // TE base case: ~107 kmol/h G, ~90 kmol/h H, few kmol/h F.
+        assert!((80.0..140.0).contains(&r1), "r1 = {r1}");
+        assert!((65.0..120.0).contains(&r2), "r2 = {r2}");
+        assert!((0.2..2.0).contains(&r3), "r3 = {r3}");
+        assert!((0.05..1.0).contains(&r4), "r4 = {r4}");
+    }
+
+    #[test]
+    fn rates_vanish_without_reactant() {
+        let mut p = base_case_atmosphere();
+        p[Component::A.index()] = 0.0;
+        let rx = reactions();
+        assert_eq!(rx[0].rate(&p, BASE_TEMP), 0.0);
+        assert_eq!(rx[1].rate(&p, BASE_TEMP), 0.0);
+        assert_eq!(rx[2].rate(&p, BASE_TEMP), 0.0);
+        // R4 does not involve A.
+        assert!(rx[3].rate(&p, BASE_TEMP) > 0.0);
+    }
+
+    #[test]
+    fn rates_increase_with_temperature() {
+        let p = base_case_atmosphere();
+        for r in reactions() {
+            assert!(r.rate(&p, 400.0) > r.rate(&p, 380.0), "{}", r.equation);
+        }
+    }
+
+    #[test]
+    fn stoichiometry_is_balanced_per_equation() {
+        let rx = reactions();
+        // R1 consumes one of A, C, D and produces one G.
+        assert_eq!(rx[0].consumes[Component::A.index()], 1.0);
+        assert_eq!(rx[0].produces[Component::G.index()], 1.0);
+        // R4 consumes 3 D and produces 2 F.
+        assert_eq!(rx[3].consumes[Component::D.index()], 3.0);
+        assert_eq!(rx[3].produces[Component::F.index()], 2.0);
+    }
+
+    #[test]
+    fn negative_pressure_is_treated_as_absent() {
+        let mut p = base_case_atmosphere();
+        p[Component::D.index()] = -5.0;
+        let rx = reactions();
+        assert_eq!(rx[0].rate(&p, BASE_TEMP), 0.0);
+    }
+}

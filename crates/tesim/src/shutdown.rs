@@ -1,0 +1,161 @@
+//! Safety interlocks, following Downs & Vogel's operating constraints.
+//!
+//! When a constraint is violated the plant shuts itself down — the DSN 2016
+//! paper relies on this: under IDV(6) (or the equivalent integrity attack)
+//! "the process shuts down as the stripper liquid level becomes too low to
+//! continue safe operation of the plant".
+
+use serde::{Deserialize, Serialize};
+
+/// Why the plant shut down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShutdownReason {
+    /// Reactor pressure exceeded the high limit.
+    ReactorPressureHigh,
+    /// Reactor liquid level above the high limit.
+    ReactorLevelHigh,
+    /// Reactor liquid level below the low limit.
+    ReactorLevelLow,
+    /// Reactor temperature exceeded the high limit.
+    ReactorTempHigh,
+    /// Separator liquid level above the high limit.
+    SeparatorLevelHigh,
+    /// Separator liquid level below the low limit.
+    SeparatorLevelLow,
+    /// Stripper liquid level above the high limit.
+    StripperLevelHigh,
+    /// Stripper liquid level below the low limit (the IDV(6) failure
+    /// mode).
+    StripperLevelLow,
+}
+
+impl std::fmt::Display for ShutdownReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ShutdownReason::ReactorPressureHigh => "reactor pressure high",
+            ShutdownReason::ReactorLevelHigh => "reactor level high",
+            ShutdownReason::ReactorLevelLow => "reactor level low",
+            ShutdownReason::ReactorTempHigh => "reactor temperature high",
+            ShutdownReason::SeparatorLevelHigh => "separator level high",
+            ShutdownReason::SeparatorLevelLow => "separator level low",
+            ShutdownReason::StripperLevelHigh => "stripper level high",
+            ShutdownReason::StripperLevelLow => "stripper level low",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Interlock limits; the defaults follow Downs & Vogel's shutdown
+/// constraints (pressure in kPa gauge, temperature in °C, levels in
+/// percent of the level-measurement span).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterlockLimits {
+    /// Reactor pressure high limit, kPa gauge (D&V: 3000).
+    pub reactor_pressure_high: f64,
+    /// Reactor level limits, percent (D&V: 2.0–24.0 m³ mapped to %).
+    pub reactor_level: (f64, f64),
+    /// Reactor temperature high limit, °C (D&V: 175).
+    pub reactor_temp_high: f64,
+    /// Separator level limits, percent.
+    pub separator_level: (f64, f64),
+    /// Stripper level limits, percent.
+    pub stripper_level: (f64, f64),
+}
+
+impl Default for InterlockLimits {
+    fn default() -> Self {
+        InterlockLimits {
+            reactor_pressure_high: 3000.0,
+            reactor_level: (1.0, 120.0),
+            reactor_temp_high: 175.0,
+            separator_level: (4.0, 110.0),
+            stripper_level: (4.0, 110.0),
+        }
+    }
+}
+
+impl InterlockLimits {
+    /// Checks the given plant conditions against the limits, returning the
+    /// first violated interlock if any.
+    pub fn check(
+        &self,
+        reactor_pressure: f64,
+        reactor_level: f64,
+        reactor_temp: f64,
+        separator_level: f64,
+        stripper_level: f64,
+    ) -> Option<ShutdownReason> {
+        if reactor_pressure > self.reactor_pressure_high {
+            return Some(ShutdownReason::ReactorPressureHigh);
+        }
+        if reactor_temp > self.reactor_temp_high {
+            return Some(ShutdownReason::ReactorTempHigh);
+        }
+        if reactor_level > self.reactor_level.1 {
+            return Some(ShutdownReason::ReactorLevelHigh);
+        }
+        if reactor_level < self.reactor_level.0 {
+            return Some(ShutdownReason::ReactorLevelLow);
+        }
+        if separator_level > self.separator_level.1 {
+            return Some(ShutdownReason::SeparatorLevelHigh);
+        }
+        if separator_level < self.separator_level.0 {
+            return Some(ShutdownReason::SeparatorLevelLow);
+        }
+        if stripper_level > self.stripper_level.1 {
+            return Some(ShutdownReason::StripperLevelHigh);
+        }
+        if stripper_level < self.stripper_level.0 {
+            return Some(ShutdownReason::StripperLevelLow);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> InterlockLimits {
+        InterlockLimits::default()
+    }
+
+    #[test]
+    fn normal_conditions_pass() {
+        assert_eq!(base().check(2705.0, 75.0, 120.4, 50.0, 50.0), None);
+    }
+
+    #[test]
+    fn high_pressure_trips() {
+        assert_eq!(
+            base().check(3001.0, 75.0, 120.4, 50.0, 50.0),
+            Some(ShutdownReason::ReactorPressureHigh)
+        );
+    }
+
+    #[test]
+    fn stripper_low_level_trips() {
+        assert_eq!(
+            base().check(2705.0, 75.0, 120.4, 50.0, 1.0),
+            Some(ShutdownReason::StripperLevelLow)
+        );
+    }
+
+    #[test]
+    fn pressure_takes_priority_over_levels() {
+        // Multiple violations: the ordering is deterministic.
+        assert_eq!(
+            base().check(3500.0, 1.0, 200.0, 1.0, 1.0),
+            Some(ShutdownReason::ReactorPressureHigh)
+        );
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(
+            ShutdownReason::StripperLevelLow.to_string(),
+            "stripper level low"
+        );
+    }
+}

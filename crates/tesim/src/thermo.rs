@@ -1,0 +1,89 @@
+//! Thermodynamic constants and correlations for the TE-like plant.
+//!
+//! The correlations are deliberately simple (Clausius–Clapeyron vapor
+//! pressures, constant heat capacities) — the DSN 2016 experiments depend
+//! on the *shape* of the closed-loop responses, not on high-fidelity
+//! property data.
+
+use crate::component::Component;
+
+/// Universal gas constant in kPa·m³/(kmol·K).
+pub const R_GAS: f64 = 8.314;
+
+/// Molar heat capacity of process gas, MJ/(kmol·K).
+pub const CP_GAS: f64 = 0.030;
+
+/// Molar heat capacity of process liquid, MJ/(kmol·K).
+pub const CP_LIQ: f64 = 0.140;
+
+/// Typical molar latent heat of vaporization, MJ/kmol.
+pub const LATENT_HEAT: f64 = 25.0;
+
+/// Heat capacity of cooling water, MJ/(kg·K) — 4.18 kJ/(kg·K).
+pub const CP_WATER: f64 = 0.00418;
+
+/// Vapor pressure of a condensable component, in kPa, via a two-parameter
+/// Clausius–Clapeyron correlation `ln p = a - b / T`.
+///
+/// The parameters were fitted so that, near the base case:
+/// G ≈ 600 kPa at the reactor (393 K) and ≈ 120 kPa at the separator
+/// (353 K); H is about half as volatile and F roughly three times more.
+/// Non-condensables return a very large value (they never condense).
+pub fn vapor_pressure(c: Component, temp_k: f64) -> f64 {
+    let t = temp_k.max(200.0);
+    let (a, b) = match c {
+        Component::F => (18.20, 4167.0),
+        Component::G => (20.62, 5590.0),
+        Component::H => (21.51, 6215.0),
+        // Light gases: effectively infinite vapor pressure.
+        _ => return 1.0e9,
+    };
+    (a - b / t).exp()
+}
+
+/// Heat released by each reaction, MJ per kmol of *product* formed
+/// (positive = exothermic). Index order matches
+/// [`crate::reaction::reactions`].
+pub const REACTION_HEAT: [f64; 4] = [60.0, 65.0, 45.0, 30.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vapor_pressure_increases_with_temperature() {
+        for c in [Component::F, Component::G, Component::H] {
+            let p1 = vapor_pressure(c, 350.0);
+            let p2 = vapor_pressure(c, 400.0);
+            assert!(p2 > p1, "{c}: {p1} !< {p2}");
+        }
+    }
+
+    #[test]
+    fn volatility_order_f_g_h() {
+        // F is the most volatile condensable, H the least.
+        let t = 370.0;
+        assert!(vapor_pressure(Component::F, t) > vapor_pressure(Component::G, t));
+        assert!(vapor_pressure(Component::G, t) > vapor_pressure(Component::H, t));
+    }
+
+    #[test]
+    fn light_gases_never_condense() {
+        assert!(vapor_pressure(Component::A, 300.0) > 1.0e8);
+        assert!(vapor_pressure(Component::D, 300.0) > 1.0e8);
+    }
+
+    #[test]
+    fn g_vapor_pressure_near_calibration_points() {
+        let p_reactor = vapor_pressure(Component::G, 393.0);
+        assert!((500.0..700.0).contains(&p_reactor), "{p_reactor}");
+        let p_sep = vapor_pressure(Component::G, 353.0);
+        assert!((90.0..150.0).contains(&p_sep), "{p_sep}");
+    }
+
+    #[test]
+    fn low_temperature_is_clamped() {
+        // Must not explode for unphysical inputs during transients.
+        assert!(vapor_pressure(Component::G, -50.0).is_finite());
+    }
+}

@@ -1,0 +1,141 @@
+//! Control valve dynamics, including the sticking behaviour used by
+//! disturbances IDV(14) and IDV(15).
+
+use serde::{Deserialize, Serialize};
+
+/// A control valve with first-order actuator dynamics and optional
+/// stiction.
+///
+/// Positions are percentages in `[0, 100]`. The commanded position moves
+/// the actual position with a first-order lag; when stiction is enabled
+/// the valve only moves once the commanded-vs-actual gap exceeds the
+/// stiction band, reproducing the limit-cycle behaviour of the TE sticky
+/// cooling-water valves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Valve {
+    position: f64,
+    /// Time constant of the actuator, hours.
+    tau_hours: f64,
+    /// Stiction band in percent; 0 disables stiction.
+    stiction_band: f64,
+}
+
+impl Valve {
+    /// Creates a valve at `position` percent with actuator time constant
+    /// `tau_hours`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau_hours` is not positive.
+    pub fn new(position: f64, tau_hours: f64) -> Self {
+        assert!(tau_hours > 0.0, "valve time constant must be positive");
+        Valve {
+            position: position.clamp(0.0, 100.0),
+            tau_hours,
+            stiction_band: 0.0,
+        }
+    }
+
+    /// Current actual position, percent.
+    pub fn position(&self) -> f64 {
+        self.position
+    }
+
+    /// Fraction open in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        self.position / 100.0
+    }
+
+    /// Enables or disables stiction with the given band (percent).
+    pub fn set_stiction(&mut self, band: f64) {
+        self.stiction_band = band.max(0.0);
+    }
+
+    /// Whether the valve currently sticks.
+    pub fn is_sticky(&self) -> bool {
+        self.stiction_band > 0.0
+    }
+
+    /// Advances the valve towards `command` percent over `dt_hours`.
+    pub fn step(&mut self, command: f64, dt_hours: f64) {
+        let command = command.clamp(0.0, 100.0);
+        if self.stiction_band > 0.0 && (command - self.position).abs() < self.stiction_band {
+            return; // stuck: the actuator cannot overcome static friction
+        }
+        let alpha = 1.0 - (-dt_hours / self.tau_hours).exp();
+        self.position += alpha * (command - self.position);
+        self.position = self.position.clamp(0.0, 100.0);
+    }
+
+    /// Forces the valve to a position instantly (used for initialization).
+    pub fn force_position(&mut self, position: f64) {
+        self.position = position.clamp(0.0, 100.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DT: f64 = 0.0005; // 1.8 s in hours
+
+    #[test]
+    fn valve_tracks_command() {
+        let mut v = Valve::new(50.0, 10.0 / 3600.0); // 10 s lag
+        for _ in 0..200 {
+            v.step(80.0, DT);
+        }
+        assert!((v.position() - 80.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn valve_clamps_to_range() {
+        let mut v = Valve::new(95.0, 5.0 / 3600.0);
+        for _ in 0..500 {
+            v.step(150.0, DT);
+        }
+        assert!(v.position() <= 100.0 && v.position() > 99.9);
+        for _ in 0..5000 {
+            v.step(-20.0, DT);
+        }
+        assert!(v.position() >= 0.0 && v.position() < 0.1);
+    }
+
+    #[test]
+    fn first_order_response_is_monotone() {
+        let mut v = Valve::new(0.0, 20.0 / 3600.0);
+        let mut last = 0.0;
+        for _ in 0..100 {
+            v.step(100.0, DT);
+            assert!(v.position() >= last);
+            last = v.position();
+        }
+        assert!(last > 0.0 && last < 100.0);
+    }
+
+    #[test]
+    fn sticky_valve_ignores_small_commands() {
+        let mut v = Valve::new(50.0, 10.0 / 3600.0);
+        v.set_stiction(2.0);
+        for _ in 0..1000 {
+            v.step(51.0, DT); // inside the stiction band
+        }
+        assert_eq!(v.position(), 50.0);
+        for _ in 0..1000 {
+            v.step(55.0, DT); // outside the band: moves
+        }
+        assert!(v.position() > 53.0);
+    }
+
+    #[test]
+    fn fraction_is_percent_over_100() {
+        let v = Valve::new(25.0, 1.0);
+        assert!((v.fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "time constant")]
+    fn zero_tau_panics() {
+        let _ = Valve::new(10.0, 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Calibrate once, deploy anywhere: persist the calibrated monitors to
+//! disk and reload them in a fresh "deployment" that never touches the
+//! plant's calibration campaign.
+//!
+//! ```sh
+//! cargo run --release -p temspc --example calibrate_once_deploy_anywhere
+//! ```
+//!
+//! Uses the workspace's own TPB binary format (`temspc-persist`): a
+//! tagged, deterministic serde wire format, so a truncated or mismatched
+//! model file fails fast instead of silently misloading.
+
+use temspc::persistence::{
+    load_monitor, load_network_monitor, save_monitor, save_network_monitor,
+};
+use temspc::{CalibrationConfig, DualMspc, NetworkMonitor, Scenario, ScenarioKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("temspc_models");
+    let dual_path = dir.join("dual_monitor.tpb");
+    let net_path = dir.join("network_monitor.tpb");
+
+    // ---- calibration site ------------------------------------------
+    println!("[calibration site] calibrating monitors ...");
+    let calibration = CalibrationConfig {
+        runs: 4,
+        duration_hours: 1.0,
+        record_every: 10,
+        base_seed: 1_000,
+        threads: 0,
+    };
+    let monitor = DualMspc::calibrate(&calibration)?;
+    let network = NetworkMonitor::calibrate(&calibration, 0.02)?;
+    save_monitor(&monitor, &dual_path)?;
+    save_network_monitor(&network, &net_path)?;
+    let dual_size = std::fs::metadata(&dual_path)?.len();
+    let net_size = std::fs::metadata(&net_path)?.len();
+    println!("  saved {} ({dual_size} B) and {} ({net_size} B)",
+        dual_path.display(), net_path.display());
+    drop(monitor);
+    drop(network);
+
+    // ---- deployment site -------------------------------------------
+    println!("[deployment site] loading persisted monitors ...");
+    let monitor = load_monitor(&dual_path)?;
+    let network = load_network_monitor(&net_path)?;
+    println!(
+        "  dual monitor: {} PCs, T2_99 = {:.2}",
+        monitor.controller_model().pca().n_components(),
+        monitor.controller_model().limits().t2_99
+    );
+
+    // The reloaded monitors work on live traffic immediately.
+    let scenario = Scenario::short(ScenarioKind::DosXmv3, 1.5, 0.5, 42);
+    let dual_outcome = monitor.run_scenario(&scenario)?;
+    let net_outcome = network.run_scenario(&scenario)?;
+    println!(
+        "  DoS on XMV(3): process-level detection {:?} h after onset",
+        dual_outcome.detection.run_length(0.5)
+    );
+    println!(
+        "  network level: {:?} h after onset, implicates {}",
+        net_outcome.detected_hour.map(|h| h - 0.5),
+        net_outcome.implicated_feature.as_deref().unwrap_or("-")
+    );
+    Ok(())
+}

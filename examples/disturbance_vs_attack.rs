@@ -1,0 +1,81 @@
+//! The paper's headline comparison: disturbance IDV(6) versus an
+//! integrity attack closing XMV(3) — indistinguishable from the
+//! controller's chair, separable with dual-level oMEDA.
+//!
+//! ```sh
+//! cargo run --release -p temspc --example disturbance_vs_attack [hours]
+//! ```
+//!
+//! Runs both scenarios, prints the XMEAS(1) traces side by side (the
+//! paper's Figure 3), then the dual-level diagnosis of each, showing the
+//! controller views agreeing and the process views diverging.
+
+use temspc::diagnosis::{diagnose, VerdictThresholds};
+use temspc::{
+    ascii_plot, variable_name, CalibrationConfig, DualMspc, Scenario, ScenarioKind,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let hours: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3.0);
+    let onset = (hours / 4.0).max(0.5);
+
+    println!("calibrating (6 x 2 h normal runs)...");
+    let calibration = CalibrationConfig {
+        runs: 6,
+        duration_hours: 2.0,
+        record_every: 10,
+        base_seed: 1_000,
+        threads: 0,
+    };
+    let monitor = DualMspc::calibrate(&calibration)?;
+
+    for kind in [ScenarioKind::Idv6, ScenarioKind::IntegrityXmv3] {
+        println!("\n=== {} (onset at hour {onset:.2}) ===", kind.description());
+        let scenario = Scenario::short(kind, hours, onset, 42);
+        let outcome = monitor.run_scenario(&scenario)?;
+
+        // The Figure-3 view: XMEAS(1) over time.
+        let x1: Vec<f64> = outcome.run.process_view.col(0);
+        println!(
+            "{}",
+            ascii_plot::line_chart("XMEAS(1), A feed [kscmh]", &outcome.run.hours, &x1, 90, 12)
+        );
+        if let Some((reason, hour)) = outcome.run.shutdown {
+            println!("plant shut down at hour {hour:.2}: {reason}");
+        }
+        match outcome.detection.run_length(onset) {
+            Some(rl) => println!("detected {:.1} s after onset", rl * 3600.0),
+            None => println!("anomaly not detected"),
+        }
+
+        if let Some(diag) = diagnose(&monitor, &outcome, VerdictThresholds::default()) {
+            // Print the top-4 oMEDA bars of each level.
+            for (level, vec) in [
+                ("controller", &diag.controller_omeda),
+                ("process   ", &diag.process_omeda),
+            ] {
+                let mut ranked: Vec<(usize, f64)> =
+                    vec.iter().copied().enumerate().collect();
+                ranked.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
+                let top: Vec<String> = ranked
+                    .iter()
+                    .take(4)
+                    .map(|(i, v)| format!("{} {:+.0}", variable_name(*i), v))
+                    .collect();
+                println!("{level} oMEDA top: {}", top.join(", "));
+            }
+            println!(
+                "divergence {:.3} -> verdict: {}",
+                diag.divergence, diag.verdict
+            );
+        }
+    }
+    println!(
+        "\nThe controller views of both scenarios implicate XMEAS(1); only the\n\
+         process view of the attack exposes XMV(3) — the paper's key result."
+    );
+    Ok(())
+}

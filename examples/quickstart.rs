@@ -1,0 +1,61 @@
+//! Quickstart: calibrate a dual-level MSPC monitor, run an attack, detect
+//! and diagnose it.
+//!
+//! ```sh
+//! cargo run --release -p temspc --example quickstart
+//! ```
+//!
+//! This is the paper's pipeline end to end at a small scale: a few short
+//! calibration runs instead of 30 x 72 h, and a 2 h attacked run instead
+//! of 72 h. Expect a detection within seconds of the attack onset and an
+//! "intrusion" verdict naming XMV(3) at the process level.
+
+use temspc::diagnosis::{diagnose, VerdictThresholds};
+use temspc::{CalibrationConfig, DualMspc, Scenario, ScenarioKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Calibrate on normal operation. The paper uses 30 runs of 72 h;
+    //    for a quick demo a handful of short runs is enough.
+    println!("calibrating dual-level MSPC model (4 x 2 h normal runs)...");
+    let calibration = CalibrationConfig {
+        runs: 4,
+        duration_hours: 2.0,
+        record_every: 10,
+        base_seed: 1_000,
+        threads: 0,
+    };
+    let monitor = DualMspc::calibrate(&calibration)?;
+    println!(
+        "  controller model: {} PCs, {:.1}% variance explained",
+        monitor.controller_model().pca().n_components(),
+        100.0 * monitor.controller_model().pca().explained_variance()
+    );
+    let lims = monitor.controller_model().limits();
+    println!(
+        "  99% limits: T2 = {:.2}, SPE = {:.2}",
+        lims.t2_99, lims.spe_99
+    );
+
+    // 2. Run the paper's scenario (b): a man-in-the-middle closes valve
+    //    XMV(3) from hour 0.5 onwards while the controller keeps
+    //    commanding it open.
+    println!("\nrunning integrity attack on XMV(3) (onset at hour 0.5)...");
+    let scenario = Scenario::short(ScenarioKind::IntegrityXmv3, 2.0, 0.5, 42);
+    let outcome = monitor.run_scenario(&scenario)?;
+
+    // 3. Detection: the paper flags an anomaly after 3 consecutive
+    //    observations beyond the 99% limit.
+    match outcome.detection.run_length(0.5) {
+        Some(rl) => println!("  detected {:.1} seconds after onset", rl * 3600.0),
+        None => println!("  not detected"),
+    }
+
+    // 4. Diagnosis: compare the oMEDA plots of the two levels.
+    if let Some(diag) = diagnose(&monitor, &outcome, VerdictThresholds::default()) {
+        println!("  controller view implicates {}", diag.controller_variable());
+        println!("  process view implicates    {}", diag.process_variable());
+        println!("  level divergence           {:.3}", diag.divergence);
+        println!("  verdict: {}", diag.verdict);
+    }
+    Ok(())
+}

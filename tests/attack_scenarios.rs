@@ -1,0 +1,172 @@
+//! Integration tests of the fieldbus attack machinery against the live
+//! plant: every attack primitive, both channels, windows, and the
+//! dual-view bookkeeping.
+
+use temspc::{ClosedLoopRunner, Scenario, ScenarioKind};
+use temspc_fieldbus::{Attack, AttackKind, AttackTarget};
+use temspc_tesim::PlantConfig;
+
+fn quiet() -> PlantConfig {
+    PlantConfig {
+        measurement_noise: false,
+        process_randomness: false,
+        ..PlantConfig::default()
+    }
+}
+
+/// Deterministic closed loop with explicit attacks (noise off).
+fn run_quiet_with_attacks(attacks: Vec<Attack>, hours: f64, seed: u64) -> temspc::RunData {
+    use temspc_control::DecentralizedController;
+    use temspc_fieldbus::{FieldbusLink, MitmAdversary};
+    use temspc_tesim::{TePlant, SAMPLES_PER_HOUR};
+
+    let mut plant = TePlant::new(quiet(), seed);
+    let mut controller = DecentralizedController::new();
+    let mut link = FieldbusLink::new(MitmAdversary::new(attacks));
+    let mut hours_v = Vec::new();
+    let mut cview = temspc_linalg::Matrix::default();
+    let mut pview = temspc_linalg::Matrix::default();
+    let steps = (hours * SAMPLES_PER_HOUR as f64) as usize;
+    for k in 0..steps {
+        let hour = plant.hour();
+        let xmeas = plant.measurements();
+        let received = link.uplink(hour, xmeas.as_slice()).unwrap();
+        let commanded = controller.step(&received);
+        let delivered = link.downlink(hour, &commanded).unwrap();
+        if plant.step(&delivered).is_err() {
+            break;
+        }
+        if k % 10 == 0 {
+            hours_v.push(hour);
+            let mut c = received.clone();
+            c.extend_from_slice(&commanded);
+            cview.push_row(&c);
+            let mut p = xmeas.as_slice().to_vec();
+            p.extend_from_slice(&delivered);
+            pview.push_row(&p);
+        }
+    }
+    temspc::RunData {
+        scenario: Scenario::short(ScenarioKind::Normal, hours, f64::INFINITY, seed),
+        hours: hours_v,
+        controller_view: cview,
+        process_view: pview,
+        shutdown: plant.shutdown(),
+    }
+}
+
+#[test]
+fn bias_attack_shifts_controller_view_by_constant() {
+    let data = run_quiet_with_attacks(
+        vec![Attack::new(
+            AttackTarget::Sensor(9),
+            AttackKind::IntegrityBias(2.0), // +2 degC on reactor temperature
+            0.1..f64::INFINITY,
+        )],
+        0.3,
+        3,
+    );
+    let last = data.hours.len() - 1;
+    let received = data.controller_view.get(last, 8);
+    let truth = data.process_view.get(last, 8);
+    assert!((received - truth - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn scaling_attack_multiplies() {
+    let data = run_quiet_with_attacks(
+        vec![Attack::new(
+            AttackTarget::Sensor(1),
+            AttackKind::IntegrityScale(0.5),
+            0.1..f64::INFINITY,
+        )],
+        0.3,
+        3,
+    );
+    let last = data.hours.len() - 1;
+    let received = data.controller_view.get(last, 0);
+    let truth = data.process_view.get(last, 0);
+    assert!((received - 0.5 * truth).abs() < 1e-9);
+}
+
+#[test]
+fn windowed_attack_ends_cleanly() {
+    let data = run_quiet_with_attacks(
+        vec![Attack::new(
+            AttackTarget::Sensor(1),
+            AttackKind::IntegrityConstant(0.0),
+            0.1..0.2,
+        )],
+        0.4,
+        3,
+    );
+    for (i, h) in data.hours.iter().enumerate() {
+        let received = data.controller_view.get(i, 0);
+        let truth = data.process_view.get(i, 0);
+        if *h >= 0.1 && *h < 0.2 {
+            assert_eq!(received, 0.0, "inside window at {h}");
+        } else {
+            assert_eq!(received, truth, "outside window at {h}");
+        }
+    }
+}
+
+#[test]
+fn dos_on_actuator_freezes_during_window_only() {
+    let data = run_quiet_with_attacks(
+        vec![Attack::new(
+            AttackTarget::Actuator(10), // reactor CW valve
+            AttackKind::DenialOfService,
+            0.1..0.25,
+        )],
+        0.4,
+        3,
+    );
+    let xmv10 = 41 + 9;
+    let mut frozen_value = None;
+    for (i, h) in data.hours.iter().enumerate() {
+        let delivered = data.process_view.get(i, xmv10);
+        if *h >= 0.1 && *h < 0.25 {
+            match frozen_value {
+                None => frozen_value = Some(delivered),
+                Some(v) => assert!((delivered - v).abs() < 1e-12, "moved during DoS"),
+            }
+        }
+    }
+    // After the window the actuator follows the live command again.
+    let last = data.hours.len() - 1;
+    let delivered = data.process_view.get(last, xmv10);
+    let commanded = data.controller_view.get(last, xmv10);
+    assert!((delivered - commanded).abs() < 1e-9);
+}
+
+#[test]
+fn simultaneous_multi_channel_attack() {
+    // The paper's "attacker must forge both the manipulated variable and
+    // the associated measurement" discussion: forge both at once.
+    let data = run_quiet_with_attacks(
+        vec![
+            Attack::new(
+                AttackTarget::Actuator(3),
+                AttackKind::IntegrityConstant(0.0),
+                0.1..f64::INFINITY,
+            ),
+            Attack::new(
+                AttackTarget::Sensor(1),
+                AttackKind::IntegrityConstant(3.913), // plausible nominal
+                0.1..f64::INFINITY,
+            ),
+        ],
+        0.5,
+        3,
+    );
+    let last = data.hours.len() - 1;
+    // Controller is fully deceived: sees nominal flow, keeps commands
+    // near nominal.
+    assert!((data.controller_view.get(last, 0) - 3.913).abs() < 1e-9);
+    let commanded_xmv3 = data.controller_view.get(last, 41 + 2);
+    assert!((50.0..75.0).contains(&commanded_xmv3), "got {commanded_xmv3}");
+    // Reality: no flow, closed valve.
+    assert!(data.process_view.get(last, 0) < 0.2);
+    assert_eq!(data.process_view.get(last, 41 + 2), 0.0);
+}

@@ -1,0 +1,157 @@
+//! Integration tests of the full closed loop: plant + controller +
+//! fieldbus, spanning `temspc-tesim`, `temspc-control` and
+//! `temspc-fieldbus` through the `temspc` runner.
+
+use temspc::{ClosedLoopRunner, Scenario, ScenarioKind};
+use temspc_tesim::{PlantConfig, ShutdownReason};
+
+fn quiet() -> PlantConfig {
+    PlantConfig {
+        measurement_noise: false,
+        process_randomness: false,
+        ..PlantConfig::default()
+    }
+}
+
+#[test]
+fn normal_operation_holds_setpoints_for_hours() {
+    let scenario = Scenario::short(ScenarioKind::Normal, 6.0, f64::INFINITY, 7);
+    let data = ClosedLoopRunner::new(&scenario).run(100, |_| {}).unwrap();
+    assert!(data.survived());
+    // Key controlled variables stay near their setpoints throughout.
+    let n = data.hours.len();
+    for i in 0..n {
+        let p = data.process_view.get(i, 6); // reactor pressure
+        let t = data.process_view.get(i, 8); // reactor temperature
+        let strip = data.process_view.get(i, 14); // stripper level
+        assert!((2550.0..2850.0).contains(&p), "P = {p} at {}", data.hours[i]);
+        assert!((119.0..122.0).contains(&t), "T = {t}");
+        assert!((38.0..62.0).contains(&strip), "stripper level = {strip}");
+    }
+}
+
+#[test]
+fn deterministic_given_same_seed() {
+    let scenario = Scenario::short(ScenarioKind::IntegrityXmeas1, 1.0, 0.3, 99);
+    let a = ClosedLoopRunner::new(&scenario).run(25, |_| {}).unwrap();
+    let b = ClosedLoopRunner::new(&scenario).run(25, |_| {}).unwrap();
+    assert_eq!(a.controller_view, b.controller_view);
+    assert_eq!(a.process_view, b.process_view);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = ClosedLoopRunner::new(&Scenario::short(ScenarioKind::Normal, 0.5, 1.0, 1))
+        .run(25, |_| {})
+        .unwrap();
+    let b = ClosedLoopRunner::new(&Scenario::short(ScenarioKind::Normal, 0.5, 1.0, 2))
+        .run(25, |_| {})
+        .unwrap();
+    assert_ne!(a.process_view, b.process_view);
+}
+
+#[test]
+fn idv6_and_xmv3_attack_produce_similar_xmeas1_traces() {
+    // The premise of the paper's Figure 3: the two scenarios are nearly
+    // indistinguishable in XMEAS(1). Compare noise-free traces.
+    let idv6 = ClosedLoopRunner::with_plant_config(
+        &Scenario::short(ScenarioKind::Idv6, 1.0, 0.25, 5),
+        quiet(),
+    )
+    .run(10, |_| {})
+    .unwrap();
+    let attack = ClosedLoopRunner::with_plant_config(
+        &Scenario::short(ScenarioKind::IntegrityXmv3, 1.0, 0.25, 5),
+        quiet(),
+    )
+    .run(10, |_| {})
+    .unwrap();
+    let n = idv6.hours.len().min(attack.hours.len());
+    let mut max_diff = 0.0_f64;
+    for i in 0..n {
+        let d = (idv6.process_view.get(i, 0) - attack.process_view.get(i, 0)).abs();
+        max_diff = max_diff.max(d);
+    }
+    // Valve lag vs header collapse differ slightly during the transient,
+    // but the traces must stay close throughout (nominal is ~3.9).
+    assert!(max_diff < 1.2, "max XMEAS(1) difference = {max_diff}");
+}
+
+#[test]
+fn idv6_shuts_down_hours_after_onset_via_stripper_level() {
+    // The paper: onset at hour 10, shutdown at 17:43 ("stripper liquid
+    // level becomes too low"). Scaled: onset 0.5, expect the same
+    // interlock several hours later.
+    let scenario = Scenario::short(ScenarioKind::Idv6, 16.0, 0.5, 11);
+    let data = ClosedLoopRunner::new(&scenario).run(200, |_| {}).unwrap();
+    let (reason, hour) = data.shutdown.expect("IDV(6) must be fatal");
+    assert_eq!(reason, ShutdownReason::StripperLevelLow);
+    let delay = hour - 0.5;
+    assert!(
+        (2.0..14.0).contains(&delay),
+        "shutdown {delay:.2} h after onset"
+    );
+}
+
+#[test]
+fn xmv3_attack_is_equally_fatal() {
+    let scenario = Scenario::short(ScenarioKind::IntegrityXmv3, 16.0, 0.5, 11);
+    let data = ClosedLoopRunner::new(&scenario).run(200, |_| {}).unwrap();
+    let (reason, _) = data.shutdown.expect("closing XMV(3) must be fatal");
+    assert_eq!(reason, ShutdownReason::StripperLevelLow);
+}
+
+#[test]
+fn dos_keeps_plant_alive_but_uncontrolled_on_that_channel() {
+    let scenario = Scenario::short(ScenarioKind::DosXmv3, 4.0, 0.5, 13);
+    let data = ClosedLoopRunner::new(&scenario).run(50, |_| {}).unwrap();
+    assert!(data.survived(), "DoS freezes at a near-nominal value");
+    // Process-level XMV(3) is frozen after the onset.
+    let xmv3 = 41 + 2;
+    let mut post_onset: Vec<f64> = Vec::new();
+    for (i, h) in data.hours.iter().enumerate() {
+        if *h > 0.6 {
+            post_onset.push(data.process_view.get(i, xmv3));
+        }
+    }
+    let min = post_onset.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = post_onset.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    assert!(max - min < 1e-9, "frozen actuator must not move: {min}..{max}");
+    // While the controller-level command keeps moving (integral action).
+    let mut commands: Vec<f64> = Vec::new();
+    for (i, h) in data.hours.iter().enumerate() {
+        if *h > 0.6 {
+            commands.push(data.controller_view.get(i, xmv3));
+        }
+    }
+    let cmin = commands.iter().copied().fold(f64::INFINITY, f64::min);
+    let cmax = commands.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    assert!(cmax - cmin > 0.01, "commands should keep adjusting");
+}
+
+#[test]
+fn all_20_disturbances_run_without_numeric_blowup() {
+    // Every IDV must be simulatable: finite measurements, no panic. Many
+    // trip interlocks eventually; within a short horizon they must at
+    // least stay numerically sane.
+    use temspc_control::DecentralizedController;
+    use temspc_tesim::{Disturbance, DisturbanceSet, TePlant};
+    for idv in 1..=20 {
+        let mut plant = TePlant::new(PlantConfig::default(), 100 + idv as u64);
+        let mut set = DisturbanceSet::new();
+        set.schedule(Disturbance::from_idv_number(idv), 0.1);
+        plant.set_disturbances(set);
+        let mut controller = DecentralizedController::new();
+        for _ in 0..(temspc_tesim::SAMPLES_PER_HOUR / 2) {
+            let m = plant.measurements();
+            assert!(
+                m.as_slice().iter().all(|v| v.is_finite()),
+                "IDV({idv}) produced non-finite measurement"
+            );
+            let xmv = controller.step(m.as_slice());
+            if plant.step(&xmv).is_err() {
+                break; // interlock trip is acceptable
+            }
+        }
+    }
+}

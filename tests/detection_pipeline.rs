@@ -1,0 +1,147 @@
+//! Integration tests of the full detection + diagnosis pipeline
+//! (calibration → dual-level monitoring → oMEDA → verdict).
+
+use temspc::diagnosis::{diagnose, VerdictThresholds};
+use temspc::{CalibrationConfig, DualMspc, MonitorConfig, Scenario, ScenarioKind, Verdict};
+
+fn monitor() -> DualMspc {
+    let cfg = CalibrationConfig {
+        runs: 4,
+        duration_hours: 1.5,
+        record_every: 10,
+        base_seed: 500,
+        threads: 0,
+    };
+    DualMspc::calibrate_with(&cfg, MonitorConfig::default()).unwrap()
+}
+
+#[test]
+fn all_four_paper_scenarios_are_detected() {
+    let m = monitor();
+    for kind in ScenarioKind::anomalous() {
+        let scenario = Scenario::short(kind, 3.0, 0.5, 42);
+        let outcome = m.run_scenario(&scenario).unwrap();
+        assert!(
+            outcome.detection.earliest_hour().is_some(),
+            "{kind:?} must be detected"
+        );
+    }
+}
+
+#[test]
+fn detection_is_post_onset_and_fast_for_integrity() {
+    let m = monitor();
+    for kind in [ScenarioKind::Idv6, ScenarioKind::IntegrityXmv3, ScenarioKind::IntegrityXmeas1] {
+        let scenario = Scenario::short(kind, 2.0, 0.5, 42);
+        let outcome = m.run_scenario(&scenario).unwrap();
+        let rl = outcome.detection.run_length(0.5).expect("detected");
+        assert!(rl >= 0.0, "{kind:?} detection before onset");
+        assert!(rl < 0.05, "{kind:?} run length {rl} h (expected seconds)");
+    }
+}
+
+#[test]
+fn dos_run_length_is_much_longer() {
+    let m = monitor();
+    let fast = m
+        .run_scenario(&Scenario::short(ScenarioKind::IntegrityXmv3, 4.0, 0.5, 42))
+        .unwrap()
+        .detection
+        .run_length(0.5)
+        .unwrap();
+    let slow = m
+        .run_scenario(&Scenario::short(ScenarioKind::DosXmv3, 4.0, 0.5, 42))
+        .unwrap()
+        .detection
+        .run_length(0.5)
+        .unwrap();
+    assert!(
+        slow > 20.0 * fast,
+        "DoS must be much slower to detect: {slow} vs {fast}"
+    );
+}
+
+#[test]
+fn verdicts_match_ground_truth_for_the_paper_scenarios() {
+    let m = monitor();
+    let thresholds = VerdictThresholds::default();
+    for (kind, expected) in [
+        (ScenarioKind::Idv6, Verdict::Disturbance),
+        (ScenarioKind::IntegrityXmv3, Verdict::Intrusion),
+        (ScenarioKind::IntegrityXmeas1, Verdict::Intrusion),
+    ] {
+        let scenario = Scenario::short(kind, 2.0, 0.5, 42);
+        let outcome = m.run_scenario(&scenario).unwrap();
+        let diag = diagnose(&m, &outcome, thresholds).expect("diagnosable");
+        assert_eq!(diag.verdict, expected, "{kind:?}: {diag:?}");
+    }
+}
+
+#[test]
+fn disturbance_diagnosis_is_identical_at_both_levels() {
+    let m = monitor();
+    let outcome = m
+        .run_scenario(&Scenario::short(ScenarioKind::Idv6, 2.0, 0.5, 42))
+        .unwrap();
+    let diag = diagnose(&m, &outcome, VerdictThresholds::default()).unwrap();
+    // No tampering: the two views carry the same data, so the oMEDA
+    // vectors are identical and the divergence is zero.
+    assert!(diag.divergence.abs() < 1e-9, "divergence = {}", diag.divergence);
+    assert_eq!(diag.controller_variable(), diag.process_variable());
+    assert_eq!(diag.controller_variable(), "XMEAS(1)");
+}
+
+#[test]
+fn xmv3_attack_is_exposed_only_at_process_level() {
+    let m = monitor();
+    let outcome = m
+        .run_scenario(&Scenario::short(ScenarioKind::IntegrityXmv3, 2.0, 0.5, 42))
+        .unwrap();
+    let diag = diagnose(&m, &outcome, VerdictThresholds::default()).unwrap();
+    assert_eq!(diag.controller_variable(), "XMEAS(1)");
+    assert_eq!(diag.process_variable(), "XMV(3)");
+    assert!(diag.process_dominant.1 < 0.0, "XMV(3) forged low");
+    assert!(diag.divergence > 0.1);
+}
+
+#[test]
+fn xmeas1_attack_shows_positive_process_bars() {
+    let m = monitor();
+    let outcome = m
+        .run_scenario(&Scenario::short(ScenarioKind::IntegrityXmeas1, 2.0, 0.5, 42))
+        .unwrap();
+    let diag = diagnose(&m, &outcome, VerdictThresholds::default()).unwrap();
+    // Controller sees the forged zero (negative bar).
+    let x1 = 0;
+    let xmv3 = 41 + 2;
+    assert!(diag.controller_omeda[x1] < 0.0);
+    // The process view sees the over-opened valve and the real surplus
+    // flow (positive bars) — the paper's Figure 5c.
+    assert!(diag.process_omeda[x1] > 0.0, "{:?}", diag.process_omeda[x1]);
+    assert!(diag.process_omeda[xmv3] > 0.0);
+}
+
+#[test]
+fn normal_runs_produce_no_event_window() {
+    let m = monitor();
+    let outcome = m
+        .run_scenario(&Scenario::short(ScenarioKind::Normal, 1.0, f64::INFINITY, 4242))
+        .unwrap();
+    assert!(diagnose(&m, &outcome, VerdictThresholds::default()).is_none());
+}
+
+#[test]
+fn monitor_models_agree_on_clean_calibration() {
+    // With identical calibration views, both models must be numerically
+    // identical: same limits, same scores.
+    let m = monitor();
+    let c = m.controller_model();
+    let p = m.process_model();
+    assert_eq!(c.limits().t2_99, p.limits().t2_99);
+    assert_eq!(c.limits().spe_99, p.limits().spe_99);
+    let obs: Vec<f64> = (0..53).map(|i| i as f64).collect();
+    assert_eq!(
+        c.score(&obs).unwrap().spe,
+        p.score(&obs).unwrap().spe
+    );
+}

@@ -1,0 +1,264 @@
+//! Behavioural integration tests for the 20 process disturbances: each
+//! IDV must produce its *specific* physical signature in the closed loop,
+//! not merely "something changed".
+
+use temspc_control::DecentralizedController;
+use temspc_tesim::{
+    Disturbance, DisturbanceSet, PlantConfig, TePlant, SAMPLES_PER_HOUR,
+};
+
+/// Runs the closed loop for `hours` with `idv` active from `onset`;
+/// returns per-variable series sampled every 36 s:
+/// `(hours, xmeas[41] series, xmv_actual[12] series)`.
+#[allow(clippy::type_complexity)]
+fn run_idv(
+    idv: Option<usize>,
+    hours: f64,
+    onset: f64,
+    seed: u64,
+) -> (Vec<f64>, Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let mut plant = TePlant::new(PlantConfig::default(), seed);
+    if let Some(n) = idv {
+        let mut set = DisturbanceSet::new();
+        set.schedule(Disturbance::from_idv_number(n), onset);
+        plant.set_disturbances(set);
+    }
+    let mut controller = DecentralizedController::new();
+    let mut t = Vec::new();
+    let mut xmeas_series: Vec<Vec<f64>> = vec![Vec::new(); 41];
+    let mut xmv_series: Vec<Vec<f64>> = vec![Vec::new(); 12];
+    let steps = (hours * SAMPLES_PER_HOUR as f64) as usize;
+    for k in 0..steps {
+        let m = plant.measurements();
+        let xmv = controller.step(m.as_slice());
+        if plant.step(&xmv).is_err() {
+            break;
+        }
+        if k % 20 == 0 {
+            t.push(plant.hour());
+            for (i, s) in xmeas_series.iter_mut().enumerate() {
+                s.push(m.xmeas(i + 1));
+            }
+            let actual = plant.valve_positions();
+            for (i, s) in xmv_series.iter_mut().enumerate() {
+                s.push(actual[i]);
+            }
+        }
+    }
+    (t, xmeas_series, xmv_series)
+}
+
+fn mean_where(t: &[f64], v: &[f64], lo: f64, hi: f64) -> f64 {
+    let vals: Vec<f64> = t
+        .iter()
+        .zip(v)
+        .filter(|(h, _)| **h >= lo && **h < hi)
+        .map(|(_, x)| *x)
+        .collect();
+    vals.iter().sum::<f64>() / vals.len().max(1) as f64
+}
+
+fn std_where(t: &[f64], v: &[f64], lo: f64, hi: f64) -> f64 {
+    let vals: Vec<f64> = t
+        .iter()
+        .zip(v)
+        .filter(|(h, _)| **h >= lo && **h < hi)
+        .map(|(_, x)| *x)
+        .collect();
+    let m = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
+    (vals.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / vals.len().max(1) as f64).sqrt()
+}
+
+#[test]
+fn idv1_shifts_ac_feed_ratio() {
+    // IDV(1): less A / more C in stream 4 -> the feed %A analysis drops
+    // until the composition cascade compensates.
+    let (t, xmeas, _) = run_idv(Some(1), 3.0, 1.0, 11);
+    let before = mean_where(&t, &xmeas[22], 0.3, 1.0); // XMEAS(23) %A
+    let after = mean_where(&t, &xmeas[22], 1.3, 2.3);
+    assert!(after < before - 0.15, "%A: before {before}, after {after}");
+}
+
+#[test]
+fn idv2_raises_purge_b_composition() {
+    // IDV(2): more inert B in stream 4 -> purge %B (XMEAS(30)) climbs.
+    let (t, xmeas, _) = run_idv(Some(2), 5.0, 1.0, 12);
+    let before = mean_where(&t, &xmeas[29], 0.3, 1.0);
+    let after = mean_where(&t, &xmeas[29], 3.5, 5.0);
+    assert!(after > before * 1.3, "purge %B: before {before}, after {after}");
+}
+
+#[test]
+fn idv4_reactor_cw_step_is_rejected_by_the_temperature_loop() {
+    // IDV(4): +5 K on reactor CW inlet. The CW valve must open; the
+    // reactor temperature stays regulated.
+    let (t, xmeas, xmv) = run_idv(Some(4), 3.0, 1.0, 13);
+    let valve_before = mean_where(&t, &xmv[9], 0.3, 1.0);
+    let valve_after = mean_where(&t, &xmv[9], 2.0, 3.0);
+    assert!(
+        valve_after > valve_before + 1.0,
+        "XMV(10): before {valve_before}, after {valve_after}"
+    );
+    let temp_after = mean_where(&t, &xmeas[8], 2.0, 3.0);
+    assert!((temp_after - 120.4).abs() < 0.5, "T_r = {temp_after}");
+}
+
+#[test]
+fn idv5_condenser_cw_step_moves_the_condenser_valve() {
+    let (t, _, xmv) = run_idv(Some(5), 3.0, 1.0, 14);
+    let before = mean_where(&t, &xmv[10], 0.3, 1.0);
+    let after = mean_where(&t, &xmv[10], 2.0, 3.0);
+    assert!(after > before + 1.0, "XMV(11): before {before}, after {after}");
+}
+
+#[test]
+fn idv7_c_header_loss_opens_the_ac_valve() {
+    // IDV(7): stream 4 header availability drops to 0.8; the flow loop
+    // opens XMV(4) to hold the A+C flow setpoint.
+    let (t, xmeas, xmv) = run_idv(Some(7), 3.0, 1.0, 15);
+    let valve_before = mean_where(&t, &xmv[3], 0.3, 1.0);
+    let valve_after = mean_where(&t, &xmv[3], 2.0, 3.0);
+    assert!(
+        valve_after > valve_before * 1.15,
+        "XMV(4): before {valve_before}, after {valve_after}"
+    );
+    // Flow recovered to setpoint.
+    let flow_after = mean_where(&t, &xmeas[3], 2.0, 3.0);
+    assert!((flow_after - 5.10).abs() < 0.15, "XMEAS(4) = {flow_after}");
+}
+
+#[test]
+fn idv8_amplifies_feed_composition_variance() {
+    let (tn, xn, _) = run_idv(None, 4.0, f64::INFINITY, 16);
+    let (td, xd, _) = run_idv(Some(8), 4.0, 0.5, 16);
+    // XMEAS(23) (%A in feed) variance grows under IDV(8).
+    let base = std_where(&tn, &xn[22], 1.0, 4.0);
+    let disturbed = std_where(&td, &xd[22], 1.0, 4.0);
+    assert!(
+        disturbed > 1.5 * base,
+        "feed %A std: normal {base}, IDV(8) {disturbed}"
+    );
+}
+
+#[test]
+fn idv11_amplifies_reactor_temperature_activity() {
+    let (tn, _, vn) = run_idv(None, 4.0, f64::INFINITY, 17);
+    let (td, _, vd) = run_idv(Some(11), 4.0, 0.5, 17);
+    // The CW valve works much harder to reject the random CW temperature.
+    let base = std_where(&tn, &vn[9], 1.0, 4.0);
+    let disturbed = std_where(&td, &vd[9], 1.0, 4.0);
+    assert!(
+        disturbed > 1.5 * base,
+        "XMV(10) std: normal {base}, IDV(11) {disturbed}"
+    );
+}
+
+#[test]
+fn idv14_sticky_valve_degrades_temperature_control() {
+    let (tn, xn, _) = run_idv(None, 4.0, f64::INFINITY, 18);
+    let (td, xd, _) = run_idv(Some(14), 4.0, 0.5, 18);
+    let base = std_where(&tn, &xn[8], 1.0, 4.0); // XMEAS(9) T_r
+    let disturbed = std_where(&td, &xd[8], 1.0, 4.0);
+    assert!(
+        disturbed > 1.2 * base,
+        "T_r std: normal {base}, sticky {disturbed}"
+    );
+}
+
+#[test]
+fn idv17_fouling_forces_the_cw_valve_open_over_time() {
+    let (t, _, xmv) = run_idv(Some(17), 6.0, 0.5, 19);
+    let before = mean_where(&t, &xmv[9], 0.0, 0.5);
+    let after = mean_where(&t, &xmv[9], 5.0, 6.0);
+    assert!(
+        after > before * 1.15,
+        "XMV(10) must open as UA degrades: before {before}, after {after}"
+    );
+}
+
+#[test]
+fn idv20_widens_header_pressure_variance() {
+    let (tn, xn, _) = run_idv(None, 4.0, f64::INFINITY, 20);
+    let (td, xd, _) = run_idv(Some(20), 4.0, 0.5, 20);
+    // XMV(3) actual position chases the wandering A-header.
+    let base = std_where(&tn, &xn[0], 1.0, 4.0);
+    let disturbed = std_where(&td, &xd[0], 1.0, 4.0);
+    assert!(
+        disturbed > 1.3 * base,
+        "XMEAS(1) std: normal {base}, IDV(20) {disturbed}"
+    );
+}
+
+#[test]
+fn idv3_d_feed_temp_step_warms_the_reactor_feed() {
+    // IDV(3): +5 K on the D feed. The reactor temperature loop absorbs
+    // it; the CW valve opens slightly to reject the extra sensible heat.
+    let (t, xmeas, _) = run_idv(Some(3), 3.0, 1.0, 23);
+    // Reactor temperature stays regulated throughout.
+    let temp_after = mean_where(&t, &xmeas[8], 2.0, 3.0);
+    assert!((temp_after - 120.4).abs() < 0.5, "T_r = {temp_after}");
+}
+
+#[test]
+fn idv13_kinetics_drift_wanders_the_gas_loop() {
+    // IDV(13): the differential kinetics drift shifts the R1/R2 balance;
+    // the unconsumed-E excess shows up quickly in the purge analysis
+    // (the gas loop responds much faster than the buffered liquid train).
+    let (tn, xn, _) = run_idv(None, 8.0, f64::INFINITY, 24);
+    let (td, xd, _) = run_idv(Some(13), 8.0, 0.5, 24);
+    let base = std_where(&tn, &xn[32], 1.0, 8.0); // XMEAS(33) purge %E
+    let disturbed = std_where(&td, &xd[32], 1.0, 8.0);
+    assert!(
+        disturbed > 1.2 * base,
+        "purge %E std: normal {base}, IDV(13) {disturbed}"
+    );
+}
+
+#[test]
+fn idv15_condenser_stiction_degrades_separator_temperature() {
+    let (tn, xn, _) = run_idv(None, 4.0, f64::INFINITY, 25);
+    let (td, xd, _) = run_idv(Some(15), 4.0, 0.5, 25);
+    let base = std_where(&tn, &xn[10], 1.0, 4.0); // XMEAS(11) T_sep
+    let disturbed = std_where(&td, &xd[10], 1.0, 4.0);
+    assert!(
+        disturbed > 1.1 * base,
+        "T_sep std: normal {base}, sticky {disturbed}"
+    );
+}
+
+#[test]
+fn idv16_steam_randomness_shows_in_steam_flow() {
+    let (tn, xn, _) = run_idv(None, 4.0, f64::INFINITY, 26);
+    let (td, xd, _) = run_idv(Some(16), 4.0, 0.5, 26);
+    let base = std_where(&tn, &xn[18], 1.0, 4.0); // XMEAS(19) steam kg/h
+    let disturbed = std_where(&td, &xd[18], 1.0, 4.0);
+    assert!(
+        disturbed > 1.5 * base,
+        "steam std: normal {base}, IDV(16) {disturbed}"
+    );
+}
+
+#[test]
+fn idv19_valve_friction_degrades_flow_regulation() {
+    let (tn, xn, _) = run_idv(None, 4.0, f64::INFINITY, 27);
+    let (td, xd, _) = run_idv(Some(19), 4.0, 0.5, 27);
+    // With a sticky A-feed valve, the header-pressure wander passes
+    // through uncorrected: the A flow regulates worse.
+    let base = std_where(&tn, &xn[0], 1.0, 4.0); // XMEAS(1) A feed
+    let disturbed = std_where(&td, &xd[0], 1.0, 4.0);
+    assert!(
+        disturbed > 1.1 * base,
+        "A feed std: normal {base}, friction {disturbed}"
+    );
+}
+
+#[test]
+fn step_disturbances_do_not_trip_the_plant_quickly() {
+    // IDVs 1-5 are "handled" disturbances: the control layer must ride
+    // through at least several hours.
+    for idv in [1usize, 2, 3, 4, 5] {
+        let (t, _, _) = run_idv(Some(idv), 4.0, 0.5, 21);
+        let last = *t.last().unwrap();
+        assert!(last > 3.8, "IDV({idv}) tripped early at {last}");
+    }
+}
