@@ -3,12 +3,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use temspc_fieldbus::TrafficMonitor;
 use temspc_linalg::rng::GaussianSampler;
 use temspc_linalg::Matrix;
 use temspc_mspc::crossval::press_cross_validation;
 use temspc_mspc::gmm::{GmmConfig, GmmModel};
 use temspc_mspc::{MspcConfig, MspcModel};
-use temspc_fieldbus::TrafficMonitor;
 
 fn synthetic(n: usize, m: usize, seed: u64) -> Matrix {
     let mut rng = GaussianSampler::seed_from(seed);

@@ -51,7 +51,7 @@ impl fmt::Display for ArgsError {
 impl std::error::Error for ArgsError {}
 
 /// Option names that do not take a value.
-const BOOLEAN_FLAGS: &[&str] = &["no-noise", "verbose", "network"];
+const BOOLEAN_FLAGS: &[&str] = &["no-noise", "verbose", "network", "resume"];
 
 impl ParsedArgs {
     /// Parses a raw argument list (without the program name).
@@ -116,11 +116,7 @@ impl ParsedArgs {
     /// # Errors
     ///
     /// Returns [`ArgsError::BadValue`] if present but unparsable.
-    pub fn get_parsed<T: std::str::FromStr>(
-        &self,
-        key: &str,
-        default: T,
-    ) -> Result<T, ArgsError> {
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgsError> {
         match self.get(key) {
             None => Ok(default),
             Some(raw) => raw.parse().map_err(|_| ArgsError::BadValue {
@@ -175,7 +171,10 @@ mod tests {
             ArgsError::UnexpectedPositional("y".into())
         );
         let a = ParsedArgs::parse(["x"]).unwrap();
-        assert_eq!(a.require("out").unwrap_err(), ArgsError::Required("out".into()));
+        assert_eq!(
+            a.require("out").unwrap_err(),
+            ArgsError::Required("out".into())
+        );
     }
 
     #[test]

@@ -4,12 +4,8 @@ use std::error::Error;
 
 use temspc::diagnosis::{diagnose, VerdictThresholds};
 use temspc::experiments::{arl, fig1, fig2, fig3, fig45, verdicts, ExperimentContext};
-use temspc::persistence::{
-    load_monitor, load_network_monitor, save_monitor, save_network_monitor,
-};
-use temspc::{
-    CalibrationConfig, ClosedLoopRunner, DualMspc, NetworkMonitor, Scenario, ScenarioKind,
-};
+use temspc::persistence::{load_monitor, load_network_monitor, save_monitor, save_network_monitor};
+use temspc::{CalibrationConfig, ClosedLoopRunner, NetworkMonitor, Scenario, ScenarioKind};
 use temspc_fieldbus::{Attack, AttackKind, AttackTarget};
 use temspc_tesim::measurement::XMEAS_INFO;
 
@@ -21,9 +17,14 @@ pub const USAGE: &str = r#"temspc — disturbances vs intrusions in process cont
 USAGE:
   temspc simulate  [--hours 4] [--idv 0] [--attack none|xmv3|xmeas1|dos]
                    [--onset <h>] [--seed 1] [--csv run.csv] [--no-noise]
-  temspc calibrate [--runs 4] [--hours 2] --out model.tpb [--net-out net.tpb]
+  temspc calibrate [--runs 4] [--hours 2] [--threads 0] --out model.tpb
+                   [--net-out net.tpb]
   temspc detect    --model model.tpb [--net net.tpb] [--scenario idv6]
                    [--hours 4] [--onset 1] [--seed 42]
+  temspc fleet     [--plants 8] [--threads 4] [--hours 2] [--attack-fraction 0.25]
+                   [--onset 0.5] [--seed 2016] [--model model.tpb]
+                   [--calib-runs 4] [--calib-hours 2]
+                   [--checkpoint fleet.tpb [--resume]] [--metrics fleet.prom]
   temspc experiments [--mode quick|paper] [--out results]
   temspc list
   temspc help
@@ -187,10 +188,7 @@ fn maybe_write_csv(args: &ParsedArgs, data: &temspc::RunData) -> CmdResult {
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
         let mut csv = temspc::csv::CsvWriter::with_header(&header_refs);
         for (i, h) in data.hours.iter().enumerate() {
-            csv.push_labelled(
-                &format!("{h},controller"),
-                data.controller_view.row(i),
-            );
+            csv.push_labelled(&format!("{h},controller"), data.controller_view.row(i));
             csv.push_labelled(&format!("{h},process"), data.process_view.row(i));
         }
         csv.write_to(path)?;
@@ -209,10 +207,12 @@ pub fn calibrate(args: &ParsedArgs) -> CmdResult {
         duration_hours: hours,
         record_every: 10,
         base_seed: args.get_parsed("seed", 1_000)?,
-        threads: 0,
+        threads: args.get_parsed("threads", 0)?,
     };
     println!("calibrating dual-level monitor on {runs} x {hours} h ...");
-    let monitor = DualMspc::calibrate(&cfg)?;
+    // The pooled campaign produces matrices byte-identical to the
+    // sequential one, just faster.
+    let monitor = temspc_fleet::calibrate(&cfg, temspc::MonitorConfig::default())?;
     save_monitor(&monitor, out)?;
     println!(
         "saved {out} ({} PCs, T2_99 = {:.2}, SPE_99 = {:.2})",
@@ -265,6 +265,73 @@ pub fn detect(args: &ParsedArgs) -> CmdResult {
     }
     if let Some((reason, hour)) = outcome.run.shutdown {
         println!("plant shut down at {hour:.3} h: {reason}");
+    }
+    Ok(())
+}
+
+/// `temspc fleet` — monitor many plants concurrently and print the
+/// aggregate confusion matrix.
+pub fn fleet(args: &ParsedArgs) -> CmdResult {
+    use temspc_fleet::{FleetConfig, FleetEngine};
+
+    let config = FleetConfig {
+        plants: args.get_parsed("plants", 8)?,
+        threads: args.get_parsed("threads", 0)?,
+        hours: args.get_parsed("hours", 2.0)?,
+        onset_hour: args.get_parsed("onset", 0.5)?,
+        attack_fraction: args.get_parsed("attack-fraction", 0.25)?,
+        fleet_seed: args.get_parsed("seed", 2016)?,
+        checkpoint_every: args.get_parsed("checkpoint-every", 4)?,
+        ..FleetConfig::default()
+    };
+    if !(0.0..=1.0).contains(&config.attack_fraction) {
+        return Err("--attack-fraction must be within [0, 1]".into());
+    }
+
+    let monitor = match args.get("model") {
+        Some(path) => {
+            println!("loading monitor from {path} ...");
+            load_monitor(path)?
+        }
+        None => {
+            let runs: usize = args.get_parsed("calib-runs", 4)?;
+            let hours: f64 = args.get_parsed("calib-hours", 2.0)?;
+            println!("calibrating dual-level monitor on {runs} x {hours} h ...");
+            temspc_fleet::calibrate(
+                &CalibrationConfig {
+                    runs,
+                    duration_hours: hours,
+                    record_every: 10,
+                    base_seed: 1_000,
+                    threads: config.threads,
+                },
+                temspc::MonitorConfig::default(),
+            )?
+        }
+    };
+
+    let mut engine = FleetEngine::new(&monitor, config.clone());
+    if let Some(path) = args.get("checkpoint") {
+        if std::path::Path::new(path).exists() && !args.flag("resume") {
+            return Err(format!(
+                "checkpoint {path} already exists; pass --resume to continue it or remove the file"
+            )
+            .into());
+        }
+        engine = engine.with_checkpoint(path);
+    }
+
+    println!(
+        "monitoring {} plants ({} attacked) for {} h each ...",
+        config.plants,
+        (config.attack_fraction * config.plants as f64).round() as usize,
+        config.hours
+    );
+    let report = engine.run()?;
+    println!("\n{report}");
+    if let Some(path) = args.get("metrics") {
+        std::fs::write(path, engine.metrics().expose())?;
+        println!("wrote {path}");
     }
     Ok(())
 }

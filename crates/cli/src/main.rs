@@ -4,6 +4,8 @@
 //! temspc simulate  --hours 4 --idv 6 --attack xmv3 --onset 2 --seed 1 [--csv run.csv] [--no-noise]
 //! temspc calibrate --runs 4 --hours 2 --out model.tpb [--net-out net.tpb]
 //! temspc detect    --model model.tpb --scenario idv6 --hours 4 --onset 1 [--net net.tpb]
+//! temspc fleet     --plants 8 --threads 4 --hours 2 --attack-fraction 0.25
+//!                  [--checkpoint fleet.tpb] [--metrics fleet.prom]
 //! temspc experiments --mode quick|paper --out results/
 //! temspc list
 //! ```
@@ -28,6 +30,7 @@ fn main() {
         Some("simulate") => commands::simulate(&parsed),
         Some("calibrate") => commands::calibrate(&parsed),
         Some("detect") => commands::detect(&parsed),
+        Some("fleet") => commands::fleet(&parsed),
         Some("experiments") => commands::experiments(&parsed),
         Some("list") => commands::list(),
         Some("help") | None => {

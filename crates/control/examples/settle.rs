@@ -28,8 +28,20 @@ fn main() {
 
     println!(
         "{:>6} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
-        "hour", "XM1", "P_r", "T_r", "lvl_r", "lvl_s", "lvl_st", "T_s", "T_st", "purge",
-        "XMV3", "XMV6", "XMV10", "feed%A"
+        "hour",
+        "XM1",
+        "P_r",
+        "T_r",
+        "lvl_r",
+        "lvl_s",
+        "lvl_st",
+        "T_s",
+        "T_st",
+        "purge",
+        "XMV3",
+        "XMV6",
+        "XMV10",
+        "feed%A"
     );
     let steps = (hours * SAMPLES_PER_HOUR as f64) as usize;
     for k in 0..steps {

@@ -122,8 +122,7 @@ impl Pid {
         };
         self.last_error = Some(error);
 
-        let candidate_integral = if self.config.ti_hours.is_finite() && self.config.ti_hours > 0.0
-        {
+        let candidate_integral = if self.config.ti_hours.is_finite() && self.config.ti_hours > 0.0 {
             self.integral + self.config.kc / self.config.ti_hours * error * dt_hours
         } else {
             self.integral
@@ -237,13 +236,17 @@ mod tests {
         let mut pid = Pid::new(cfg, 0.0, 0.0);
         pid.update(0.0, DT);
         let out = pid.update(-1.0, DT); // error jumped from 0 to 1
-        // P contributes 1; D contributes kc*td*de/dt = 0.01/0.0005 = 20.
+                                        // P contributes 1; D contributes kc*td*de/dt = 0.01/0.0005 = 20.
         assert!(out > 20.0, "out = {out}");
     }
 
     #[test]
     fn setpoint_change_applies() {
-        let mut pid = Pid::new(PidConfig::pi(1.0, f64::INFINITY, Action::Reverse), 10.0, 0.0);
+        let mut pid = Pid::new(
+            PidConfig::pi(1.0, f64::INFINITY, Action::Reverse),
+            10.0,
+            0.0,
+        );
         assert_eq!(pid.setpoint(), 10.0);
         pid.set_setpoint(20.0);
         let out = pid.update(10.0, DT);

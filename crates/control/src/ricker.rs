@@ -154,8 +154,16 @@ impl DecentralizedController {
     /// Creates the controller with explicit configuration.
     pub fn with_config(config: ControllerConfig) -> Self {
         let sp = &config.setpoints;
-        let d_feed = Pid::new(PidConfig::pi(0.0086, 0.01, Action::Reverse), sp.d_feed, 58.15);
-        let e_feed = Pid::new(PidConfig::pi(0.006, 0.01, Action::Reverse), sp.e_feed, 50.15);
+        let d_feed = Pid::new(
+            PidConfig::pi(0.0086, 0.01, Action::Reverse),
+            sp.d_feed,
+            58.15,
+        );
+        let e_feed = Pid::new(
+            PidConfig::pi(0.006, 0.01, Action::Reverse),
+            sp.e_feed,
+            50.15,
+        );
         let a_feed = Pid::new(PidConfig::pi(2.0, 0.05, Action::Reverse), sp.a_feed, 61.90);
         let ac_feed = Pid::new(PidConfig::pi(3.3, 0.01, Action::Reverse), sp.ac_feed, 61.33);
         let pressure = Pid::new(
@@ -273,8 +281,10 @@ impl DecentralizedController {
         };
         if self.config.production_trim {
             let factor = self.production.update(x(8), dt) * rundown.powf(0.7);
-            self.d_feed.set_setpoint(self.config.setpoints.d_feed * factor);
-            self.e_feed.set_setpoint(self.config.setpoints.e_feed * factor);
+            self.d_feed
+                .set_setpoint(self.config.setpoints.d_feed * factor);
+            self.e_feed
+                .set_setpoint(self.config.setpoints.e_feed * factor);
         }
 
         // Filtered flow PVs: the valves must not chase transmitter noise.

@@ -65,7 +65,10 @@ pub fn bar_chart(title: &str, labels: &[String], values: &[f64], width: usize) -
         out.push_str("(no data)\n");
         return out;
     }
-    let max_abs = values.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-300);
+    let max_abs = values
+        .iter()
+        .fold(0.0_f64, |m, v| m.max(v.abs()))
+        .max(1e-300);
     let half = width / 2;
     let label_w = labels.iter().map(|l| l.len()).max().unwrap_or(0);
     for (label, &v) in labels.iter().zip(values) {

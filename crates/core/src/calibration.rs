@@ -1,5 +1,12 @@
-//! Calibration-data generation: repeated normal-operation runs, executed
-//! in parallel.
+//! Calibration-data generation: repeated normal-operation runs.
+//!
+//! This module owns the *definition* of the calibration campaign — which
+//! scenarios to run and how to stack their outputs — and executes it
+//! sequentially. The parallel execution path lives in `temspc-fleet`
+//! (`temspc_fleet::calibrate`), which fans the same per-run closures out
+//! over its worker pool; both paths produce byte-identical matrices
+//! because run `k` is fully determined by `calibration_scenario(cfg, k)`
+//! and results are stacked in run order.
 
 use temspc_linalg::Matrix;
 
@@ -22,7 +29,9 @@ pub struct CalibrationConfig {
     pub record_every: usize,
     /// Seed of the first run; run `k` uses `base_seed + k`.
     pub base_seed: u64,
-    /// Worker threads (0 = one per run, capped at 16).
+    /// Worker threads for the pooled path in `temspc-fleet`
+    /// (0 = one per run, capped at 16). The sequential path here ignores
+    /// it; results are identical either way.
     pub threads: usize,
 }
 
@@ -51,51 +60,43 @@ impl CalibrationConfig {
     }
 }
 
-/// Runs the calibration campaign and returns the stacked
+/// The scenario of calibration run `k`: normal operation with the run's
+/// deterministic seed.
+pub fn calibration_scenario(config: &CalibrationConfig, k: usize) -> Scenario {
+    Scenario::short(
+        ScenarioKind::Normal,
+        config.duration_hours,
+        f64::INFINITY,
+        config.base_seed + k as u64,
+    )
+}
+
+/// Executes calibration run `k` and returns its
 /// `(controller_view, process_view)` matrices.
-///
-/// Runs execute in parallel on `threads` workers (crossbeam scoped
-/// threads).
 ///
 /// # Errors
 ///
-/// Propagates the first [`RunError`] of any run.
-pub fn collect_calibration_data(config: &CalibrationConfig) -> Result<(Matrix, Matrix), RunError> {
-    let n_workers = if config.threads == 0 {
-        config.runs.min(16).max(1)
-    } else {
-        config.threads
-    };
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<Option<Result<(Matrix, Matrix), RunError>>>> =
-        (0..config.runs).map(|_| parking_lot::Mutex::new(None)).collect();
+/// Propagates the run's [`RunError`].
+pub fn run_calibration_scenario(
+    config: &CalibrationConfig,
+    k: usize,
+) -> Result<(Matrix, Matrix), RunError> {
+    let scenario = calibration_scenario(config, k);
+    ClosedLoopRunner::new(&scenario)
+        .run(config.record_every, |_| {})
+        .map(|d| (d.controller_view, d.process_view))
+}
 
-    crossbeam::scope(|scope| {
-        for _ in 0..n_workers {
-            scope.spawn(|_| loop {
-                let k = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                if k >= config.runs {
-                    break;
-                }
-                let scenario = Scenario::short(
-                    ScenarioKind::Normal,
-                    config.duration_hours,
-                    f64::INFINITY,
-                    config.base_seed + k as u64,
-                );
-                let outcome = ClosedLoopRunner::new(&scenario)
-                    .run(config.record_every, |_| {})
-                    .map(|d| (d.controller_view, d.process_view));
-                *slots[k].lock() = Some(outcome);
-            });
-        }
-    })
-    .expect("calibration worker panicked");
-
+/// Stacks per-run `(controller, process)` matrices in run order.
+///
+/// Shared by the sequential path below and the pooled path in
+/// `temspc-fleet` so both produce identical calibration data.
+pub fn stack_calibration_runs(
+    runs: impl IntoIterator<Item = (Matrix, Matrix)>,
+) -> (Matrix, Matrix) {
     let mut controller = Matrix::default();
     let mut process = Matrix::default();
-    for slot in slots {
-        let (c, p) = slot.into_inner().expect("slot filled")?;
+    for (c, p) in runs {
         for row in c.iter_rows() {
             controller.push_row(row);
         }
@@ -103,7 +104,23 @@ pub fn collect_calibration_data(config: &CalibrationConfig) -> Result<(Matrix, M
             process.push_row(row);
         }
     }
-    Ok((controller, process))
+    (controller, process)
+}
+
+/// Runs the calibration campaign sequentially and returns the stacked
+/// `(controller_view, process_view)` matrices.
+///
+/// For a multi-threaded campaign use `temspc_fleet::calibrate`, which
+/// produces the same matrices.
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`] of any run.
+pub fn collect_calibration_data(config: &CalibrationConfig) -> Result<(Matrix, Matrix), RunError> {
+    let runs: Vec<(Matrix, Matrix)> = (0..config.runs)
+        .map(|k| run_calibration_scenario(config, k))
+        .collect::<Result<_, _>>()?;
+    Ok(stack_calibration_runs(runs))
 }
 
 #[cfg(test)]
@@ -144,5 +161,21 @@ mod tests {
         // (different noise realizations).
         let half = c.nrows() / 2;
         assert_ne!(c.row(1), c.row(half + 1));
+    }
+
+    #[test]
+    fn per_run_helpers_match_campaign() {
+        let cfg = CalibrationConfig {
+            runs: 2,
+            duration_hours: 0.05,
+            record_every: 5,
+            base_seed: 9,
+            threads: 0,
+        };
+        let stacked = collect_calibration_data(&cfg).unwrap();
+        let manual = stack_calibration_runs(
+            (0..cfg.runs).map(|k| run_calibration_scenario(&cfg, k).unwrap()),
+        );
+        assert_eq!(stacked, manual);
     }
 }

@@ -111,8 +111,7 @@ pub fn run(ctx: &ExperimentContext) -> Result<BaselineResult, RunError> {
                 lengths.push(e.detected_hour - ctx.onset_hour);
             }
             if !window_scores.is_empty() {
-                event_scores
-                    .push(window_scores.iter().sum::<f64>() / window_scores.len() as f64);
+                event_scores.push(window_scores.iter().sum::<f64>() / window_scores.len() as f64);
             }
             // Dual-level MSPC pass for the divergence contrast.
             let outcome = ctx.monitor.run_scenario(&scenario)?;
@@ -149,7 +148,8 @@ pub fn run(ctx: &ExperimentContext) -> Result<BaselineResult, RunError> {
     let divergence_cohens_d = cohens_d(&idv6_div, &attack_div);
 
     // Artifacts.
-    let mut csv = CsvWriter::with_header(&["scenario", "detected", "gmm_rl_hours", "mean_event_score"]);
+    let mut csv =
+        CsvWriter::with_header(&["scenario", "detected", "gmm_rl_hours", "mean_event_score"]);
     let mut text = String::from(
         "Table 5 (beyond the paper): GMM single-level baseline (Kiss et al.)\n\
          scenario            detected  GMM RL [h]  mean event score\n",
@@ -158,11 +158,7 @@ pub fn run(ctx: &ExperimentContext) -> Result<BaselineResult, RunError> {
         let mean_score = r.event_scores.iter().sum::<f64>() / r.event_scores.len().max(1) as f64;
         csv.push_labelled(
             r.kind.id(),
-            &[
-                r.detected as f64,
-                r.gmm_rl.unwrap_or(f64::NAN),
-                mean_score,
-            ],
+            &[r.detected as f64, r.gmm_rl.unwrap_or(f64::NAN), mean_score],
         );
         text.push_str(&format!(
             "{:<19} {:>8} {:>11.4} {:>17.2}\n",

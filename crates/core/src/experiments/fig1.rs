@@ -59,9 +59,7 @@ pub fn run(ctx: &ExperimentContext) -> Result<Fig1Result, MspcError> {
     let _ = csv.write_to(ctx.results_dir.join("fig1_control_chart.csv"));
 
     let chart = line_chart(
-        &format!(
-            "Figure 1: D-statistic control chart (95% = {limit_95:.2}, 99% = {limit_99:.2})"
-        ),
+        &format!("Figure 1: D-statistic control chart (95% = {limit_95:.2}, 99% = {limit_99:.2})"),
         &hours,
         &t2,
         100,

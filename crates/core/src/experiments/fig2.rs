@@ -73,9 +73,13 @@ pub fn run(ctx: &ExperimentContext) -> std::io::Result<Fig2Result> {
     ]);
     let mut link = FieldbusLink::new(adversary);
     let true_xmeas: Vec<f64> = (1..=41).map(|i| i as f64).collect();
-    let received = link.uplink(0.0, &true_xmeas).expect("modelled attacks preserve framing");
+    let received = link
+        .uplink(0.0, &true_xmeas)
+        .expect("modelled attacks preserve framing");
     let commanded: Vec<f64> = (1..=12).map(|i| 10.0 * i as f64).collect();
-    let delivered = link.downlink(0.0, &commanded).expect("modelled attacks preserve framing");
+    let delivered = link
+        .downlink(0.0, &commanded)
+        .expect("modelled attacks preserve framing");
 
     let result = Fig2Result {
         true_xmeas1: true_xmeas[0],
@@ -95,8 +99,14 @@ pub fn run(ctx: &ExperimentContext) -> std::io::Result<Fig2Result> {
     std::fs::write(ctx.results_dir.join("fig2_architecture.txt"), text)?;
 
     let mut csv = CsvWriter::with_header(&["channel", "sent", "received"]);
-    csv.push_labelled("xmeas1_uplink", &[result.true_xmeas1, result.received_xmeas1]);
-    csv.push_labelled("xmv3_downlink", &[result.commanded_xmv3, result.delivered_xmv3]);
+    csv.push_labelled(
+        "xmeas1_uplink",
+        &[result.true_xmeas1, result.received_xmeas1],
+    );
+    csv.push_labelled(
+        "xmv3_downlink",
+        &[result.commanded_xmv3, result.delivered_xmv3],
+    );
     csv.write_to(ctx.results_dir.join("fig2_trace.csv"))?;
     Ok(result)
 }

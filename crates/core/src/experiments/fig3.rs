@@ -67,7 +67,8 @@ pub fn run(ctx: &ExperimentContext) -> Result<Fig3Result, RunError> {
     let idv6 = run_trace(ctx, ScenarioKind::Idv6)?;
     let attack = run_trace(ctx, ScenarioKind::IntegrityXmv3)?;
 
-    let mut csv = CsvWriter::with_header(&["hour_idv6", "xmeas1_idv6", "hour_attack", "xmeas1_attack"]);
+    let mut csv =
+        CsvWriter::with_header(&["hour_idv6", "xmeas1_idv6", "hour_attack", "xmeas1_attack"]);
     let n = idv6.hours.len().max(attack.hours.len());
     for i in 0..n {
         let row = [
@@ -83,7 +84,11 @@ pub fn run(ctx: &ExperimentContext) -> Result<Fig3Result, RunError> {
     let _ = std::fs::create_dir_all(&ctx.results_dir);
     for (trace, name, label) in [
         (&idv6, "fig3a_idv6.txt", "Figure 3a: XMEAS(1) under IDV(6)"),
-        (&attack, "fig3b_attack.txt", "Figure 3b: XMEAS(1) under integrity attack on XMV(3)"),
+        (
+            &attack,
+            "fig3b_attack.txt",
+            "Figure 3b: XMEAS(1) under integrity attack on XMV(3)",
+        ),
     ] {
         let mut text = line_chart(label, &trace.hours, &trace.xmeas1, 100, 16);
         if let Some((reason, hour)) = trace.shutdown {

@@ -109,8 +109,12 @@ pub fn run(ctx: &ExperimentContext) -> Result<Fig45Result, RunError> {
             (vec![0.0; N_MONITORED], vec![0.0; N_MONITORED])
         } else {
             (
-                omeda(&pooled_controller, &dummy, ctx.monitor.controller_model().pca())
-                    .unwrap_or_else(|_| vec![0.0; N_MONITORED]),
+                omeda(
+                    &pooled_controller,
+                    &dummy,
+                    ctx.monitor.controller_model().pca(),
+                )
+                .unwrap_or_else(|_| vec![0.0; N_MONITORED]),
                 omeda(&pooled_process, &dummy, ctx.monitor.process_model().pca())
                     .unwrap_or_else(|_| vec![0.0; N_MONITORED]),
             )

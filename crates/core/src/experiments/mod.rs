@@ -59,10 +59,8 @@ impl ExperimentContext {
     ///
     /// Returns [`MspcError`] if calibration fails.
     pub fn paper(results_dir: impl Into<PathBuf>) -> Result<Self, MspcError> {
-        let monitor = DualMspc::calibrate_with(
-            &CalibrationConfig::default(),
-            MonitorConfig::default(),
-        )?;
+        let monitor =
+            DualMspc::calibrate_with(&CalibrationConfig::default(), MonitorConfig::default())?;
         Ok(ExperimentContext {
             results_dir: results_dir.into(),
             scenario_runs: 10,
@@ -80,10 +78,8 @@ impl ExperimentContext {
     ///
     /// Returns [`MspcError`] if calibration fails.
     pub fn quick(results_dir: impl Into<PathBuf>, duration: f64) -> Result<Self, MspcError> {
-        let monitor = DualMspc::calibrate_with(
-            &CalibrationConfig::quick(),
-            MonitorConfig::default(),
-        )?;
+        let monitor =
+            DualMspc::calibrate_with(&CalibrationConfig::quick(), MonitorConfig::default())?;
         Ok(ExperimentContext {
             results_dir: results_dir.into(),
             scenario_runs: 2,

@@ -55,10 +55,7 @@ impl NetDosResult {
 /// # Errors
 ///
 /// Returns [`RunError`] if a closed-loop run fails.
-pub fn run(
-    ctx: &ExperimentContext,
-    network: &NetworkMonitor,
-) -> Result<NetDosResult, RunError> {
+pub fn run(ctx: &ExperimentContext, network: &NetworkMonitor) -> Result<NetDosResult, RunError> {
     let mut rows = Vec::new();
     for run_idx in 0..ctx.scenario_runs {
         let scenario = Scenario::short(
@@ -98,7 +95,11 @@ pub fn run(
     );
     for r in &rows {
         csv.push_labelled(
-            &format!("{},{}", r.run, r.implicated.as_deref().unwrap_or("-").replace(',', ";")),
+            &format!(
+                "{},{}",
+                r.run,
+                r.implicated.as_deref().unwrap_or("-").replace(',', ";")
+            ),
             &[
                 r.process_level_rl.unwrap_or(f64::NAN),
                 r.network_level_rl.unwrap_or(f64::NAN),

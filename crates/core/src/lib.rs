@@ -57,11 +57,14 @@ pub mod report;
 mod runner;
 mod scenario;
 
-pub use calibration::CalibrationConfig;
+pub use calibration::{
+    calibration_scenario, collect_calibration_data, run_calibration_scenario,
+    stack_calibration_runs, CalibrationConfig,
+};
 pub use diagnosis::{AnomalyDiagnosis, Verdict};
 pub use monitor::{DetectionSummary, DualMspc, MonitorConfig, ScenarioOutcome};
+pub use names::{variable_description, variable_name, xmeas_index, xmv_index, N_MONITORED};
 pub use netmon::{NetworkMonitor, NetworkOutcome};
 pub use report::incident_report;
-pub use names::{variable_description, variable_name, xmeas_index, xmv_index, N_MONITORED};
 pub use runner::{ClosedLoopRunner, RunData, RunError, StepSample};
 pub use scenario::{Scenario, ScenarioKind};

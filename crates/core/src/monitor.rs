@@ -165,10 +165,8 @@ impl DualMspc {
     ///
     /// Returns [`RunError`] if the closed loop fails.
     pub fn run_scenario(&self, scenario: &Scenario) -> Result<ScenarioOutcome, RunError> {
-        let mut controller_det = ConsecutiveDetector::new(
-            *self.controller_model.limits(),
-            self.config.detector,
-        );
+        let mut controller_det =
+            ConsecutiveDetector::new(*self.controller_model.limits(), self.config.detector);
         let mut process_det =
             ConsecutiveDetector::new(*self.process_model.limits(), self.config.detector);
         let window = self.config.window();
@@ -191,8 +189,8 @@ impl DualMspc {
             let c_event = controller_det.update(sample.hour, c_score.t2, c_score.spe);
             let p_event = process_det.update(sample.hour, p_score.t2, p_score.spe);
             if sample.hour >= onset
-                && (c_event.map_or(false, |e| e.detected_hour >= onset)
-                    || p_event.map_or(false, |e| e.detected_hour >= onset))
+                && (c_event.is_some_and(|e| e.detected_hour >= onset)
+                    || p_event.is_some_and(|e| e.detected_hour >= onset))
             {
                 collecting = true;
             }
@@ -201,7 +199,10 @@ impl DualMspc {
                     .controller_model
                     .limits()
                     .violates_99(c_score.t2, c_score.spe)
-                    || self.process_model.limits().violates_99(p_score.t2, p_score.spe);
+                    || self
+                        .process_model
+                        .limits()
+                        .violates_99(p_score.t2, p_score.spe);
                 if violating {
                     event_rows_controller.push_row(&sample.controller_view);
                     event_rows_process.push_row(&sample.process_view);

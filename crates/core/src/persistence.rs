@@ -125,7 +125,9 @@ mod tests {
     use crate::calibration::CalibrationConfig;
 
     fn tmp(name: &str) -> std::path::PathBuf {
-        std::env::temp_dir().join("temspc_persistence_test").join(name)
+        std::env::temp_dir()
+            .join("temspc_persistence_test")
+            .join(name)
     }
 
     #[test]

@@ -16,7 +16,10 @@ use crate::names::{variable_description, variable_name};
 /// action.
 pub fn incident_report(outcome: &ScenarioOutcome, diagnosis: &AnomalyDiagnosis) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "==================== INCIDENT REPORT ====================");
+    let _ = writeln!(
+        out,
+        "==================== INCIDENT REPORT ===================="
+    );
 
     // ---- detection timeline ----
     let _ = writeln!(out, "\n[detection]");
@@ -109,19 +112,28 @@ pub fn incident_report(outcome: &ScenarioOutcome, diagnosis: &AnomalyDiagnosis) 
             diagnosis.process_variable(),
             diagnosis.controller_variable()
         ),
-        crate::diagnosis::Verdict::Inconclusive => "An anomaly is confirmed but no variable stands out (the DoS\n\
+        crate::diagnosis::Verdict::Inconclusive => {
+            "An anomaly is confirmed but no variable stands out (the DoS\n\
              signature). Correlate with network-level monitoring; inspect\n\
              channels whose values have stopped updating."
-            .to_string(),
+                .to_string()
+        }
     };
-    let _ = writeln!(out, "\n[recommended action]\n  {}", action.replace('\n', "\n  "));
+    let _ = writeln!(
+        out,
+        "\n[recommended action]\n  {}",
+        action.replace('\n', "\n  ")
+    );
     if let Some((reason, hour)) = outcome.run.shutdown {
         let _ = writeln!(
             out,
             "\n[plant status] SHUT DOWN at hour {hour:.3} ({reason})"
         );
     }
-    let _ = writeln!(out, "==========================================================");
+    let _ = writeln!(
+        out,
+        "=========================================================="
+    );
     out
 }
 

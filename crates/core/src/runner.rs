@@ -221,8 +221,8 @@ impl ClosedLoopRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::ScenarioKind;
     use crate::names::{xmeas_index, xmv_index};
+    use crate::scenario::ScenarioKind;
 
     fn quiet_plant() -> PlantConfig {
         PlantConfig {
@@ -270,7 +270,11 @@ mod tests {
         // Controller sees zero; the real flow is *above* nominal because
         // the flow PI winds the valve open.
         assert_eq!(data.controller_view.get(last, x1), 0.0);
-        assert!(data.process_view.get(last, x1) > 4.5, "real flow {}", data.process_view.get(last, x1));
+        assert!(
+            data.process_view.get(last, x1) > 4.5,
+            "real flow {}",
+            data.process_view.get(last, x1)
+        );
         let xmv3 = xmv_index(3);
         assert!(data.process_view.get(last, xmv3) > 90.0);
     }

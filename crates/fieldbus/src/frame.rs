@@ -76,7 +76,10 @@ impl std::fmt::Display for FrameError {
             FrameError::LengthMismatch {
                 advertised,
                 available,
-            } => write!(f, "frame advertises {advertised} values but holds {available}"),
+            } => write!(
+                f,
+                "frame advertises {advertised} values but holds {available}"
+            ),
         }
     }
 }

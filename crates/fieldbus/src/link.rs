@@ -69,7 +69,12 @@ impl FieldbusLink {
     ///
     /// Returns [`LinkError::Frame`] if the tampered frame fails to decode.
     pub fn uplink(&mut self, hour: f64, xmeas: &[f64]) -> Result<Vec<f64>, LinkError> {
-        let frame = Frame::new(FrameKind::SensorReport, self.uplink_seq, hour, xmeas.to_vec());
+        let frame = Frame::new(
+            FrameKind::SensorReport,
+            self.uplink_seq,
+            hour,
+            xmeas.to_vec(),
+        );
         self.uplink_seq = self.uplink_seq.wrapping_add(1);
         let wire = frame.encode();
         // Man-in-the-middle position: parse, rewrite, re-encode.
@@ -96,7 +101,8 @@ impl FieldbusLink {
         self.downlink_seq = self.downlink_seq.wrapping_add(1);
         let wire = frame.encode();
         let mut intercepted = Frame::decode(&wire)?;
-        self.adversary.tamper_actuators(hour, &mut intercepted.values);
+        self.adversary
+            .tamper_actuators(hour, &mut intercepted.values);
         let forged_wire = intercepted.encode();
         let delivered = Frame::decode(&forged_wire)?;
         Ok(delivered.values)

@@ -37,7 +37,8 @@ impl TrafficFeatures {
     /// `[up_frame_rate, down_frame_rate, up_byte_rate, down_byte_rate,
     /// up_change_fraction x41, down_change_fraction x12]` (57 entries).
     pub fn to_vector(&self) -> Vec<f64> {
-        let mut v = Vec::with_capacity(4 + self.up_change_fraction.len() + self.down_change_fraction.len());
+        let mut v =
+            Vec::with_capacity(4 + self.up_change_fraction.len() + self.down_change_fraction.len());
         v.push(self.up_frame_rate);
         v.push(self.down_frame_rate);
         v.push(self.up_byte_rate);
@@ -217,14 +218,20 @@ impl TrafficMonitor {
 mod tests {
     use super::*;
 
-    fn drive(monitor: &mut TrafficMonitor, hours: f64, freeze_channel: Option<usize>) -> Vec<TrafficFeatures> {
+    fn drive(
+        monitor: &mut TrafficMonitor,
+        hours: f64,
+        freeze_channel: Option<usize>,
+    ) -> Vec<TrafficFeatures> {
         let mut out = Vec::new();
         let dt = 0.0005;
         let steps = (hours / dt) as usize;
         for k in 0..steps {
             let hour = k as f64 * dt;
             // Sensors: all values jitter each frame.
-            let up: Vec<f64> = (0..41).map(|i| i as f64 + (k as f64 * 0.1).sin() * 0.01 + k as f64 * 1e-6).collect();
+            let up: Vec<f64> = (0..41)
+                .map(|i| i as f64 + (k as f64 * 0.1).sin() * 0.01 + k as f64 * 1e-6)
+                .collect();
             // Actuators: jitter, except an optionally frozen channel.
             let down: Vec<f64> = (0..12)
                 .map(|i| {
@@ -252,7 +259,11 @@ mod tests {
         assert!(windows.len() >= 3, "windows = {}", windows.len());
         let f = &windows[1];
         // 2000 frames/hour each direction.
-        assert!((f.up_frame_rate - 2000.0).abs() < 100.0, "{}", f.up_frame_rate);
+        assert!(
+            (f.up_frame_rate - 2000.0).abs() < 100.0,
+            "{}",
+            f.up_frame_rate
+        );
         assert!((f.down_frame_rate - 2000.0).abs() < 100.0);
         assert!(f.up_byte_rate > 0.0 && f.down_byte_rate > 0.0);
     }
@@ -271,7 +282,11 @@ mod tests {
         let mut m = TrafficMonitor::new(0.05, 41, 12);
         let windows = drive(&mut m, 0.2, Some(2)); // XMV(3) frozen
         let f = windows.last().unwrap();
-        assert!(f.down_change_fraction[2] < 0.01, "{}", f.down_change_fraction[2]);
+        assert!(
+            f.down_change_fraction[2] < 0.01,
+            "{}",
+            f.down_change_fraction[2]
+        );
         assert!(f.down_change_fraction[3] > 0.95);
     }
 

@@ -1,0 +1,123 @@
+//! Pooled calibration: the same campaign as
+//! [`temspc::collect_calibration_data`], fanned out over the worker
+//! pool.
+//!
+//! Run `k` is a pure function of the configuration
+//! ([`temspc::calibration_scenario`]) and results are stacked in run
+//! order, so the stacked matrices — and therefore the fitted models —
+//! are byte-identical to the sequential path for any thread count.
+
+use temspc::{
+    run_calibration_scenario, stack_calibration_runs, CalibrationConfig, DualMspc, MonitorConfig,
+    RunError,
+};
+use temspc_linalg::Matrix;
+use temspc_mspc::MspcError;
+
+use crate::pool::WorkerPool;
+
+/// Worker count for a calibration campaign: the config's `threads`, or
+/// one per run (capped at 16) when 0.
+fn campaign_threads(config: &CalibrationConfig) -> usize {
+    if config.threads == 0 {
+        config.runs.clamp(1, 16)
+    } else {
+        config.threads
+    }
+}
+
+/// Runs the calibration campaign over the pool and returns the stacked
+/// `(controller_view, process_view)` matrices, identical to the
+/// sequential [`temspc::collect_calibration_data`].
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`] (by run index) of any failed run.
+pub fn collect_calibration_data_pooled(
+    config: &CalibrationConfig,
+) -> Result<(Matrix, Matrix), RunError> {
+    let pool = WorkerPool::new(campaign_threads(config));
+    let runs: Vec<Result<(Matrix, Matrix), RunError>> =
+        pool.map(config.runs, |k| run_calibration_scenario(config, k));
+    let runs: Vec<(Matrix, Matrix)> = runs.into_iter().collect::<Result<_, _>>()?;
+    Ok(stack_calibration_runs(runs))
+}
+
+/// Calibrates a dual-level monitor using the pooled campaign; the result
+/// equals [`DualMspc::calibrate_with`] bit for bit.
+///
+/// # Errors
+///
+/// Returns [`MspcError`] if a run fails or the fit is degenerate.
+pub fn calibrate(
+    calibration: &CalibrationConfig,
+    config: MonitorConfig,
+) -> Result<DualMspc, MspcError> {
+    let (controller, process) = collect_calibration_data_pooled(calibration)
+        .map_err(|_| MspcError::Numeric(temspc_linalg::LinalgError::Empty))?;
+    DualMspc::from_data(&controller, &process, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temspc::collect_calibration_data;
+
+    #[test]
+    fn pooled_matches_sequential_exactly() {
+        let cfg = CalibrationConfig {
+            runs: 4,
+            duration_hours: 0.2,
+            record_every: 10,
+            base_seed: 55,
+            threads: 4,
+        };
+        let sequential = collect_calibration_data(&cfg).unwrap();
+        let pooled = collect_calibration_data_pooled(&cfg).unwrap();
+        assert_eq!(sequential, pooled);
+    }
+
+    #[test]
+    fn pooled_monitor_equals_sequential_monitor() {
+        let cfg = CalibrationConfig {
+            runs: 3,
+            duration_hours: 0.3,
+            record_every: 10,
+            base_seed: 77,
+            threads: 3,
+        };
+        let sequential = DualMspc::calibrate(&cfg).unwrap();
+        let pooled = calibrate(&cfg, MonitorConfig::default()).unwrap();
+        assert_eq!(
+            sequential.controller_model().limits().t2_99,
+            pooled.controller_model().limits().t2_99
+        );
+        assert_eq!(
+            sequential.controller_model().limits().spe_99,
+            pooled.controller_model().limits().spe_99
+        );
+        let obs: Vec<f64> = (0..53).map(|i| i as f64 * 0.2).collect();
+        assert_eq!(
+            sequential.controller_model().score(&obs).unwrap(),
+            pooled.controller_model().score(&obs).unwrap()
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_data() {
+        let base = CalibrationConfig {
+            runs: 3,
+            duration_hours: 0.1,
+            record_every: 10,
+            base_seed: 21,
+            threads: 1,
+        };
+        let one = collect_calibration_data_pooled(&base).unwrap();
+        let eight = collect_calibration_data_pooled(&CalibrationConfig {
+            threads: 8,
+            ..base.clone()
+        })
+        .unwrap();
+        assert_eq!(one, eight);
+    }
+}

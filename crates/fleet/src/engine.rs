@@ -1,0 +1,510 @@
+//! The fleet engine: N independent plant+controller+fieldbus+MSPC
+//! closed loops scheduled over the worker pool, sharing one calibrated
+//! [`DualMspc`], streaming outcomes into an aggregate report.
+//!
+//! Every per-plant scenario is a pure function of the fleet
+//! configuration (`plant_scenario`), so the verdict set is identical for
+//! any thread count — the pool only changes *when* a plant runs, never
+//! *what* it computes.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+use temspc::diagnosis::{diagnose, VerdictThresholds};
+use temspc::{DualMspc, Scenario, ScenarioKind};
+
+use crate::checkpoint::{self, CheckpointError, FleetCheckpoint};
+use crate::metrics::{Counter, Histogram, MetricsRegistry};
+use crate::pool::WorkerPool;
+use crate::report::{FleetReport, PlantRecord};
+use crate::supervisor::{supervise, SupervisionPolicy};
+
+/// Configuration of a fleet campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of plants to monitor.
+    pub plants: usize,
+    /// Worker threads (0 → one per CPU core, capped at 16).
+    pub threads: usize,
+    /// Simulated hours per plant.
+    pub hours: f64,
+    /// Hour at which each anomalous plant's anomaly starts.
+    pub onset_hour: f64,
+    /// Fraction of plants under attack (the rest split between IDV(6)
+    /// disturbances and normal operation).
+    pub attack_fraction: f64,
+    /// Seed of the whole fleet; per-plant seeds are derived from it.
+    pub fleet_seed: u64,
+    /// Restart policy for panicking plant jobs.
+    pub supervision: SupervisionPolicy,
+    /// Save a checkpoint every this many completed plants
+    /// (0 → only at the end).
+    pub checkpoint_every: usize,
+    /// Chaos hook: plant indices whose *first* attempt panics
+    /// deliberately (exercises the supervisor; empty in production).
+    pub inject_panic_plants: Vec<u32>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            plants: 4,
+            threads: 0,
+            hours: 2.0,
+            onset_hour: 0.5,
+            attack_fraction: 0.25,
+            fleet_seed: 2016,
+            supervision: SupervisionPolicy::default(),
+            checkpoint_every: 8,
+            inject_panic_plants: Vec::new(),
+        }
+    }
+}
+
+/// One SplitMix64 step — the same mixer the RNG seeding uses, reused
+/// here to derive decorrelated per-plant seeds from the fleet seed.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives plant `i`'s RNG seed from the fleet seed.
+pub fn plant_seed(fleet_seed: u64, plant: usize) -> u64 {
+    let mut state = fleet_seed ^ (plant as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    let _ = splitmix64(&mut state);
+    splitmix64(&mut state)
+}
+
+const ATTACKS: [ScenarioKind; 3] = [
+    ScenarioKind::IntegrityXmv3,
+    ScenarioKind::IntegrityXmeas1,
+    ScenarioKind::DosXmv3,
+];
+
+/// The scenario plant `i` runs: a pure function of the configuration.
+///
+/// `round(attack_fraction × plants)` plants are attacked, spread evenly
+/// over the index range (Bresenham), cycling through the three attack
+/// kinds; the remaining plants alternate between the IDV(6) disturbance
+/// and plain normal operation. Normal plants get an infinite onset so
+/// every alarm they raise counts as a false alarm.
+pub fn plant_scenario(config: &FleetConfig, plant: usize) -> Scenario {
+    let n = config.plants.max(1);
+    let attacked = ((config.attack_fraction * n as f64).round() as usize).min(n);
+    // Bresenham spread: plant i is attacked iff the running total of
+    // `attacked / n` crosses an integer at i.
+    let is_attacked = |i: usize| (i + 1) * attacked / n > i * attacked / n;
+    let kind = if is_attacked(plant) {
+        let attack_rank = (0..plant).filter(|j| is_attacked(*j)).count();
+        ATTACKS[attack_rank % ATTACKS.len()]
+    } else {
+        let clean_rank = (0..plant).filter(|j| !is_attacked(*j)).count();
+        if clean_rank % 2 == 0 {
+            ScenarioKind::Idv6
+        } else {
+            ScenarioKind::Normal
+        }
+    };
+    let onset = if kind == ScenarioKind::Normal {
+        f64::INFINITY
+    } else {
+        config.onset_hour
+    };
+    Scenario::short(
+        kind,
+        config.hours,
+        onset,
+        plant_seed(config.fleet_seed, plant),
+    )
+}
+
+/// Errors from a fleet campaign.
+#[derive(Debug)]
+pub enum FleetError {
+    /// Checkpoint I/O or validation failure.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<CheckpointError> for FleetError {
+    fn from(e: CheckpointError) -> Self {
+        FleetError::Checkpoint(e)
+    }
+}
+
+/// Handles into the engine's metric family, shared by all workers.
+struct FleetMetrics {
+    scheduled: Counter,
+    completed: Counter,
+    failed: Counter,
+    restarts: Counter,
+    shutdowns: Counter,
+    false_alarms: Counter,
+    verdict_disturbance: Counter,
+    verdict_intrusion: Counter,
+    verdict_inconclusive: Counter,
+    undetected: Counter,
+    latency: Histogram,
+}
+
+impl FleetMetrics {
+    fn register(registry: &MetricsRegistry) -> Self {
+        FleetMetrics {
+            scheduled: registry.counter(
+                "fleet_plants_scheduled_total",
+                "plants scheduled this campaign",
+            ),
+            completed: registry.counter("fleet_plants_completed_total", "plant jobs completed"),
+            failed: registry.counter(
+                "fleet_plants_failed_total",
+                "plant jobs that exhausted their restart budget",
+            ),
+            restarts: registry.counter(
+                "fleet_worker_restarts_total",
+                "supervised restarts after worker panics",
+            ),
+            shutdowns: registry.counter(
+                "fleet_interlock_shutdowns_total",
+                "plants tripped into safe shutdown by an interlock",
+            ),
+            false_alarms: registry.counter(
+                "fleet_false_alarms_total",
+                "alarms raised before anomaly onset",
+            ),
+            verdict_disturbance: registry.counter(
+                "fleet_verdict_disturbance_total",
+                "plants diagnosed as disturbances",
+            ),
+            verdict_intrusion: registry.counter(
+                "fleet_verdict_intrusion_total",
+                "plants diagnosed as intrusions",
+            ),
+            verdict_inconclusive: registry.counter(
+                "fleet_verdict_inconclusive_total",
+                "plants with inconclusive diagnoses",
+            ),
+            undetected: registry.counter(
+                "fleet_undetected_total",
+                "completed plants with no detection",
+            ),
+            latency: registry.histogram(
+                "fleet_detection_latency_hours",
+                "hours from anomaly onset to first detection",
+                &[0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0],
+            ),
+        }
+    }
+
+    fn record(&self, record: &PlantRecord) {
+        self.completed.inc();
+        self.restarts.add(u64::from(record.restarts));
+        self.false_alarms.add(u64::from(record.false_alarms));
+        if !record.completed {
+            self.failed.inc();
+            return;
+        }
+        if record.shutdown_hour.is_some() {
+            self.shutdowns.inc();
+        }
+        match record.verdict {
+            Some(temspc::Verdict::Disturbance) => self.verdict_disturbance.inc(),
+            Some(temspc::Verdict::Intrusion) => self.verdict_intrusion.inc(),
+            Some(temspc::Verdict::Inconclusive) => self.verdict_inconclusive.inc(),
+            None => self.undetected.inc(),
+        }
+        if let Some(latency) = record.detection_latency_hours {
+            self.latency.observe(latency);
+        }
+    }
+}
+
+/// The concurrent multi-plant monitoring engine.
+///
+/// Borrows one calibrated monitor and fans plant scenarios out over a
+/// [`WorkerPool`]; results stream back into an aggregate [`FleetReport`]
+/// and the engine's [`MetricsRegistry`].
+pub struct FleetEngine<'a> {
+    monitor: &'a DualMspc,
+    config: FleetConfig,
+    registry: MetricsRegistry,
+    checkpoint_path: Option<PathBuf>,
+}
+
+impl<'a> FleetEngine<'a> {
+    /// An engine over a calibrated monitor.
+    pub fn new(monitor: &'a DualMspc, config: FleetConfig) -> Self {
+        FleetEngine {
+            monitor,
+            config,
+            registry: MetricsRegistry::new(),
+            checkpoint_path: None,
+        }
+    }
+
+    /// Enables periodic checkpointing to `path`; if the file already
+    /// holds a checkpoint of this configuration, its plants are skipped
+    /// on [`FleetEngine::run`] and their records merged into the report.
+    #[must_use]
+    pub fn with_checkpoint(mut self, path: impl AsRef<Path>) -> Self {
+        self.checkpoint_path = Some(path.as_ref().to_path_buf());
+        self
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The engine's metrics (counters, gauges, latency histogram).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Runs one supervised plant job to a finished record.
+    fn run_plant(&self, plant: usize) -> PlantRecord {
+        let scenario = plant_scenario(&self.config, plant);
+        let inject = self
+            .config
+            .inject_panic_plants
+            .contains(&(plant as u32))
+            .then(|| std::sync::atomic::AtomicBool::new(true));
+        let supervised = supervise(self.config.supervision, || {
+            if let Some(armed) = &inject {
+                if armed.swap(false, std::sync::atomic::Ordering::Relaxed) {
+                    panic!("chaos: injected panic for plant {plant}");
+                }
+            }
+            self.monitor.run_scenario(&scenario)
+        });
+        let restarts = supervised.restarts;
+        let fault = supervised.panics.last().cloned();
+        match supervised.result {
+            Some(Ok(outcome)) => {
+                let verdict = diagnose(self.monitor, &outcome, VerdictThresholds::default())
+                    .map(|d| d.verdict);
+                PlantRecord {
+                    plant: plant as u32,
+                    kind: scenario.kind,
+                    seed: scenario.seed,
+                    completed: true,
+                    restarts,
+                    fault,
+                    detection_latency_hours: outcome.detection.run_length(scenario.onset_hour),
+                    false_alarms: outcome.false_alarms as u32,
+                    verdict,
+                    shutdown_hour: outcome.run.shutdown.map(|(_, hour)| hour),
+                }
+            }
+            Some(Err(run_error)) => PlantRecord {
+                plant: plant as u32,
+                kind: scenario.kind,
+                seed: scenario.seed,
+                completed: false,
+                restarts,
+                fault: Some(run_error.to_string()),
+                detection_latency_hours: None,
+                false_alarms: 0,
+                verdict: None,
+                shutdown_hour: None,
+            },
+            None => PlantRecord {
+                plant: plant as u32,
+                kind: scenario.kind,
+                seed: scenario.seed,
+                completed: false,
+                restarts,
+                fault,
+                detection_latency_hours: None,
+                false_alarms: 0,
+                verdict: None,
+                shutdown_hour: None,
+            },
+        }
+    }
+
+    /// Runs the campaign: schedules every plant not already covered by
+    /// the checkpoint, streams records into the report (checkpointing
+    /// periodically), and returns the aggregate.
+    ///
+    /// The report is identical for any thread count: each record is a
+    /// pure function of `(config, plant index)` and records are sorted
+    /// by plant index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError`] on checkpoint I/O or validation failure.
+    pub fn run(&self) -> Result<FleetReport, FleetError> {
+        let mut records: Vec<PlantRecord> = match &self.checkpoint_path {
+            Some(path) => checkpoint::resume(path, &self.config)?,
+            None => Vec::new(),
+        };
+        records.retain(|r| (r.plant as usize) < self.config.plants);
+        let done: std::collections::BTreeSet<u32> = records.iter().map(|r| r.plant).collect();
+        let pending: Vec<usize> = (0..self.config.plants)
+            .filter(|i| !done.contains(&(*i as u32)))
+            .collect();
+
+        let metrics = FleetMetrics::register(&self.registry);
+        metrics.scheduled.add(pending.len() as u64);
+        let progress = self
+            .registry
+            .gauge("fleet_progress_ratio", "completed plants / total plants");
+        progress.set(done.len() as f64 / self.config.plants.max(1) as f64);
+
+        let pool = WorkerPool::new(self.config.threads);
+        let mut since_checkpoint = 0usize;
+        let mut checkpoint_failure: Option<CheckpointError> = None;
+        pool.run(
+            pending.len(),
+            |j| self.run_plant(pending[j]),
+            |_, record| {
+                metrics.record(&record);
+                records.push(record);
+                progress.set(records.len() as f64 / self.config.plants.max(1) as f64);
+                since_checkpoint += 1;
+                if checkpoint_failure.is_none()
+                    && self.config.checkpoint_every > 0
+                    && since_checkpoint >= self.config.checkpoint_every
+                {
+                    since_checkpoint = 0;
+                    if let Err(e) = self.save_checkpoint(&records) {
+                        checkpoint_failure = Some(e);
+                    }
+                }
+            },
+        );
+        if let Some(e) = checkpoint_failure {
+            return Err(e.into());
+        }
+        let report = FleetReport::new(records);
+        if self.checkpoint_path.is_some() {
+            self.save_checkpoint(&report.records)?;
+        }
+        Ok(report)
+    }
+
+    fn save_checkpoint(&self, records: &[PlantRecord]) -> Result<(), CheckpointError> {
+        let Some(path) = &self.checkpoint_path else {
+            return Ok(());
+        };
+        let mut snapshot = FleetCheckpoint {
+            config: self.config.clone(),
+            records: records.to_vec(),
+        };
+        snapshot.records.sort_by_key(|r| r.plant);
+        checkpoint::save(&snapshot, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temspc::CalibrationConfig;
+
+    fn quick_monitor() -> DualMspc {
+        DualMspc::calibrate(&CalibrationConfig {
+            runs: 3,
+            duration_hours: 1.0,
+            record_every: 10,
+            base_seed: 100,
+            threads: 0,
+        })
+        .unwrap()
+    }
+
+    fn quick_config(plants: usize, threads: usize) -> FleetConfig {
+        FleetConfig {
+            plants,
+            threads,
+            hours: 1.0,
+            onset_hour: 0.3,
+            attack_fraction: 0.5,
+            fleet_seed: 7,
+            checkpoint_every: 0,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn scenario_assignment_is_deterministic_and_spread() {
+        let config = quick_config(8, 1);
+        let kinds: Vec<ScenarioKind> = (0..8).map(|i| plant_scenario(&config, i).kind).collect();
+        // Same config → same assignment.
+        let again: Vec<ScenarioKind> = (0..8).map(|i| plant_scenario(&config, i).kind).collect();
+        assert_eq!(kinds, again);
+        // Half the plants are attacked (attack_fraction 0.5).
+        let attacked = kinds.iter().filter(|k| k.is_attack()).count();
+        assert_eq!(attacked, 4);
+        // All three attack kinds appear.
+        assert!(kinds.contains(&ScenarioKind::IntegrityXmv3));
+        assert!(kinds.contains(&ScenarioKind::IntegrityXmeas1));
+        assert!(kinds.contains(&ScenarioKind::DosXmv3));
+        // Seeds are pairwise distinct.
+        let mut seeds: Vec<u64> = (0..8).map(|i| plant_scenario(&config, i).seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 8);
+    }
+
+    #[test]
+    fn zero_attack_fraction_has_no_attacks() {
+        let config = FleetConfig {
+            attack_fraction: 0.0,
+            ..quick_config(6, 1)
+        };
+        assert!((0..6).all(|i| !plant_scenario(&config, i).kind.is_attack()));
+    }
+
+    #[test]
+    fn full_attack_fraction_attacks_everything() {
+        let config = FleetConfig {
+            attack_fraction: 1.0,
+            ..quick_config(6, 1)
+        };
+        assert!((0..6).all(|i| plant_scenario(&config, i).kind.is_attack()));
+    }
+
+    #[test]
+    fn normal_plants_have_infinite_onset() {
+        let config = FleetConfig {
+            attack_fraction: 0.0,
+            ..quick_config(4, 1)
+        };
+        let normals: Vec<Scenario> = (0..4)
+            .map(|i| plant_scenario(&config, i))
+            .filter(|s| s.kind == ScenarioKind::Normal)
+            .collect();
+        assert!(!normals.is_empty());
+        assert!(normals.iter().all(|s| s.onset_hour.is_infinite()));
+    }
+
+    #[test]
+    fn small_fleet_produces_full_report_and_metrics() {
+        let monitor = quick_monitor();
+        let engine = FleetEngine::new(&monitor, quick_config(4, 2));
+        let report = engine.run().unwrap();
+        assert_eq!(report.records.len(), 4);
+        assert!(report.failed_plants().is_empty());
+        let text = engine.metrics().expose();
+        assert!(text.contains("fleet_plants_completed_total 4"));
+        assert!(text.contains("fleet_progress_ratio 1"));
+    }
+}

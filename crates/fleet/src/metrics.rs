@@ -1,0 +1,335 @@
+//! An atomics-based metrics registry with Prometheus-style text
+//! exposition.
+//!
+//! Workers update counters, gauges and histograms lock-free from any
+//! thread; the registry serializes a consistent snapshot in the
+//! [Prometheus text format] (`# HELP` / `# TYPE` headers, cumulative
+//! histogram buckets with an `le` label and a `+Inf` catch-all).
+//!
+//! [Prometheus text format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (stored as `f64` bits).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Upper bounds of the finite buckets, strictly increasing.
+    bounds: Vec<f64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries; the
+    /// last is the overflow/+Inf bucket).
+    counts: Vec<AtomicU64>,
+    /// Sum of observations, as `f64` bits CAS-accumulated.
+    sum_bits: AtomicU64,
+    /// Total number of observations.
+    count: AtomicU64,
+}
+
+/// A histogram with fixed bucket bounds, e.g. detection latencies.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    fn with_bounds(bounds: &[f64]) -> Self {
+        let mut b = bounds.to_vec();
+        b.sort_by(f64::total_cmp);
+        b.dedup();
+        let counts = (0..=b.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramInner {
+            bounds: b,
+            counts,
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let inner = &self.0;
+        let idx = inner
+            .bounds
+            .iter()
+            .position(|b| v <= *b)
+            .unwrap_or(inner.bounds.len());
+        inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        let mut current = inner.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match inner.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation, or `None` before the first one.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum() / n as f64)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    help: String,
+    metric: Metric,
+}
+
+/// A registry of named metrics.
+///
+/// Registration takes a short lock; the returned handles update their
+/// metric lock-free and can be cloned freely across worker threads.
+/// Registering a name twice returns a handle to the *same* underlying
+/// metric (and panics if the kinds disagree — that is a programming
+/// error, not an operational condition).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&self, name: &str, help: &str, fresh: Metric) -> Metric {
+        let mut entries = self.entries.lock().expect("metrics registry poisoned");
+        if let Some(existing) = entries.iter().find(|e| e.name == name) {
+            let compatible = matches!(
+                (&existing.metric, &fresh),
+                (Metric::Counter(_), Metric::Counter(_))
+                    | (Metric::Gauge(_), Metric::Gauge(_))
+                    | (Metric::Histogram(_), Metric::Histogram(_))
+            );
+            assert!(
+                compatible,
+                "metric '{name}' re-registered as a different kind"
+            );
+            return existing.metric.clone();
+        }
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric: fresh.clone(),
+        });
+        fresh
+    }
+
+    /// Registers (or retrieves) a counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        match self.register(name, help, Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        match self.register(name, help, Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram with the given finite bucket
+    /// upper bounds (a `+Inf` bucket is always appended).
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Histogram {
+        match self.register(
+            name,
+            help,
+            Metric::Histogram(Histogram::with_bounds(bounds)),
+        ) {
+            Metric::Histogram(h) => h,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Serializes every metric in the Prometheus text exposition format,
+    /// in registration order.
+    pub fn expose(&self) -> String {
+        use std::fmt::Write as _;
+        let entries = self.entries.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        for e in entries.iter() {
+            if !e.help.is_empty() {
+                let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+            }
+            match &e.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {} counter", e.name);
+                    let _ = writeln!(out, "{} {}", e.name, c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {} gauge", e.name);
+                    let _ = writeln!(out, "{} {}", e.name, g.get());
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {} histogram", e.name);
+                    let inner = &h.0;
+                    let mut cumulative = 0u64;
+                    for (bound, count) in inner.bounds.iter().zip(&inner.counts) {
+                        cumulative += count.load(Ordering::Relaxed);
+                        let _ = writeln!(out, "{}_bucket{{le=\"{bound}\"}} {cumulative}", e.name);
+                    }
+                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", e.name, h.count());
+                    let _ = writeln!(out, "{}_sum {}", e.name, h.sum());
+                    let _ = writeln!(out, "{}_count {}", e.name, h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("fleet_plants_total", "plants scheduled");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name → same metric.
+        assert_eq!(reg.counter("fleet_plants_total", "").get(), 5);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("fleet_progress_ratio", "completed / scheduled");
+        g.set(0.75);
+        assert_eq!(g.get(), 0.75);
+        g.set(0.25);
+        assert_eq!(g.get(), 0.25);
+    }
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("latency_hours", "detection latency", &[0.1, 1.0, 10.0]);
+        for v in [0.05, 0.5, 0.5, 5.0, 50.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 56.05).abs() < 1e-9);
+        assert!((h.mean().unwrap() - 11.21).abs() < 1e-9);
+        let text = reg.expose();
+        assert!(text.contains("latency_hours_bucket{le=\"0.1\"} 1"));
+        assert!(text.contains("latency_hours_bucket{le=\"1\"} 3"));
+        assert!(text.contains("latency_hours_bucket{le=\"10\"} 4"));
+        assert!(text.contains("latency_hours_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("latency_hours_count 5"));
+    }
+
+    #[test]
+    fn exposition_has_headers() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total", "things").inc();
+        reg.gauge("b_ratio", "stuff").set(1.5);
+        let text = reg.expose();
+        assert!(text.contains("# HELP a_total things"));
+        assert!(text.contains("# TYPE a_total counter"));
+        assert!(text.contains("a_total 1"));
+        assert!(text.contains("# TYPE b_ratio gauge"));
+        assert!(text.contains("b_ratio 1.5"));
+    }
+
+    #[test]
+    fn concurrent_updates_are_lossless() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("hits_total", "");
+        let h = reg.histogram("obs", "", &[10.0]);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe(f64::from(i % 20));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x", "");
+        reg.gauge("x", "");
+    }
+}

@@ -1,0 +1,210 @@
+//! A reusable worker pool on scoped threads with bounded result
+//! channels.
+//!
+//! Jobs are indexed `0..n` and pulled by workers through an atomic
+//! cursor (cheap work stealing: a worker that finishes early takes the
+//! next undone index). Results stream back to the *caller's* thread
+//! through a bounded channel, so a slow consumer exerts backpressure on
+//! the workers instead of letting results pile up unboundedly.
+//!
+//! The pool is deliberately tiny and generic: it knows nothing about
+//! plants or MSPC. `temspc_fleet::calibrate` and the fleet engine both
+//! fan out over it, and because jobs are keyed by index, callers can
+//! reassemble results in deterministic job order regardless of thread
+//! count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// A fixed-size worker pool.
+///
+/// Construction is free of OS resources: threads are spawned per
+/// [`WorkerPool::run`] call inside a [`std::thread::scope`], which lets
+/// jobs borrow from the caller's stack (the fleet shares one calibrated
+/// monitor across all workers by reference).
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    threads: usize,
+    queue_depth: usize,
+}
+
+impl WorkerPool {
+    /// A pool with `threads` workers (0 → one per available CPU core,
+    /// capped at 16).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(16)
+        } else {
+            threads
+        };
+        WorkerPool {
+            threads,
+            queue_depth: 2 * threads,
+        }
+    }
+
+    /// Caps the in-flight result queue at `depth` (default
+    /// `2 × threads`). Workers block on delivery once the consumer lags
+    /// this far behind.
+    #[must_use]
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// The number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs jobs `0..n_jobs` through `work`, delivering every
+    /// `(index, result)` pair to `sink` on the calling thread as it
+    /// arrives (arrival order is nondeterministic; indices are not).
+    ///
+    /// Worker panics propagate to the caller when the scope joins, after
+    /// all other workers have drained.
+    pub fn run<T, W, S>(&self, n_jobs: usize, work: W, mut sink: S)
+    where
+        T: Send,
+        W: Fn(usize) -> T + Sync,
+        S: FnMut(usize, T),
+    {
+        if n_jobs == 0 {
+            return;
+        }
+        let threads = self.threads.min(n_jobs);
+        if threads <= 1 {
+            // Degenerate pool: run inline, preserving delivery semantics.
+            for index in 0..n_jobs {
+                sink(index, work(index));
+            }
+            return;
+        }
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::sync_channel::<(usize, T)>(self.queue_depth);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let work = &work;
+                scope.spawn(move || loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= n_jobs {
+                        break;
+                    }
+                    // A send failure means the receiver is gone, which
+                    // only happens when the scope is unwinding already.
+                    if tx.send((index, work(index))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (index, result) in rx {
+                sink(index, result);
+            }
+        });
+    }
+
+    /// Runs jobs `0..n_jobs` and collects the results *in job order*,
+    /// independent of the thread count.
+    pub fn map<T, W>(&self, n_jobs: usize, work: W) -> Vec<T>
+    where
+        T: Send,
+        W: Fn(usize) -> T + Sync,
+    {
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n_jobs);
+        slots.resize_with(n_jobs, || None);
+        self.run(n_jobs, work, |index, result| slots[index] = Some(result));
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job index delivered exactly once"))
+            .collect()
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        WorkerPool::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_job_order() {
+        let pool = WorkerPool::new(4);
+        let out = pool.map(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let ran = AtomicUsize::new(0);
+        let pool = WorkerPool::new(3);
+        pool.run(
+            57,
+            |_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            },
+            |_, ()| {},
+        );
+        assert_eq!(ran.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn single_thread_runs_inline_in_order() {
+        let pool = WorkerPool::new(1);
+        let mut seen = Vec::new();
+        pool.run(10, |i| i, |index, v| seen.push((index, v)));
+        assert_eq!(seen, (0..10).map(|i| (i, i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_jobs_is_a_noop() {
+        let pool = WorkerPool::new(4);
+        let out: Vec<usize> = pool.map(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_match_across_thread_counts() {
+        let expect: Vec<u64> = (0..40u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        for threads in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(pool.map(40, |i| (i as u64).wrapping_mul(0x9E37)), expect);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(|| {
+            pool.run(
+                8,
+                |i| {
+                    if i == 5 {
+                        panic!("job 5 exploded");
+                    }
+                    i
+                },
+                |_, _| {},
+            );
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn jobs_can_borrow_caller_state() {
+        let shared = [10usize, 20, 30, 40];
+        let pool = WorkerPool::new(2);
+        let out = pool.map(4, |i| shared[i] + 1);
+        assert_eq!(out, vec![11, 21, 31, 41]);
+    }
+}

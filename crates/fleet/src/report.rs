@@ -1,0 +1,294 @@
+//! Aggregate fleet reporting: per-plant records, the
+//! disturbance-vs-intrusion confusion matrix and latency statistics.
+
+use serde::{Deserialize, Serialize};
+use temspc::{ScenarioKind, Verdict};
+
+/// Everything the fleet learned about one plant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlantRecord {
+    /// Plant index within the fleet.
+    pub plant: u32,
+    /// The scenario this plant ran (ground truth).
+    pub kind: ScenarioKind,
+    /// The plant's derived RNG seed.
+    pub seed: u64,
+    /// Whether any supervised attempt completed (false → gave up after
+    /// the restart budget, or the closed loop returned an error).
+    pub completed: bool,
+    /// Restarts the supervisor performed for this plant.
+    pub restarts: u32,
+    /// Last panic or run-error message, if the plant ever faulted.
+    pub fault: Option<String>,
+    /// Hours from anomaly onset to first detection (either level).
+    pub detection_latency_hours: Option<f64>,
+    /// Alarms raised before the anomaly onset.
+    pub false_alarms: u32,
+    /// The dual-level oMEDA verdict, if an anomalous window was
+    /// collected.
+    pub verdict: Option<Verdict>,
+    /// Hour at which a safety interlock shut the plant down, if one did.
+    pub shutdown_hour: Option<f64>,
+}
+
+impl PlantRecord {
+    /// Ground-truth class of this plant's scenario.
+    pub fn truth(&self) -> Truth {
+        match self.kind {
+            ScenarioKind::Normal => Truth::Normal,
+            k if k.is_attack() => Truth::Intrusion,
+            _ => Truth::Disturbance,
+        }
+    }
+
+    /// Whether the verdict matches the ground truth (only meaningful for
+    /// anomalous plants).
+    pub fn verdict_correct(&self) -> Option<bool> {
+        let v = self.verdict?;
+        match self.truth() {
+            Truth::Normal => None,
+            Truth::Disturbance => Some(v == Verdict::Disturbance),
+            Truth::Intrusion => Some(v == Verdict::Intrusion),
+        }
+    }
+}
+
+/// Ground-truth class of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Truth {
+    /// No anomaly scheduled.
+    Normal,
+    /// A natural process disturbance.
+    Disturbance,
+    /// A fieldbus attack.
+    Intrusion,
+}
+
+impl Truth {
+    fn label(self) -> &'static str {
+        match self {
+            Truth::Normal => "normal",
+            Truth::Disturbance => "disturbance",
+            Truth::Intrusion => "intrusion",
+        }
+    }
+}
+
+/// How the fleet classified one plant, collapsing the per-plant outcome
+/// into one column of the confusion matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Diagnosed as a disturbance.
+    Disturbance,
+    /// Diagnosed as an intrusion.
+    Intrusion,
+    /// Detected but the diagnosis was inconclusive.
+    Inconclusive,
+    /// Nothing detected for the whole run.
+    Undetected,
+    /// The plant job never completed (restart budget exhausted).
+    Failed,
+}
+
+const OUTCOMES: [Outcome; 5] = [
+    Outcome::Disturbance,
+    Outcome::Intrusion,
+    Outcome::Inconclusive,
+    Outcome::Undetected,
+    Outcome::Failed,
+];
+
+impl Outcome {
+    fn label(self) -> &'static str {
+        match self {
+            Outcome::Disturbance => "disturbance",
+            Outcome::Intrusion => "intrusion",
+            Outcome::Inconclusive => "inconclusive",
+            Outcome::Undetected => "undetected",
+            Outcome::Failed => "failed",
+        }
+    }
+
+    fn of(record: &PlantRecord) -> Outcome {
+        if !record.completed {
+            return Outcome::Failed;
+        }
+        match record.verdict {
+            Some(Verdict::Disturbance) => Outcome::Disturbance,
+            Some(Verdict::Intrusion) => Outcome::Intrusion,
+            Some(Verdict::Inconclusive) => Outcome::Inconclusive,
+            None => Outcome::Undetected,
+        }
+    }
+}
+
+/// The aggregate report over a whole fleet.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Per-plant records, sorted by plant index.
+    pub records: Vec<PlantRecord>,
+}
+
+impl FleetReport {
+    /// Builds a report from records (sorts them by plant index so the
+    /// report is identical regardless of worker completion order).
+    pub fn new(mut records: Vec<PlantRecord>) -> Self {
+        records.sort_by_key(|r| r.plant);
+        FleetReport { records }
+    }
+
+    /// Count of `(truth, outcome)` pairs.
+    pub fn confusion(&self, truth: Truth, outcome: Outcome) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.truth() == truth && Outcome::of(r) == outcome)
+            .count()
+    }
+
+    /// Verdict accuracy over anomalous plants that produced a verdict.
+    pub fn verdict_accuracy(&self) -> Option<f64> {
+        let judged: Vec<bool> = self
+            .records
+            .iter()
+            .filter_map(PlantRecord::verdict_correct)
+            .collect();
+        (!judged.is_empty())
+            .then(|| judged.iter().filter(|c| **c).count() as f64 / judged.len() as f64)
+    }
+
+    /// Mean detection latency in hours over detected anomalous plants.
+    pub fn mean_latency_hours(&self) -> Option<f64> {
+        let lat: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| r.truth() != Truth::Normal)
+            .filter_map(|r| r.detection_latency_hours)
+            .collect();
+        (!lat.is_empty()).then(|| lat.iter().sum::<f64>() / lat.len() as f64)
+    }
+
+    /// Plants that exhausted their restart budget.
+    pub fn failed_plants(&self) -> Vec<u32> {
+        self.records
+            .iter()
+            .filter(|r| !r.completed)
+            .map(|r| r.plant)
+            .collect()
+    }
+
+    /// Total restarts performed across the fleet.
+    pub fn total_restarts(&self) -> u32 {
+        self.records.iter().map(|r| r.restarts).sum()
+    }
+}
+
+impl std::fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "fleet report: {} plants", self.records.len())?;
+        writeln!(f)?;
+        write!(f, "{:<14}", "truth \\ said")?;
+        for o in OUTCOMES {
+            write!(f, "{:>14}", o.label())?;
+        }
+        writeln!(f)?;
+        for truth in [Truth::Normal, Truth::Disturbance, Truth::Intrusion] {
+            write!(f, "{:<14}", truth.label())?;
+            for o in OUTCOMES {
+                write!(f, "{:>14}", self.confusion(truth, o))?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f)?;
+        if let Some(acc) = self.verdict_accuracy() {
+            writeln!(f, "verdict accuracy : {:.1} %", 100.0 * acc)?;
+        }
+        if let Some(lat) = self.mean_latency_hours() {
+            writeln!(f, "mean latency     : {:.1} s after onset", lat * 3600.0)?;
+        }
+        let shutdowns = self
+            .records
+            .iter()
+            .filter(|r| r.shutdown_hour.is_some())
+            .count();
+        writeln!(f, "interlock trips  : {shutdowns}")?;
+        writeln!(f, "restarts         : {}", self.total_restarts())?;
+        let failed = self.failed_plants();
+        if !failed.is_empty() {
+            writeln!(f, "FAILED plants    : {failed:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(plant: u32, kind: ScenarioKind, verdict: Option<Verdict>) -> PlantRecord {
+        PlantRecord {
+            plant,
+            kind,
+            seed: 1,
+            completed: true,
+            restarts: 0,
+            fault: None,
+            detection_latency_hours: verdict.is_some().then_some(0.05),
+            false_alarms: 0,
+            verdict,
+            shutdown_hour: None,
+        }
+    }
+
+    #[test]
+    fn report_orders_records_by_plant() {
+        let report = FleetReport::new(vec![
+            record(2, ScenarioKind::Normal, None),
+            record(0, ScenarioKind::Idv6, Some(Verdict::Disturbance)),
+            record(1, ScenarioKind::DosXmv3, Some(Verdict::Intrusion)),
+        ]);
+        let ids: Vec<u32> = report.records.iter().map(|r| r.plant).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn confusion_and_accuracy() {
+        let report = FleetReport::new(vec![
+            record(0, ScenarioKind::Idv6, Some(Verdict::Disturbance)),
+            record(1, ScenarioKind::Idv6, Some(Verdict::Intrusion)),
+            record(2, ScenarioKind::IntegrityXmv3, Some(Verdict::Intrusion)),
+            record(3, ScenarioKind::Normal, None),
+        ]);
+        assert_eq!(
+            report.confusion(Truth::Disturbance, Outcome::Disturbance),
+            1
+        );
+        assert_eq!(report.confusion(Truth::Disturbance, Outcome::Intrusion), 1);
+        assert_eq!(report.confusion(Truth::Intrusion, Outcome::Intrusion), 1);
+        assert_eq!(report.confusion(Truth::Normal, Outcome::Undetected), 1);
+        // 2 of 3 judged verdicts are correct.
+        assert!((report.verdict_accuracy().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_plants_show_up() {
+        let mut bad = record(5, ScenarioKind::Idv6, None);
+        bad.completed = false;
+        bad.restarts = 2;
+        let report = FleetReport::new(vec![bad, record(1, ScenarioKind::Normal, None)]);
+        assert_eq!(report.failed_plants(), vec![5]);
+        assert_eq!(report.total_restarts(), 2);
+        assert_eq!(report.confusion(Truth::Disturbance, Outcome::Failed), 1);
+        let text = report.to_string();
+        assert!(text.contains("FAILED plants"));
+    }
+
+    #[test]
+    fn display_contains_matrix_rows() {
+        let report = FleetReport::new(vec![record(0, ScenarioKind::Normal, None)]);
+        let text = report.to_string();
+        assert!(text.contains("normal"));
+        assert!(text.contains("disturbance"));
+        assert!(text.contains("intrusion"));
+        assert!(text.contains("undetected"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Per-worker supervision: panic capture, bounded restarts, graceful
+//! degradation.
+//!
+//! Each plant job runs under [`supervise`], which converts panics into
+//! data instead of letting them tear down the pool: a panicking attempt
+//! is retried from the plant's own seed (the closed loop is a pure
+//! function of its scenario, so a restart replays the identical
+//! trajectory) up to a bounded number of restarts, after which the plant
+//! is reported as failed. Safety-interlock shutdowns are *not* failures:
+//! the plant tripped itself into a safe state, which the fleet records
+//! as a degraded-but-orderly outcome.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Supervision policy for one plant job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SupervisionPolicy {
+    /// Restart attempts after the first panic (0 → fail immediately).
+    pub max_restarts: u32,
+}
+
+impl Default for SupervisionPolicy {
+    fn default() -> Self {
+        SupervisionPolicy { max_restarts: 2 }
+    }
+}
+
+/// What supervision observed while running one job.
+#[derive(Debug, Clone)]
+pub struct Supervised<T> {
+    /// The job's result, if any attempt completed.
+    pub result: Option<T>,
+    /// Number of restarts performed (0 = first attempt succeeded).
+    pub restarts: u32,
+    /// Captured panic messages, oldest first.
+    pub panics: Vec<String>,
+}
+
+impl<T> Supervised<T> {
+    /// Whether every attempt panicked and the restart budget is spent.
+    pub fn failed(&self) -> bool {
+        self.result.is_none()
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `job` under the policy: panics are caught and the job is rerun
+/// until it completes or `1 + max_restarts` attempts have panicked.
+///
+/// The job must be restartable from scratch — in the fleet every job is
+/// a deterministic function of a `(scenario, seed)` pair, so reruns are
+/// exact replays and cannot diverge across thread counts.
+pub fn supervise<T>(policy: SupervisionPolicy, job: impl Fn() -> T) -> Supervised<T> {
+    let mut panics = Vec::new();
+    let attempts = 1 + policy.max_restarts;
+    for attempt in 0..attempts {
+        // The default panic hook would spam stderr once per attempt;
+        // keep it — a supervised panic is still worth a trace — but the
+        // capture itself must not poison shared state, which it cannot:
+        // the job owns everything it touches except `Fn` state we
+        // explicitly re-assert.
+        match catch_unwind(AssertUnwindSafe(&job)) {
+            Ok(result) => {
+                return Supervised {
+                    result: Some(result),
+                    restarts: attempt,
+                    panics,
+                }
+            }
+            Err(payload) => panics.push(panic_message(payload)),
+        }
+    }
+    Supervised {
+        result: None,
+        restarts: policy.max_restarts,
+        panics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn quiet<T>(f: impl FnOnce() -> T) -> T {
+        // Suppress the default panic hook's backtrace spam for tests that
+        // panic on purpose.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(hook);
+        out
+    }
+
+    #[test]
+    fn clean_job_runs_once() {
+        let s = supervise(SupervisionPolicy::default(), || 42);
+        assert_eq!(s.result, Some(42));
+        assert_eq!(s.restarts, 0);
+        assert!(s.panics.is_empty());
+        assert!(!s.failed());
+    }
+
+    #[test]
+    fn flaky_job_is_restarted() {
+        quiet(|| {
+            let calls = AtomicU32::new(0);
+            let s = supervise(SupervisionPolicy { max_restarts: 3 }, || {
+                if calls.fetch_add(1, Ordering::Relaxed) < 2 {
+                    panic!("transient fault");
+                }
+                7u32
+            });
+            assert_eq!(s.result, Some(7));
+            assert_eq!(s.restarts, 2);
+            assert_eq!(s.panics, vec!["transient fault", "transient fault"]);
+        });
+    }
+
+    #[test]
+    fn hopeless_job_fails_after_budget() {
+        quiet(|| {
+            let s: Supervised<()> = supervise(SupervisionPolicy { max_restarts: 1 }, || {
+                panic!("hard fault {}", 13)
+            });
+            assert!(s.failed());
+            assert_eq!(s.restarts, 1);
+            assert_eq!(s.panics.len(), 2);
+            assert!(s.panics[0].contains("hard fault 13"));
+        });
+    }
+
+    #[test]
+    fn zero_budget_fails_on_first_panic() {
+        quiet(|| {
+            let s: Supervised<()> =
+                supervise(SupervisionPolicy { max_restarts: 0 }, || panic!("boom"));
+            assert!(s.failed());
+            assert_eq!(s.panics.len(), 1);
+        });
+    }
+}

@@ -221,8 +221,8 @@ pub fn qr(a: &Matrix) -> Result<Qr> {
         for j in k..m {
             let dot: f64 = (k..n).map(|i| v[i] * r.get(i, j)).sum();
             let f = 2.0 * dot / vtv;
-            for i in k..n {
-                let val = r.get(i, j) - f * v[i];
+            for (i, &vi) in v.iter().enumerate().skip(k) {
+                let val = r.get(i, j) - f * vi;
                 r.set(i, j, val);
             }
         }
@@ -230,8 +230,8 @@ pub fn qr(a: &Matrix) -> Result<Qr> {
         for i in 0..n {
             let dot: f64 = (k..n).map(|j| q.get(i, j) * v[j]).sum();
             let f = 2.0 * dot / vtv;
-            for j in k..n {
-                let val = q.get(i, j) - f * v[j];
+            for (j, &vj) in v.iter().enumerate().skip(k) {
+                let val = q.get(i, j) - f * vj;
                 q.set(i, j, val);
             }
         }
@@ -286,8 +286,8 @@ pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     let mut y = vec![0.0; n];
     for i in 0..n {
         let mut sum = b[i];
-        for k in 0..i {
-            sum -= l.get(i, k) * y[k];
+        for (k, &yk) in y.iter().enumerate().take(i) {
+            sum -= l.get(i, k) * yk;
         }
         y[i] = sum / l.get(i, i);
     }
@@ -295,8 +295,8 @@ pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     let mut x = vec![0.0; n];
     for i in (0..n).rev() {
         let mut sum = y[i];
-        for k in (i + 1)..n {
-            sum -= l.get(k, i) * x[k];
+        for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+            sum -= l.get(k, i) * xk;
         }
         x[i] = sum / l.get(i, i);
     }
@@ -322,11 +322,7 @@ mod tests {
 
     #[test]
     fn eigen_reconstructs_matrix() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, -0.2],
-            &[0.5, -0.2, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -0.2], &[0.5, -0.2, 2.0]]);
         let e = symmetric_eigen(&a).unwrap();
         let lam = Matrix::from_diag(&e.values);
         let rec = e.vectors.matmul(&lam).matmul(&e.vectors.transpose());
@@ -354,17 +350,11 @@ mod tests {
 
     #[test]
     fn svd_reconstructs_tall_matrix() {
-        let x = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-            &[7.0, 8.0],
-        ]);
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 8.0]]);
         let s = svd(&x).unwrap();
-        let rec = s
-            .u
-            .matmul(&Matrix::from_diag(&s.singular_values))
-            .matmul(&s.v.transpose());
+        let rec =
+            s.u.matmul(&Matrix::from_diag(&s.singular_values))
+                .matmul(&s.v.transpose());
         assert!(rec.try_sub(&x).unwrap().max_abs() < 1e-9);
         assert!(s.singular_values[0] >= s.singular_values[1]);
     }
@@ -373,10 +363,9 @@ mod tests {
     fn svd_wide_matrix_via_transpose() {
         let x = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0]]);
         let s = svd(&x).unwrap();
-        let rec = s
-            .u
-            .matmul(&Matrix::from_diag(&s.singular_values))
-            .matmul(&s.v.transpose());
+        let rec =
+            s.u.matmul(&Matrix::from_diag(&s.singular_values))
+                .matmul(&s.v.transpose());
         assert!(rec.try_sub(&x).unwrap().max_abs() < 1e-9);
     }
 
@@ -423,6 +412,9 @@ mod tests {
     #[test]
     fn solve_spd_rejects_indefinite() {
         let a = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, -1.0]]);
-        assert!(matches!(solve_spd(&a, &[1.0, 1.0]), Err(LinalgError::Singular)));
+        assert!(matches!(
+            solve_spd(&a, &[1.0, 1.0]),
+            Err(LinalgError::Singular)
+        ));
     }
 }

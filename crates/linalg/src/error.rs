@@ -42,7 +42,10 @@ impl fmt::Display for LinalgError {
             LinalgError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
             LinalgError::Domain { what } => write!(f, "argument outside domain: {what}"),
             LinalgError::Singular => write!(f, "matrix is singular to working precision"),
         }

@@ -262,13 +262,7 @@ impl Matrix {
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "matvec shape mismatch");
         (0..self.rows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(v)
-                    .map(|(&a, &b)| a * b)
-                    .sum::<f64>()
-            })
+            .map(|r| self.row(r).iter().zip(v).map(|(&a, &b)| a * b).sum::<f64>())
             .collect()
     }
 
@@ -581,10 +575,7 @@ mod tests {
     #[test]
     fn max_abs_empty_is_zero() {
         assert_eq!(Matrix::default().max_abs(), 0.0);
-        assert_eq!(
-            Matrix::from_rows(&[&[-7.0, 2.0]]).max_abs(),
-            7.0
-        );
+        assert_eq!(Matrix::from_rows(&[&[-7.0, 2.0]]).max_abs(), 7.0);
     }
 
     #[test]

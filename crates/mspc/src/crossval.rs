@@ -99,9 +99,9 @@ pub fn press_cross_validation(
                     let mut rhs = vec![0.0; a];
                     for (r, rv) in rhs.iter_mut().enumerate() {
                         let mut v = 0.0;
-                        for k in 0..m {
+                        for (k, &zk) in z.iter().enumerate() {
                             if k != j {
-                                v += p.get(k, r) * z[k];
+                                v += p.get(k, r) * zk;
                             }
                         }
                         *rv = v;

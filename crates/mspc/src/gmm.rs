@@ -119,26 +119,26 @@ impl GmmModel {
             let mut total_ll = 0.0;
             for i in 0..n {
                 let mut logp = vec![0.0; k];
-                for c in 0..k {
-                    logp[c] = weights[c].max(1e-300).ln()
+                for (c, lp) in logp.iter_mut().enumerate() {
+                    *lp = weights[c].max(1e-300).ln()
                         + log_gaussian_diag(z.row(i), means.row(c), variances.row(c));
                 }
                 let mx = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                 let sum_exp: f64 = logp.iter().map(|l| (l - mx).exp()).sum();
                 let log_norm = mx + sum_exp.ln();
                 total_ll += log_norm;
-                for c in 0..k {
-                    resp.set(i, c, (logp[c] - log_norm).exp());
+                for (c, &lp) in logp.iter().enumerate() {
+                    resp.set(i, c, (lp - log_norm).exp());
                 }
             }
             // M step.
-            for c in 0..k {
+            for (c, wc) in weights.iter_mut().enumerate() {
                 let nk: f64 = (0..n).map(|i| resp.get(i, c)).sum();
                 let nk_safe = nk.max(1e-12);
-                weights[c] = nk / n as f64;
+                *wc = nk / n as f64;
                 for j in 0..m {
-                    let mu: f64 = (0..n).map(|i| resp.get(i, c) * z.get(i, j)).sum::<f64>()
-                        / nk_safe;
+                    let mu: f64 =
+                        (0..n).map(|i| resp.get(i, c) * z.get(i, j)).sum::<f64>() / nk_safe;
                     means.set(c, j, mu);
                 }
                 for j in 0..m {
@@ -203,8 +203,8 @@ impl GmmModel {
     fn score_scaled(&self, z: &[f64]) -> f64 {
         let k = self.n_components();
         let mut logp = vec![0.0; k];
-        for c in 0..k {
-            logp[c] = self.weights[c].max(1e-300).ln()
+        for (c, lp) in logp.iter_mut().enumerate() {
+            *lp = self.weights[c].max(1e-300).ln()
                 + log_gaussian_diag(z, self.means.row(c), self.variances.row(c));
         }
         let mx = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -310,14 +310,31 @@ mod tests {
         };
         let a = GmmModel::fit(&x, cfg).unwrap();
         let b = GmmModel::fit(&x, cfg).unwrap();
-        assert_eq!(a.score(&[1.0, 2.0, 3.0]).unwrap(), b.score(&[1.0, 2.0, 3.0]).unwrap());
+        assert_eq!(
+            a.score(&[1.0, 2.0, 3.0]).unwrap(),
+            b.score(&[1.0, 2.0, 3.0]).unwrap()
+        );
     }
 
     #[test]
     fn rejects_bad_component_counts() {
         let x = two_cluster_data(20, 5);
-        assert!(GmmModel::fit(&x, GmmConfig { components: 0, ..GmmConfig::default() }).is_err());
-        assert!(GmmModel::fit(&x, GmmConfig { components: 15, ..GmmConfig::default() }).is_err());
+        assert!(GmmModel::fit(
+            &x,
+            GmmConfig {
+                components: 0,
+                ..GmmConfig::default()
+            }
+        )
+        .is_err());
+        assert!(GmmModel::fit(
+            &x,
+            GmmConfig {
+                components: 15,
+                ..GmmConfig::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]

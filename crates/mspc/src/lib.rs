@@ -55,8 +55,8 @@ pub mod pca;
 pub mod statistics;
 
 pub use detector::{AnomalousEvent, ConsecutiveDetector, DetectorConfig};
+pub use ewma::EwmaChart;
 pub use limits::ControlLimits;
 pub use model::{MspcConfig, MspcError, MspcModel, ObservationScore};
-pub use ewma::EwmaChart;
 pub use omeda::omeda;
 pub use pca::PcaModel;

@@ -77,8 +77,8 @@ impl ControlLimits {
         let h0 = 1.0 - 2.0 * th1 * th3 / (3.0 * th2 * th2);
         if th2 > 1e-300 && h0 > 1e-6 {
             let z = Normal.quantile(alpha)?;
-            let term = z * (2.0 * th2 * h0 * h0).sqrt() / th1 + 1.0
-                + th2 * h0 * (h0 - 1.0) / (th1 * th1);
+            let term =
+                z * (2.0 * th2 * h0 * h0).sqrt() / th1 + 1.0 + th2 * h0 * (h0 - 1.0) / (th1 * th1);
             if term > 0.0 {
                 return Ok(th1 * term.powf(1.0 / h0));
             }
@@ -158,8 +158,7 @@ mod tests {
         let n = 200_000;
         let mut exceed = 0;
         for _ in 0..n {
-            let spe = 0.5 * rng.next_gaussian().powi(2) * 1.0
-                + 0.2 * rng.next_gaussian().powi(2);
+            let spe = 0.5 * rng.next_gaussian().powi(2) * 1.0 + 0.2 * rng.next_gaussian().powi(2);
             // spe = l1*z1^2 + l2*z2^2 with eigenvalues as variances.
             let spe = spe * 1.0; // already weighted
             if spe > lim99 {

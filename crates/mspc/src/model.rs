@@ -173,12 +173,15 @@ mod tests {
         let x = calibration(2000, 1);
         let model = MspcModel::fit(&x, MspcConfig::default()).unwrap();
         let (t2, spe) = model.score_dataset(&x).unwrap();
-        let frac_t2 = t2.iter().filter(|&&v| v > model.limits().t2_99).count() as f64
-            / t2.len() as f64;
-        let frac_spe = spe.iter().filter(|&&v| v > model.limits().spe_99).count() as f64
-            / spe.len() as f64;
+        let frac_t2 =
+            t2.iter().filter(|&&v| v > model.limits().t2_99).count() as f64 / t2.len() as f64;
+        let frac_spe =
+            spe.iter().filter(|&&v| v > model.limits().spe_99).count() as f64 / spe.len() as f64;
         assert!((0.002..0.03).contains(&frac_t2), "t2 exceedance {frac_t2}");
-        assert!((0.002..0.03).contains(&frac_spe), "spe exceedance {frac_spe}");
+        assert!(
+            (0.002..0.03).contains(&frac_spe),
+            "spe exceedance {frac_spe}"
+        );
     }
 
     #[test]

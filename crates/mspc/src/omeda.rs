@@ -60,8 +60,8 @@ pub fn omeda(x: &Matrix, dummy: &[f64], model: &PcaModel) -> Result<Vec<f64>, Li
         let z = model.scaler().transform_row(x.row(r))?;
         // Projection of z onto the model plane.
         let mut scores = vec![0.0; a];
-        for c in 0..a {
-            scores[c] = (0..m).map(|j| z[j] * p.get(j, c)).sum();
+        for (c, sc) in scores.iter_mut().enumerate() {
+            *sc = (0..m).map(|j| z[j] * p.get(j, c)).sum();
         }
         for j in 0..m {
             let z_hat: f64 = (0..a).map(|c| scores[c] * p.get(j, c)).sum();
@@ -211,17 +211,11 @@ mod tests {
     #[test]
     fn clarity_distinguishes_clear_and_diffuse_plots() {
         // One dominant bar among eight: clear.
-        assert!(
-            diagnosis_clarity(&[10.0, 0.5, -0.2, 0.1, 0.1, -0.1, 0.2, 0.1]) > 0.8
-        );
+        assert!(diagnosis_clarity(&[10.0, 0.5, -0.2, 0.1, 0.1, -0.1, 0.2, 0.1]) > 0.8);
         // Everything the same magnitude: diffuse.
-        assert!(
-            diagnosis_clarity(&[1.0, -0.95, 0.9, -0.85, 0.92, -0.88, 0.97, -0.9]) < 0.1
-        );
+        assert!(diagnosis_clarity(&[1.0, -0.95, 0.9, -0.85, 0.92, -0.88, 0.97, -0.9]) < 0.1);
         // Two co-deviating variables still count as clear.
-        assert!(
-            diagnosis_clarity(&[8.0, 7.5, 0.3, -0.2, 0.1, 0.2, -0.1, 0.15]) > 0.8
-        );
+        assert!(diagnosis_clarity(&[8.0, 7.5, 0.3, -0.2, 0.1, 0.2, -0.1, 0.15]) > 0.8);
         assert_eq!(diagnosis_clarity(&[0.0, 0.0, 0.0, 0.0]), 0.0);
         assert_eq!(diagnosis_clarity(&[1.0]), 0.0);
     }

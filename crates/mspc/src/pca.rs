@@ -198,10 +198,10 @@ impl PcaModel {
                 });
             }
             // Deflate: E <- E - t p^T
-            for r in 0..n {
+            for (r, &tr) in t.iter().enumerate() {
                 let row = e.row_mut(r);
                 for (c, pc) in p.iter().enumerate() {
-                    row[c] -= t[r] * pc;
+                    row[c] -= tr * pc;
                 }
             }
             for (c, &pc) in p.iter().enumerate() {
@@ -287,8 +287,8 @@ impl PcaModel {
         let a = self.n_components();
         let m = self.n_variables();
         let mut scores = vec![0.0; a];
-        for c in 0..a {
-            scores[c] = (0..m).map(|r| z[r] * self.loadings.get(r, c)).sum();
+        for (c, sc) in scores.iter_mut().enumerate() {
+            *sc = (0..m).map(|r| z[r] * self.loadings.get(r, c)).sum();
         }
         let mut residual = z;
         for (r, res) in residual.iter_mut().enumerate() {
@@ -311,7 +311,7 @@ mod tests {
         for r in 0..n {
             let t = rng.next_gaussian();
             x.set(r, 0, 2.0 * t + 0.05 * rng.next_gaussian());
-            x.set(r, 1, -1.0 * t + 0.05 * rng.next_gaussian());
+            x.set(r, 1, -t + 0.05 * rng.next_gaussian());
             x.set(r, 2, 0.5 * t + 0.05 * rng.next_gaussian());
         }
         x
@@ -323,7 +323,11 @@ mod tests {
         let model = PcaModel::fit(&x, ComponentSelection::Fixed(1)).unwrap();
         assert_eq!(model.n_components(), 1);
         // One latent factor drives everything: > 95 % variance explained.
-        assert!(model.explained_variance() > 0.95, "{}", model.explained_variance());
+        assert!(
+            model.explained_variance() > 0.95,
+            "{}",
+            model.explained_variance()
+        );
     }
 
     #[test]

@@ -247,7 +247,10 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
 
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, PersistError> {
         let len = self.seq_len()?;
-        visitor.visit_seq(SeqAccess { de: self, left: len })
+        visitor.visit_seq(SeqAccess {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_tuple<V: Visitor<'de>>(
@@ -270,7 +273,10 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, PersistError> {
         self.expect_tag(Tag::Map)?;
         let len = self.u32_raw()? as usize;
-        visitor.visit_map(MapAccess { de: self, left: len })
+        visitor.visit_map(MapAccess {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_struct<V: Visitor<'de>>(
@@ -286,7 +292,10 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
                 fields.len()
             )));
         }
-        visitor.visit_seq(SeqAccess { de: self, left: len })
+        visitor.visit_seq(SeqAccess {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_enum<V: Visitor<'de>>(
@@ -300,13 +309,19 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
         visitor.visit_enum(EnumAccess { de: self, index })
     }
 
-    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, PersistError> {
+    fn deserialize_identifier<V: Visitor<'de>>(
+        self,
+        _visitor: V,
+    ) -> Result<V::Value, PersistError> {
         Err(PersistError::Message(
             "TPB encodes fields positionally; identifiers are not stored".into(),
         ))
     }
 
-    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, PersistError> {
+    fn deserialize_ignored_any<V: Visitor<'de>>(
+        self,
+        visitor: V,
+    ) -> Result<V::Value, PersistError> {
         self.deserialize_any(visitor)
     }
 }

@@ -49,5 +49,7 @@ pub mod valve;
 pub use component::Component;
 pub use disturbance::{Disturbance, DisturbanceSet};
 pub use measurement::{MeasurementVector, N_XMEAS};
-pub use plant::{FlowSummary, PlantConfig, PlantError, PlantState, TePlant, N_XMV, SAMPLES_PER_HOUR, STEP_HOURS};
+pub use plant::{
+    FlowSummary, PlantConfig, PlantError, PlantState, TePlant, N_XMV, SAMPLES_PER_HOUR, STEP_HOURS,
+};
 pub use shutdown::{InterlockLimits, ShutdownReason};

@@ -42,15 +42,43 @@ pub const XMEAS_INFO: [MeasurementInfo; N_XMEAS] = [
     m(11, "Separator temperature", "degC", 80.11, 0.15, 0.0),
     m(12, "Separator level", "%", 50.0, 0.6, 0.0),
     m(13, "Separator pressure", "kPa gauge", 2642.6, 6.0, 0.0),
-    m(14, "Separator underflow (stream 10)", "m3/h", 20.52, 0.2, 0.0),
+    m(
+        14,
+        "Separator underflow (stream 10)",
+        "m3/h",
+        20.52,
+        0.2,
+        0.0,
+    ),
     m(15, "Stripper level", "%", 50.0, 0.6, 0.0),
     m(16, "Stripper pressure", "kPa gauge", 2830.2, 8.0, 0.0),
-    m(17, "Stripper underflow (stream 11)", "m3/h", 19.53, 0.2, 0.0),
+    m(
+        17,
+        "Stripper underflow (stream 11)",
+        "m3/h",
+        19.53,
+        0.2,
+        0.0,
+    ),
     m(18, "Stripper temperature", "degC", 65.73, 0.12, 0.0),
     m(19, "Stripper steam flow", "kg/h", 178.4, 2.5, 0.0),
     m(20, "Compressor work", "kW", 392.6, 2.5, 0.0),
-    m(21, "Reactor CW outlet temperature", "degC", 109.85, 0.1, 0.0),
-    m(22, "Separator CW outlet temperature", "degC", 77.89, 0.1, 0.0),
+    m(
+        21,
+        "Reactor CW outlet temperature",
+        "degC",
+        109.85,
+        0.1,
+        0.0,
+    ),
+    m(
+        22,
+        "Separator CW outlet temperature",
+        "degC",
+        77.89,
+        0.1,
+        0.0,
+    ),
     // Reactor feed analysis (stream 6), sampled every 0.1 h, mol%.
     m(23, "Reactor feed %A", "mol%", 33.0, 0.1, 0.1),
     m(24, "Reactor feed %B", "mol%", 2.79, 0.04, 0.1),

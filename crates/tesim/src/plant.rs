@@ -9,7 +9,7 @@ use crate::disturbance::{Disturbance, DisturbanceSet};
 use crate::measurement::{MeasurementVector, N_XMEAS, XMEAS_INFO};
 use crate::reaction::{reactions, Reaction};
 use crate::shutdown::{InterlockLimits, ShutdownReason};
-use crate::thermo::{vapor_pressure, CP_GAS, CP_LIQ, CP_WATER, LATENT_HEAT, R_GAS, REACTION_HEAT};
+use crate::thermo::{vapor_pressure, CP_GAS, CP_LIQ, CP_WATER, LATENT_HEAT, REACTION_HEAT, R_GAS};
 use crate::valve::Valve;
 
 /// Number of manipulated variables (XMV).
@@ -198,10 +198,16 @@ impl PlantState {
             reactor_liquid: [0.0, 0.0, 0.0, 0.0, 0.0, 1.46779, 64.50234, 89.91432],
             reactor_gas: [4.88106, 0.57584, 5.93191, 0.37696, 2.37792, 0.0, 0.0, 0.0],
             reactor_temp: 393.54997,
-            sep_vapor: [27.13666, 3.20036, 32.95763, 2.08900, 12.85385, 0.39365, 2.35995, 0.97852],
-            sep_liquid: [0.12089, 0.02139, 0.29364, 0.05584, 2.57681, 1.57191, 40.61871, 32.69028],
+            sep_vapor: [
+                27.13666, 3.20036, 32.95763, 2.08900, 12.85385, 0.39365, 2.35995, 0.97852,
+            ],
+            sep_liquid: [
+                0.12089, 0.02139, 0.29364, 0.05584, 2.57681, 1.57191, 40.61871, 32.69028,
+            ],
             sep_temp: 353.25996,
-            strip_liquid: [0.00482, 0.00085, 0.01170, 0.00429, 0.32684, 0.17984, 23.21152, 18.80633],
+            strip_liquid: [
+                0.00482, 0.00085, 0.01170, 0.00429, 0.32684, 0.17984, 23.21152, 18.80633,
+            ],
             strip_temp: 338.87997,
         }
     }
@@ -339,25 +345,25 @@ pub struct FlowSummary {
 /// Instantaneous flows and duties, kept for measurement construction.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 struct Flows {
-    f1: f64,       // A feed, kmol/h
-    f2: f64,       // D feed, kmol/h
-    f3: f64,       // E feed, kmol/h
-    f4: f64,       // A+C feed, kmol/h
-    f5: f64,       // recycle, kmol/h
-    f6: f64,       // reactor feed, kmol/h
-    f7: f64,       // reactor effluent, kmol/h
-    f9: f64,       // purge, kmol/h
-    f10_vol: f64,  // separator underflow, m³/h
-    f11_vol: f64,  // stripper underflow, m³/h
-    steam: f64,    // kg/h
-    comp_work: f64, // kW
-    t_cw_r_out: f64, // K
-    t_cw_s_out: f64, // K
-    p_reactor: f64,  // kPa
-    p_separator: f64, // kPa
-    p_stripper: f64,  // kPa
-    feed_comp: [f64; N_COMPONENTS],  // stream 6 fractions
-    purge_comp: [f64; N_COMPONENTS], // stream 9 fractions
+    f1: f64,                           // A feed, kmol/h
+    f2: f64,                           // D feed, kmol/h
+    f3: f64,                           // E feed, kmol/h
+    f4: f64,                           // A+C feed, kmol/h
+    f5: f64,                           // recycle, kmol/h
+    f6: f64,                           // reactor feed, kmol/h
+    f7: f64,                           // reactor effluent, kmol/h
+    f9: f64,                           // purge, kmol/h
+    f10_vol: f64,                      // separator underflow, m³/h
+    f11_vol: f64,                      // stripper underflow, m³/h
+    steam: f64,                        // kg/h
+    comp_work: f64,                    // kW
+    t_cw_r_out: f64,                   // K
+    t_cw_s_out: f64,                   // K
+    p_reactor: f64,                    // kPa
+    p_separator: f64,                  // kPa
+    p_stripper: f64,                   // kPa
+    feed_comp: [f64; N_COMPONENTS],    // stream 6 fractions
+    purge_comp: [f64; N_COMPONENTS],   // stream 9 fractions
     product_comp: [f64; N_COMPONENTS], // stream 11 fractions
 }
 
@@ -675,8 +681,18 @@ impl TePlant {
         let base = if on { 1.0 } else { 0.0 };
 
         // Header availabilities.
-        let a_sigma = base * 0.004 * if self.active(Disturbance::HeaderPressureRandom) { 6.0 } else { 1.0 };
-        let a_mean = if self.active(Disturbance::AFeedLoss) { 0.0 } else { 1.0 };
+        let a_sigma = base
+            * 0.004
+            * if self.active(Disturbance::HeaderPressureRandom) {
+                6.0
+            } else {
+                1.0
+            };
+        let a_mean = if self.active(Disturbance::AFeedLoss) {
+            0.0
+        } else {
+            1.0
+        };
         self.exo.a_avail = Self::ou(&mut self.rng, self.exo.a_avail, a_mean, a_sigma, 1.0, dt);
         if self.active(Disturbance::AFeedLoss) {
             // The feed header loses pressure fast: first-order collapse
@@ -686,14 +702,34 @@ impl TePlant {
         }
         self.exo.a_avail = self.exo.a_avail.clamp(0.0, 1.2);
 
-        let c_sigma = base * 0.004 * if self.active(Disturbance::HeaderPressureRandom) { 6.0 } else { 1.0 };
-        let c_mean = if self.active(Disturbance::CHeaderPressureLoss) { 0.80 } else { 1.0 };
+        let c_sigma = base
+            * 0.004
+            * if self.active(Disturbance::HeaderPressureRandom) {
+                6.0
+            } else {
+                1.0
+            };
+        let c_mean = if self.active(Disturbance::CHeaderPressureLoss) {
+            0.80
+        } else {
+            1.0
+        };
         self.exo.c_avail =
             Self::ou(&mut self.rng, self.exo.c_avail, c_mean, c_sigma, 1.0, dt).clamp(0.0, 1.2);
 
         // Stream 4 composition.
-        let comp_sigma = base * 0.004 * if self.active(Disturbance::FeedCompositionRandom) { 5.0 } else { 1.0 };
-        let shift_mean = if self.active(Disturbance::AcFeedRatioStep) { -0.04 } else { 0.0 };
+        let comp_sigma = base
+            * 0.004
+            * if self.active(Disturbance::FeedCompositionRandom) {
+                5.0
+            } else {
+                1.0
+            };
+        let shift_mean = if self.active(Disturbance::AcFeedRatioStep) {
+            -0.04
+        } else {
+            0.0
+        };
         self.exo.x_a4_shift = Self::ou(
             &mut self.rng,
             self.exo.x_a4_shift,
@@ -703,7 +739,11 @@ impl TePlant {
             dt,
         )
         .clamp(-0.2, 0.2);
-        let b_mean = if self.active(Disturbance::BCompositionStep) { 0.012 } else { STREAM4_B };
+        let b_mean = if self.active(Disturbance::BCompositionStep) {
+            0.012
+        } else {
+            STREAM4_B
+        };
         self.exo.x_b4 = Self::ou(
             &mut self.rng,
             self.exo.x_b4,
@@ -715,8 +755,19 @@ impl TePlant {
         .clamp(0.0, 0.05);
 
         // Temperatures.
-        let t_cw_r_mean = 308.15 + if self.active(Disturbance::ReactorCwTempStep) { 5.0 } else { 0.0 };
-        let t_cw_r_sigma = base * 0.25 * if self.active(Disturbance::ReactorCwTempRandom) { 6.0 } else { 1.0 };
+        let t_cw_r_mean = 308.15
+            + if self.active(Disturbance::ReactorCwTempStep) {
+                5.0
+            } else {
+                0.0
+            };
+        let t_cw_r_sigma = base
+            * 0.25
+            * if self.active(Disturbance::ReactorCwTempRandom) {
+                6.0
+            } else {
+                1.0
+            };
         self.exo.t_cw_reactor = Self::ou(
             &mut self.rng,
             self.exo.t_cw_reactor,
@@ -725,8 +776,19 @@ impl TePlant {
             0.5,
             dt,
         );
-        let t_cw_s_mean = 308.15 + if self.active(Disturbance::CondenserCwTempStep) { 5.0 } else { 0.0 };
-        let t_cw_s_sigma = base * 0.25 * if self.active(Disturbance::CondenserCwTempRandom) { 6.0 } else { 1.0 };
+        let t_cw_s_mean = 308.15
+            + if self.active(Disturbance::CondenserCwTempStep) {
+                5.0
+            } else {
+                0.0
+            };
+        let t_cw_s_sigma = base
+            * 0.25
+            * if self.active(Disturbance::CondenserCwTempRandom) {
+                6.0
+            } else {
+                1.0
+            };
         self.exo.t_cw_condenser = Self::ou(
             &mut self.rng,
             self.exo.t_cw_condenser,
@@ -735,25 +797,88 @@ impl TePlant {
             0.5,
             dt,
         );
-        let t_d_mean = 318.15 + if self.active(Disturbance::DFeedTempStep) { 5.0 } else { 0.0 };
-        let t_d_sigma = base * 0.3 * if self.active(Disturbance::DFeedTempRandom) { 6.0 } else { 1.0 };
-        self.exo.t_d_feed = Self::ou(&mut self.rng, self.exo.t_d_feed, t_d_mean, t_d_sigma, 0.3, dt);
-        let t_e_mean = 318.15 + if self.active(Disturbance::EFeedTempStep) { 5.0 } else { 0.0 };
-        self.exo.t_e_feed = Self::ou(&mut self.rng, self.exo.t_e_feed, t_e_mean, base * 0.3, 0.3, dt);
-        let t_c4_sigma = base * 0.3 * if self.active(Disturbance::CFeedTempRandom) { 6.0 } else { 1.0 };
-        self.exo.t_c_feed = Self::ou(&mut self.rng, self.exo.t_c_feed, 318.15, t_c4_sigma, 0.3, dt);
+        let t_d_mean = 318.15
+            + if self.active(Disturbance::DFeedTempStep) {
+                5.0
+            } else {
+                0.0
+            };
+        let t_d_sigma = base
+            * 0.3
+            * if self.active(Disturbance::DFeedTempRandom) {
+                6.0
+            } else {
+                1.0
+            };
+        self.exo.t_d_feed = Self::ou(
+            &mut self.rng,
+            self.exo.t_d_feed,
+            t_d_mean,
+            t_d_sigma,
+            0.3,
+            dt,
+        );
+        let t_e_mean = 318.15
+            + if self.active(Disturbance::EFeedTempStep) {
+                5.0
+            } else {
+                0.0
+            };
+        self.exo.t_e_feed = Self::ou(
+            &mut self.rng,
+            self.exo.t_e_feed,
+            t_e_mean,
+            base * 0.3,
+            0.3,
+            dt,
+        );
+        let t_c4_sigma = base
+            * 0.3
+            * if self.active(Disturbance::CFeedTempRandom) {
+                6.0
+            } else {
+                1.0
+            };
+        self.exo.t_c_feed = Self::ou(
+            &mut self.rng,
+            self.exo.t_c_feed,
+            318.15,
+            t_c4_sigma,
+            0.3,
+            dt,
+        );
 
         // Kinetics drift: IDV(13) both widens and speeds up the drift.
         let kin_active = self.active(Disturbance::KineticsDrift);
         let kin_sigma = base * 0.002 + if kin_active { 0.06 } else { 0.0 };
         let kin_tau = if kin_active { 1.5 } else { 5.0 };
-        self.exo.kinetics =
-            Self::ou(&mut self.rng, self.exo.kinetics, 1.0, kin_sigma, kin_tau, dt).clamp(0.5, 1.5);
+        self.exo.kinetics = Self::ou(
+            &mut self.rng,
+            self.exo.kinetics,
+            1.0,
+            kin_sigma,
+            kin_tau,
+            dt,
+        )
+        .clamp(0.5, 1.5);
 
         // Steam availability.
-        let steam_sigma = base * 0.005 * if self.active(Disturbance::SteamSupplyRandom) { 8.0 } else { 1.0 };
-        self.exo.steam_avail =
-            Self::ou(&mut self.rng, self.exo.steam_avail, 1.0, steam_sigma, 0.5, dt).clamp(0.0, 1.3);
+        let steam_sigma = base
+            * 0.005
+            * if self.active(Disturbance::SteamSupplyRandom) {
+                8.0
+            } else {
+                1.0
+            };
+        self.exo.steam_avail = Self::ou(
+            &mut self.rng,
+            self.exo.steam_avail,
+            1.0,
+            steam_sigma,
+            0.5,
+            dt,
+        )
+        .clamp(0.0, 1.3);
 
         // Fouling drift (IDV 17): slow decay of the heat-transfer
         // coefficient.
@@ -761,7 +886,8 @@ impl TePlant {
             self.exo.fouling = (self.exo.fouling - 0.04 * dt).max(0.6);
         } else {
             self.exo.fouling =
-                Self::ou(&mut self.rng, self.exo.fouling, 1.0, base * 0.002, 5.0, dt).clamp(0.6, 1.1);
+                Self::ou(&mut self.rng, self.exo.fouling, 1.0, base * 0.002, 5.0, dt)
+                    .clamp(0.6, 1.1);
         }
     }
 
@@ -769,8 +895,20 @@ impl TePlant {
         let r_stick = self.active(Disturbance::ReactorCwValveStick);
         let s_stick = self.active(Disturbance::CondenserCwValveStick);
         let friction = self.active(Disturbance::ValveFrictionRandom);
-        self.valves[9].set_stiction(if r_stick { 8.0 } else if friction { 0.8 } else { 0.0 });
-        self.valves[10].set_stiction(if s_stick { 8.0 } else if friction { 0.8 } else { 0.0 });
+        self.valves[9].set_stiction(if r_stick {
+            8.0
+        } else if friction {
+            0.8
+        } else {
+            0.0
+        });
+        self.valves[10].set_stiction(if s_stick {
+            8.0
+        } else if friction {
+            0.8
+        } else {
+            0.0
+        });
         if friction {
             for i in [0usize, 1, 2, 3, 6, 7] {
                 self.valves[i].set_stiction(1.5);
@@ -826,16 +964,16 @@ impl TePlant {
         let v_sl = volume_of(&s.sep_liquid);
         let v_sv = (V_SEPARATOR - v_sl).max(5.0);
         let mut p_sv = [0.0; N_COMPONENTS];
-        for i in 0..N_COMPONENTS {
-            p_sv[i] = s.sep_vapor[i].max(0.0) * R_GAS * s.sep_temp / v_sv;
+        for (p, &vap) in p_sv.iter_mut().zip(&s.sep_vapor) {
+            *p = vap.max(0.0) * R_GAS * s.sep_temp / v_sv;
         }
         let p_separator: f64 = p_sv.iter().sum();
         let y_sv = fractions(&s.sep_vapor);
 
         // -------------------- inter-unit flows --------------------
         let f7 = CV_EFFLUENT * (p_reactor - p_separator).max(0.0);
-        let f5 = CV_RECYCLE * v[4] * (p_separator + DP_COMPRESSOR - p_reactor).max(0.0)
-            / DP_RECYCLE_NOM;
+        let f5 =
+            CV_RECYCLE * v[4] * (p_separator + DP_COMPRESSOR - p_reactor).max(0.0) / DP_RECYCLE_NOM;
         let f9 = CV_PURGE * v[5] * (p_separator / PS_NOM).max(0.0);
         let sep_level_frac = (v_sl / SEP_LEVEL_SPAN).max(0.0);
         // Liquid valves leak ~4 % of capacity: a vessel whose inflow stops
@@ -864,19 +1002,23 @@ impl TePlant {
             ((f4 / 228.0).max(0.05)).powf(0.6) * ((s.strip_temp - 338.88) / 25.0).exp();
         let mut strip_rate = [0.0; N_COMPONENTS];
         let mut strip_total = 0.0;
-        for i in 0..N_COMPONENTS {
+        for (i, rate) in strip_rate.iter_mut().enumerate() {
             let c = Component::from_index(i);
-            strip_rate[i] = strip_kappa(c) * strip_boost * s.strip_liquid[i].max(0.0);
-            strip_total += strip_rate[i];
+            *rate = strip_kappa(c) * strip_boost * s.strip_liquid[i].max(0.0);
+            strip_total += *rate;
         }
         let f_overhead = f4 + strip_total;
 
         // -------------------- reactor feed assembly --------------------
         let mut feed_in = [0.0; N_COMPONENTS];
-        feed_in[Component::A.index()] =
-            f1 * STREAM1_A + f4 * x_a4 + f5 * y_sv[Component::A.index()] + strip_rate[Component::A.index()];
-        feed_in[Component::B.index()] =
-            f1 * STREAM1_B + f4 * x_b4 + f5 * y_sv[Component::B.index()] + strip_rate[Component::B.index()];
+        feed_in[Component::A.index()] = f1 * STREAM1_A
+            + f4 * x_a4
+            + f5 * y_sv[Component::A.index()]
+            + strip_rate[Component::A.index()];
+        feed_in[Component::B.index()] = f1 * STREAM1_B
+            + f4 * x_b4
+            + f5 * y_sv[Component::B.index()]
+            + strip_rate[Component::B.index()];
         feed_in[Component::C.index()] =
             f4 * x_c4 + f5 * y_sv[Component::C.index()] + strip_rate[Component::C.index()];
         feed_in[Component::D.index()] =
@@ -942,8 +1084,7 @@ impl TePlant {
         let f_cwr = (CW_R_MAX * v[9]).max(200.0);
         let ua_r = UA_REACTOR * exo.fouling * (0.8 + 0.4 * v[11]);
         let ntu_r = ua_r / (f_cwr * CP_WATER);
-        let t_cw_r_out =
-            s.reactor_temp - (s.reactor_temp - exo.t_cw_reactor) * (-ntu_r).exp();
+        let t_cw_r_out = s.reactor_temp - (s.reactor_temp - exo.t_cw_reactor) * (-ntu_r).exp();
         let q_cw_r = f_cwr * CP_WATER * (t_cw_r_out - exo.t_cw_reactor);
         let cond_in: f64 = [Component::F, Component::G, Component::H]
             .iter()
@@ -954,13 +1095,11 @@ impl TePlant {
             .map(|c| f7 * y7[c.index()] * boilup)
             .sum();
         let net_vaporization = cond_out - cond_in;
-        let c_thermal_r = total(&s.reactor_liquid) * CP_LIQ
-            + total(&s.reactor_gas) * CP_GAS
-            + METAL_HEAT_REACTOR;
-        let d_t_reactor = (q_rxn + f6 * CP_GAS * (t6 - s.reactor_temp)
-            - q_cw_r
-            - LATENT_HEAT * net_vaporization)
-            / c_thermal_r;
+        let c_thermal_r =
+            total(&s.reactor_liquid) * CP_LIQ + total(&s.reactor_gas) * CP_GAS + METAL_HEAT_REACTOR;
+        let d_t_reactor =
+            (q_rxn + f6 * CP_GAS * (t6 - s.reactor_temp) - q_cw_r - LATENT_HEAT * net_vaporization)
+                / c_thermal_r;
 
         // -------------------- separator balances --------------------
         let mut d_sv = [0.0; N_COMPONENTS];
@@ -1093,7 +1232,11 @@ mod tests {
         let xmv = plant.nominal_xmv();
         plant.step(&xmv).unwrap();
         let m = plant.measurements();
-        assert!((2000.0..3000.0).contains(&m.reactor_pressure()), "P = {}", m.reactor_pressure());
+        assert!(
+            (2000.0..3000.0).contains(&m.reactor_pressure()),
+            "P = {}",
+            m.reactor_pressure()
+        );
         assert!((100.0..140.0).contains(&m.reactor_temperature()));
         assert!((50.0..100.0).contains(&m.reactor_level()));
     }
@@ -1238,7 +1381,12 @@ mod tests {
         }
         let updates = |v: &[u64]| v.windows(2).filter(|w| w[0] != w[1]).count();
         // 0.1 h period -> ~10 updates/h; 0.25 h -> ~4.
-        assert!(updates(&feed) > updates(&product), "feed {} vs product {}", updates(&feed), updates(&product));
+        assert!(
+            updates(&feed) > updates(&product),
+            "feed {} vs product {}",
+            updates(&feed),
+            updates(&product)
+        );
     }
 
     #[test]

@@ -118,10 +118,8 @@ impl Reaction {
     /// pressure.
     pub fn rate(&self, partial_pressures: &[f64; N_COMPONENTS], temp_k: f64) -> f64 {
         let mut term = 1.0;
-        for i in 0..N_COMPONENTS {
-            let e = self.exponents[i];
+        for (&e, &p) in self.exponents.iter().zip(partial_pressures) {
             if e != 0.0 {
-                let p = partial_pressures[i];
                 if p <= 0.0 {
                     return 0.0;
                 }

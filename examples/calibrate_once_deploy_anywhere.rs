@@ -10,9 +10,7 @@
 //! tagged, deterministic serde wire format, so a truncated or mismatched
 //! model file fails fast instead of silently misloading.
 
-use temspc::persistence::{
-    load_monitor, load_network_monitor, save_monitor, save_network_monitor,
-};
+use temspc::persistence::{load_monitor, load_network_monitor, save_monitor, save_network_monitor};
 use temspc::{CalibrationConfig, DualMspc, NetworkMonitor, Scenario, ScenarioKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -35,8 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     save_network_monitor(&network, &net_path)?;
     let dual_size = std::fs::metadata(&dual_path)?.len();
     let net_size = std::fs::metadata(&net_path)?.len();
-    println!("  saved {} ({dual_size} B) and {} ({net_size} B)",
-        dual_path.display(), net_path.display());
+    println!(
+        "  saved {} ({dual_size} B) and {} ({net_size} B)",
+        dual_path.display(),
+        net_path.display()
+    );
     drop(monitor);
     drop(network);
 

@@ -11,9 +11,7 @@
 //! controller views agreeing and the process views diverging.
 
 use temspc::diagnosis::{diagnose, VerdictThresholds};
-use temspc::{
-    ascii_plot, variable_name, CalibrationConfig, DualMspc, Scenario, ScenarioKind,
-};
+use temspc::{ascii_plot, variable_name, CalibrationConfig, DualMspc, Scenario, ScenarioKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hours: f64 = std::env::args()
@@ -33,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let monitor = DualMspc::calibrate(&calibration)?;
 
     for kind in [ScenarioKind::Idv6, ScenarioKind::IntegrityXmv3] {
-        println!("\n=== {} (onset at hour {onset:.2}) ===", kind.description());
+        println!(
+            "\n=== {} (onset at hour {onset:.2}) ===",
+            kind.description()
+        );
         let scenario = Scenario::short(kind, hours, onset, 42);
         let outcome = monitor.run_scenario(&scenario)?;
 
@@ -57,8 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ("controller", &diag.controller_omeda),
                 ("process   ", &diag.process_omeda),
             ] {
-                let mut ranked: Vec<(usize, f64)> =
-                    vec.iter().copied().enumerate().collect();
+                let mut ranked: Vec<(usize, f64)> = vec.iter().copied().enumerate().collect();
                 ranked.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
                 let top: Vec<String> = ranked
                     .iter()

@@ -19,7 +19,9 @@
 
 use std::time::Instant;
 
-use temspc::experiments::{ablations, arl, baseline, fig1, fig2, fig3, fig45, netdos, verdicts, ExperimentContext};
+use temspc::experiments::{
+    ablations, arl, baseline, fig1, fig2, fig3, fig45, netdos, verdicts, ExperimentContext,
+};
 use temspc::netmon::NetworkMonitor;
 use temspc::{variable_name, CalibrationConfig};
 
@@ -71,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    println!("[FIG4/5] oMEDA panels ({} runs per scenario) ...", ctx.scenario_runs);
+    println!(
+        "[FIG4/5] oMEDA panels ({} runs per scenario) ...",
+        ctx.scenario_runs
+    );
     let r = fig45::run(&ctx)?;
     for (i, letter) in ['a', 'b', 'c', 'd'].into_iter().enumerate() {
         let c = &r.controller_panels[i];
@@ -101,7 +106,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("[TAB2] verdicts ...");
     let r = verdicts::run(&ctx)?;
-    println!("  accuracy over detected runs: {:.1}%", 100.0 * r.accuracy());
+    println!(
+        "  accuracy over detected runs: {:.1}%",
+        100.0 * r.accuracy()
+    );
 
     println!("[TAB3] network-level DoS ablation (the paper's future work, SVII) ...");
     let net_cal = match mode.as_str() {

@@ -15,16 +15,20 @@
 //! violations — a textual version of the paper's control room.
 
 use temspc::{CalibrationConfig, DualMspc};
-use temspc_fieldbus::{Attack, AttackKind, AttackTarget};
-use temspc_tesim::{Disturbance, DisturbanceSet, PlantConfig, TePlant, SAMPLES_PER_HOUR};
 use temspc_control::DecentralizedController;
+use temspc_fieldbus::{Attack, AttackKind, AttackTarget};
 use temspc_fieldbus::{FieldbusLink, MitmAdversary};
+use temspc_tesim::{Disturbance, DisturbanceSet, PlantConfig, TePlant, SAMPLES_PER_HOUR};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let hours: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4.0);
     let idv: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
-    let attack = args.get(3).map(String::as_str).unwrap_or("none").to_string();
+    let attack = args
+        .get(3)
+        .map(String::as_str)
+        .unwrap_or("none")
+        .to_string();
     let midpoint = hours / 2.0;
 
     println!("calibrating monitor (4 x 2 h)...");

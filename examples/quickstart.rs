@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Diagnosis: compare the oMEDA plots of the two levels.
     if let Some(diag) = diagnose(&monitor, &outcome, VerdictThresholds::default()) {
-        println!("  controller view implicates {}", diag.controller_variable());
+        println!(
+            "  controller view implicates {}",
+            diag.controller_variable()
+        );
         println!("  process view implicates    {}", diag.process_variable());
         println!("  level divergence           {:.3}", diag.divergence);
         println!("  verdict: {}", diag.verdict);

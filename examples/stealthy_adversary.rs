@@ -129,10 +129,8 @@ fn run_custom(
         *monitor.controller_model().limits(),
         monitor.config().detector,
     );
-    let mut process_det = ConsecutiveDetector::new(
-        *monitor.process_model().limits(),
-        monitor.config().detector,
-    );
+    let mut process_det =
+        ConsecutiveDetector::new(*monitor.process_model().limits(), monitor.config().detector);
     let mut event_rows_controller = temspc_linalg::Matrix::default();
     let mut event_rows_process = temspc_linalg::Matrix::default();
     let mut collecting = false;

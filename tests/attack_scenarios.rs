@@ -2,7 +2,7 @@
 //! plant: every attack primitive, both channels, windows, and the
 //! dual-view bookkeeping.
 
-use temspc::{ClosedLoopRunner, Scenario, ScenarioKind};
+use temspc::{Scenario, ScenarioKind};
 use temspc_fieldbus::{Attack, AttackKind, AttackTarget};
 use temspc_tesim::PlantConfig;
 
@@ -165,7 +165,10 @@ fn simultaneous_multi_channel_attack() {
     // near nominal.
     assert!((data.controller_view.get(last, 0) - 3.913).abs() < 1e-9);
     let commanded_xmv3 = data.controller_view.get(last, 41 + 2);
-    assert!((50.0..75.0).contains(&commanded_xmv3), "got {commanded_xmv3}");
+    assert!(
+        (50.0..75.0).contains(&commanded_xmv3),
+        "got {commanded_xmv3}"
+    );
     // Reality: no flow, closed valve.
     assert!(data.process_view.get(last, 0) < 0.2);
     assert_eq!(data.process_view.get(last, 41 + 2), 0.0);

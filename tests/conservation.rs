@@ -44,8 +44,8 @@ fn inert_component_mass_balance_closes() {
         let inflow = f.a_feed * 0.001 + f.ac_feed * 0.005;
         // Purge carries the sep-vapor B fraction; the product carries a
         // trace of dissolved B.
-        let y_b = plant.state().sep_vapor[b]
-            / plant.state().sep_vapor.iter().sum::<f64>().max(1e-9);
+        let y_b =
+            plant.state().sep_vapor[b] / plant.state().sep_vapor.iter().sum::<f64>().max(1e-9);
         let x_b = plant.state().strip_liquid[b]
             / plant.state().strip_liquid.iter().sum::<f64>().max(1e-9);
         let product_molar = f.product_vol / 0.103; // approximate molar volume

@@ -31,7 +31,11 @@ fn all_four_paper_scenarios_are_detected() {
 #[test]
 fn detection_is_post_onset_and_fast_for_integrity() {
     let m = monitor();
-    for kind in [ScenarioKind::Idv6, ScenarioKind::IntegrityXmv3, ScenarioKind::IntegrityXmeas1] {
+    for kind in [
+        ScenarioKind::Idv6,
+        ScenarioKind::IntegrityXmv3,
+        ScenarioKind::IntegrityXmeas1,
+    ] {
         let scenario = Scenario::short(kind, 2.0, 0.5, 42);
         let outcome = m.run_scenario(&scenario).unwrap();
         let rl = outcome.detection.run_length(0.5).expect("detected");
@@ -86,7 +90,11 @@ fn disturbance_diagnosis_is_identical_at_both_levels() {
     let diag = diagnose(&m, &outcome, VerdictThresholds::default()).unwrap();
     // No tampering: the two views carry the same data, so the oMEDA
     // vectors are identical and the divergence is zero.
-    assert!(diag.divergence.abs() < 1e-9, "divergence = {}", diag.divergence);
+    assert!(
+        diag.divergence.abs() < 1e-9,
+        "divergence = {}",
+        diag.divergence
+    );
     assert_eq!(diag.controller_variable(), diag.process_variable());
     assert_eq!(diag.controller_variable(), "XMEAS(1)");
 }
@@ -108,7 +116,12 @@ fn xmv3_attack_is_exposed_only_at_process_level() {
 fn xmeas1_attack_shows_positive_process_bars() {
     let m = monitor();
     let outcome = m
-        .run_scenario(&Scenario::short(ScenarioKind::IntegrityXmeas1, 2.0, 0.5, 42))
+        .run_scenario(&Scenario::short(
+            ScenarioKind::IntegrityXmeas1,
+            2.0,
+            0.5,
+            42,
+        ))
         .unwrap();
     let diag = diagnose(&m, &outcome, VerdictThresholds::default()).unwrap();
     // Controller sees the forged zero (negative bar).
@@ -125,7 +138,12 @@ fn xmeas1_attack_shows_positive_process_bars() {
 fn normal_runs_produce_no_event_window() {
     let m = monitor();
     let outcome = m
-        .run_scenario(&Scenario::short(ScenarioKind::Normal, 1.0, f64::INFINITY, 4242))
+        .run_scenario(&Scenario::short(
+            ScenarioKind::Normal,
+            1.0,
+            f64::INFINITY,
+            4242,
+        ))
         .unwrap();
     assert!(diagnose(&m, &outcome, VerdictThresholds::default()).is_none());
 }
@@ -140,8 +158,5 @@ fn monitor_models_agree_on_clean_calibration() {
     assert_eq!(c.limits().t2_99, p.limits().t2_99);
     assert_eq!(c.limits().spe_99, p.limits().spe_99);
     let obs: Vec<f64> = (0..53).map(|i| i as f64).collect();
-    assert_eq!(
-        c.score(&obs).unwrap().spe,
-        p.score(&obs).unwrap().spe
-    );
+    assert_eq!(c.score(&obs).unwrap().spe, p.score(&obs).unwrap().spe);
 }

@@ -3,9 +3,7 @@
 //! not merely "something changed".
 
 use temspc_control::DecentralizedController;
-use temspc_tesim::{
-    Disturbance, DisturbanceSet, PlantConfig, TePlant, SAMPLES_PER_HOUR,
-};
+use temspc_tesim::{Disturbance, DisturbanceSet, PlantConfig, TePlant, SAMPLES_PER_HOUR};
 
 /// Runs the closed loop for `hours` with `idv` active from `onset`;
 /// returns per-variable series sampled every 36 s:
@@ -85,7 +83,10 @@ fn idv2_raises_purge_b_composition() {
     let (t, xmeas, _) = run_idv(Some(2), 5.0, 1.0, 12);
     let before = mean_where(&t, &xmeas[29], 0.3, 1.0);
     let after = mean_where(&t, &xmeas[29], 3.5, 5.0);
-    assert!(after > before * 1.3, "purge %B: before {before}, after {after}");
+    assert!(
+        after > before * 1.3,
+        "purge %B: before {before}, after {after}"
+    );
 }
 
 #[test]
@@ -108,7 +109,10 @@ fn idv5_condenser_cw_step_moves_the_condenser_valve() {
     let (t, _, xmv) = run_idv(Some(5), 3.0, 1.0, 14);
     let before = mean_where(&t, &xmv[10], 0.3, 1.0);
     let after = mean_where(&t, &xmv[10], 2.0, 3.0);
-    assert!(after > before + 1.0, "XMV(11): before {before}, after {after}");
+    assert!(
+        after > before + 1.0,
+        "XMV(11): before {before}, after {after}"
+    );
 }
 
 #[test]
@@ -167,9 +171,11 @@ fn idv14_sticky_valve_degrades_temperature_control() {
 
 #[test]
 fn idv17_fouling_forces_the_cw_valve_open_over_time() {
-    let (t, _, xmv) = run_idv(Some(17), 6.0, 0.5, 19);
+    // Fouling drifts UA down at 4 %/h: run long enough for the ramp to
+    // dominate stochastic valve activity before comparing the windows.
+    let (t, _, xmv) = run_idv(Some(17), 10.0, 0.5, 19);
     let before = mean_where(&t, &xmv[9], 0.0, 0.5);
-    let after = mean_where(&t, &xmv[9], 5.0, 6.0);
+    let after = mean_where(&t, &xmv[9], 9.0, 10.0);
     assert!(
         after > before * 1.15,
         "XMV(10) must open as UA degrades: before {before}, after {after}"

@@ -1,0 +1,149 @@
+//! Integration tests of the fleet engine: thread-count determinism,
+//! supervised restarts, and checkpoint/resume equivalence.
+
+use temspc::{CalibrationConfig, DualMspc};
+use temspc_fleet::{FleetConfig, FleetEngine, SupervisionPolicy};
+
+fn quick_monitor() -> DualMspc {
+    DualMspc::calibrate(&CalibrationConfig {
+        runs: 3,
+        duration_hours: 1.0,
+        record_every: 10,
+        base_seed: 100,
+        threads: 0,
+    })
+    .unwrap()
+}
+
+fn fleet_config(threads: usize) -> FleetConfig {
+    FleetConfig {
+        plants: 8,
+        threads,
+        hours: 1.0,
+        onset_hour: 0.3,
+        attack_fraction: 0.375,
+        fleet_seed: 4242,
+        supervision: SupervisionPolicy::default(),
+        checkpoint_every: 0,
+        inject_panic_plants: Vec::new(),
+    }
+}
+
+#[test]
+fn verdicts_identical_across_thread_counts() {
+    let monitor = quick_monitor();
+    let reference = FleetEngine::new(&monitor, fleet_config(1)).run().unwrap();
+    assert_eq!(reference.records.len(), 8);
+    for threads in [4, 8] {
+        let report = FleetEngine::new(&monitor, fleet_config(threads))
+            .run()
+            .unwrap();
+        // Full per-plant equality: same kinds, seeds, latencies, verdicts,
+        // false-alarm counts — byte-identical aggregate behaviour.
+        assert_eq!(
+            report.records, reference.records,
+            "thread count {threads} changed the fleet outcome"
+        );
+        assert_eq!(report.to_string(), reference.to_string());
+    }
+}
+
+#[test]
+fn panicking_worker_is_restarted_and_reported() {
+    let monitor = quick_monitor();
+    let mut config = fleet_config(4);
+    config.plants = 4;
+    config.inject_panic_plants = vec![2];
+    let engine = FleetEngine::new(&monitor, config.clone());
+    let report = engine.run().unwrap();
+
+    // The fleet completed despite the panic ...
+    assert_eq!(report.records.len(), 4);
+    assert!(report.failed_plants().is_empty());
+    // ... the panicking plant was restarted exactly once and the panic
+    // captured ...
+    let victim = &report.records[2];
+    assert_eq!(victim.plant, 2);
+    assert!(victim.completed);
+    assert_eq!(victim.restarts, 1);
+    assert!(victim.fault.as_deref().unwrap().contains("injected panic"));
+    // ... and the restart replayed the same seed, so the outcome matches
+    // an uninjected fleet exactly (apart from the supervision fields).
+    let mut clean_config = config;
+    clean_config.inject_panic_plants = Vec::new();
+    let clean = FleetEngine::new(&monitor, clean_config).run().unwrap();
+    assert_eq!(victim.verdict, clean.records[2].verdict);
+    assert_eq!(
+        victim.detection_latency_hours,
+        clean.records[2].detection_latency_hours
+    );
+    // Everyone else is untouched.
+    for i in [0usize, 1, 3] {
+        assert_eq!(report.records[i], clean.records[i]);
+    }
+    // The restart shows up in the metrics exposition.
+    assert!(engine
+        .metrics()
+        .expose()
+        .contains("fleet_worker_restarts_total 1"));
+}
+
+#[test]
+fn hopeless_plant_degrades_gracefully() {
+    let monitor = quick_monitor();
+    let mut config = fleet_config(2);
+    config.plants = 3;
+    config.supervision = SupervisionPolicy { max_restarts: 0 };
+    config.inject_panic_plants = vec![1];
+    // max_restarts = 0 → the injected panic exhausts the budget; with the
+    // chaos hook disarmed only after the first attempt, attempt #1 panics
+    // and there is no attempt #2.
+    let report = FleetEngine::new(&monitor, config).run().unwrap();
+    assert_eq!(report.records.len(), 3);
+    assert_eq!(report.failed_plants(), vec![1]);
+    assert!(!report.records[1].completed);
+    // The other plants still produced their records.
+    assert!(report.records[0].completed);
+    assert!(report.records[2].completed);
+}
+
+#[test]
+fn checkpoint_resume_reproduces_uninterrupted_report() {
+    let monitor = quick_monitor();
+    let config = fleet_config(4);
+    let uninterrupted = FleetEngine::new(&monitor, config.clone()).run().unwrap();
+
+    // Simulate an interrupted campaign: a checkpoint holding the first
+    // three plants' records.
+    let dir = std::env::temp_dir().join("temspc_fleet_resume_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fleet.tpb");
+    let partial = temspc_fleet::FleetCheckpoint {
+        config: config.clone(),
+        records: uninterrupted.records[..3].to_vec(),
+    };
+    temspc_fleet::checkpoint::save(&partial, &path).unwrap();
+
+    // Resume: only the remaining five plants run; the merged report is
+    // identical to the uninterrupted one.
+    let engine = FleetEngine::new(&monitor, config.clone()).with_checkpoint(&path);
+    let resumed = engine.run().unwrap();
+    assert_eq!(resumed.records, uninterrupted.records);
+    // Only the pending plants were scheduled this time.
+    assert!(engine
+        .metrics()
+        .expose()
+        .contains("fleet_plants_scheduled_total 5"));
+
+    // The final checkpoint now covers the whole fleet: resuming again
+    // schedules nothing and still reproduces the report.
+    let engine = FleetEngine::new(&monitor, config).with_checkpoint(&path);
+    let replayed = engine.run().unwrap();
+    assert_eq!(replayed.records, uninterrupted.records);
+    assert!(engine
+        .metrics()
+        .expose()
+        .contains("fleet_plants_scheduled_total 0"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,612 @@
+//! A vendored, offline subset of the [proptest](https://docs.rs/proptest)
+//! crate.
+//!
+//! Implements the slice of the API the workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and
+//! tuple strategies, `any::<T>()`, `prop::collection::{vec, btree_map}`,
+//! `prop::option::of`, `prop::bool::ANY`, `&str` "regex" strategies, and
+//! the `proptest!`/`prop_assert*` macros.
+//!
+//! Differences from the real crate, acceptable for this offline build:
+//! inputs are drawn from a deterministic per-test RNG (no persisted
+//! failure seeds), failures panic immediately (no shrinking), and `&str`
+//! strategies approximate the regex language with random short strings.
+
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+// ---------------------------------------------------------------------------
+// Runner.
+// ---------------------------------------------------------------------------
+
+/// Per-case source of randomness handed to strategies.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Builds a deterministic runner for one `(test, case)` pair.
+    pub fn deterministic(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index, so each
+        // test sees a stable but distinct input sequence.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x5bd1_e995)),
+        }
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Test-loop configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives one property: generates `config.cases` inputs and runs the body.
+///
+/// Used by the `proptest!` macro; not part of the real crate's API.
+#[doc(hidden)]
+pub fn run_property(config: &ProptestConfig, test_name: &str, body: impl Fn(&mut TestRunner)) {
+    for case in 0..config.cases {
+        let mut runner = TestRunner::deterministic(test_name, case);
+        body(&mut runner);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators.
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Derives a dependent strategy from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.base.generate(runner))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, runner: &mut TestRunner) -> T::Value {
+        let intermediate = self.base.generate(runner);
+        (self.f)(intermediate).generate(runner)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies.
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, runner: &mut TestRunner) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (runner.rng().random::<u64>() as u128) % span;
+                    (self.start as i128 + offset as i128) as $ty
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, runner: &mut TestRunner) -> $ty {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                    let offset = (runner.rng().random::<u64>() as u128) % span;
+                    (*self.start() as i128 + offset as i128) as $ty
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, runner: &mut TestRunner) -> f64 {
+        self.start + runner.rng().random::<f64>() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, runner: &mut TestRunner) -> f64 {
+        self.start() + runner.rng().random::<f64>() * (self.end() - self.start())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, runner: &mut TestRunner) -> f32 {
+        self.start + runner.rng().random::<f32>() * (self.end - self.start)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String strategies (regex approximation).
+// ---------------------------------------------------------------------------
+
+/// `&str` strategies stand in for proptest's regex support. Only the
+/// patterns the workspace uses need to behave sensibly: `".*"` (any
+/// short string) and `".{0,N}"` (up to `N` chars). Anything else falls
+/// back to "up to 16 arbitrary chars".
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, runner: &mut TestRunner) -> String {
+        let max_len = parse_max_len(self);
+        let len = if max_len == 0 {
+            0
+        } else {
+            runner.rng().random::<usize>() % (max_len + 1)
+        };
+        // Mix ASCII with a few multi-byte chars so UTF-8 handling is
+        // genuinely exercised.
+        const POOL: &[char] = &[
+            'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '_', '-', '.', '/', '\\', '"', '\'', '\n',
+            '\t', '\0', 'é', 'ß', '中', '🦀',
+        ];
+        (0..len)
+            .map(|_| POOL[runner.rng().random::<usize>() % POOL.len()])
+            .collect()
+    }
+}
+
+/// Extracts `N` from `".{A,N}"`-shaped patterns; defaults to 16.
+fn parse_max_len(pattern: &str) -> usize {
+    if let Some(rest) = pattern.strip_prefix(".{") {
+        if let Some(body) = rest.strip_suffix('}') {
+            if let Some((_, hi)) = body.split_once(',') {
+                if let Ok(n) = hi.trim().parse::<usize>() {
+                    return n;
+                }
+            }
+        }
+    }
+    16
+}
+
+// ---------------------------------------------------------------------------
+// Tuple strategies.
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($ty:ident $idx:tt),+))*) => {
+        $(
+            impl<$($ty: Strategy),+> Strategy for ($($ty,)+) {
+                type Value = ($($ty::Value,)+);
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    ($(self.$idx.generate(runner),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+// ---------------------------------------------------------------------------
+// Arbitrary / any.
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {
+        $(
+            impl Arbitrary for $ty {
+                fn arbitrary(runner: &mut TestRunner) -> $ty {
+                    runner.rng().random::<u64>() as $ty
+                }
+            }
+        )*
+    };
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> bool {
+        runner.rng().random::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Arbitrary bit patterns — includes infinities, NaNs, and subnormals,
+    /// which is exactly what serialization roundtrip tests want.
+    fn arbitrary(runner: &mut TestRunner) -> f64 {
+        f64::from_bits(runner.rng().random::<u64>())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(runner: &mut TestRunner) -> f32 {
+        f32::from_bits(runner.rng().random::<u32>())
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(runner: &mut TestRunner) -> char {
+        loop {
+            if let Some(c) = char::from_u32(runner.rng().random::<u32>() % 0x11_0000) {
+                return c;
+            }
+        }
+    }
+}
+
+/// The canonical strategy for an [`Arbitrary`] type.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Collection strategies.
+// ---------------------------------------------------------------------------
+
+/// An inclusive-low, exclusive-high (or exact) element-count range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(self, runner: &mut TestRunner) -> usize {
+        if self.hi <= self.lo + 1 {
+            self.lo
+        } else {
+            self.lo + runner.rng().random::<usize>() % (self.hi - self.lo)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            lo: exact,
+            hi: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::*;
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let n = self.size.pick(runner);
+            (0..n).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+
+    /// A `BTreeMap` with up to `size` entries (duplicate keys collapse,
+    /// as in the real crate).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            let n = self.size.pick(runner);
+            (0..n)
+                .map(|_| (self.key.generate(runner), self.value.generate(runner)))
+                .collect()
+        }
+    }
+}
+
+pub mod option {
+    //! Strategies for `Option`.
+
+    use super::*;
+
+    /// `None` one time in four, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Output of [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Option<S::Value> {
+            if runner.rng().random::<usize>() % 4 == 0 {
+                None
+            } else {
+                Some(self.inner.generate(runner))
+            }
+        }
+    }
+}
+
+pub mod bool {
+    //! Strategies for `bool`.
+
+    use super::*;
+
+    /// The strategy generating both booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    /// Either boolean, uniformly.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = ::core::primitive::bool;
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            runner.rng().random()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------------
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                $crate::run_property(&__config, stringify!($name), |__runner| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), __runner);)*
+                    $body
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Asserts a condition inside a property (failures panic; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+// ---------------------------------------------------------------------------
+// Prelude.
+// ---------------------------------------------------------------------------
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+
+    pub mod prop {
+        //! Module-style access (`prop::collection::vec`, ...).
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in -2.0..2.0f64, n in 1u64..=5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!((1..=5).contains(&n));
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(0.0..1.0f64, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn flat_map_links_dimensions(m in (1usize..4).prop_flat_map(|n| {
+            prop::collection::vec(0u32..9, n * 2).prop_map(move |v| (n, v))
+        })) {
+            prop_assert_eq!(m.1.len(), m.0 * 2);
+        }
+    }
+
+    #[test]
+    fn string_strategy_respects_brace_bound() {
+        let mut runner = crate::TestRunner::deterministic("string_strategy", 0);
+        for _ in 0..64 {
+            let s = Strategy::generate(&".{0,8}", &mut runner);
+            prop_assert!(s.chars().count() <= 8);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRunner::deterministic("det", 3);
+        let mut b = crate::TestRunner::deterministic("det", 3);
+        let s = prop::collection::vec(0.0..1.0f64, 0..20);
+        prop_assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

@@ -1,0 +1,625 @@
+//! Deserialization half of the data model.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Error trait every deserializer's error type must implement.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from a free-form message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// Reports a sequence or map that ended before all fields were read.
+    fn invalid_length(len: usize, expected: &dyn Expected) -> Self {
+        Error::custom(format_args!("invalid length {len}, expected {expected}"))
+    }
+
+    /// Reports an out-of-range enum variant index.
+    fn unknown_variant(variant: &str, expected: &'static [&'static str]) -> Self {
+        Error::custom(format_args!(
+            "unknown variant `{variant}`, expected one of {expected:?}"
+        ))
+    }
+
+    /// Reports a struct field the type does not know.
+    fn unknown_field(field: &str, expected: &'static [&'static str]) -> Self {
+        Error::custom(format_args!(
+            "unknown field `{field}`, expected one of {expected:?}"
+        ))
+    }
+
+    /// Reports a missing struct field.
+    fn missing_field(field: &'static str) -> Self {
+        Error::custom(format_args!("missing field `{field}`"))
+    }
+}
+
+/// A description of what a [`Visitor`] expected, used in error messages.
+pub trait Expected {
+    /// Formats the expectation.
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+}
+
+impl<'de, T: Visitor<'de>> Expected for T {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.expecting(formatter)
+    }
+}
+
+impl Expected for &str {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        formatter.write_str(self)
+    }
+}
+
+impl Display for dyn Expected + '_ {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Expected::fmt(self, formatter)
+    }
+}
+
+/// A value constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A `Deserialize` with no borrowed data (usable from owned buffers).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Stateful deserialization entry point; blanket-implemented for
+/// `PhantomData<T>` so stateless deserialization reuses the same plumbing.
+pub trait DeserializeSeed<'de>: Sized {
+    /// The produced value.
+    type Value;
+    /// Deserializes the value.
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+/// A data-format deserializer.
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Deserializes whatever the input self-describes as.
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `bool`.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i8`.
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i16`.
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i32`.
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i64`.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u8`.
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u16`.
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u32`.
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u64`.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `f32`.
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `f64`.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `char`.
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a borrowed string.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an owned string.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes borrowed bytes.
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes owned bytes.
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `Option`.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes `()`.
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a unit struct.
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a newtype struct.
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a sequence.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a tuple.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a tuple struct.
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a map.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a struct.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes an enum.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a struct-field or variant identifier.
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes and discards a value.
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+}
+
+macro_rules! default_visit {
+    ($($method:ident: $ty:ty,)*) => {
+        $(
+            /// Visits one primitive value (default: type error).
+            fn $method<E: Error>(self, v: $ty) -> Result<Self::Value, E> {
+                let _ = v;
+                Err(Error::custom(format_args!(
+                    concat!("unexpected ", stringify!($method), ", expected {}"),
+                    ExpectedDisplay(&self)
+                )))
+            }
+        )*
+    };
+}
+
+struct ExpectedDisplay<'a, T>(&'a T);
+
+impl<'de, T: Visitor<'de>> Display for ExpectedDisplay<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.expecting(f)
+    }
+}
+
+/// Drives construction of one value from deserializer callbacks.
+pub trait Visitor<'de>: Sized {
+    /// The value being built.
+    type Value;
+
+    /// Describes what this visitor expects, for error messages.
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    default_visit! {
+        visit_bool: bool,
+        visit_i64: i64,
+        visit_u64: u64,
+        visit_f64: f64,
+        visit_char: char,
+    }
+
+    /// Visits an `i8` (default: widen to `i64`).
+    fn visit_i8<E: Error>(self, v: i8) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Visits an `i16` (default: widen to `i64`).
+    fn visit_i16<E: Error>(self, v: i16) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Visits an `i32` (default: widen to `i64`).
+    fn visit_i32<E: Error>(self, v: i32) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Visits a `u8` (default: widen to `u64`).
+    fn visit_u8<E: Error>(self, v: u8) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Visits a `u16` (default: widen to `u64`).
+    fn visit_u16<E: Error>(self, v: u16) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Visits a `u32` (default: widen to `u64`).
+    fn visit_u32<E: Error>(self, v: u32) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Visits an `f32` (default: widen to `f64`).
+    fn visit_f32<E: Error>(self, v: f32) -> Result<Self::Value, E> {
+        self.visit_f64(v as f64)
+    }
+
+    /// Visits a transient string slice.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom(format_args!(
+            "unexpected string, expected {}",
+            ExpectedDisplay(&self)
+        )))
+    }
+    /// Visits a string borrowed from the input (default: forward).
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+    /// Visits an owned string (default: forward).
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    /// Visits a transient byte slice.
+    fn visit_bytes<E: Error>(self, v: &[u8]) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom(format_args!(
+            "unexpected bytes, expected {}",
+            ExpectedDisplay(&self)
+        )))
+    }
+    /// Visits bytes borrowed from the input (default: forward).
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+    /// Visits an owned byte buffer (default: forward).
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+
+    /// Visits `Option::None`.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::custom(format_args!(
+            "unexpected none, expected {}",
+            ExpectedDisplay(&self)
+        )))
+    }
+    /// Visits `Option::Some`.
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::custom(format_args!(
+            "unexpected some, expected {}",
+            ExpectedDisplay(&self)
+        )))
+    }
+    /// Visits `()`.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::custom(format_args!(
+            "unexpected unit, expected {}",
+            ExpectedDisplay(&self)
+        )))
+    }
+    /// Visits a newtype struct.
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::custom(format_args!(
+            "unexpected newtype struct, expected {}",
+            ExpectedDisplay(&self)
+        )))
+    }
+    /// Visits a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(Error::custom(format_args!(
+            "unexpected sequence, expected {}",
+            ExpectedDisplay(&self)
+        )))
+    }
+    /// Visits a map.
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        let _ = map;
+        Err(Error::custom(format_args!(
+            "unexpected map, expected {}",
+            ExpectedDisplay(&self)
+        )))
+    }
+    /// Visits an enum.
+    fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+        let _ = data;
+        Err(Error::custom(format_args!(
+            "unexpected enum, expected {}",
+            ExpectedDisplay(&self)
+        )))
+    }
+}
+
+/// Element-wise access to an in-progress sequence.
+pub trait SeqAccess<'de> {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Deserializes the next element through a seed.
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+
+    /// Deserializes the next element.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+
+    /// Number of remaining elements, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Entry-wise access to an in-progress map.
+pub trait MapAccess<'de> {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Deserializes the next key through a seed.
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+
+    /// Deserializes the next value through a seed.
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Deserializes the next key.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+
+    /// Deserializes the next value.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+
+    /// Deserializes the next entry.
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error> {
+        match self.next_key()? {
+            Some(key) => Ok(Some((key, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+
+    /// Number of remaining entries, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to an enum's variant identifier and content.
+pub trait EnumAccess<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+    /// Content-access type produced alongside the identifier.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    /// Deserializes the variant identifier through a seed.
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+
+    /// Deserializes the variant identifier.
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to one enum variant's content.
+pub trait VariantAccess<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Deserializes a unit variant.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+
+    /// Deserializes a newtype variant through a seed.
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+
+    /// Deserializes a newtype variant.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+
+    /// Deserializes a tuple variant.
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Deserializes a struct variant.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// Trivial deserializers over already-decoded values.
+pub mod value {
+    use super::*;
+
+    macro_rules! forward_to_visit {
+        ($visit:ident) => {
+            fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.$visit(self.value)
+            }
+            fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_unit_struct<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                visitor: V,
+            ) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_newtype_struct<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                visitor: V,
+            ) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_tuple<V: Visitor<'de>>(
+                self,
+                _len: usize,
+                visitor: V,
+            ) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_tuple_struct<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                _len: usize,
+                visitor: V,
+            ) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_struct<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                _fields: &'static [&'static str],
+                visitor: V,
+            ) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_enum<V: Visitor<'de>>(
+                self,
+                _name: &'static str,
+                _variants: &'static [&'static str],
+                visitor: V,
+            ) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+            fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                self.deserialize_any(visitor)
+            }
+        };
+    }
+
+    /// Deserializer over an already-decoded `u32` (used for enum variant
+    /// indices in positional formats).
+    #[derive(Debug, Clone, Copy)]
+    pub struct U32Deserializer<E> {
+        value: u32,
+        marker: PhantomData<E>,
+    }
+
+    impl<E> U32Deserializer<E> {
+        /// Wraps a `u32`.
+        pub fn new(value: u32) -> Self {
+            U32Deserializer {
+                value,
+                marker: PhantomData,
+            }
+        }
+    }
+
+    impl<'de, E: Error> Deserializer<'de> for U32Deserializer<E> {
+        type Error = E;
+        forward_to_visit!(visit_u32);
+    }
+
+    /// Deserializer over an already-decoded `&str` (used for identifier
+    /// lookups in self-describing formats).
+    #[derive(Debug, Clone, Copy)]
+    pub struct StrDeserializer<'a, E> {
+        value: &'a str,
+        marker: PhantomData<E>,
+    }
+
+    impl<'a, E> StrDeserializer<'a, E> {
+        /// Wraps a string slice.
+        pub fn new(value: &'a str) -> Self {
+            StrDeserializer {
+                value,
+                marker: PhantomData,
+            }
+        }
+    }
+
+    impl<'de, E: Error> Deserializer<'de> for StrDeserializer<'_, E> {
+        type Error = E;
+        forward_to_visit!(visit_str);
+    }
+}

@@ -1,0 +1,27 @@
+//! A vendored, offline subset of the [serde](https://serde.rs) data model.
+//!
+//! The build environment of this repository has no access to crates.io,
+//! so the workspace vendors the exact slice of serde's API it consumes:
+//! the `Serialize`/`Deserialize` traits, the `Serializer`/`Deserializer`
+//! trait pair with the full 29-method data model used by `temspc-persist`,
+//! the visitor/access machinery, and `impl`s for the std types that appear
+//! in persisted calibrations (primitives, tuples, `String`, `Vec`, maps,
+//! `Option`, `Box`, `Range`).
+//!
+//! The wire-format behaviour is defined by the consumer crates, exactly
+//! as with real serde: this crate only defines the data model. Code
+//! written against this subset compiles unchanged against real serde.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// Derive macros live in a companion proc-macro crate, re-exported here so
+// `use serde::{Serialize, Deserialize}` pulls in both the traits and the
+// derives, as with the real crate's `derive` feature.
+#[doc(hidden)]
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;

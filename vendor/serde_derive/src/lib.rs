@@ -1,0 +1,571 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde subset.
+//!
+//! The build environment has no registry access, so `syn`/`quote` are
+//! unavailable; the input item is parsed directly from the
+//! `proc_macro::TokenStream` and the generated impls are emitted as
+//! source text. Supported shapes cover everything the workspace derives
+//! on: non-generic structs (named, tuple, unit) and enums whose variants
+//! are unit, tuple, or struct-like. Field types never need to be parsed —
+//! the generated `visit_seq` lets inference recover them from the
+//! struct-literal construction.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model.
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields (only the count matters).
+    Unnamed(usize),
+    /// No fields.
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip outer attributes (incl. doc comments) and visibility.
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the `[...]` group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub` (a following `(crate)` group is consumed by the
+                // Group arm on the next spin).
+            }
+            Some(TokenTree::Group(_)) => {}
+            other => panic!("serde_derive: unexpected token before item keyword: {other:?}"),
+        }
+    };
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported");
+        }
+    }
+
+    let data = if kind == "struct" {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Unnamed(count_unnamed_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Fields::Unit),
+            other => panic!("serde_derive: expected struct body, found {other:?}"),
+        }
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        }
+    };
+
+    Input { name, data }
+}
+
+/// Parses `ident: Type, ...` out of a brace-group body, skipping
+/// attributes and visibility. Type tokens are discarded; only names are
+/// needed because the generated code recovers types via inference.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(
+                iter.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                iter.next();
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field name, found {other:?}"),
+        }
+        skip_until_top_level_comma(&mut iter);
+    }
+    names
+}
+
+/// Counts the fields of a paren-group (tuple struct / tuple variant) body.
+fn count_unnamed_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut pending = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == '<' {
+                    depth += 1;
+                } else if c == '>' {
+                    depth -= 1;
+                } else if c == ',' && depth == 0 {
+                    count += 1;
+                    pending = false;
+                    continue;
+                }
+                pending = true;
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_unnamed_fields(g.stream());
+                iter.next();
+                Fields::Unnamed(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream());
+                iter.next();
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        // Consume a discriminant (`= expr`) and/or the trailing comma.
+        skip_until_top_level_comma(&mut iter);
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Advances past tokens until (and including) the next comma that is not
+/// nested inside `<...>` generic arguments. Commas inside `(...)`,
+/// `[...]`, `{...}` are invisible here because groups are single tokens.
+fn skip_until_top_level_comma(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth = 0i32;
+    while let Some(tt) = iter.peek() {
+        if let TokenTree::Punct(p) = tt {
+            let c = p.as_char();
+            if c == '<' {
+                depth += 1;
+            } else if c == '>' {
+                depth -= 1;
+            } else if c == ',' && depth == 0 {
+                iter.next();
+                return;
+            }
+        }
+        iter.next();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen.
+// ---------------------------------------------------------------------------
+
+/// Derives `serde::ser::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let mut body = String::new();
+
+    match &input.data {
+        Data::Struct(Fields::Named(fields)) => {
+            body.push_str(&format!(
+                "let mut __state = ::serde::ser::Serializer::serialize_struct(\
+                 __serializer, \"{name}\", {n}usize)?;\n",
+                n = fields.len()
+            ));
+            for f in fields {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(\
+                     &mut __state, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(__state)\n");
+        }
+        Data::Struct(Fields::Unnamed(1)) => {
+            body.push_str(&format!(
+                "::serde::ser::Serializer::serialize_newtype_struct(\
+                 __serializer, \"{name}\", &self.0)\n"
+            ));
+        }
+        Data::Struct(Fields::Unnamed(n)) => {
+            body.push_str(&format!(
+                "let mut __state = ::serde::ser::Serializer::serialize_tuple_struct(\
+                 __serializer, \"{name}\", {n}usize)?;\n"
+            ));
+            for i in 0..*n {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(\
+                     &mut __state, &self.{i})?;\n"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeTupleStruct::end(__state)\n");
+        }
+        Data::Struct(Fields::Unit) => {
+            body.push_str(&format!(
+                "::serde::ser::Serializer::serialize_unit_struct(__serializer, \"{name}\")\n"
+            ));
+        }
+        Data::Enum(variants) => {
+            body.push_str("match self {\n");
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => body.push_str(&format!(
+                        "{name}::{vname} => \
+                         ::serde::ser::Serializer::serialize_unit_variant(\
+                         __serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    Fields::Unnamed(1) => body.push_str(&format!(
+                        "{name}::{vname}(__field0) => \
+                         ::serde::ser::Serializer::serialize_newtype_variant(\
+                         __serializer, \"{name}\", {idx}u32, \"{vname}\", __field0),\n"
+                    )),
+                    Fields::Unnamed(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__field{i}")).collect();
+                        body.push_str(&format!(
+                            "{name}::{vname}({binders}) => {{\n\
+                             let mut __state = \
+                             ::serde::ser::Serializer::serialize_tuple_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{vname}\", {n}usize)?;\n",
+                            binders = binders.join(", ")
+                        ));
+                        for b in &binders {
+                            body.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(\
+                                 &mut __state, {b})?;\n"
+                            ));
+                        }
+                        body.push_str("::serde::ser::SerializeTupleVariant::end(__state)\n},\n");
+                    }
+                    Fields::Named(fields) => {
+                        body.push_str(&format!(
+                            "{name}::{vname} {{ {binders} }} => {{\n\
+                             let mut __state = \
+                             ::serde::ser::Serializer::serialize_struct_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{vname}\", {n}usize)?;\n",
+                            binders = fields.join(", "),
+                            n = fields.len()
+                        ));
+                        for f in fields {
+                            body.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(\
+                                 &mut __state, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        body.push_str("::serde::ser::SerializeStructVariant::end(__state)\n},\n");
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+
+    let code = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::ser::Serializer>(\
+         &self, __serializer: __S) -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\
+         }}\n\
+         }}\n"
+    );
+    code.parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen.
+// ---------------------------------------------------------------------------
+
+/// Emits `let __fieldN = ...;` bindings reading `n` positional elements
+/// from `__seq`, erroring with `expected` on early end.
+fn gen_seq_bindings(n: usize, expected: &str) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        out.push_str(&format!(
+            "let __field{i} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+             Some(__value) => __value,\n\
+             None => return Err(::serde::de::Error::invalid_length({i}usize, &\"{expected}\")),\n\
+             }};\n"
+        ));
+    }
+    out
+}
+
+/// Builds a visitor struct named `visitor` whose `visit_seq` constructs
+/// `construct` from `n` positional fields.
+fn gen_seq_visitor(
+    visitor: &str,
+    value_ty: &str,
+    expected: &str,
+    n: usize,
+    construct: &str,
+) -> String {
+    let seq_param = if n == 0 { "__seq" } else { "mut __seq" };
+    let unused = if n == 0 { "let _ = &__seq;\n" } else { "" };
+    format!(
+        "struct {visitor};\n\
+         impl<'de> ::serde::de::Visitor<'de> for {visitor} {{\n\
+         type Value = {value_ty};\n\
+         fn expecting(&self, __formatter: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+         __formatter.write_str(\"{expected}\")\n\
+         }}\n\
+         fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(\
+         self, {seq_param}: __A) -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+         {unused}{bindings}\
+         Ok({construct})\n\
+         }}\n\
+         }}\n",
+        bindings = gen_seq_bindings(n, expected)
+    )
+}
+
+fn construct_named(path: &str, fields: &[String]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .enumerate()
+        .map(|(i, f)| format!("{f}: __field{i}"))
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn construct_unnamed(path: &str, n: usize) -> String {
+    let args: Vec<String> = (0..n).map(|i| format!("__field{i}")).collect();
+    format!("{path}({})", args.join(", "))
+}
+
+fn str_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| format!("\"{s}\"")).collect();
+    format!("&[{}]", quoted.join(", "))
+}
+
+/// Derives `serde::de::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let mut body = String::new();
+
+    match &input.data {
+        Data::Struct(Fields::Named(fields)) => {
+            let expected = format!("struct {name}");
+            body.push_str(&gen_seq_visitor(
+                "__Visitor",
+                name,
+                &expected,
+                fields.len(),
+                &construct_named(name, fields),
+            ));
+            body.push_str(&format!(
+                "::serde::de::Deserializer::deserialize_struct(\
+                 __deserializer, \"{name}\", {fields}, __Visitor)\n",
+                fields = str_array(fields)
+            ));
+        }
+        Data::Struct(Fields::Unnamed(1)) => {
+            let expected = format!("newtype struct {name}");
+            body.push_str(&format!(
+                "struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __formatter: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+                 __formatter.write_str(\"{expected}\")\n\
+                 }}\n\
+                 fn visit_newtype_struct<__D: ::serde::de::Deserializer<'de>>(\
+                 self, __deserializer: __D) -> ::std::result::Result<Self::Value, __D::Error> {{\n\
+                 ::serde::de::Deserialize::deserialize(__deserializer).map({name})\n\
+                 }}\n\
+                 fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(\
+                 self, mut __seq: __A) -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+                 {bindings}\
+                 Ok({name}(__field0))\n\
+                 }}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_newtype_struct(\
+                 __deserializer, \"{name}\", __Visitor)\n",
+                bindings = gen_seq_bindings(1, &expected)
+            ));
+        }
+        Data::Struct(Fields::Unnamed(n)) => {
+            let expected = format!("tuple struct {name}");
+            body.push_str(&gen_seq_visitor(
+                "__Visitor",
+                name,
+                &expected,
+                *n,
+                &construct_unnamed(name, *n),
+            ));
+            body.push_str(&format!(
+                "::serde::de::Deserializer::deserialize_tuple_struct(\
+                 __deserializer, \"{name}\", {n}usize, __Visitor)\n"
+            ));
+        }
+        Data::Struct(Fields::Unit) => {
+            body.push_str(&format!(
+                "struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __formatter: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+                 __formatter.write_str(\"unit struct {name}\")\n\
+                 }}\n\
+                 fn visit_unit<__E: ::serde::de::Error>(self) -> ::std::result::Result<Self::Value, __E> {{\n\
+                 Ok({name})\n\
+                 }}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_unit_struct(\
+                 __deserializer, \"{name}\", __Visitor)\n"
+            ));
+        }
+        Data::Enum(variants) => {
+            let variant_names: Vec<String> = variants.iter().map(|v| v.name.clone()).collect();
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{idx}u32 => {{\n\
+                         ::serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                         Ok({name}::{vname})\n\
+                         }},\n"
+                    )),
+                    Fields::Unnamed(1) => arms.push_str(&format!(
+                        "{idx}u32 => Ok({name}::{vname}(\
+                         ::serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+                    )),
+                    Fields::Unnamed(n) => {
+                        let visitor = format!("__Variant{idx}");
+                        let expected = format!("tuple variant {name}::{vname}");
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n\
+                             {visitor_def}\
+                             ::serde::de::VariantAccess::tuple_variant(\
+                             __variant, {n}usize, {visitor})\n\
+                             }},\n",
+                            visitor_def = gen_seq_visitor(
+                                &visitor,
+                                name,
+                                &expected,
+                                *n,
+                                &construct_unnamed(&format!("{name}::{vname}"), *n),
+                            )
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let visitor = format!("__Variant{idx}");
+                        let expected = format!("struct variant {name}::{vname}");
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n\
+                             {visitor_def}\
+                             ::serde::de::VariantAccess::struct_variant(\
+                             __variant, {fields}, {visitor})\n\
+                             }},\n",
+                            visitor_def = gen_seq_visitor(
+                                &visitor,
+                                name,
+                                &expected,
+                                fields.len(),
+                                &construct_named(&format!("{name}::{vname}"), fields),
+                            ),
+                            fields = str_array(fields)
+                        ));
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __formatter: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+                 __formatter.write_str(\"enum {name}\")\n\
+                 }}\n\
+                 fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(\
+                 self, __data: __A) -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+                 let (__index, __variant) = ::serde::de::EnumAccess::variant::<u32>(__data)?;\n\
+                 match __index {{\n\
+                 {arms}\
+                 _ => Err(::serde::de::Error::unknown_variant(\
+                 &__index.to_string(), {variants})),\n\
+                 }}\n\
+                 }}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_enum(\
+                 __deserializer, \"{name}\", {variants}, __Visitor)\n",
+                variants = str_array(&variant_names)
+            ));
+        }
+    }
+
+    let code = format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::de::Deserializer<'de>>(\
+         __deserializer: __D) -> ::std::result::Result<Self, __D::Error> {{\n\
+         {body}\
+         }}\n\
+         }}\n"
+    );
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
