@@ -97,12 +97,12 @@ pub fn stack_calibration_runs(
     let mut controller = Matrix::default();
     let mut process = Matrix::default();
     for (c, p) in runs {
-        for row in c.iter_rows() {
-            controller.push_row(row);
-        }
-        for row in p.iter_rows() {
-            process.push_row(row);
-        }
+        controller
+            .append_rows(&c)
+            .expect("calibration runs share the monitored layout");
+        process
+            .append_rows(&p)
+            .expect("calibration runs share the monitored layout");
     }
     (controller, process)
 }

@@ -51,7 +51,7 @@ fn run_trace(ctx: &ExperimentContext, kind: ScenarioKind) -> Result<Fig3Trace, R
     let x1 = xmeas_index(1);
     Ok(Fig3Trace {
         kind,
-        xmeas1: data.process_view.col(x1),
+        xmeas1: data.process_view.col_iter(x1).collect(),
         hours: data.hours,
         shutdown: data.shutdown,
     })

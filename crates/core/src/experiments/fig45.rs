@@ -95,12 +95,12 @@ pub fn run(ctx: &ExperimentContext) -> Result<Fig45Result, RunError> {
             if outcome.detection.earliest_hour().is_some() {
                 detected += 1;
             }
-            for row in outcome.event_rows_controller.iter_rows() {
-                pooled_controller.push_row(row);
-            }
-            for row in outcome.event_rows_process.iter_rows() {
-                pooled_process.push_row(row);
-            }
+            pooled_controller
+                .append_rows(&outcome.event_rows_controller)
+                .expect("event windows share the monitored layout");
+            pooled_process
+                .append_rows(&outcome.event_rows_process)
+                .expect("event windows share the monitored layout");
         }
         detected_runs.push(detected);
 

@@ -5,7 +5,9 @@
 use serde::{Deserialize, Serialize};
 use temspc_linalg::Matrix;
 use temspc_mspc::detector::DetectorConfig;
-use temspc_mspc::{AnomalousEvent, ConsecutiveDetector, MspcConfig, MspcError, MspcModel};
+use temspc_mspc::{
+    AnomalousEvent, ConsecutiveDetector, MspcConfig, MspcError, MspcModel, ScoreScratch,
+};
 
 use crate::calibration::{collect_calibration_data, CalibrationConfig};
 use crate::names::N_MONITORED;
@@ -161,54 +163,43 @@ impl DualMspc {
     /// alarms by construction and are reported separately in
     /// [`ScenarioOutcome::false_alarms`].
     ///
+    /// Internally, samples are buffered into fixed-size blocks and scored
+    /// through the batched kernel path; the detectors then consume the
+    /// `(t2, spe)` series in step order, so every detection, false alarm
+    /// and event-window row is bit-identical to one-observation-at-a-time
+    /// scoring (the monitor observes the loop passively — buffering cannot
+    /// change the plant trajectory).
+    ///
     /// # Errors
     ///
     /// Returns [`RunError`] if the closed loop fails.
     pub fn run_scenario(&self, scenario: &Scenario) -> Result<ScenarioOutcome, RunError> {
-        let mut controller_det =
-            ConsecutiveDetector::new(*self.controller_model.limits(), self.config.detector);
-        let mut process_det =
-            ConsecutiveDetector::new(*self.process_model.limits(), self.config.detector);
-        let window = self.config.window();
         let onset = scenario.onset_hour;
-        let mut event_rows_controller = Matrix::default();
-        let mut event_rows_process = Matrix::default();
-        let mut collecting = false;
+        let mut state = BlockMonitorState {
+            monitor: self,
+            controller_det: ConsecutiveDetector::new(
+                *self.controller_model.limits(),
+                self.config.detector,
+            ),
+            process_det: ConsecutiveDetector::new(
+                *self.process_model.limits(),
+                self.config.detector,
+            ),
+            onset,
+            window: self.config.window(),
+            hours: Vec::with_capacity(SCORE_BLOCK_ROWS),
+            c_block: Matrix::with_capacity(SCORE_BLOCK_ROWS, N_MONITORED),
+            p_block: Matrix::with_capacity(SCORE_BLOCK_ROWS, N_MONITORED),
+            c_scratch: ScoreScratch::new(),
+            p_scratch: ScoreScratch::new(),
+            collecting: false,
+            event_rows_controller: Matrix::default(),
+            event_rows_process: Matrix::default(),
+        };
 
         let runner = ClosedLoopRunner::new(scenario);
-        let run = runner.run(50, |sample| {
-            debug_assert_eq!(sample.controller_view.len(), N_MONITORED);
-            let c_score = self
-                .controller_model
-                .score(&sample.controller_view)
-                .expect("monitored vector length fixed");
-            let p_score = self
-                .process_model
-                .score(&sample.process_view)
-                .expect("monitored vector length fixed");
-            let c_event = controller_det.update(sample.hour, c_score.t2, c_score.spe);
-            let p_event = process_det.update(sample.hour, p_score.t2, p_score.spe);
-            if sample.hour >= onset
-                && (c_event.is_some_and(|e| e.detected_hour >= onset)
-                    || p_event.is_some_and(|e| e.detected_hour >= onset))
-            {
-                collecting = true;
-            }
-            if collecting && event_rows_controller.nrows() < window {
-                let violating = self
-                    .controller_model
-                    .limits()
-                    .violates_99(c_score.t2, c_score.spe)
-                    || self
-                        .process_model
-                        .limits()
-                        .violates_99(p_score.t2, p_score.spe);
-                if violating {
-                    event_rows_controller.push_row(&sample.controller_view);
-                    event_rows_process.push_row(&sample.process_view);
-                }
-            }
-        })?;
+        let run = runner.run(50, |sample| state.push(sample))?;
+        state.flush();
 
         let first_after = |det: &ConsecutiveDetector| {
             det.events()
@@ -216,22 +207,100 @@ impl DualMspc {
                 .find(|e| e.detected_hour >= onset)
                 .copied()
         };
-        let false_alarms = controller_det
+        let false_alarms = state
+            .controller_det
             .events()
             .iter()
-            .chain(process_det.events())
+            .chain(state.process_det.events())
             .filter(|e| e.detected_hour < onset)
             .count();
         Ok(ScenarioOutcome {
             run,
             detection: DetectionSummary {
-                controller: first_after(&controller_det),
-                process: first_after(&process_det),
+                controller: first_after(&state.controller_det),
+                process: first_after(&state.process_det),
             },
             false_alarms,
-            event_rows_controller,
-            event_rows_process,
+            event_rows_controller: state.event_rows_controller,
+            event_rows_process: state.event_rows_process,
         })
+    }
+}
+
+/// Rows buffered before a batched scoring pass during monitoring. Large
+/// enough to amortize the kernel's panel packing, small enough that the
+/// two 53-column block buffers and their scratches stay cache-resident.
+const SCORE_BLOCK_ROWS: usize = 256;
+
+/// Streaming state of one monitored run: buffers full-rate samples into
+/// blocks, batch-scores each full block against both models and replays
+/// the statistics through the detectors in step order.
+struct BlockMonitorState<'m> {
+    monitor: &'m DualMspc,
+    controller_det: ConsecutiveDetector,
+    process_det: ConsecutiveDetector,
+    onset: f64,
+    window: usize,
+    hours: Vec<f64>,
+    c_block: Matrix,
+    p_block: Matrix,
+    c_scratch: ScoreScratch,
+    p_scratch: ScoreScratch,
+    collecting: bool,
+    event_rows_controller: Matrix,
+    event_rows_process: Matrix,
+}
+
+impl BlockMonitorState<'_> {
+    fn push(&mut self, sample: &crate::runner::StepSample) {
+        debug_assert_eq!(sample.controller_view.len(), N_MONITORED);
+        self.hours.push(sample.hour);
+        self.c_block.push_row(&sample.controller_view);
+        self.p_block.push_row(&sample.process_view);
+        if self.hours.len() == SCORE_BLOCK_ROWS {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.hours.is_empty() {
+            return;
+        }
+        self.monitor
+            .controller_model
+            .score_dataset_into(&self.c_block, &mut self.c_scratch)
+            .expect("monitored vector length fixed");
+        self.monitor
+            .process_model
+            .score_dataset_into(&self.p_block, &mut self.p_scratch)
+            .expect("monitored vector length fixed");
+        for (i, &hour) in self.hours.iter().enumerate() {
+            let (c_t2, c_spe) = (self.c_scratch.t2()[i], self.c_scratch.spe()[i]);
+            let (p_t2, p_spe) = (self.p_scratch.t2()[i], self.p_scratch.spe()[i]);
+            let c_event = self.controller_det.update(hour, c_t2, c_spe);
+            let p_event = self.process_det.update(hour, p_t2, p_spe);
+            if hour >= self.onset
+                && (c_event.is_some_and(|e| e.detected_hour >= self.onset)
+                    || p_event.is_some_and(|e| e.detected_hour >= self.onset))
+            {
+                self.collecting = true;
+            }
+            if self.collecting && self.event_rows_controller.nrows() < self.window {
+                let violating = self
+                    .monitor
+                    .controller_model
+                    .limits()
+                    .violates_99(c_t2, c_spe)
+                    || self.monitor.process_model.limits().violates_99(p_t2, p_spe);
+                if violating {
+                    self.event_rows_controller.push_row(self.c_block.row(i));
+                    self.event_rows_process.push_row(self.p_block.row(i));
+                }
+            }
+        }
+        self.hours.clear();
+        self.c_block.clear_rows();
+        self.p_block.clear_rows();
     }
 }
 

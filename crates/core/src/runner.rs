@@ -168,9 +168,13 @@ impl ClosedLoopRunner {
     ) -> Result<RunData, RunError> {
         let record_every = record_every.max(1);
         let steps = (self.scenario.duration_hours * SAMPLES_PER_HOUR as f64).round() as usize;
-        let mut hours = Vec::new();
-        let mut controller_rows = Matrix::default();
-        let mut process_rows = Matrix::default();
+        // Every record_every-th step starting at 0 is recorded; sizing the
+        // buffers up front avoids the geometric-growth reallocation series
+        // push_row would otherwise trigger on long runs.
+        let recorded_rows = steps.div_ceil(record_every);
+        let mut hours = Vec::with_capacity(recorded_rows);
+        let mut controller_rows = Matrix::with_capacity(recorded_rows, N_MONITORED);
+        let mut process_rows = Matrix::with_capacity(recorded_rows, N_MONITORED);
 
         for k in 0..steps {
             let hour = self.plant.hour();

@@ -2,14 +2,188 @@ use serde::{Deserialize, Serialize};
 
 use crate::{LinalgError, Result};
 
+/// Depth (rows of the RHS) of one packed panel of the blocked matmul
+/// kernel. `KC * NC` doubles fit comfortably in L1 alongside the output
+/// rows being accumulated.
+const KC: usize = 64;
+/// Width (columns of the RHS) of one packed panel.
+const NC: usize = 64;
+/// Rows of the LHS processed together by the register micro-kernel: four
+/// output rows share each load of a packed RHS row, and the four running
+/// sums stay in registers across the inner loop.
+const MR: usize = 4;
+
+/// The blocked matmul micro-kernel: `c += a * b` with `a` of shape
+/// `m x k`, `b` of shape `k x n` and `c` of shape `m x n`, all row-major.
+///
+/// `c` must be zero-initialized by the caller. The RHS is packed one
+/// `KC x NC` panel at a time into a stack buffer so the inner loops walk
+/// contiguous, cache-resident memory; the LHS is consumed four rows at a
+/// time (`MR`) so each packed element is reused fourfold from registers.
+///
+/// Per output element the additions happen in ascending-`k` order from a
+/// single accumulator — exactly the order of a naive dot product — so the
+/// result is bit-identical to the scalar row-at-a-time projection the
+/// MSPC scoring path previously used.
+fn matmul_kernel(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    // 32 KiB on the stack, above the lint's 16 KiB threshold — deliberate:
+    // the panel must be allocation-free (the kernel runs inside the
+    // zero-alloc scoring path) and this function is never recursive.
+    #[allow(clippy::large_stack_arrays)]
+    let mut pack = [0.0_f64; KC * NC];
+    let mut j0 = 0;
+    while j0 < n {
+        let nb = NC.min(n - j0);
+        let mut k0 = 0;
+        while k0 < k {
+            let kb = KC.min(k - k0);
+            // Pack b[k0..k0+kb, j0..j0+nb] row-major into the panel.
+            for kk in 0..kb {
+                let src = (k0 + kk) * n + j0;
+                pack[kk * nb..kk * nb + nb].copy_from_slice(&b[src..src + nb]);
+            }
+            let panel = &pack[..kb * nb];
+
+            // Four output rows at a time.
+            let mut i = 0;
+            while i + MR <= m {
+                let (c0, rest) = c[i * n + j0..].split_at_mut(n);
+                let (c1, rest) = rest.split_at_mut(n);
+                let (c2, rest) = rest.split_at_mut(n);
+                let (c0, c1) = (&mut c0[..nb], &mut c1[..nb]);
+                let (c2, c3) = (&mut c2[..nb], &mut rest[..nb]);
+                let a0 = &a[i * k + k0..];
+                let a1 = &a[(i + 1) * k + k0..];
+                let a2 = &a[(i + 2) * k + k0..];
+                let a3 = &a[(i + 3) * k + k0..];
+                for kk in 0..kb {
+                    let (w0, w1, w2, w3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+                    let row = &panel[kk * nb..kk * nb + nb];
+                    for jj in 0..nb {
+                        let v = row[jj];
+                        c0[jj] += w0 * v;
+                        c1[jj] += w1 * v;
+                        c2[jj] += w2 * v;
+                        c3[jj] += w3 * v;
+                    }
+                }
+                i += MR;
+            }
+            // Remainder rows, one at a time.
+            while i < m {
+                let ci = &mut c[i * n + j0..i * n + j0 + nb];
+                let ai = &a[i * k + k0..];
+                for kk in 0..kb {
+                    let w = ai[kk];
+                    let row = &panel[kk * nb..kk * nb + nb];
+                    for (o, &v) in ci.iter_mut().zip(row) {
+                        *o += w * v;
+                    }
+                }
+                i += 1;
+            }
+            k0 += kb;
+        }
+        j0 += nb;
+    }
+}
+
+/// Columns of `c` computed together by the register dot-product kernel.
+const JR: usize = 4;
+
+/// Dot-product micro-tile: `c[i..i+R, j0..j0+JB] = a[i..i+R, :] * b[:, j0..j0+JB]`
+/// with all `R * JB` running sums held in registers across the full `k`
+/// loop. Each sum accumulates in ascending-`k` order from a single
+/// accumulator, so results are bit-identical to a naive dot product.
+#[inline(always)]
+fn dot_tile<const R: usize, const JB: usize>(
+    k: usize,
+    n: usize,
+    rows: [&[f64]; R],
+    b: &[f64],
+    j0: usize,
+) -> [[f64; JB]; R] {
+    let mut acc = [[0.0_f64; JB]; R];
+    for kk in 0..k {
+        let brow = &b[kk * n + j0..kk * n + j0 + JB];
+        for (accr, row) in acc.iter_mut().zip(&rows) {
+            let w = row[kk];
+            for (a, &v) in accr.iter_mut().zip(brow) {
+                *a += w * v;
+            }
+        }
+    }
+    acc
+}
+
+/// Runs [`dot_tile`] for `R` rows starting at row `i` across all column
+/// tiles of width up to [`JR`], storing (not accumulating) into `c`.
+#[inline(always)]
+fn dot_rows<const R: usize>(i: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    let rows: [&[f64]; R] = std::array::from_fn(|r| &a[(i + r) * k..(i + r + 1) * k]);
+    let mut j0 = 0;
+    while j0 < n {
+        let jb = JR.min(n - j0);
+        // Monomorphic tiles keep the accumulator arrays in registers.
+        macro_rules! tile {
+            ($jb:literal) => {{
+                let acc = dot_tile::<R, $jb>(k, n, rows, b, j0);
+                for (r, accr) in acc.iter().enumerate() {
+                    let dst = (i + r) * n + j0;
+                    c[dst..dst + $jb].copy_from_slice(accr);
+                }
+            }};
+        }
+        match jb {
+            4 => tile!(4),
+            3 => tile!(3),
+            2 => tile!(2),
+            _ => tile!(1),
+        }
+        j0 += jb;
+    }
+}
+
+/// The small-matrix fast path: `c = a * b` when the whole RHS is
+/// cache-resident (`k <= KC` and `n <= NC`).
+///
+/// Instead of packing and accumulating through memory, each output
+/// element is a register dot product ([`dot_tile`]); four rows by four
+/// columns of sums are in flight at once so the serial ascending-`k`
+/// chains (required for bit-identical results) overlap. `c` is fully
+/// overwritten, so it does not need to be zero-initialized.
+fn matmul_kernel_small(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if n == 0 {
+        return;
+    }
+    let mut i = 0;
+    while i + MR <= m {
+        dot_rows::<MR>(i, k, n, a, b, c);
+        i += MR;
+    }
+    while i < m {
+        dot_rows::<1>(i, k, n, a, b, c);
+        i += 1;
+    }
+}
+
 /// A dense, row-major matrix of `f64` values.
 ///
 /// `Matrix` is the workhorse type of the `temspc` workspace: observation
 /// datasets (`N x M`), PCA loadings (`M x A`) and scores (`N x A`) are all
 /// `Matrix` values. It favours clarity over raw BLAS speed, but the matmul
-/// kernel is cache-friendly (ikj loop order) and fast enough for the
-/// dataset sizes the paper uses (hundreds of thousands of rows, ~50
-/// columns).
+/// kernel is blocked and register-tiled (see [`Matrix::matmul_into`]) and
+/// fast enough for the dataset sizes the paper uses (hundreds of
+/// thousands of rows, ~50 columns).
 ///
 /// # Example
 ///
@@ -178,12 +352,36 @@ impl Matrix {
 
     /// Copies column `col` into a new `Vec`.
     ///
+    /// Allocates on every call; hot loops should prefer
+    /// [`Matrix::col_iter`] or [`Matrix::copy_col_into`].
+    ///
     /// # Panics
     ///
     /// Panics if `col >= ncols()`.
     pub fn col(&self, col: usize) -> Vec<f64> {
+        self.col_iter(col).collect()
+    }
+
+    /// Iterates over column `col` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= ncols()`.
+    #[inline]
+    pub fn col_iter(&self, col: usize) -> impl Iterator<Item = f64> + '_ {
         assert!(col < self.cols, "column index out of bounds");
-        (0..self.rows).map(|r| self.get(r, col)).collect()
+        self.data[col..].iter().step_by(self.cols.max(1)).copied()
+    }
+
+    /// Copies column `col` into a caller-owned vector (cleared and
+    /// refilled; allocation-free once `out` has capacity `nrows()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= ncols()`.
+    pub fn copy_col_into(&self, col: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.col_iter(col));
     }
 
     /// Borrows the underlying row-major data.
@@ -203,13 +401,23 @@ impl Matrix {
 
     /// Returns the transpose of the matrix.
     pub fn transpose(&self) -> Matrix {
-        let mut t = Matrix::zeros(self.cols, self.rows);
+        let mut t = Matrix::default();
+        self.transpose_into(&mut t);
+        t
+    }
+
+    /// Writes the transpose of `self` into a caller-owned matrix
+    /// (reshaped to `ncols() x nrows()`; allocation-free once warm).
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.rows = self.cols;
+        out.cols = self.rows;
+        out.data.clear();
+        out.data.resize(self.rows * self.cols, 0.0);
         for r in 0..self.rows {
             for c in 0..self.cols {
-                t.data[c * self.rows + r] = self.data[r * self.cols + c];
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
             }
         }
-        t
     }
 
     /// Matrix product `self * rhs`.
@@ -228,30 +436,83 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if the inner dimensions differ.
     pub fn try_matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix product `self * rhs`, written into a caller-owned matrix.
+    ///
+    /// `out` is reshaped to `self.nrows() x rhs.ncols()`; once its buffer
+    /// has grown to the product size, repeated calls perform no
+    /// allocation. This is the scoring hot path: small products (RHS at
+    /// most `KC x NC`, the MSPC projection shapes) go through a register
+    /// dot-product kernel, larger ones through a blocked kernel that
+    /// packs the RHS one cache-sized panel at a time and accumulates four
+    /// output rows per pass. Both keep per-element additions in
+    /// ascending-`k` order so results are bit-identical to a naive dot
+    /// product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the inner dimensions differ.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
                 left: self.shape(),
                 right: rhs.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // ikj order: the inner loop walks contiguous memory of both the
-        // output row and the rhs row, which matters for the tall datasets
-        // PCA chews through.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
-            }
+        out.rows = self.rows;
+        out.cols = rhs.cols;
+        if self.cols <= KC && rhs.cols <= NC {
+            // Small path fully overwrites `out`, so stale contents (from a
+            // larger previous product) need no clearing — just resize.
+            out.data.resize(self.rows * rhs.cols, 0.0);
+            matmul_kernel_small(
+                self.rows,
+                self.cols,
+                rhs.cols,
+                &self.data,
+                &rhs.data,
+                &mut out.data,
+            );
+        } else {
+            out.data.clear();
+            out.data.resize(self.rows * rhs.cols, 0.0);
+            matmul_kernel(
+                self.rows,
+                self.cols,
+                rhs.cols,
+                &self.data,
+                &rhs.data,
+                &mut out.data,
+            );
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Elementwise difference `self - rhs`, written into a caller-owned
+    /// matrix (reshaped; allocation-free once warm). One fused pass reads
+    /// both operands and writes the result, instead of a copy followed by
+    /// an in-place subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the shapes differ.
+    pub fn sub_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        out.rows = self.rows;
+        out.cols = self.cols;
+        out.data.clear();
+        out.data
+            .extend(self.data.iter().zip(&rhs.data).map(|(&a, &b)| a - b));
+        Ok(())
     }
 
     /// Matrix-vector product `self * v`.
@@ -260,10 +521,32 @@ impl Matrix {
     ///
     /// Panics if `v.len() != self.ncols()`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(v.len(), self.cols, "matvec shape mismatch");
-        (0..self.rows)
-            .map(|r| self.row(r).iter().zip(v).map(|(&a, &b)| a * b).sum::<f64>())
-            .collect()
+        let mut out = Vec::new();
+        self.matvec_into(v, &mut out)
+            .expect("matvec shape mismatch");
+        out
+    }
+
+    /// Matrix-vector product `self * v`, written into a caller-owned
+    /// vector (resized to `self.nrows()`; allocation-free once warm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `v.len() != self.ncols()`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        if v.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: (v.len(), 1),
+            });
+        }
+        out.clear();
+        out.extend(
+            self.iter_rows()
+                .map(|row| row.iter().zip(v).map(|(&a, &b)| a * b).sum::<f64>()),
+        );
+        out.truncate(self.rows);
+        Ok(())
     }
 
     /// Element-wise sum `self + rhs`.
@@ -415,6 +698,49 @@ impl Matrix {
         Ok(out)
     }
 
+    /// Overwrites `self` with the contents of `src`, reusing the existing
+    /// buffer where possible (allocation-free once warm).
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Overwrites `self` with a single row, reshaping to `1 x row.len()`
+    /// and reusing the existing buffer (allocation-free once warm).
+    pub fn copy_from_row(&mut self, row: &[f64]) {
+        self.rows = 1;
+        self.cols = row.len();
+        self.data.clear();
+        self.data.extend_from_slice(row);
+    }
+
+    /// Creates an empty (`0 x cols`) matrix whose buffer can hold `rows`
+    /// rows without reallocating. Pass `cols = 0` to defer the column
+    /// count to the first [`Matrix::push_row`].
+    pub fn with_capacity(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows: 0,
+            cols,
+            data: Vec::with_capacity(rows * cols.max(1)),
+        }
+    }
+
+    /// Reserves buffer space for at least `additional` more rows, so a
+    /// known-length sequence of [`Matrix::push_row`] calls performs at
+    /// most one reallocation instead of a geometric-growth series.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.data.reserve(additional * self.cols.max(1));
+    }
+
+    /// Removes all rows, keeping the column count and the allocated
+    /// buffer — the reset step of a reusable block buffer.
+    pub fn clear_rows(&mut self) {
+        self.rows = 0;
+        self.data.clear();
+    }
+
     /// Appends a row to the matrix.
     ///
     /// # Panics
@@ -427,6 +753,31 @@ impl Matrix {
         assert_eq!(row.len(), self.cols, "push_row length mismatch");
         self.data.extend_from_slice(row);
         self.rows += 1;
+    }
+
+    /// Appends all rows of `other` to `self` in one reserve + copy.
+    /// Appending a 0-row matrix is a no-op regardless of column counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the column counts differ
+    /// on a non-empty receiver.
+    pub fn append_rows(&mut self, other: &Matrix) -> Result<()> {
+        if other.rows == 0 {
+            return Ok(());
+        }
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = other.cols;
+        }
+        if self.cols != other.cols {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        self.data.extend_from_slice(&other.data);
+        self.rows += other.rows;
+        Ok(())
     }
 
     /// Iterates over the rows as slices.
@@ -604,5 +955,135 @@ mod tests {
         assert!(m.all_finite());
         m.set(0, 1, f64::NAN);
         assert!(!m.all_finite());
+    }
+
+    /// Naive triple-loop reference with the same per-element ascending-k
+    /// accumulation order as the blocked kernel is expected to preserve.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.nrows(), b.ncols());
+        for i in 0..a.nrows() {
+            for j in 0..b.ncols() {
+                let mut acc = 0.0;
+                for k in 0..a.ncols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                c.set(i, j, acc);
+            }
+        }
+        c
+    }
+
+    fn pseudo_random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 4.0 - 2.0
+        };
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect())
+    }
+
+    #[test]
+    fn blocked_kernel_bit_identical_to_naive_across_block_boundaries() {
+        // Shapes straddle the KC/NC/MR tile edges: remainders in every
+        // dimension, plus tall-skinny and short-wide extremes.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (4, 64, 64),
+            (5, 65, 67),
+            (3, 130, 2),
+            (70, 53, 12),
+            (130, 7, 129),
+        ] {
+            let a = pseudo_random_matrix(m, k, 11 + m as u64);
+            let b = pseudo_random_matrix(k, n, 23 + n as u64);
+            let blocked = a.matmul(&b);
+            let naive = naive_matmul(&a, &b);
+            assert_eq!(
+                blocked.as_slice(),
+                naive.as_slice(),
+                "kernel diverged for {m}x{k} * {k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_and_reshapes_buffer() {
+        let a = pseudo_random_matrix(6, 5, 1);
+        let b = pseudo_random_matrix(5, 4, 2);
+        let mut out = Matrix::zeros(70, 70); // stale, larger shape + garbage-free reuse
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b));
+        // Second call with different shapes reuses the same buffer.
+        let c = pseudo_random_matrix(2, 6, 3);
+        let d = pseudo_random_matrix(6, 3, 4);
+        c.matmul_into(&d, &mut out).unwrap();
+        assert_eq!(out, c.matmul(&d));
+        assert!(c.matmul_into(&b, &mut out).is_err());
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec() {
+        let m = pseudo_random_matrix(7, 3, 9);
+        let v = [0.5, -1.5, 2.0];
+        let mut out = vec![99.0; 10];
+        m.matvec_into(&v, &mut out).unwrap();
+        assert_eq!(out, m.matvec(&v));
+        assert_eq!(out.len(), 7);
+        assert!(m.matvec_into(&[1.0], &mut out).is_err());
+    }
+
+    #[test]
+    fn transpose_into_matches_transpose() {
+        let m = pseudo_random_matrix(5, 8, 7);
+        let mut t = Matrix::zeros(2, 2);
+        m.transpose_into(&mut t);
+        assert_eq!(t, m.transpose());
+    }
+
+    #[test]
+    fn col_iter_and_copy_col_into_match_col() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.col_iter(1).collect::<Vec<_>>(), m.col(1));
+        let mut buf = vec![0.0; 1];
+        m.copy_col_into(2, &mut buf);
+        assert_eq!(buf, vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn with_capacity_and_reserve_avoid_reallocation() {
+        let mut m = Matrix::with_capacity(3, 2);
+        let cap = m.as_slice().as_ptr();
+        m.push_row(&[1.0, 2.0]);
+        m.push_row(&[3.0, 4.0]);
+        m.push_row(&[5.0, 6.0]);
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m.as_slice().as_ptr(), cap);
+
+        let mut d = Matrix::default();
+        d.push_row(&[1.0]);
+        d.reserve_rows(100);
+        let ptr = d.as_slice().as_ptr();
+        for _ in 0..100 {
+            d.push_row(&[0.0]);
+        }
+        assert_eq!(d.as_slice().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn append_rows_matches_vstack() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let mut m = a.clone();
+        m.append_rows(&b).unwrap();
+        assert_eq!(m, a.vstack(&b).unwrap());
+        let mut empty = Matrix::default();
+        empty.append_rows(&b).unwrap();
+        assert_eq!(empty, b);
+        assert!(m.append_rows(&Matrix::zeros(1, 3)).is_err());
+        // 0-row appends are no-ops even across column counts.
+        m.append_rows(&Matrix::zeros(0, 9)).unwrap();
+        assert_eq!(m.shape(), (3, 2));
     }
 }

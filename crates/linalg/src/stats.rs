@@ -251,20 +251,34 @@ impl AutoScaler {
     /// Returns [`LinalgError::ShapeMismatch`] if the column count differs
     /// from the calibration data.
     pub fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::default();
+        self.transform_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// Applies the frozen scaling to a dataset, writing into a
+    /// caller-owned matrix (reshaped to `x`'s shape; allocation-free once
+    /// `out`'s buffer has grown to size).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the column count differs
+    /// from the calibration data.
+    pub fn transform_into(&self, x: &Matrix, out: &mut Matrix) -> Result<()> {
         if x.ncols() != self.means.len() {
             return Err(LinalgError::ShapeMismatch {
                 left: x.shape(),
                 right: (1, self.means.len()),
             });
         }
-        let mut out = x.clone();
+        out.copy_from(x);
         for r in 0..out.nrows() {
             let row = out.row_mut(r);
             for ((v, &mu), &sd) in row.iter_mut().zip(&self.means).zip(&self.stds) {
                 *v = (*v - mu) / sd;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Applies the frozen scaling to a single observation.

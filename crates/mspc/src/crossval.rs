@@ -9,7 +9,7 @@
 //! minimizes PRESS; unlike naive row-wise reconstruction error, this
 //! criterion increases again when components start fitting noise.
 
-use temspc_linalg::decomp::solve_spd;
+use temspc_linalg::decomp::{cholesky, CholeskyFactor};
 use temspc_linalg::stats::AutoScaler;
 use temspc_linalg::{LinalgError, Matrix};
 
@@ -74,29 +74,43 @@ pub fn press_cross_validation(
         let model = PcaModel::fit(&train, ComponentSelection::Fixed(max_components))?;
         let p = model.loadings();
 
+        // The known-data-regression Gram matrix `P_{-j}ᵀ P_{-j}` depends
+        // only on the fold's loadings and on (a, j), not on the held-out
+        // observation — build and factor each system once per fold and
+        // reuse the factorization for every test row.
+        let mut factors: Vec<CholeskyFactor> = Vec::with_capacity(max_components * m);
+        for a in 1..=max_components {
+            for j in 0..m {
+                let mut gram = Matrix::zeros(a, a);
+                for r in 0..a {
+                    for c in 0..a {
+                        let mut v = 0.0;
+                        for k in 0..m {
+                            if k != j {
+                                v += p.get(k, r) * p.get(k, c);
+                            }
+                        }
+                        gram.set(r, c, v);
+                    }
+                }
+                // Regularize the tiny Gram system lightly.
+                for r in 0..a {
+                    gram.set(r, r, gram.get(r, r) + 1e-9);
+                }
+                factors.push(cholesky(&gram)?);
+            }
+        }
+
+        let mut rhs = Vec::with_capacity(max_components);
+        let mut t_hat = Vec::with_capacity(max_components);
         for &row in &test_rows {
             let z = scaler.transform_row(x.row(row))?;
             for a in 1..=max_components {
                 for j in 0..m {
                     // Known-data regression: scores from all variables
                     // except j, then predict variable j.
-                    let mut gram = Matrix::zeros(a, a);
-                    for r in 0..a {
-                        for c in 0..a {
-                            let mut v = 0.0;
-                            for k in 0..m {
-                                if k != j {
-                                    v += p.get(k, r) * p.get(k, c);
-                                }
-                            }
-                            gram.set(r, c, v);
-                        }
-                    }
-                    // Regularize the tiny Gram system lightly.
-                    for r in 0..a {
-                        gram.set(r, r, gram.get(r, r) + 1e-9);
-                    }
-                    let mut rhs = vec![0.0; a];
+                    rhs.clear();
+                    rhs.resize(a, 0.0);
                     for (r, rv) in rhs.iter_mut().enumerate() {
                         let mut v = 0.0;
                         for (k, &zk) in z.iter().enumerate() {
@@ -106,7 +120,7 @@ pub fn press_cross_validation(
                         }
                         *rv = v;
                     }
-                    let t_hat = solve_spd(&gram, &rhs)?;
+                    factors[(a - 1) * m + j].solve_into(&rhs, &mut t_hat)?;
                     let z_hat: f64 = (0..a).map(|c| p.get(j, c) * t_hat[c]).sum();
                     let e = z[j] - z_hat;
                     press[a - 1] += e * e;

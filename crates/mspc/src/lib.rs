@@ -58,5 +58,6 @@ pub use detector::{AnomalousEvent, ConsecutiveDetector, DetectorConfig};
 pub use ewma::EwmaChart;
 pub use limits::ControlLimits;
 pub use model::{MspcConfig, MspcError, MspcModel, ObservationScore};
-pub use omeda::omeda;
+pub use omeda::{omeda, omeda_with};
 pub use pca::PcaModel;
+pub use statistics::ScoreScratch;

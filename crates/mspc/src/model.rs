@@ -3,9 +3,18 @@
 use serde::{Deserialize, Serialize};
 use temspc_linalg::{LinalgError, Matrix};
 
+use std::cell::RefCell;
+
 use crate::limits::{ControlLimits, LimitMethod};
 use crate::pca::{ComponentSelection, PcaModel};
-use crate::statistics;
+use crate::statistics::{self, ScoreScratch};
+
+thread_local! {
+    /// Per-thread scratch backing [`MspcModel::score`], so the scalar
+    /// convenience API stays allocation-free after warm-up without
+    /// forcing callers to thread a [`ScoreScratch`] through.
+    static SCORE_SCRATCH: RefCell<ScoreScratch> = RefCell::new(ScoreScratch::new());
+}
 
 /// Configuration of an MSPC calibration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -115,12 +124,38 @@ impl MspcModel {
 
     /// Scores one raw observation.
     ///
+    /// Implemented on top of the batched scoring pass (a 1-row block
+    /// through a per-thread [`ScoreScratch`]), so results are the same
+    /// bits the batched dataset path produces and no per-call allocation
+    /// happens after warm-up. Hot loops that score many observations
+    /// should batch them and use [`MspcModel::score_dataset_into`].
+    ///
     /// # Errors
     ///
     /// Returns [`MspcError::Numeric`] on a length mismatch.
     pub fn score(&self, observation: &[f64]) -> Result<ObservationScore, MspcError> {
-        let (t2, spe) = statistics::observation_statistics(&self.pca, observation)?;
-        Ok(ObservationScore { t2, spe })
+        SCORE_SCRATCH.with(|s| self.score_with(observation, &mut s.borrow_mut()))
+    }
+
+    /// Scores one raw observation through a caller-owned scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MspcError::Numeric`] on a length mismatch.
+    pub fn score_with(
+        &self,
+        observation: &[f64],
+        scratch: &mut ScoreScratch,
+    ) -> Result<ObservationScore, MspcError> {
+        let mut staged = std::mem::take(&mut scratch.row_buf);
+        staged.copy_from_row(observation);
+        let result = statistics::dataset_statistics_into(&self.pca, &staged, scratch);
+        scratch.row_buf = staged;
+        result?;
+        Ok(ObservationScore {
+            t2: scratch.t2[0],
+            spe: scratch.spe[0],
+        })
     }
 
     /// Scores every row of a dataset, returning `(t2, spe)` series.
@@ -130,6 +165,22 @@ impl MspcModel {
     /// Returns [`MspcError::Numeric`] on a column-count mismatch.
     pub fn score_dataset(&self, x: &Matrix) -> Result<(Vec<f64>, Vec<f64>), MspcError> {
         Ok(statistics::dataset_statistics(&self.pca, x)?)
+    }
+
+    /// Scores every row of a dataset in one fused batched pass, leaving
+    /// the `(t2, spe)` series in the scratch ([`ScoreScratch::t2`] /
+    /// [`ScoreScratch::spe`]). Zero allocations once the scratch is warm;
+    /// bit-identical to [`MspcModel::score_dataset`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MspcError::Numeric`] on a column-count mismatch.
+    pub fn score_dataset_into(
+        &self,
+        x: &Matrix,
+        scratch: &mut ScoreScratch,
+    ) -> Result<(), MspcError> {
+        Ok(statistics::dataset_statistics_into(&self.pca, x, scratch)?)
     }
 
     /// Whether an observation violates the 99 % limits.

@@ -12,6 +12,7 @@
 use temspc_linalg::{LinalgError, Matrix};
 
 use crate::pca::PcaModel;
+use crate::statistics::ScoreScratch;
 
 /// Computes the oMEDA vector for the observation group selected by
 /// `dummy`, under the PCA `model`.
@@ -32,6 +33,22 @@ use crate::pca::PcaModel;
 ///   column count differs from the model.
 /// * [`LinalgError::Empty`] if `dummy` is all zeros.
 pub fn omeda(x: &Matrix, dummy: &[f64], model: &PcaModel) -> Result<Vec<f64>, LinalgError> {
+    omeda_with(x, dummy, model, &mut ScoreScratch::new())
+}
+
+/// [`omeda`] through a caller-owned [`ScoreScratch`]: the event window is
+/// scaled and projected in one batched pass, so repeated diagnoses (the
+/// monitor calls this once per anomalous event) reuse the same buffers.
+///
+/// # Errors
+///
+/// Same as [`omeda`].
+pub fn omeda_with(
+    x: &Matrix,
+    dummy: &[f64],
+    model: &PcaModel,
+    scratch: &mut ScoreScratch,
+) -> Result<Vec<f64>, LinalgError> {
     if dummy.len() != x.nrows() {
         return Err(LinalgError::ShapeMismatch {
             left: x.shape(),
@@ -49,24 +66,18 @@ pub fn omeda(x: &Matrix, dummy: &[f64], model: &PcaModel) -> Result<Vec<f64>, Li
         return Err(LinalgError::Empty);
     }
     let m = model.n_variables();
-    let a = model.n_components();
-    let p = model.loadings();
+    model.project_batch_into(x, scratch)?;
     let mut s = vec![0.0; m];
     let mut s_hat = vec![0.0; m];
     for (r, &w) in dummy.iter().enumerate() {
         if w == 0.0 {
             continue;
         }
-        let z = model.scaler().transform_row(x.row(r))?;
-        // Projection of z onto the model plane.
-        let mut scores = vec![0.0; a];
-        for (c, sc) in scores.iter_mut().enumerate() {
-            *sc = (0..m).map(|j| z[j] * p.get(j, c)).sum();
-        }
+        let z = scratch.z.row(r);
+        let z_hat = scratch.recon.row(r);
         for j in 0..m {
-            let z_hat: f64 = (0..a).map(|c| scores[c] * p.get(j, c)).sum();
             s[j] += w * z[j];
-            s_hat[j] += w * z_hat;
+            s_hat[j] += w * z_hat[j];
         }
     }
     Ok((0..m)

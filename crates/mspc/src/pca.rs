@@ -35,6 +35,39 @@ pub struct PcaModel {
     eigenvalues: Vec<f64>,
     residual_eigenvalues: Vec<f64>,
     n_calibration: usize,
+    loadings_t: TransposeCache,
+}
+
+/// Lazily-computed `A x M` transpose of the loadings, shared by the
+/// batched scoring path so no per-call transpose is needed.
+///
+/// Persisted as a unit (the cache is derived data); deserialized models
+/// recompute it on first use. `OnceLock` keeps [`PcaModel`] `Sync` so the
+/// fleet engine can score through shared models from many workers.
+#[derive(Debug, Clone, Default)]
+struct TransposeCache(std::sync::OnceLock<Matrix>);
+
+impl Serialize for TransposeCache {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<'de> Deserialize<'de> for TransposeCache {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct UnitVisitor;
+        impl<'de> serde::de::Visitor<'de> for UnitVisitor {
+            type Value = ();
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("transpose cache placeholder")
+            }
+            fn visit_unit<E: serde::de::Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(UnitVisitor)?;
+        Ok(TransposeCache::default())
+    }
 }
 
 impl PcaModel {
@@ -122,6 +155,7 @@ impl PcaModel {
             eigenvalues,
             residual_eigenvalues,
             n_calibration,
+            loadings_t: TransposeCache::default(),
         })
     }
 
@@ -151,7 +185,7 @@ impl PcaModel {
             let mut best_col = 0;
             let mut best_ss = -1.0;
             for c in 0..m {
-                let ss: f64 = e.col(c).iter().map(|v| v * v).sum();
+                let ss: f64 = e.col_iter(c).map(|v| v * v).sum();
                 if ss > best_ss {
                     best_ss = ss;
                     best_col = c;
@@ -168,7 +202,7 @@ impl PcaModel {
                     break;
                 }
                 for (c, pc) in p.iter_mut().enumerate() {
-                    *pc = e.col(c).iter().zip(&t).map(|(&x, &ti)| x * ti).sum::<f64>() / tt;
+                    *pc = e.col_iter(c).zip(&t).map(|(x, &ti)| x * ti).sum::<f64>() / tt;
                 }
                 let pn: f64 = p.iter().map(|v| v * v).sum::<f64>().sqrt();
                 for pc in &mut p {
@@ -229,6 +263,7 @@ impl PcaModel {
             eigenvalues,
             residual_eigenvalues,
             n_calibration: n,
+            loadings_t: TransposeCache::default(),
         })
     }
 
@@ -296,6 +331,33 @@ impl PcaModel {
             *res -= recon;
         }
         Ok((scores, residual))
+    }
+
+    /// Projects a whole `N x M` block of raw observations in one batched
+    /// pass, filling the scratch's scaled data (`z`), scores (`N x A`),
+    /// reconstruction and residuals (`N x M`).
+    ///
+    /// The two matrix products go through the blocked matmul kernel, which
+    /// preserves the per-element ascending-`k` accumulation order of
+    /// [`PcaModel::project`] — every score and residual is bit-identical to
+    /// the row-at-a-time path. Once the scratch buffers have grown to the
+    /// block shape, the pass performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x` does not have `M`
+    /// columns.
+    pub fn project_batch_into(
+        &self,
+        x: &Matrix,
+        scratch: &mut crate::statistics::ScoreScratch,
+    ) -> Result<(), LinalgError> {
+        self.scaler.transform_into(x, &mut scratch.z)?;
+        let loadings_t = self.loadings_t.0.get_or_init(|| self.loadings.transpose());
+        scratch.z.matmul_into(&self.loadings, &mut scratch.scores)?;
+        scratch.scores.matmul_into(loadings_t, &mut scratch.recon)?;
+        scratch.z.sub_into(&scratch.recon, &mut scratch.residuals)?;
+        Ok(())
     }
 }
 

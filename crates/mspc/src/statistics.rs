@@ -1,7 +1,57 @@
 //! The two MSPC monitoring statistics: D (Hotelling's T²) and Q (SPE).
 
 use crate::pca::PcaModel;
-use temspc_linalg::LinalgError;
+use temspc_linalg::{LinalgError, Matrix};
+
+/// Reusable buffers for batched MSPC scoring.
+///
+/// One `ScoreScratch` holds every intermediate the fused
+/// scale → project → reconstruct → T²/SPE pass needs: the scaled block,
+/// the score block, the reconstruction, the residuals and the two
+/// statistic series. All buffers are grown on first use and reused on
+/// every subsequent call, so a warm scratch makes
+/// [`dataset_statistics_into`] (and everything built on it) perform zero
+/// heap allocations.
+///
+/// The scratch is model-agnostic: the same instance can be reused across
+/// models of different shapes (buffers are reshaped as needed).
+#[derive(Debug, Clone, Default)]
+pub struct ScoreScratch {
+    pub(crate) z: Matrix,
+    pub(crate) scores: Matrix,
+    pub(crate) recon: Matrix,
+    pub(crate) residuals: Matrix,
+    pub(crate) row_buf: Matrix,
+    pub(crate) t2: Vec<f64>,
+    pub(crate) spe: Vec<f64>,
+}
+
+impl ScoreScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scores block (`N x A`) from the most recent batched pass.
+    pub fn scores(&self) -> &Matrix {
+        &self.scores
+    }
+
+    /// Residual block (`N x M`, scaled units) from the most recent pass.
+    pub fn residuals(&self) -> &Matrix {
+        &self.residuals
+    }
+
+    /// T² series from the most recent [`dataset_statistics_into`] call.
+    pub fn t2(&self) -> &[f64] {
+        &self.t2
+    }
+
+    /// SPE series from the most recent [`dataset_statistics_into`] call.
+    pub fn spe(&self) -> &[f64] {
+        &self.spe
+    }
+}
 
 /// Hotelling's T² (D-statistic) for a score vector: `Σ t_a² / λ_a`.
 ///
@@ -34,23 +84,76 @@ pub fn observation_statistics(model: &PcaModel, raw: &[f64]) -> Result<(f64, f64
     ))
 }
 
+thread_local! {
+    /// Scratch backing the allocating [`dataset_statistics`] wrapper.
+    /// Reusing warm buffers matters even for the convenience API: fresh
+    /// block-sized allocations cost more in page faults than the scoring
+    /// arithmetic itself.
+    static DATASET_SCRATCH: std::cell::RefCell<ScoreScratch> =
+        std::cell::RefCell::new(ScoreScratch::new());
+}
+
 /// Computes `(T², SPE)` for every row of a dataset.
+///
+/// Convenience wrapper over [`dataset_statistics_into`] backed by a
+/// thread-local [`ScoreScratch`], so only the two returned vectors are
+/// allocated. Repeated callers that also need the score/residual blocks
+/// should hold their own scratch and call the `_into` variant directly.
 ///
 /// # Errors
 ///
 /// Returns [`LinalgError::ShapeMismatch`] on a column-count mismatch.
 pub fn dataset_statistics(
     model: &PcaModel,
-    x: &temspc_linalg::Matrix,
+    x: &Matrix,
 ) -> Result<(Vec<f64>, Vec<f64>), LinalgError> {
-    let mut t2 = Vec::with_capacity(x.nrows());
-    let mut spe = Vec::with_capacity(x.nrows());
-    for row in x.iter_rows() {
-        let (t, q) = observation_statistics(model, row)?;
-        t2.push(t);
-        spe.push(q);
-    }
-    Ok((t2, spe))
+    DATASET_SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        dataset_statistics_into(model, x, scratch)?;
+        Ok((
+            std::mem::take(&mut scratch.t2),
+            std::mem::take(&mut scratch.spe),
+        ))
+    })
+}
+
+/// Computes `(T², SPE)` for every row of a dataset in one fused batched
+/// pass, writing into the scratch's [`ScoreScratch::t2`] /
+/// [`ScoreScratch::spe`] series.
+///
+/// The whole block is scaled, projected and reconstructed through the
+/// blocked matmul kernel; per-row statistics then reduce the score and
+/// residual rows. Results are bit-identical to scoring each row through
+/// [`observation_statistics`], but with zero allocations once the scratch
+/// is warm.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] on a column-count mismatch.
+pub fn dataset_statistics_into(
+    model: &PcaModel,
+    x: &Matrix,
+    scratch: &mut ScoreScratch,
+) -> Result<(), LinalgError> {
+    model.project_batch_into(x, scratch)?;
+    let ScoreScratch {
+        scores,
+        residuals,
+        t2,
+        spe,
+        ..
+    } = scratch;
+    t2.clear();
+    t2.extend(
+        scores
+            .iter_rows()
+            .map(|row| t2_statistic(row, model.eigenvalues())),
+    );
+    t2.truncate(scores.nrows());
+    spe.clear();
+    spe.extend(residuals.iter_rows().map(spe_statistic));
+    spe.truncate(residuals.nrows());
+    Ok(())
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@ use temspc_mspc::detector::{ConsecutiveDetector, DetectorConfig};
 use temspc_mspc::limits::ControlLimits;
 use temspc_mspc::pca::ComponentSelection;
 use temspc_mspc::statistics::observation_statistics;
-use temspc_mspc::{omeda, MspcConfig, MspcModel, PcaModel};
+use temspc_mspc::{omeda, MspcConfig, MspcModel, PcaModel, ScoreScratch};
 
 /// Correlated calibration data with `m` variables driven by 2 latents.
 fn calibration(n: usize, m: usize, seed: u64) -> Matrix {
@@ -92,6 +92,66 @@ proptest! {
         let vn = omeda(&block, &dneg, &model).unwrap();
         for (a, b) in vp.iter().zip(&vn) {
             prop_assert!((a + b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn batched_scoring_is_bit_identical_to_scalar(seed in 0u64..40, n in 1usize..60) {
+        // The batched hot path (score_dataset_into) must reproduce the
+        // scalar per-observation path bit for bit — not approximately:
+        // detector decisions, chart digests and fleet reports all hinge
+        // on exact equality of the statistic series.
+        let x = calibration(300, 5, seed);
+        let model = MspcModel::fit(&x, MspcConfig::default()).unwrap();
+        let block = calibration(n, 5, seed + 7000);
+
+        let mut scratch = ScoreScratch::new();
+        model.score_dataset_into(&block, &mut scratch).unwrap();
+        prop_assert_eq!(scratch.t2().len(), n);
+
+        for r in 0..n {
+            let s = model.score(block.row(r)).unwrap();
+            prop_assert_eq!(s.t2.to_bits(), scratch.t2()[r].to_bits());
+            prop_assert_eq!(s.spe.to_bits(), scratch.spe()[r].to_bits());
+            let (t2, spe) = observation_statistics(model.pca(), block.row(r)).unwrap();
+            prop_assert_eq!(t2.to_bits(), scratch.t2()[r].to_bits());
+            prop_assert_eq!(spe.to_bits(), scratch.spe()[r].to_bits());
+        }
+
+        // The allocating convenience wrapper rides the same path.
+        let (t2v, spev) = model.score_dataset(&block).unwrap();
+        for r in 0..n {
+            prop_assert_eq!(t2v[r].to_bits(), scratch.t2()[r].to_bits());
+            prop_assert_eq!(spev[r].to_bits(), scratch.spe()[r].to_bits());
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_models_matches_fresh(seed in 0u64..30, n1 in 1usize..40, n2 in 1usize..40) {
+        // One scratch reused across models of different widths and blocks
+        // of different heights must give the same bits as fresh scratches:
+        // stale buffer contents may never leak into results.
+        let ma = MspcModel::fit(&calibration(300, 5, seed), MspcConfig::default()).unwrap();
+        let mb = MspcModel::fit(&calibration(300, 8, seed + 1), MspcConfig::default()).unwrap();
+        let block_a = calibration(n1, 5, seed + 100);
+        let block_b = calibration(n2, 8, seed + 200);
+
+        let mut fresh_a = ScoreScratch::new();
+        ma.score_dataset_into(&block_a, &mut fresh_a).unwrap();
+        let mut fresh_b = ScoreScratch::new();
+        mb.score_dataset_into(&block_b, &mut fresh_b).unwrap();
+
+        let mut reused = ScoreScratch::new();
+        ma.score_dataset_into(&block_a, &mut reused).unwrap();
+        mb.score_dataset_into(&block_b, &mut reused).unwrap();
+        for r in 0..n2 {
+            prop_assert_eq!(reused.t2()[r].to_bits(), fresh_b.t2()[r].to_bits());
+            prop_assert_eq!(reused.spe()[r].to_bits(), fresh_b.spe()[r].to_bits());
+        }
+        ma.score_dataset_into(&block_a, &mut reused).unwrap();
+        for r in 0..n1 {
+            prop_assert_eq!(reused.t2()[r].to_bits(), fresh_a.t2()[r].to_bits());
+            prop_assert_eq!(reused.spe()[r].to_bits(), fresh_a.spe()[r].to_bits());
         }
     }
 

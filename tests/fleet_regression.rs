@@ -1,0 +1,92 @@
+//! Regression lock on the fleet report: the batched scoring hot path
+//! must produce reports byte-identical to the original one-row-at-a-time
+//! scalar path.
+//!
+//! The golden digest below was generated from the pre-kernel scalar
+//! implementation (PR 1 state). Every field that depends on scoring —
+//! detection latencies (exact f64 bits), false-alarm counts, verdicts,
+//! shutdown hours — is locked. If a kernel or scoring change alters any
+//! floating-point result anywhere in the projection → T²/SPE → detector →
+//! oMEDA → verdict pipeline, this test fails.
+//!
+//! To regenerate after an *intentional* numeric change, run:
+//! `TEMSPC_PRINT_GOLDEN=1 cargo test -p temspc-fleet --test fleet_regression -- --nocapture`
+
+use temspc::{CalibrationConfig, DualMspc, Verdict};
+use temspc_fleet::{FleetConfig, FleetEngine, FleetReport, SupervisionPolicy};
+
+fn monitor() -> DualMspc {
+    DualMspc::calibrate(&CalibrationConfig {
+        runs: 2,
+        duration_hours: 0.5,
+        record_every: 10,
+        base_seed: 100,
+        threads: 0,
+    })
+    .unwrap()
+}
+
+fn config() -> FleetConfig {
+    FleetConfig {
+        plants: 6,
+        threads: 2,
+        hours: 1.0,
+        onset_hour: 0.3,
+        attack_fraction: 0.5,
+        fleet_seed: 4242,
+        supervision: SupervisionPolicy::default(),
+        checkpoint_every: 0,
+        inject_panic_plants: Vec::new(),
+    }
+}
+
+/// Bit-exact digest of everything scoring-dependent in the report.
+fn digest(report: &FleetReport) -> String {
+    report
+        .records
+        .iter()
+        .map(|r| {
+            let verdict = match r.verdict {
+                Some(Verdict::Disturbance) => "disturbance",
+                Some(Verdict::Intrusion) => "intrusion",
+                Some(Verdict::Inconclusive) => "inconclusive",
+                None => "none",
+            };
+            format!(
+                "{};{:?};{};{};lat={:016x};fa={};{};shut={:016x}",
+                r.plant,
+                r.kind,
+                r.seed,
+                r.completed,
+                r.detection_latency_hours.map_or(0, f64::to_bits),
+                r.false_alarms,
+                verdict,
+                r.shutdown_hour.map_or(0, f64::to_bits),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+const GOLDEN: &str = "\
+0;Idv6;6618998805086131378;true;lat=0000000000000000;fa=66;none;shut=0000000000000000\n\
+1;IntegrityXmv3;16461762346616018318;true;lat=3f50624dd2f1ae00;fa=30;intrusion;shut=0000000000000000\n\
+2;Normal;11307554333035224946;true;lat=0000000000000000;fa=142;none;shut=0000000000000000\n\
+3;IntegrityXmeas1;5093776639084510298;true;lat=3f50624dd2f1ae00;fa=26;disturbance;shut=3fe7b22d0e56032d\n\
+4;Idv6;2056164764027188571;true;lat=3f589374bc6a8300;fa=24;disturbance;shut=0000000000000000\n\
+5;DosXmv3;7451222237342572368;true;lat=3f6cac083126eb80;fa=56;intrusion;shut=0000000000000000";
+
+#[test]
+fn fleet_report_matches_pre_kernel_golden() {
+    let monitor = monitor();
+    let report = FleetEngine::new(&monitor, config()).run().unwrap();
+    let got = digest(&report);
+    if std::env::var("TEMSPC_PRINT_GOLDEN").is_ok() {
+        println!("---GOLDEN-BEGIN---\n{got}\n---GOLDEN-END---");
+        return;
+    }
+    assert_eq!(
+        got, GOLDEN,
+        "fleet report diverged from the pre-kernel scalar baseline"
+    );
+}

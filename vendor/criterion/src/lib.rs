@@ -9,18 +9,36 @@
 //! timed samples — enough for the relative comparisons EXPERIMENTS.md
 //! records. When invoked with `--test` (as `cargo test --benches` does),
 //! every benchmark body runs exactly once and timing is skipped.
+//!
+//! Two environment variables extend the stub for machine consumption:
+//!
+//! * `TEMSPC_BENCH_JSON=<path>` — append one NDJSON record
+//!   (`{"id":"group/bench","median_ns":N}`) per measurement to `<path>`.
+//!   Appending (rather than rewriting a single JSON document) lets
+//!   several bench binaries of one `cargo bench` invocation share a file.
+//! * `TEMSPC_BENCH_QUICK=1` — CI smoke mode: shorter warm-up and at most
+//!   3 samples per benchmark, trading precision for wall-clock.
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Top-level harness handle.
 pub struct Criterion {
     test_mode: bool,
+    quick: bool,
+    json_path: Option<std::path::PathBuf>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         let test_mode = std::env::args().any(|a| a == "--test");
-        Criterion { test_mode }
+        let quick = std::env::var("TEMSPC_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+        let json_path = std::env::var_os("TEMSPC_BENCH_JSON").map(std::path::PathBuf::from);
+        Criterion {
+            test_mode,
+            quick,
+            json_path,
+        }
     }
 }
 
@@ -29,8 +47,30 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("group: {name}");
         BenchmarkGroup {
+            group_name: name.to_owned(),
             criterion: self,
             sample_size: 20,
+        }
+    }
+
+    /// Appends one NDJSON record to `TEMSPC_BENCH_JSON`, if set.
+    fn record(&self, full_id: &str, median: Duration) {
+        let Some(path) = &self.json_path else { return };
+        let line = format!(
+            "{{\"id\":\"{}\",\"median_ns\":{}}}\n",
+            full_id,
+            median.as_nanos()
+        );
+        let written = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+        if let Err(e) = written {
+            eprintln!(
+                "TEMSPC_BENCH_JSON: cannot append to {}: {e}",
+                path.display()
+            );
         }
     }
 }
@@ -66,6 +106,7 @@ impl From<String> for BenchmarkId {
 /// A group of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
+    group_name: String,
     sample_size: usize,
 }
 
@@ -84,11 +125,16 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         let mut bencher = Bencher {
             test_mode: self.criterion.test_mode,
+            quick: self.criterion.quick,
             sample_size: self.sample_size,
             report: None,
         };
         f(&mut bencher);
         bencher.print(&id.id);
+        if let Some(median) = bencher.report {
+            let full_id = format!("{}/{}", self.group_name, id.id);
+            self.criterion.record(&full_id, median);
+        }
         self
     }
 
@@ -112,6 +158,7 @@ impl BenchmarkGroup<'_> {
 /// Timing driver passed to each benchmark body.
 pub struct Bencher {
     test_mode: bool,
+    quick: bool,
     sample_size: usize,
     report: Option<Duration>,
 }
@@ -124,8 +171,13 @@ impl Bencher {
             std::hint::black_box(routine());
             return;
         }
+        let (warmup, sample_size) = if self.quick {
+            (Duration::from_millis(1), self.sample_size.min(3))
+        } else {
+            (Duration::from_millis(5), self.sample_size)
+        };
 
-        // Warm-up: find an iteration count that runs for ≳5 ms.
+        // Warm-up: find an iteration count that runs for ≳`warmup`.
         let mut iters = 1u64;
         loop {
             let start = Instant::now();
@@ -133,13 +185,13 @@ impl Bencher {
                 std::hint::black_box(routine());
             }
             let elapsed = start.elapsed();
-            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+            if elapsed >= warmup || iters >= 1 << 20 {
                 break;
             }
             iters = (iters * 2).min(1 << 20);
         }
 
-        let mut samples: Vec<Duration> = (0..self.sample_size)
+        let mut samples: Vec<Duration> = (0..sample_size)
             .map(|_| {
                 let start = Instant::now();
                 for _ in 0..iters {
