@@ -21,15 +21,26 @@ USAGE:
                    [--net-out net.tpb]
   temspc detect    --model model.tpb [--net net.tpb] [--scenario idv6]
                    [--hours 4] [--onset 1] [--seed 42]
+  temspc capture   --out run.cap [--scenario idv6] [--hours 4] [--onset 1]
+                   [--seed 42]
+  temspc replay    --model model.tpb --capture run.cap [--net net.tpb]
   temspc fleet     [--plants 8] [--threads 4] [--hours 2] [--attack-fraction 0.25]
                    [--onset 0.5] [--seed 2016] [--model model.tpb]
                    [--calib-runs 4] [--calib-hours 2]
                    [--checkpoint fleet.tpb [--resume]] [--metrics fleet.prom]
+                   [--record-captures dir | --replay dir]
   temspc experiments [--mode quick|paper] [--out results]
   temspc list
   temspc help
 
-SCENARIOS: normal, idv6, xmv3 (integrity), xmeas1 (integrity), dos"#;
+SCENARIOS: normal, idv6, xmv3 (integrity), xmeas1 (integrity), dos
+
+CAPTURE/REPLAY: `capture` records every wire frame of a run into a .cap
+tape; `replay` re-scores the recorded traffic through the same charts,
+printing the same detection lines as a live `detect` of that scenario.
+`fleet --record-captures dir` writes one tape per plant; a later
+`fleet --replay dir` (same fleet flags) scores them without
+re-simulating."#;
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -241,6 +252,26 @@ pub fn detect(args: &ParsedArgs) -> CmdResult {
     let scenario = Scenario::short(kind, hours, onset, seed);
     println!("scenario: {}", kind.description());
     let outcome = monitor.run_scenario(&scenario)?;
+    print_outcome(&monitor, &outcome, onset, hours);
+    if let Some(net_path) = args.get("net") {
+        let network = load_network_monitor(net_path)?;
+        let net = network.run_scenario(&scenario)?;
+        print_network_outcome(&net, onset);
+    }
+    if let Some((reason, hour)) = outcome.run.shutdown {
+        println!("plant shut down at {hour:.3} h: {reason}");
+    }
+    Ok(())
+}
+
+/// Prints the detection/diagnosis summary shared by `detect` (live) and
+/// `replay` (recorded traffic) — identical inputs print identical lines.
+fn print_outcome(
+    monitor: &temspc::DualMspc,
+    outcome: &temspc::ScenarioOutcome,
+    onset: f64,
+    hours: f64,
+) {
     match outcome.detection.run_length(onset) {
         Some(rl) => println!("detected {:.1} s after onset", rl * 3600.0),
         None => println!("not detected within {hours} h"),
@@ -248,20 +279,71 @@ pub fn detect(args: &ParsedArgs) -> CmdResult {
     if outcome.false_alarms > 0 {
         println!("false alarms before onset: {}", outcome.false_alarms);
     }
-    if let Some(diag) = diagnose(&monitor, &outcome, VerdictThresholds::default()) {
-        println!("{}", temspc::incident_report(&outcome, &diag));
+    if let Some(diag) = diagnose(monitor, outcome, VerdictThresholds::default()) {
+        println!("{}", temspc::incident_report(outcome, &diag));
     }
+}
+
+fn print_network_outcome(net: &temspc::NetworkOutcome, onset: f64) {
+    match net.detected_hour {
+        Some(h) => println!(
+            "network level: detected {:.1} s after onset, implicates {}",
+            (h - onset) * 3600.0,
+            net.implicated_feature.as_deref().unwrap_or("-")
+        ),
+        None => println!("network level: no detection"),
+    }
+}
+
+/// `temspc capture` — run a scenario with the fieldbus tap attached and
+/// write the wire tape to a capture file.
+pub fn capture(args: &ParsedArgs) -> CmdResult {
+    let kind = scenario_kind(args.get_or("scenario", "idv6"))?;
+    let hours: f64 = args.get_parsed("hours", 4.0)?;
+    let onset: f64 = args.get_parsed("onset", 1.0)?;
+    let seed: u64 = args.get_parsed("seed", 42)?;
+    let out = args.require("out")?;
+
+    let scenario = Scenario::short(kind, hours, onset, seed);
+    println!("scenario: {}", kind.description());
+    let capture = temspc::capture_scenario(&scenario)?;
+    let wire_bytes: usize = capture.records.iter().map(|r| r.wire.len()).sum();
+    temspc::persistence::save_capture(&capture, out)?;
+    println!(
+        "captured {} steps ({} frames, {} wire bytes)",
+        capture.steps(),
+        capture.records.len(),
+        wire_bytes
+    );
+    if let Some((reason, hour)) = capture.shutdown {
+        println!("plant shut down at {hour:.3} h: {reason}");
+    }
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// `temspc replay` — score a recorded capture with persisted models; the
+/// output lines match what `detect` printed for the live run.
+pub fn replay(args: &ParsedArgs) -> CmdResult {
+    let model_path = args.require("model")?;
+    let capture_path = args.require("capture")?;
+
+    let monitor = load_monitor(model_path)?;
+    let capture = temspc::persistence::load_capture(capture_path)?;
+    let scenario = capture.scenario.clone();
+    let onset = scenario.onset_hour;
+    println!("scenario: {}", scenario.kind.description());
+    println!(
+        "replaying {} recorded steps (seed {})",
+        capture.steps(),
+        scenario.seed
+    );
+    let outcome = monitor.score_capture(&capture)?;
+    print_outcome(&monitor, &outcome, onset, scenario.duration_hours);
     if let Some(net_path) = args.get("net") {
         let network = load_network_monitor(net_path)?;
-        let net = network.run_scenario(&scenario)?;
-        match net.detected_hour {
-            Some(h) => println!(
-                "network level: detected {:.1} s after onset, implicates {}",
-                (h - onset) * 3600.0,
-                net.implicated_feature.as_deref().unwrap_or("-")
-            ),
-            None => println!("network level: no detection"),
-        }
+        let net = network.score_capture(&capture)?;
+        print_network_outcome(&net, onset);
     }
     if let Some((reason, hour)) = outcome.run.shutdown {
         println!("plant shut down at {hour:.3} h: {reason}");
@@ -272,8 +354,12 @@ pub fn detect(args: &ParsedArgs) -> CmdResult {
 /// `temspc fleet` — monitor many plants concurrently and print the
 /// aggregate confusion matrix.
 pub fn fleet(args: &ParsedArgs) -> CmdResult {
-    use temspc_fleet::{FleetConfig, FleetEngine};
+    use temspc_fleet::{FleetConfig, FleetEngine, PlantSource};
 
+    let source = match args.get("replay") {
+        Some(dir) => PlantSource::Replay(dir.to_string()),
+        None => PlantSource::Live,
+    };
     let config = FleetConfig {
         plants: args.get_parsed("plants", 8)?,
         threads: args.get_parsed("threads", 0)?,
@@ -282,10 +368,17 @@ pub fn fleet(args: &ParsedArgs) -> CmdResult {
         attack_fraction: args.get_parsed("attack-fraction", 0.25)?,
         fleet_seed: args.get_parsed("seed", 2016)?,
         checkpoint_every: args.get_parsed("checkpoint-every", 4)?,
+        source,
         ..FleetConfig::default()
     };
     if !(0.0..=1.0).contains(&config.attack_fraction) {
         return Err("--attack-fraction must be within [0, 1]".into());
+    }
+    if let Some(dir) = args.get("record-captures") {
+        println!("recording {} plant captures into {dir}/ ...", config.plants);
+        temspc_fleet::record_fleet_captures(&config, dir)?;
+        println!("done; replay them with: temspc fleet --replay {dir} <same fleet flags>");
+        return Ok(());
     }
 
     let monitor = match args.get("model") {

@@ -4,8 +4,11 @@
 //! temspc simulate  --hours 4 --idv 6 --attack xmv3 --onset 2 --seed 1 [--csv run.csv] [--no-noise]
 //! temspc calibrate --runs 4 --hours 2 --out model.tpb [--net-out net.tpb]
 //! temspc detect    --model model.tpb --scenario idv6 --hours 4 --onset 1 [--net net.tpb]
+//! temspc capture   --out run.cap --scenario idv6 --hours 4 --onset 1 --seed 42
+//! temspc replay    --model model.tpb --capture run.cap [--net net.tpb]
 //! temspc fleet     --plants 8 --threads 4 --hours 2 --attack-fraction 0.25
 //!                  [--checkpoint fleet.tpb] [--metrics fleet.prom]
+//!                  [--record-captures dir | --replay dir]
 //! temspc experiments --mode quick|paper --out results/
 //! temspc list
 //! ```
@@ -30,6 +33,8 @@ fn main() {
         Some("simulate") => commands::simulate(&parsed),
         Some("calibrate") => commands::calibrate(&parsed),
         Some("detect") => commands::detect(&parsed),
+        Some("capture") => commands::capture(&parsed),
+        Some("replay") => commands::replay(&parsed),
         Some("fleet") => commands::fleet(&parsed),
         Some("experiments") => commands::experiments(&parsed),
         Some("list") => commands::list(),

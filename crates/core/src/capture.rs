@@ -1,0 +1,293 @@
+//! Scenario capture: record a live run's fieldbus traffic once, score it
+//! offline any number of times.
+//!
+//! [`capture_scenario`] drives the closed loop with a passive tap
+//! attached and stores every wire frame — both directions, both sides of
+//! the adversary — in a [`ScenarioCapture`] together with the scenario
+//! parameters and the shutdown outcome. [`DualMspc::score_capture`] and
+//! [`crate::NetworkMonitor::score_capture`] then re-drive the recorded
+//! traffic through the exact scoring paths a live run uses, so the
+//! replayed detection hours, implicated variables and event windows are
+//! bit-identical to the live outcome — without re-simulating the plant.
+//!
+//! Captures persist to disk with
+//! [`crate::persistence::save_capture`]/[`crate::persistence::load_capture`].
+
+use serde::{Deserialize, Serialize};
+use temspc_linalg::Matrix;
+use temspc_tesim::{ShutdownReason, N_XMEAS, N_XMV};
+
+use temspc_fieldbus::{CaptureRecord, ReplayError, ReplayLink, ReplayStep};
+
+use crate::monitor::{BlockMonitorState, DualMspc, ScenarioOutcome, RECORD_EVERY};
+use crate::names::N_MONITORED;
+use crate::runner::{ClosedLoopRunner, RunData, RunError};
+use crate::scenario::Scenario;
+
+/// A recorded scenario run: the wire tape plus the metadata needed to
+/// score it exactly as the live run was scored.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioCapture {
+    /// The scenario that produced the traffic (onset hour drives the
+    /// false-alarm split during scoring).
+    pub scenario: Scenario,
+    /// Shutdown of the recorded run, if the plant tripped.
+    pub shutdown: Option<(ShutdownReason, f64)>,
+    /// The wire tape: four frames per closed-loop step, in step order.
+    pub records: Vec<CaptureRecord>,
+}
+
+impl ScenarioCapture {
+    /// Number of complete closed-loop steps the tape holds.
+    pub fn steps(&self) -> usize {
+        ReplayLink::new(&self.records).expected_steps()
+    }
+}
+
+/// Errors raised while scoring a capture.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CaptureError {
+    /// The recorded tape is torn, reordered or carries corrupt frames.
+    Replay(ReplayError),
+    /// A replayed step carries the wrong channel counts — the tape was
+    /// not recorded from a TE closed loop.
+    Shape {
+        /// Index of the offending step.
+        step: usize,
+        /// Expected `(sensors, actuators)` channel counts.
+        expected: (usize, usize),
+        /// Channel counts actually found.
+        found: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for CaptureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CaptureError::Replay(e) => write!(f, "replay failure: {e}"),
+            CaptureError::Shape {
+                step,
+                expected,
+                found,
+            } => write!(
+                f,
+                "step {step}: expected {}x{} channels, found {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CaptureError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CaptureError::Replay(e) => Some(e),
+            CaptureError::Shape { .. } => None,
+        }
+    }
+}
+
+impl From<ReplayError> for CaptureError {
+    fn from(e: ReplayError) -> Self {
+        CaptureError::Replay(e)
+    }
+}
+
+/// Rejects steps whose channel counts differ from the TE loop's 41
+/// sensors and 12 actuators (the replay grammar already guarantees the
+/// sent/delivered widths of each direction agree).
+pub(crate) fn check_shape(step_index: usize, step: &ReplayStep) -> Result<(), CaptureError> {
+    let found = (step.true_xmeas.len(), step.delivered_xmv.len());
+    if found != (N_XMEAS, N_XMV) {
+        return Err(CaptureError::Shape {
+            step: step_index,
+            expected: (N_XMEAS, N_XMV),
+            found,
+        });
+    }
+    Ok(())
+}
+
+/// Runs a scenario with a capture tap attached and returns the recorded
+/// tape (plus scenario and shutdown metadata).
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the closed loop fails.
+pub fn capture_scenario(scenario: &Scenario) -> Result<ScenarioCapture, RunError> {
+    let runner = ClosedLoopRunner::new(scenario);
+    let (data, records) = runner.run_captured(usize::MAX, |_| {})?;
+    Ok(ScenarioCapture {
+        scenario: scenario.clone(),
+        shutdown: data.shutdown,
+        records,
+    })
+}
+
+impl DualMspc {
+    /// Scores a recorded capture through the dual-level charts.
+    ///
+    /// The replayed traffic is pushed through exactly the scoring path of
+    /// [`DualMspc::run_scenario`] — same decimation, same batched block
+    /// scorer, same detectors — so the detection hours, false alarms,
+    /// event windows and recorded rows are bit-identical to the live run
+    /// that produced the tape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CaptureError`] if the tape is corrupt or was not
+    /// recorded from a TE closed loop.
+    pub fn score_capture(
+        &self,
+        capture: &ScenarioCapture,
+    ) -> Result<ScenarioOutcome, CaptureError> {
+        let mut state = BlockMonitorState::new(self, capture.scenario.onset_hour);
+        let expected_rows = capture.steps().div_ceil(RECORD_EVERY);
+        let mut hours = Vec::with_capacity(expected_rows);
+        let mut controller_rows = Matrix::with_capacity(expected_rows, N_MONITORED);
+        let mut process_rows = Matrix::with_capacity(expected_rows, N_MONITORED);
+
+        for (k, step) in ReplayLink::new(&capture.records).enumerate() {
+            let step = step?;
+            check_shape(k, &step)?;
+            let mut controller_view = Vec::with_capacity(N_MONITORED);
+            controller_view.extend_from_slice(&step.received_xmeas);
+            controller_view.extend_from_slice(&step.commanded_xmv);
+            let mut process_view = Vec::with_capacity(N_MONITORED);
+            process_view.extend_from_slice(&step.true_xmeas);
+            process_view.extend_from_slice(&step.delivered_xmv);
+            state.push(step.hour, &controller_view, &process_view);
+            if k % RECORD_EVERY == 0 {
+                hours.push(step.hour);
+                controller_rows.push_row(&controller_view);
+                process_rows.push_row(&process_view);
+            }
+        }
+
+        let stream = state.finish();
+        Ok(ScenarioOutcome {
+            run: RunData {
+                scenario: capture.scenario.clone(),
+                hours,
+                controller_view: controller_rows,
+                process_view: process_rows,
+                shutdown: capture.shutdown,
+            },
+            detection: stream.detection,
+            false_alarms: stream.false_alarms,
+            event_rows_controller: stream.event_rows_controller,
+            event_rows_process: stream.event_rows_process,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::CalibrationConfig;
+    use crate::scenario::ScenarioKind;
+
+    fn quick_monitor() -> DualMspc {
+        let cfg = CalibrationConfig {
+            runs: 3,
+            duration_hours: 1.0,
+            record_every: 10,
+            base_seed: 100,
+            threads: 3,
+        };
+        DualMspc::calibrate(&cfg).unwrap()
+    }
+
+    #[test]
+    fn capture_holds_four_frames_per_step() {
+        let s = Scenario::short(ScenarioKind::Normal, 0.05, f64::INFINITY, 7);
+        let capture = capture_scenario(&s).unwrap();
+        assert_eq!(capture.steps(), 100); // 0.05 h * 2000 steps/h
+        assert_eq!(capture.records.len(), 400);
+        assert!(capture.shutdown.is_none());
+    }
+
+    #[test]
+    fn replay_matches_live_run_bit_for_bit() {
+        let monitor = quick_monitor();
+        let s = Scenario::short(ScenarioKind::IntegrityXmv3, 1.0, 0.3, 42);
+        let live = monitor.run_scenario(&s).unwrap();
+        let capture = capture_scenario(&s).unwrap();
+        let replayed = monitor.score_capture(&capture).unwrap();
+
+        let fmt_event = |e: &Option<temspc_mspc::AnomalousEvent>| {
+            e.map(|e| (e.detected_hour.to_bits(), e.first_violation_hour.to_bits()))
+        };
+        assert_eq!(
+            fmt_event(&live.detection.controller),
+            fmt_event(&replayed.detection.controller)
+        );
+        assert_eq!(
+            fmt_event(&live.detection.process),
+            fmt_event(&replayed.detection.process)
+        );
+        assert_eq!(live.false_alarms, replayed.false_alarms);
+        assert_eq!(live.event_rows_controller, replayed.event_rows_controller);
+        assert_eq!(live.event_rows_process, replayed.event_rows_process);
+        assert_eq!(live.run.hours, replayed.run.hours);
+        assert_eq!(live.run.controller_view, replayed.run.controller_view);
+        assert_eq!(live.run.process_view, replayed.run.process_view);
+        assert_eq!(live.run.shutdown, replayed.run.shutdown);
+    }
+
+    #[test]
+    fn corrupt_capture_is_rejected() {
+        let monitor = quick_monitor();
+        let s = Scenario::short(ScenarioKind::Normal, 0.02, f64::INFINITY, 9);
+        let mut capture = capture_scenario(&s).unwrap();
+        capture.records[2].wire.truncate(10);
+        assert!(matches!(
+            monitor.score_capture(&capture),
+            Err(CaptureError::Replay(ReplayError::Frame { index: 2, .. }))
+        ));
+    }
+
+    #[test]
+    fn wrong_channel_count_is_a_shape_error() {
+        use temspc_fieldbus::{Frame, FrameKind, TapPoint};
+        let monitor = quick_monitor();
+        // A hand-built tape with 3 sensors / 1 actuator: well-formed wire,
+        // wrong plant.
+        let mk = |kind, values: Vec<f64>| Frame::new(kind, 0, 0.0, values).encode().unwrap();
+        let records = vec![
+            CaptureRecord {
+                point: TapPoint::UplinkSent,
+                hour: 0.0,
+                wire: mk(FrameKind::SensorReport, vec![1.0; 3]).to_vec(),
+            },
+            CaptureRecord {
+                point: TapPoint::UplinkDelivered,
+                hour: 0.0,
+                wire: mk(FrameKind::SensorReport, vec![1.0; 3]).to_vec(),
+            },
+            CaptureRecord {
+                point: TapPoint::DownlinkSent,
+                hour: 0.0,
+                wire: mk(FrameKind::ActuatorCommand, vec![1.0; 1]).to_vec(),
+            },
+            CaptureRecord {
+                point: TapPoint::DownlinkDelivered,
+                hour: 0.0,
+                wire: mk(FrameKind::ActuatorCommand, vec![1.0; 1]).to_vec(),
+            },
+        ];
+        let capture = ScenarioCapture {
+            scenario: Scenario::short(ScenarioKind::Normal, 0.01, f64::INFINITY, 1),
+            shutdown: None,
+            records,
+        };
+        assert_eq!(
+            monitor.score_capture(&capture).unwrap_err(),
+            CaptureError::Shape {
+                step: 0,
+                expected: (41, 12),
+                found: (3, 1),
+            }
+        );
+    }
+}

@@ -174,68 +174,52 @@ impl DualMspc {
     ///
     /// Returns [`RunError`] if the closed loop fails.
     pub fn run_scenario(&self, scenario: &Scenario) -> Result<ScenarioOutcome, RunError> {
-        let onset = scenario.onset_hour;
-        let mut state = BlockMonitorState {
-            monitor: self,
-            controller_det: ConsecutiveDetector::new(
-                *self.controller_model.limits(),
-                self.config.detector,
-            ),
-            process_det: ConsecutiveDetector::new(
-                *self.process_model.limits(),
-                self.config.detector,
-            ),
-            onset,
-            window: self.config.window(),
-            hours: Vec::with_capacity(SCORE_BLOCK_ROWS),
-            c_block: Matrix::with_capacity(SCORE_BLOCK_ROWS, N_MONITORED),
-            p_block: Matrix::with_capacity(SCORE_BLOCK_ROWS, N_MONITORED),
-            c_scratch: ScoreScratch::new(),
-            p_scratch: ScoreScratch::new(),
-            collecting: false,
-            event_rows_controller: Matrix::default(),
-            event_rows_process: Matrix::default(),
-        };
-
+        let mut state = BlockMonitorState::new(self, scenario.onset_hour);
         let runner = ClosedLoopRunner::new(scenario);
-        let run = runner.run(50, |sample| state.push(sample))?;
-        state.flush();
-
-        let first_after = |det: &ConsecutiveDetector| {
-            det.events()
-                .iter()
-                .find(|e| e.detected_hour >= onset)
-                .copied()
-        };
-        let false_alarms = state
-            .controller_det
-            .events()
-            .iter()
-            .chain(state.process_det.events())
-            .filter(|e| e.detected_hour < onset)
-            .count();
+        let run = runner.run(RECORD_EVERY, |sample| {
+            state.push(sample.hour, &sample.controller_view, &sample.process_view)
+        })?;
+        let stream = state.finish();
         Ok(ScenarioOutcome {
             run,
-            detection: DetectionSummary {
-                controller: first_after(&state.controller_det),
-                process: first_after(&state.process_det),
-            },
-            false_alarms,
-            event_rows_controller: state.event_rows_controller,
-            event_rows_process: state.event_rows_process,
+            detection: stream.detection,
+            false_alarms: stream.false_alarms,
+            event_rows_controller: stream.event_rows_controller,
+            event_rows_process: stream.event_rows_process,
         })
     }
 }
+
+/// Decimation factor of the recorded [`RunData`] relative to the
+/// full-rate loop. Shared by the live path ([`DualMspc::run_scenario`])
+/// and the capture replay path so a replayed tape reconstructs exactly
+/// the rows a live run would have recorded.
+pub(crate) const RECORD_EVERY: usize = 50;
 
 /// Rows buffered before a batched scoring pass during monitoring. Large
 /// enough to amortize the kernel's panel packing, small enough that the
 /// two 53-column block buffers and their scratches stay cache-resident.
 const SCORE_BLOCK_ROWS: usize = 256;
 
+/// What the streaming scorer accumulated over one run: the per-level
+/// detections, the false-alarm count and the oMEDA event windows.
+pub(crate) struct StreamOutcome {
+    pub(crate) detection: DetectionSummary,
+    pub(crate) false_alarms: usize,
+    pub(crate) event_rows_controller: Matrix,
+    pub(crate) event_rows_process: Matrix,
+}
+
 /// Streaming state of one monitored run: buffers full-rate samples into
 /// blocks, batch-scores each full block against both models and replays
 /// the statistics through the detectors in step order.
-struct BlockMonitorState<'m> {
+///
+/// This is the single scoring path shared by the live loop
+/// ([`DualMspc::run_scenario`]) and the capture replay
+/// ([`DualMspc::score_capture`](crate::capture)) — both feed it the same
+/// `(hour, controller_view, process_view)` stream, so their outcomes are
+/// bit-identical by construction.
+pub(crate) struct BlockMonitorState<'m> {
     monitor: &'m DualMspc,
     controller_det: ConsecutiveDetector,
     process_det: ConsecutiveDetector,
@@ -251,14 +235,67 @@ struct BlockMonitorState<'m> {
     event_rows_process: Matrix,
 }
 
-impl BlockMonitorState<'_> {
-    fn push(&mut self, sample: &crate::runner::StepSample) {
-        debug_assert_eq!(sample.controller_view.len(), N_MONITORED);
-        self.hours.push(sample.hour);
-        self.c_block.push_row(&sample.controller_view);
-        self.p_block.push_row(&sample.process_view);
+impl<'m> BlockMonitorState<'m> {
+    pub(crate) fn new(monitor: &'m DualMspc, onset: f64) -> Self {
+        BlockMonitorState {
+            monitor,
+            controller_det: ConsecutiveDetector::new(
+                *monitor.controller_model.limits(),
+                monitor.config.detector,
+            ),
+            process_det: ConsecutiveDetector::new(
+                *monitor.process_model.limits(),
+                monitor.config.detector,
+            ),
+            onset,
+            window: monitor.config.window(),
+            hours: Vec::with_capacity(SCORE_BLOCK_ROWS),
+            c_block: Matrix::with_capacity(SCORE_BLOCK_ROWS, N_MONITORED),
+            p_block: Matrix::with_capacity(SCORE_BLOCK_ROWS, N_MONITORED),
+            c_scratch: ScoreScratch::new(),
+            p_scratch: ScoreScratch::new(),
+            collecting: false,
+            event_rows_controller: Matrix::default(),
+            event_rows_process: Matrix::default(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, hour: f64, controller_view: &[f64], process_view: &[f64]) {
+        debug_assert_eq!(controller_view.len(), N_MONITORED);
+        self.hours.push(hour);
+        self.c_block.push_row(controller_view);
+        self.p_block.push_row(process_view);
         if self.hours.len() == SCORE_BLOCK_ROWS {
             self.flush();
+        }
+    }
+
+    /// Flushes the final partial block and folds the detector state into
+    /// a [`StreamOutcome`].
+    pub(crate) fn finish(mut self) -> StreamOutcome {
+        self.flush();
+        let onset = self.onset;
+        let first_after = |det: &ConsecutiveDetector| {
+            det.events()
+                .iter()
+                .find(|e| e.detected_hour >= onset)
+                .copied()
+        };
+        let false_alarms = self
+            .controller_det
+            .events()
+            .iter()
+            .chain(self.process_det.events())
+            .filter(|e| e.detected_hour < onset)
+            .count();
+        StreamOutcome {
+            detection: DetectionSummary {
+                controller: first_after(&self.controller_det),
+                process: first_after(&self.process_det),
+            },
+            false_alarms,
+            event_rows_controller: self.event_rows_controller,
+            event_rows_process: self.event_rows_process,
         }
     }
 

@@ -21,8 +21,10 @@ use temspc_mspc::{ConsecutiveDetector, MspcConfig, MspcError, MspcModel};
 use temspc_tesim::{N_XMEAS, N_XMV};
 
 use crate::calibration::CalibrationConfig;
+use crate::capture::{check_shape, CaptureError, ScenarioCapture};
 use crate::runner::{ClosedLoopRunner, RunError};
 use crate::scenario::{Scenario, ScenarioKind};
+use temspc_fieldbus::ReplayLink;
 
 /// Frame sizes of the wire protocol (fixed layout: 18-byte header + 8
 /// bytes per value).
@@ -110,48 +112,107 @@ impl NetworkMonitor {
     ///
     /// Returns [`RunError`] if the closed loop fails.
     pub fn run_scenario(&self, scenario: &Scenario) -> Result<NetworkOutcome, RunError> {
-        let mut detector = ConsecutiveDetector::new(*self.model.limits(), self.detector);
-        let mut implicated: Option<String> = None;
-        let mut windows = 0;
-        let onset = scenario.onset_hour;
-        let model = &self.model;
-        let rows = collect_traffic(scenario, self.window_hours, |f| {
-            windows += 1;
-            let v = f.to_vector();
-            let score = model.score(&v).expect("fixed feature length");
-            detector.update(f.hour, score.t2, score.spe);
-            if implicated.is_none()
-                && f.hour >= onset
-                && model.limits().violates_99(score.t2, score.spe)
+        let mut scorer = WindowScorer::new(self, scenario.onset_hour);
+        let rows = collect_traffic(scenario, self.window_hours, |f| scorer.update(f))?;
+        let _ = rows;
+        Ok(scorer.finish())
+    }
+
+    /// Scores a recorded capture at the network level.
+    ///
+    /// The replayed tape feeds the same process-end traffic tap and the
+    /// same per-window scorer as [`NetworkMonitor::run_scenario`]: the
+    /// captured wire lengths and the process-side values (true XMEAS
+    /// sent, forged XMV delivered) reproduce the live feature windows
+    /// bit-for-bit, so the detected hour and implicated feature match
+    /// the live outcome exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CaptureError`] if the tape is corrupt or was not
+    /// recorded from a TE closed loop.
+    pub fn score_capture(&self, capture: &ScenarioCapture) -> Result<NetworkOutcome, CaptureError> {
+        let mut tap = TrafficMonitor::new(self.window_hours, N_XMEAS, N_XMV);
+        let mut scorer = WindowScorer::new(self, capture.scenario.onset_hour);
+        for (k, step) in ReplayLink::new(&capture.records).enumerate() {
+            let step = step?;
+            check_shape(k, &step)?;
+            if let Some(f) = tap.observe_uplink(step.hour, step.uplink_wire_bytes, &step.true_xmeas)
             {
-                // Attribute via whichever chart carries the violation: the
-                // frozen channel's direction may be in-model (T²) or in
-                // the residual (SPE) depending on the retained subspace.
-                let spe_rel = score.spe / model.limits().spe_99.max(1e-300);
-                let t2_rel = score.t2 / model.limits().t2_99.max(1e-300);
-                let contrib = if spe_rel >= t2_rel {
-                    spe_contributions(model.pca(), &v)
-                } else {
-                    t2_contributions(model.pca(), &v)
-                };
-                if let Ok(c) = contrib {
-                    if let Some((idx, _)) = top_contributor(&c) {
-                        implicated = Some(f.feature_name(idx));
-                    }
+                scorer.update(&f);
+            }
+            if let Some(f) =
+                tap.observe_downlink(step.hour, step.downlink_wire_bytes, &step.delivered_xmv)
+            {
+                scorer.update(&f);
+            }
+        }
+        Ok(scorer.finish())
+    }
+}
+
+/// Per-window scoring state shared by the live path
+/// ([`NetworkMonitor::run_scenario`]) and the capture replay path
+/// ([`NetworkMonitor::score_capture`]).
+struct WindowScorer<'m> {
+    monitor: &'m NetworkMonitor,
+    detector: ConsecutiveDetector,
+    implicated: Option<String>,
+    windows: usize,
+    onset: f64,
+}
+
+impl<'m> WindowScorer<'m> {
+    fn new(monitor: &'m NetworkMonitor, onset: f64) -> Self {
+        WindowScorer {
+            monitor,
+            detector: ConsecutiveDetector::new(*monitor.model.limits(), monitor.detector),
+            implicated: None,
+            windows: 0,
+            onset,
+        }
+    }
+
+    fn update(&mut self, f: &TrafficFeatures) {
+        let model = &self.monitor.model;
+        self.windows += 1;
+        let v = f.to_vector();
+        let score = model.score(&v).expect("fixed feature length");
+        self.detector.update(f.hour, score.t2, score.spe);
+        if self.implicated.is_none()
+            && f.hour >= self.onset
+            && model.limits().violates_99(score.t2, score.spe)
+        {
+            // Attribute via whichever chart carries the violation: the
+            // frozen channel's direction may be in-model (T²) or in
+            // the residual (SPE) depending on the retained subspace.
+            let spe_rel = score.spe / model.limits().spe_99.max(1e-300);
+            let t2_rel = score.t2 / model.limits().t2_99.max(1e-300);
+            let contrib = if spe_rel >= t2_rel {
+                spe_contributions(model.pca(), &v)
+            } else {
+                t2_contributions(model.pca(), &v)
+            };
+            if let Ok(c) = contrib {
+                if let Some((idx, _)) = top_contributor(&c) {
+                    self.implicated = Some(f.feature_name(idx));
                 }
             }
-        })?;
-        let _ = rows;
-        let detected_hour = detector
+        }
+    }
+
+    fn finish(self) -> NetworkOutcome {
+        let detected_hour = self
+            .detector
             .events()
             .iter()
-            .find(|e| e.detected_hour >= onset)
+            .find(|e| e.detected_hour >= self.onset)
             .map(|e| e.detected_hour);
-        Ok(NetworkOutcome {
+        NetworkOutcome {
             detected_hour,
-            implicated_feature: implicated,
-            windows,
-        })
+            implicated_feature: self.implicated,
+            windows: self.windows,
+        }
     }
 }
 
@@ -220,6 +281,21 @@ mod tests {
         let outcome = monitor.run_scenario(&scenario).unwrap();
         assert!(outcome.detected_hour.is_none(), "{outcome:?}");
         assert!(outcome.windows > 10);
+    }
+
+    #[test]
+    fn replayed_capture_scores_identically() {
+        let monitor = NetworkMonitor::calibrate(&quick_calibration(), 0.02).unwrap();
+        let scenario = Scenario::short(ScenarioKind::DosXmv3, 0.8, 0.3, 42);
+        let live = monitor.run_scenario(&scenario).unwrap();
+        let capture = crate::capture::capture_scenario(&scenario).unwrap();
+        let replayed = monitor.score_capture(&capture).unwrap();
+        assert_eq!(
+            live.detected_hour.map(f64::to_bits),
+            replayed.detected_hour.map(f64::to_bits)
+        );
+        assert_eq!(live.implicated_feature, replayed.implicated_feature);
+        assert_eq!(live.windows, replayed.windows);
     }
 
     #[test]

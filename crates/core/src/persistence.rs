@@ -11,12 +11,16 @@ use std::path::Path;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
+use crate::capture::ScenarioCapture;
 use crate::monitor::DualMspc;
 use crate::netmon::NetworkMonitor;
 use temspc_persist::PersistError;
 
-/// File magic + format version.
+/// File magic + format version for calibrated monitors.
 const MAGIC: &[u8; 8] = b"TEMSPC\x01\x00";
+
+/// File magic + format version for scenario captures.
+const CAPTURE_MAGIC: &[u8; 8] = b"TECAP\x01\x00\x00";
 
 /// Errors from monitor persistence.
 #[derive(Debug)]
@@ -61,9 +65,9 @@ impl From<PersistError> for PersistenceError {
     }
 }
 
-fn save<T: Serialize>(value: &T, path: &Path) -> Result<(), PersistenceError> {
+fn save<T: Serialize>(value: &T, path: &Path, magic: &[u8; 8]) -> Result<(), PersistenceError> {
     let mut bytes = Vec::with_capacity(1024);
-    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(magic);
     bytes.extend_from_slice(&temspc_persist::to_bytes(value)?);
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
@@ -72,10 +76,10 @@ fn save<T: Serialize>(value: &T, path: &Path) -> Result<(), PersistenceError> {
     Ok(())
 }
 
-fn load<T: DeserializeOwned>(path: &Path) -> Result<T, PersistenceError> {
+fn load<T: DeserializeOwned>(path: &Path, magic: &[u8; 8]) -> Result<T, PersistenceError> {
     let bytes = std::fs::read(path)?;
     let payload = bytes
-        .strip_prefix(MAGIC.as_slice())
+        .strip_prefix(magic.as_slice())
         .ok_or(PersistenceError::BadHeader)?;
     Ok(temspc_persist::from_bytes(payload)?)
 }
@@ -86,7 +90,7 @@ fn load<T: DeserializeOwned>(path: &Path) -> Result<T, PersistenceError> {
 ///
 /// Returns [`PersistenceError`] on I/O or encoding failures.
 pub fn save_monitor(monitor: &DualMspc, path: impl AsRef<Path>) -> Result<(), PersistenceError> {
-    save(monitor, path.as_ref())
+    save(monitor, path.as_ref(), MAGIC)
 }
 
 /// Loads a dual-level monitor saved with [`save_monitor`].
@@ -95,7 +99,7 @@ pub fn save_monitor(monitor: &DualMspc, path: impl AsRef<Path>) -> Result<(), Pe
 ///
 /// Returns [`PersistenceError`] on I/O, header or decoding failures.
 pub fn load_monitor(path: impl AsRef<Path>) -> Result<DualMspc, PersistenceError> {
-    load(path.as_ref())
+    load(path.as_ref(), MAGIC)
 }
 
 /// Saves a calibrated network-level monitor to `path`.
@@ -107,7 +111,7 @@ pub fn save_network_monitor(
     monitor: &NetworkMonitor,
     path: impl AsRef<Path>,
 ) -> Result<(), PersistenceError> {
-    save(monitor, path.as_ref())
+    save(monitor, path.as_ref(), MAGIC)
 }
 
 /// Loads a network-level monitor saved with [`save_network_monitor`].
@@ -116,7 +120,31 @@ pub fn save_network_monitor(
 ///
 /// Returns [`PersistenceError`] on I/O, header or decoding failures.
 pub fn load_network_monitor(path: impl AsRef<Path>) -> Result<NetworkMonitor, PersistenceError> {
-    load(path.as_ref())
+    load(path.as_ref(), MAGIC)
+}
+
+/// Saves a recorded scenario capture to `path` (a `.cap` wire tape).
+///
+/// Captures use their own magic header, so a capture file can never be
+/// mistaken for a calibrated model or vice versa.
+///
+/// # Errors
+///
+/// Returns [`PersistenceError`] on I/O or encoding failures.
+pub fn save_capture(
+    capture: &ScenarioCapture,
+    path: impl AsRef<Path>,
+) -> Result<(), PersistenceError> {
+    save(capture, path.as_ref(), CAPTURE_MAGIC)
+}
+
+/// Loads a scenario capture saved with [`save_capture`].
+///
+/// # Errors
+///
+/// Returns [`PersistenceError`] on I/O, header or decoding failures.
+pub fn load_capture(path: impl AsRef<Path>) -> Result<ScenarioCapture, PersistenceError> {
+    load(path.as_ref(), CAPTURE_MAGIC)
 }
 
 #[cfg(test)]
@@ -161,6 +189,27 @@ mod tests {
         let path = tmp("garbage.tpb");
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         std::fs::write(&path, b"NOTAMODEL").unwrap();
+        assert!(matches!(
+            load_monitor(&path),
+            Err(PersistenceError::BadHeader)
+        ));
+        let _ = std::fs::remove_dir_all(tmp(""));
+    }
+
+    #[test]
+    fn capture_roundtrips_through_disk() {
+        use crate::capture::capture_scenario;
+        use crate::scenario::{Scenario, ScenarioKind};
+        let s = Scenario::short(ScenarioKind::IntegrityXmv3, 0.02, 0.01, 11);
+        let capture = capture_scenario(&s).unwrap();
+        let path = tmp("run.cap");
+        save_capture(&capture, &path).unwrap();
+        let loaded = load_capture(&path).unwrap();
+        assert_eq!(loaded.records, capture.records);
+        assert_eq!(loaded.shutdown, capture.shutdown);
+        assert_eq!(loaded.scenario.kind, capture.scenario.kind);
+        assert_eq!(loaded.scenario.seed, capture.scenario.seed);
+        // A capture file is not a model file and vice versa.
         assert!(matches!(
             load_monitor(&path),
             Err(PersistenceError::BadHeader)

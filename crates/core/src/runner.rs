@@ -17,7 +17,7 @@
 //! attack-free run the two views are identical (the paper's observation).
 
 use temspc_control::DecentralizedController;
-use temspc_fieldbus::{FieldbusLink, LinkError, MitmAdversary};
+use temspc_fieldbus::{CaptureRecord, FieldbusLink, LinkError, MitmAdversary};
 use temspc_linalg::Matrix;
 use temspc_tesim::{PlantConfig, ShutdownReason, TePlant, N_XMV, SAMPLES_PER_HOUR};
 
@@ -164,6 +164,39 @@ impl ClosedLoopRunner {
     pub fn run<F: FnMut(&StepSample)>(
         mut self,
         record_every: usize,
+        observer: F,
+    ) -> Result<RunData, RunError> {
+        self.run_impl(record_every, observer)
+    }
+
+    /// Runs the scenario like [`ClosedLoopRunner::run`] while a passive
+    /// capture tap records every frame crossing the fieldbus — both
+    /// directions, both sides of the adversary. Returns the run data and
+    /// the recorded wire tape (four [`CaptureRecord`]s per closed-loop
+    /// step), from which [`crate::capture::ScenarioCapture`] can rebuild
+    /// both monitoring views bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Link`] on a fieldbus failure.
+    pub fn run_captured<F: FnMut(&StepSample)>(
+        mut self,
+        record_every: usize,
+        observer: F,
+    ) -> Result<(RunData, Vec<CaptureRecord>), RunError> {
+        self.link.attach_tap();
+        let data = self.run_impl(record_every, observer)?;
+        let records = self
+            .link
+            .take_tap()
+            .map(|tap| tap.into_records())
+            .unwrap_or_default();
+        Ok((data, records))
+    }
+
+    fn run_impl<F: FnMut(&StepSample)>(
+        &mut self,
+        record_every: usize,
         mut observer: F,
     ) -> Result<RunData, RunError> {
         let record_every = record_every.max(1);
@@ -213,7 +246,7 @@ impl ClosedLoopRunner {
             }
         }
         Ok(RunData {
-            scenario: self.scenario,
+            scenario: self.scenario.clone(),
             hours,
             controller_view: controller_rows,
             process_view: process_rows,

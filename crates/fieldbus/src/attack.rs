@@ -108,13 +108,16 @@ impl AttackState {
             AttackKind::DenialOfService => self.held.unwrap_or(clean),
             AttackKind::Replay { period_hours } => {
                 let target_hour = hour - period_hours;
+                // total_cmp, not partial_cmp().unwrap(): a NaN distance
+                // (NaN timestamp on the tape, or a non-finite period)
+                // must degrade to an arbitrary-but-deterministic pick,
+                // never a panic in the middle of a run.
                 self.recording
                     .iter()
                     .min_by(|a, b| {
                         (a.0 - target_hour)
                             .abs()
-                            .partial_cmp(&(b.0 - target_hour).abs())
-                            .unwrap()
+                            .total_cmp(&(b.0 - target_hour).abs())
                     })
                     .map(|&(_, v)| v)
                     .or(self.held)
@@ -288,6 +291,46 @@ mod tests {
         let mut v = vec![123.0; 41];
         adv.tamper_sensors(10.3, &mut v);
         assert!((v[0] - 9.3).abs() < 0.01, "got {}", v[0]);
+    }
+
+    #[test]
+    fn replay_with_nan_timestamp_never_panics() {
+        // A NaN hour on the tape (e.g. a corrupt capture replayed through
+        // the adversary) must not panic the replay selection.
+        let mut adv = MitmAdversary::new(vec![Attack::new(
+            AttackTarget::Sensor(1),
+            AttackKind::Replay { period_hours: 1.0 },
+            10.0..f64::INFINITY,
+        )]);
+        let mut v = vec![5.0; 41];
+        adv.tamper_sensors(9.0, &mut v); // recorded sample
+        let mut nan_v = vec![7.0; 41];
+        adv.tamper_sensors(f64::NAN, &mut nan_v); // NaN timestamp hits the tape
+        let mut attacked = vec![123.0; 41];
+        adv.tamper_sensors(10.5, &mut attacked);
+        // Whatever the tape yields, it is one of the values the adversary
+        // observed — never an invention, never a panic.
+        assert!([5.0, 7.0].contains(&attacked[0]), "got {}", attacked[0]);
+    }
+
+    #[test]
+    fn replay_with_nan_distances_never_panics() {
+        // Infinite recorded hours + an infinite period make every
+        // candidate's distance NaN; partial_cmp().unwrap() panicked here.
+        let mut adv = MitmAdversary::new(vec![Attack::new(
+            AttackTarget::Sensor(1),
+            AttackKind::Replay {
+                period_hours: f64::NEG_INFINITY,
+            },
+            10.0..20.0,
+        )]);
+        let mut a = vec![1.0; 41];
+        adv.tamper_sensors(f64::INFINITY, &mut a);
+        let mut b = vec![2.0; 41];
+        adv.tamper_sensors(f64::INFINITY, &mut b);
+        let mut attacked = vec![123.0; 41];
+        adv.tamper_sensors(15.0, &mut attacked);
+        assert!([1.0, 2.0].contains(&attacked[0]), "got {}", attacked[0]);
     }
 
     #[test]

@@ -1,0 +1,423 @@
+//! The capture/replay boundary: record every wire frame crossing the
+//! fieldbus once, re-drive the recorded traffic through the monitors any
+//! number of times — no co-simulated plant loop required.
+//!
+//! A [`CaptureTap`] sits at both endpoints of both directions of a
+//! [`crate::FieldbusLink`] and stores each frame as raw wire bytes plus
+//! its tap point and arrival hour. A [`ReplayLink`] walks the recorded
+//! tape, reassembles the four frames of each closed-loop step and hands
+//! the decoded views back — treating every byte as untrusted: frames are
+//! decoded with the strict [`Frame::decode`], tap points must arrive in
+//! step order, and the four frames of a step must agree on hour and
+//! sequence number. Corrupt tapes fail loudly with a [`ReplayError`]
+//! instead of yielding invented data.
+
+use serde::{Deserialize, Serialize};
+
+use crate::frame::{Frame, FrameError, FrameKind};
+
+/// Where on the link a frame was captured.
+///
+/// The adversary sits between `Sent` and `Delivered` in each direction,
+/// so the four points together reconstruct both monitoring views: the
+/// *process level* is `UplinkSent` (true XMEAS) + `DownlinkDelivered`
+/// (XMV the actuators received); the *controller level* is
+/// `UplinkDelivered` (XMEAS the controller received) + `DownlinkSent`
+/// (XMV it commanded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TapPoint {
+    /// Sensor report as the plant sent it (pre-adversary).
+    UplinkSent,
+    /// Sensor report as delivered to the controller (post-adversary).
+    UplinkDelivered,
+    /// Actuator command as the controller sent it (pre-adversary).
+    DownlinkSent,
+    /// Actuator command as delivered to the actuators (post-adversary).
+    DownlinkDelivered,
+}
+
+impl TapPoint {
+    /// The four tap points in the order one closed-loop step produces
+    /// them.
+    pub const STEP_ORDER: [TapPoint; 4] = [
+        TapPoint::UplinkSent,
+        TapPoint::UplinkDelivered,
+        TapPoint::DownlinkSent,
+        TapPoint::DownlinkDelivered,
+    ];
+
+    /// The frame kind a capture at this point must carry.
+    pub fn expected_kind(self) -> FrameKind {
+        match self {
+            TapPoint::UplinkSent | TapPoint::UplinkDelivered => FrameKind::SensorReport,
+            TapPoint::DownlinkSent | TapPoint::DownlinkDelivered => FrameKind::ActuatorCommand,
+        }
+    }
+}
+
+impl std::fmt::Display for TapPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TapPoint::UplinkSent => "uplink/sent",
+            TapPoint::UplinkDelivered => "uplink/delivered",
+            TapPoint::DownlinkSent => "downlink/sent",
+            TapPoint::DownlinkDelivered => "downlink/delivered",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One captured frame: raw wire bytes, where they were seen, and when.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaptureRecord {
+    /// Tap point the frame was observed at.
+    pub point: TapPoint,
+    /// Arrival hour (simulation time).
+    pub hour: f64,
+    /// The frame exactly as it crossed the wire.
+    pub wire: Vec<u8>,
+}
+
+/// A passive tap buffering every frame it sees, in arrival order.
+#[derive(Debug, Clone, Default)]
+pub struct CaptureTap {
+    records: Vec<CaptureRecord>,
+}
+
+impl CaptureTap {
+    /// An empty tap.
+    pub fn new() -> Self {
+        CaptureTap::default()
+    }
+
+    /// Records one frame.
+    pub fn record(&mut self, point: TapPoint, hour: f64, wire: &[u8]) {
+        self.records.push(CaptureRecord {
+            point,
+            hour,
+            wire: wire.to_vec(),
+        });
+    }
+
+    /// The frames captured so far.
+    pub fn records(&self) -> &[CaptureRecord] {
+        &self.records
+    }
+
+    /// Consumes the tap, yielding the recorded tape.
+    pub fn into_records(self) -> Vec<CaptureRecord> {
+        self.records
+    }
+
+    /// Number of captured frames.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing was captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Errors raised while replaying a recorded tape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError {
+    /// A recorded frame failed the strict wire decode.
+    Frame {
+        /// Index of the offending record in the tape.
+        index: usize,
+        /// The decode failure.
+        error: FrameError,
+    },
+    /// A record arrived at an unexpected tap point (torn or reordered
+    /// tape).
+    OutOfOrder {
+        /// Index of the offending record.
+        index: usize,
+        /// Tap point the step grammar expected.
+        expected: TapPoint,
+        /// Tap point actually recorded.
+        found: TapPoint,
+    },
+    /// A frame's kind does not match its tap point's direction.
+    KindMismatch {
+        /// Index of the offending record.
+        index: usize,
+        /// Tap point of the record.
+        point: TapPoint,
+    },
+    /// The four frames of one step disagree on hour, sequence number or
+    /// payload width.
+    InconsistentStep {
+        /// Index of the first record of the step.
+        index: usize,
+        /// What disagreed.
+        detail: &'static str,
+    },
+    /// The tape ends in the middle of a step.
+    TruncatedTape {
+        /// Records left over after the last complete step.
+        leftover: usize,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Frame { index, error } => {
+                write!(f, "record {index}: frame decode failed: {error}")
+            }
+            ReplayError::OutOfOrder {
+                index,
+                expected,
+                found,
+            } => write!(f, "record {index}: expected {expected}, found {found}"),
+            ReplayError::KindMismatch { index, point } => {
+                write!(f, "record {index}: frame kind does not match {point}")
+            }
+            ReplayError::InconsistentStep { index, detail } => {
+                write!(f, "step at record {index}: {detail}")
+            }
+            ReplayError::TruncatedTape { leftover } => {
+                write!(f, "tape ends mid-step ({leftover} records left over)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// One closed-loop step reassembled from four captured frames.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayStep {
+    /// Simulation hour of the step.
+    pub hour: f64,
+    /// True XMEAS the plant sent (process-level sensors).
+    pub true_xmeas: Vec<f64>,
+    /// XMEAS the controller received (controller-level sensors).
+    pub received_xmeas: Vec<f64>,
+    /// XMV the controller commanded (controller-level actuators).
+    pub commanded_xmv: Vec<f64>,
+    /// XMV the actuators received (process-level actuators).
+    pub delivered_xmv: Vec<f64>,
+    /// Wire length of the uplink frame the process end saw, bytes.
+    pub uplink_wire_bytes: usize,
+    /// Wire length of the downlink frame the process end saw, bytes.
+    pub downlink_wire_bytes: usize,
+}
+
+/// Re-drives a recorded tape as a sequence of [`ReplayStep`]s.
+///
+/// The iterator yields one `Result` per reassembled step; after the
+/// first error it fuses (returns `None` forever), since a torn tape has
+/// no trustworthy continuation.
+#[derive(Debug, Clone)]
+pub struct ReplayLink<'a> {
+    records: &'a [CaptureRecord],
+    pos: usize,
+    failed: bool,
+}
+
+impl<'a> ReplayLink<'a> {
+    /// A replay over a recorded tape.
+    pub fn new(records: &'a [CaptureRecord]) -> Self {
+        ReplayLink {
+            records,
+            pos: 0,
+            failed: false,
+        }
+    }
+
+    /// Number of complete steps the tape should hold.
+    pub fn expected_steps(&self) -> usize {
+        self.records.len() / TapPoint::STEP_ORDER.len()
+    }
+
+    fn next_step(&mut self) -> Result<ReplayStep, ReplayError> {
+        let base = self.pos;
+        let left = self.records.len() - base;
+        if left < TapPoint::STEP_ORDER.len() {
+            return Err(ReplayError::TruncatedTape { leftover: left });
+        }
+        let mut frames = Vec::with_capacity(TapPoint::STEP_ORDER.len());
+        for (offset, &expected) in TapPoint::STEP_ORDER.iter().enumerate() {
+            let index = base + offset;
+            let record = &self.records[index];
+            if record.point != expected {
+                return Err(ReplayError::OutOfOrder {
+                    index,
+                    expected,
+                    found: record.point,
+                });
+            }
+            let frame =
+                Frame::decode(&record.wire).map_err(|error| ReplayError::Frame { index, error })?;
+            if frame.kind != expected.expected_kind() {
+                return Err(ReplayError::KindMismatch {
+                    index,
+                    point: expected,
+                });
+            }
+            frames.push(frame);
+        }
+        let [up_sent, up_delivered, down_sent, down_delivered]: [Frame; 4] =
+            frames.try_into().expect("exactly four frames per step");
+        let hour = self.records[base].hour;
+        if self.records[base..base + 4].iter().any(|r| r.hour != hour)
+            || [&up_sent, &up_delivered, &down_sent, &down_delivered]
+                .iter()
+                .any(|f| f.hour != hour)
+        {
+            return Err(ReplayError::InconsistentStep {
+                index: base,
+                detail: "frames of one step disagree on the hour",
+            });
+        }
+        if up_sent.seq != up_delivered.seq || down_sent.seq != down_delivered.seq {
+            return Err(ReplayError::InconsistentStep {
+                index: base,
+                detail: "sent and delivered sequence numbers disagree",
+            });
+        }
+        if up_sent.values.len() != up_delivered.values.len()
+            || down_sent.values.len() != down_delivered.values.len()
+        {
+            return Err(ReplayError::InconsistentStep {
+                index: base,
+                detail: "sent and delivered payload widths disagree",
+            });
+        }
+        let uplink_wire_bytes = self.records[base].wire.len();
+        let downlink_wire_bytes = self.records[base + 3].wire.len();
+        self.pos = base + 4;
+        Ok(ReplayStep {
+            hour,
+            true_xmeas: up_sent.values,
+            received_xmeas: up_delivered.values,
+            commanded_xmv: down_sent.values,
+            delivered_xmv: down_delivered.values,
+            uplink_wire_bytes,
+            downlink_wire_bytes,
+        })
+    }
+}
+
+impl Iterator for ReplayLink<'_> {
+    type Item = Result<ReplayStep, ReplayError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.pos == self.records.len() {
+            return None;
+        }
+        let step = self.next_step();
+        if step.is_err() {
+            self.failed = true;
+        }
+        Some(step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{Attack, AttackKind, AttackTarget, MitmAdversary};
+    use crate::link::FieldbusLink;
+
+    /// Drives a tapped link for `steps` steps and returns the tape.
+    fn tape(steps: usize, adversary: MitmAdversary) -> Vec<CaptureRecord> {
+        let mut link = FieldbusLink::new(adversary);
+        link.attach_tap();
+        for k in 0..steps {
+            let hour = k as f64 * 0.0005;
+            let xmeas: Vec<f64> = (0..41).map(|i| i as f64 + hour).collect();
+            link.uplink(hour, &xmeas).unwrap();
+            let xmv = vec![50.0 + hour; 12];
+            link.downlink(hour, &xmv).unwrap();
+        }
+        link.take_tap().expect("tap attached").into_records()
+    }
+
+    #[test]
+    fn passive_tape_replays_identically() {
+        let records = tape(5, MitmAdversary::passive());
+        assert_eq!(records.len(), 20); // 4 frames per step
+        let steps: Vec<ReplayStep> = ReplayLink::new(&records).map(|s| s.unwrap()).collect();
+        assert_eq!(steps.len(), 5);
+        for (k, step) in steps.iter().enumerate() {
+            assert_eq!(step.hour, k as f64 * 0.0005);
+            assert_eq!(step.true_xmeas, step.received_xmeas);
+            assert_eq!(step.commanded_xmv, step.delivered_xmv);
+            assert_eq!(step.true_xmeas.len(), 41);
+            assert_eq!(step.delivered_xmv.len(), 12);
+        }
+    }
+
+    #[test]
+    fn attacked_tape_preserves_both_sides() {
+        let records = tape(
+            4,
+            MitmAdversary::new(vec![Attack::new(
+                AttackTarget::Sensor(1),
+                AttackKind::IntegrityConstant(0.0),
+                0.0..f64::INFINITY,
+            )]),
+        );
+        for step in ReplayLink::new(&records) {
+            let step = step.unwrap();
+            assert!(step.true_xmeas[0] > 0.0 || step.hour == 0.0);
+            assert_eq!(step.received_xmeas[0], 0.0); // forged view preserved
+        }
+    }
+
+    #[test]
+    fn corrupt_wire_bytes_fail_loudly() {
+        let mut records = tape(3, MitmAdversary::passive());
+        records[5].wire.push(0xAB); // trailing byte in one frame
+        let results: Vec<_> = ReplayLink::new(&records).collect();
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(ReplayError::Frame {
+                index: 5,
+                error: FrameError::LengthMismatch { .. },
+            })
+        ));
+        // Fused after the first error.
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn reordered_tape_is_rejected() {
+        let mut records = tape(2, MitmAdversary::passive());
+        records.swap(0, 2);
+        assert!(matches!(
+            ReplayLink::new(&records).next(),
+            Some(Err(ReplayError::OutOfOrder { index: 0, .. }))
+        ));
+    }
+
+    #[test]
+    fn truncated_tape_is_rejected() {
+        let mut records = tape(2, MitmAdversary::passive());
+        records.truncate(6);
+        let results: Vec<_> = ReplayLink::new(&records).collect();
+        assert!(results[0].is_ok());
+        assert_eq!(results[1], Err(ReplayError::TruncatedTape { leftover: 2 }));
+    }
+
+    #[test]
+    fn inconsistent_hours_are_rejected() {
+        let mut records = tape(1, MitmAdversary::passive());
+        records[3].hour += 1.0;
+        assert!(matches!(
+            ReplayLink::new(&records).next(),
+            Some(Err(ReplayError::InconsistentStep { index: 0, .. }))
+        ));
+    }
+
+    #[test]
+    fn empty_tape_yields_no_steps() {
+        assert_eq!(ReplayLink::new(&[]).count(), 0);
+    }
+}

@@ -23,6 +23,9 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 const MAGIC: u16 = 0x7E55;
 const HEADER_LEN: usize = 18;
 
+/// Largest payload the 16-bit count field can express.
+pub const MAX_VALUES: usize = u16::MAX as usize;
+
 /// Frame direction/type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrameKind {
@@ -49,7 +52,7 @@ impl FrameKind {
     }
 }
 
-/// Decoding errors.
+/// Encoding and decoding errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FrameError {
     /// Buffer shorter than the fixed header.
@@ -58,12 +61,22 @@ pub enum FrameError {
     BadMagic,
     /// Unknown frame-kind code.
     UnknownKind(u8),
-    /// Header advertised more values than the buffer holds.
+    /// The reserved header byte was not zero.
+    BadReserved(u8),
+    /// The payload does not hold exactly the advertised number of values
+    /// (truncated payload, trailing bytes or a non-multiple-of-8
+    /// remainder).
     LengthMismatch {
         /// Values advertised in the header.
         advertised: usize,
-        /// Values actually present.
-        available: usize,
+        /// Payload bytes actually present after the header.
+        payload_bytes: usize,
+    },
+    /// The payload holds more values than the 16-bit count field can
+    /// express; encoding would silently wrap the count.
+    TooManyValues {
+        /// Number of values in the frame.
+        count: usize,
     },
 }
 
@@ -73,12 +86,19 @@ impl std::fmt::Display for FrameError {
             FrameError::Truncated => write!(f, "frame shorter than header"),
             FrameError::BadMagic => write!(f, "bad magic bytes"),
             FrameError::UnknownKind(c) => write!(f, "unknown frame kind 0x{c:02x}"),
+            FrameError::BadReserved(b) => write!(f, "reserved header byte is 0x{b:02x}, not 0"),
             FrameError::LengthMismatch {
                 advertised,
-                available,
+                payload_bytes,
             } => write!(
                 f,
-                "frame advertises {advertised} values but holds {available}"
+                "frame advertises {advertised} values ({} bytes) but the payload holds \
+                 {payload_bytes} bytes",
+                advertised * 8
+            ),
+            FrameError::TooManyValues { count } => write!(
+                f,
+                "frame holds {count} values but the count field caps at {MAX_VALUES}"
             ),
         }
     }
@@ -111,7 +131,18 @@ impl Frame {
     }
 
     /// Serializes the frame to bytes.
-    pub fn encode(&self) -> Bytes {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::TooManyValues`] when the payload exceeds
+    /// [`MAX_VALUES`] — the 16-bit count field would silently wrap and the
+    /// frame would decode with the wrong value count.
+    pub fn encode(&self) -> Result<Bytes, FrameError> {
+        if self.values.len() > MAX_VALUES {
+            return Err(FrameError::TooManyValues {
+                count: self.values.len(),
+            });
+        }
         let mut buf = BytesMut::with_capacity(HEADER_LEN + 8 * self.values.len());
         buf.put_u16(MAGIC);
         buf.put_u8(self.kind.code());
@@ -122,15 +153,22 @@ impl Frame {
         for &v in &self.values {
             buf.put_f64(v);
         }
-        buf.freeze()
+        Ok(buf.freeze())
     }
 
     /// Parses a frame from bytes.
     ///
+    /// The decoder is strict: the buffer must hold the fixed header plus
+    /// *exactly* the advertised payload. Trailing bytes — including a
+    /// non-multiple-of-8 remainder — are rejected rather than silently
+    /// discarded, so a corrupt capture file fails loudly instead of
+    /// yielding short payloads. A successful decode re-encodes to the
+    /// identical bytes.
+    ///
     /// # Errors
     ///
     /// Returns a [`FrameError`] for truncated buffers, bad magic, unknown
-    /// kinds, or inconsistent lengths.
+    /// kinds, a nonzero reserved byte, or any payload-length mismatch.
     pub fn decode(mut buf: &[u8]) -> Result<Self, FrameError> {
         if buf.len() < HEADER_LEN {
             return Err(FrameError::Truncated);
@@ -140,15 +178,18 @@ impl Frame {
         }
         let kind_code = buf.get_u8();
         let kind = FrameKind::from_code(kind_code).ok_or(FrameError::UnknownKind(kind_code))?;
-        let _reserved = buf.get_u8();
+        let reserved = buf.get_u8();
+        if reserved != 0 {
+            return Err(FrameError::BadReserved(reserved));
+        }
         let seq = buf.get_u32();
         let hour = buf.get_f64();
         let advertised = buf.get_u16() as usize;
-        let available = buf.remaining() / 8;
-        if advertised > available {
+        let payload_bytes = buf.remaining();
+        if payload_bytes != advertised * 8 {
             return Err(FrameError::LengthMismatch {
                 advertised,
-                available,
+                payload_bytes,
             });
         }
         let values = (0..advertised).map(|_| buf.get_f64()).collect();
@@ -168,20 +209,20 @@ mod tests {
     #[test]
     fn roundtrip_sensor_frame() {
         let f = Frame::new(FrameKind::SensorReport, 42, 10.5, vec![1.0, -2.5, 3.25]);
-        let decoded = Frame::decode(&f.encode()).unwrap();
+        let decoded = Frame::decode(&f.encode().unwrap()).unwrap();
         assert_eq!(decoded, f);
     }
 
     #[test]
     fn roundtrip_actuator_frame() {
         let f = Frame::new(FrameKind::ActuatorCommand, 7, 0.0, vec![55.0; 12]);
-        assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+        assert_eq!(Frame::decode(&f.encode().unwrap()).unwrap(), f);
     }
 
     #[test]
     fn empty_payload_roundtrips() {
         let f = Frame::new(FrameKind::SensorReport, 0, 0.0, vec![]);
-        assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+        assert_eq!(Frame::decode(&f.encode().unwrap()).unwrap(), f);
     }
 
     #[test]
@@ -193,6 +234,7 @@ mod tests {
     fn bad_magic_rejected() {
         let mut bytes = Frame::new(FrameKind::SensorReport, 1, 1.0, vec![1.0])
             .encode()
+            .unwrap()
             .to_vec();
         bytes[0] = 0xFF;
         assert_eq!(Frame::decode(&bytes), Err(FrameError::BadMagic));
@@ -202,21 +244,76 @@ mod tests {
     fn unknown_kind_rejected() {
         let mut bytes = Frame::new(FrameKind::SensorReport, 1, 1.0, vec![1.0])
             .encode()
+            .unwrap()
             .to_vec();
         bytes[2] = 0x09;
         assert_eq!(Frame::decode(&bytes), Err(FrameError::UnknownKind(0x09)));
     }
 
     #[test]
+    fn nonzero_reserved_rejected() {
+        let mut bytes = Frame::new(FrameKind::SensorReport, 1, 1.0, vec![1.0])
+            .encode()
+            .unwrap()
+            .to_vec();
+        bytes[3] = 0x55;
+        assert_eq!(Frame::decode(&bytes), Err(FrameError::BadReserved(0x55)));
+    }
+
+    #[test]
     fn length_mismatch_rejected() {
         let mut bytes = Frame::new(FrameKind::SensorReport, 1, 1.0, vec![1.0])
             .encode()
+            .unwrap()
             .to_vec();
         bytes[17] = 200; // advertise 200 values
-        assert!(matches!(
+        assert_eq!(
             Frame::decode(&bytes),
-            Err(FrameError::LengthMismatch { .. })
-        ));
+            Err(FrameError::LengthMismatch {
+                advertised: 200,
+                payload_bytes: 8,
+            })
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = Frame::new(FrameKind::SensorReport, 1, 1.0, vec![1.0, 2.0])
+            .encode()
+            .unwrap()
+            .to_vec();
+        // A whole extra value beyond the advertised two...
+        bytes.extend_from_slice(&3.0f64.to_be_bytes());
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(FrameError::LengthMismatch {
+                advertised: 2,
+                payload_bytes: 24,
+            })
+        );
+        // ...and a ragged remainder shorter than one value.
+        bytes.truncate(HEADER_LEN + 2 * 8 + 3);
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(FrameError::LengthMismatch {
+                advertised: 2,
+                payload_bytes: 19,
+            })
+        );
+    }
+
+    #[test]
+    fn too_many_values_rejected_and_boundary_roundtrips() {
+        let oversized = Frame::new(FrameKind::SensorReport, 1, 1.0, vec![0.0; MAX_VALUES + 1]);
+        assert_eq!(
+            oversized.encode(),
+            Err(FrameError::TooManyValues {
+                count: MAX_VALUES + 1,
+            })
+        );
+        // Exactly MAX_VALUES still round-trips.
+        let full = Frame::new(FrameKind::SensorReport, 1, 1.0, vec![0.5; MAX_VALUES]);
+        assert_eq!(Frame::decode(&full.encode().unwrap()).unwrap(), full);
     }
 
     #[test]
@@ -225,9 +322,9 @@ mod tests {
         // and re-encode; the result is indistinguishable from a genuine
         // frame.
         let genuine = Frame::new(FrameKind::SensorReport, 9, 10.0, vec![3.9, 2.0]);
-        let mut tampered = Frame::decode(&genuine.encode()).unwrap();
+        let mut tampered = Frame::decode(&genuine.encode().unwrap()).unwrap();
         tampered.values[0] = 0.0;
-        let reencoded = tampered.encode();
+        let reencoded = tampered.encode().unwrap();
         let redecoded = Frame::decode(&reencoded).unwrap();
         assert_eq!(redecoded.values[0], 0.0);
         assert_eq!(redecoded.seq, genuine.seq);

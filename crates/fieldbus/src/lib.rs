@@ -38,11 +38,13 @@
 #![warn(missing_docs)]
 
 pub mod attack;
+pub mod capture;
 pub mod frame;
 mod link;
 pub mod netstat;
 
 pub use attack::{Attack, AttackKind, AttackTarget, MitmAdversary};
+pub use capture::{CaptureRecord, CaptureTap, ReplayError, ReplayLink, ReplayStep, TapPoint};
 pub use frame::{Frame, FrameError, FrameKind};
 pub use link::{FieldbusLink, LinkError};
 pub use netstat::{TrafficFeatures, TrafficMonitor};

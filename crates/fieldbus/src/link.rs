@@ -2,13 +2,14 @@
 //! adversary.
 
 use crate::attack::MitmAdversary;
+use crate::capture::{CaptureTap, TapPoint};
 use crate::frame::{Frame, FrameError, FrameKind};
 
 /// Errors surfaced by the link.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LinkError {
-    /// A frame failed to decode (should not happen unless the adversary
-    /// corrupts framing, which the modelled attacks never do).
+    /// A frame failed to encode or decode (should not happen unless the
+    /// adversary corrupts framing, which the modelled attacks never do).
     Frame(FrameError),
 }
 
@@ -39,6 +40,7 @@ pub struct FieldbusLink {
     adversary: MitmAdversary,
     uplink_seq: u32,
     downlink_seq: u32,
+    tap: Option<CaptureTap>,
 }
 
 impl FieldbusLink {
@@ -49,12 +51,32 @@ impl FieldbusLink {
             adversary,
             uplink_seq: 0,
             downlink_seq: 0,
+            tap: None,
         }
     }
 
     /// The adversary on this link.
     pub fn adversary(&self) -> &MitmAdversary {
         &self.adversary
+    }
+
+    /// Attaches a passive capture tap: from now on every frame crossing
+    /// the link — both directions, both sides of the adversary — is
+    /// recorded as raw wire bytes. Replaces any tape recorded so far.
+    pub fn attach_tap(&mut self) {
+        self.tap = Some(CaptureTap::new());
+    }
+
+    /// Detaches the capture tap, returning the recorded tape (or `None`
+    /// if no tap was attached).
+    pub fn take_tap(&mut self) -> Option<CaptureTap> {
+        self.tap.take()
+    }
+
+    fn tap_record(&mut self, point: TapPoint, hour: f64, wire: &[u8]) {
+        if let Some(tap) = &mut self.tap {
+            tap.record(point, hour, wire);
+        }
     }
 
     /// Whether an attack is active at `hour`.
@@ -76,11 +98,13 @@ impl FieldbusLink {
             xmeas.to_vec(),
         );
         self.uplink_seq = self.uplink_seq.wrapping_add(1);
-        let wire = frame.encode();
+        let wire = frame.encode()?;
+        self.tap_record(TapPoint::UplinkSent, hour, &wire);
         // Man-in-the-middle position: parse, rewrite, re-encode.
         let mut intercepted = Frame::decode(&wire)?;
         self.adversary.tamper_sensors(hour, &mut intercepted.values);
-        let forged_wire = intercepted.encode();
+        let forged_wire = intercepted.encode()?;
+        self.tap_record(TapPoint::UplinkDelivered, hour, &forged_wire);
         let delivered = Frame::decode(&forged_wire)?;
         Ok(delivered.values)
     }
@@ -99,11 +123,13 @@ impl FieldbusLink {
             xmv.to_vec(),
         );
         self.downlink_seq = self.downlink_seq.wrapping_add(1);
-        let wire = frame.encode();
+        let wire = frame.encode()?;
+        self.tap_record(TapPoint::DownlinkSent, hour, &wire);
         let mut intercepted = Frame::decode(&wire)?;
         self.adversary
             .tamper_actuators(hour, &mut intercepted.values);
-        let forged_wire = intercepted.encode();
+        let forged_wire = intercepted.encode()?;
+        self.tap_record(TapPoint::DownlinkDelivered, hour, &forged_wire);
         let delivered = Frame::decode(&forged_wire)?;
         Ok(delivered.values)
     }
@@ -151,6 +177,34 @@ mod tests {
         assert_eq!(delivered[2], 0.0);
         assert_eq!(delivered[0], 61.9);
         assert_eq!(xmv[2], 61.9); // the controller still believes 61.9
+    }
+
+    #[test]
+    fn oversized_payload_is_a_link_error_not_a_wrapped_frame() {
+        use crate::frame::MAX_VALUES;
+        let mut link = FieldbusLink::new(MitmAdversary::passive());
+        let huge = vec![0.0; MAX_VALUES + 1];
+        assert_eq!(
+            link.uplink(0.0, &huge),
+            Err(LinkError::Frame(FrameError::TooManyValues {
+                count: MAX_VALUES + 1,
+            }))
+        );
+    }
+
+    #[test]
+    fn tap_records_four_points_per_step() {
+        use crate::capture::TapPoint;
+        let mut link = FieldbusLink::new(MitmAdversary::passive());
+        link.attach_tap();
+        link.uplink(1.0, &[3.9; 41]).unwrap();
+        link.downlink(1.0, &[50.0; 12]).unwrap();
+        let tape = link.take_tap().unwrap().into_records();
+        let points: Vec<TapPoint> = tape.iter().map(|r| r.point).collect();
+        assert_eq!(points, TapPoint::STEP_ORDER);
+        assert!(tape.iter().all(|r| r.hour == 1.0));
+        // Untapped link records nothing.
+        assert!(link.take_tap().is_none());
     }
 
     #[test]

@@ -225,7 +225,10 @@ mod tests {
     ) -> Vec<TrafficFeatures> {
         let mut out = Vec::new();
         let dt = 0.0005;
-        let steps = (hours / dt) as usize;
+        // Round, don't truncate: 0.3 / 0.0005 is 599.999… in binary, and
+        // `as usize` would drop the final step (and with it the last
+        // window roll).
+        let steps = (hours / dt).round() as usize;
         for k in 0..steps {
             let hour = k as f64 * dt;
             // Sensors: all values jitter each frame.
@@ -256,7 +259,9 @@ mod tests {
     fn window_rolls_and_rates_are_plausible() {
         let mut m = TrafficMonitor::new(0.05, 41, 12);
         let windows = drive(&mut m, 0.2, None);
-        assert!(windows.len() >= 3, "windows = {}", windows.len());
+        // 400 steps of 0.0005 h roll the 0.05 h window at hours 0.05,
+        // 0.10 and 0.15 — exactly three completed windows.
+        assert_eq!(windows.len(), 3, "windows = {}", windows.len());
         let f = &windows[1];
         // 2000 frames/hour each direction.
         assert!(

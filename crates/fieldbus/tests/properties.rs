@@ -27,26 +27,53 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
 proptest! {
     #[test]
     fn frame_roundtrips(frame in frame_strategy()) {
-        let decoded = Frame::decode(&frame.encode()).unwrap();
+        let decoded = Frame::decode(&frame.encode().unwrap()).unwrap();
         prop_assert_eq!(decoded, frame);
     }
 
     #[test]
-    fn truncated_frames_never_panic(frame in frame_strategy(), cut in 0usize..400) {
-        let wire = frame.encode();
+    fn truncated_frames_never_decode(frame in frame_strategy(), cut in 0usize..400) {
+        let wire = frame.encode().unwrap();
         let cut = cut.min(wire.len());
-        // Decoding any prefix either fails cleanly or yields a frame.
-        let _ = Frame::decode(&wire[..cut]);
+        if cut < wire.len() {
+            // Any strict prefix fails cleanly: the advertised payload is
+            // no longer exactly present.
+            prop_assert!(Frame::decode(&wire[..cut]).is_err());
+        }
     }
 
     #[test]
     fn corrupted_bytes_never_panic(frame in frame_strategy(), pos in 0usize..100, byte in any::<u8>()) {
-        let mut wire = frame.encode().to_vec();
+        let mut wire = frame.encode().unwrap().to_vec();
         if !wire.is_empty() {
             let p = pos % wire.len();
             wire[p] = byte;
             let _ = Frame::decode(&wire);
         }
+    }
+
+    #[test]
+    fn arbitrary_bytes_decode_cleanly_or_reencode_identically(
+        bytes in prop::collection::vec(any::<u8>(), 0..600),
+    ) {
+        // The decoder must never panic on arbitrary input, and the strict
+        // length/reserved checks make decode injective: whatever decodes
+        // successfully re-encodes to the exact same bytes. A structured
+        // rejection is the only other legal outcome.
+        if let Ok(frame) = Frame::decode(&bytes) {
+            let reencoded = frame.encode().unwrap();
+            prop_assert_eq!(reencoded.as_ref(), bytes.as_slice());
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_always_rejected(frame in frame_strategy(), extra in prop::collection::vec(any::<u8>(), 1..24)) {
+        let mut wire = frame.encode().unwrap().to_vec();
+        wire.extend_from_slice(&extra);
+        prop_assert!(matches!(
+            Frame::decode(&wire),
+            Err(temspc_fieldbus::FrameError::LengthMismatch { .. })
+        ));
     }
 
     #[test]

@@ -11,13 +11,27 @@ use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 use temspc::diagnosis::{diagnose, VerdictThresholds};
-use temspc::{DualMspc, Scenario, ScenarioKind};
+use temspc::{DualMspc, Scenario, ScenarioKind, ScenarioOutcome};
 
 use crate::checkpoint::{self, CheckpointError, FleetCheckpoint};
 use crate::metrics::{Counter, Histogram, MetricsRegistry};
 use crate::pool::WorkerPool;
 use crate::report::{FleetReport, PlantRecord};
 use crate::supervisor::{supervise, SupervisionPolicy};
+
+/// Where each plant's traffic comes from.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PlantSource {
+    /// Simulate each plant's closed loop live (the default).
+    #[default]
+    Live,
+    /// Replay recorded wire captures from this directory: plant `i`
+    /// scores `<dir>/plant_i.cap` (as written by
+    /// [`record_fleet_captures`]) instead of re-simulating. The stored
+    /// path is a `String` so the config stays serializable with the
+    /// vendored serde.
+    Replay(String),
+}
 
 /// Configuration of a fleet campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -43,6 +57,8 @@ pub struct FleetConfig {
     /// Chaos hook: plant indices whose *first* attempt panics
     /// deliberately (exercises the supervisor; empty in production).
     pub inject_panic_plants: Vec<u32>,
+    /// Traffic source: live simulation or recorded capture replay.
+    pub source: PlantSource,
 }
 
 impl Default for FleetConfig {
@@ -57,6 +73,7 @@ impl Default for FleetConfig {
             supervision: SupervisionPolicy::default(),
             checkpoint_every: 8,
             inject_panic_plants: Vec::new(),
+            source: PlantSource::Live,
         }
     }
 }
@@ -121,17 +138,79 @@ pub fn plant_scenario(config: &FleetConfig, plant: usize) -> Scenario {
     )
 }
 
+/// The capture file plant `i` reads (replay) or writes (recording).
+fn capture_path(dir: &str, plant: usize) -> PathBuf {
+    Path::new(dir).join(format!("plant_{plant}.cap"))
+}
+
+/// Rejects a capture recorded under a different scenario than the one
+/// this configuration derives for the plant — replaying someone else's
+/// tape would silently produce a report about the wrong fleet.
+fn validate_capture(plant: usize, recorded: &Scenario, expected: &Scenario) -> Result<(), String> {
+    let matches = recorded.kind == expected.kind
+        && recorded.seed == expected.seed
+        && recorded.duration_hours == expected.duration_hours
+        && recorded.onset_hour == expected.onset_hour;
+    if matches {
+        Ok(())
+    } else {
+        Err(format!(
+            "plant {plant}: capture was recorded for {:?} (seed {}, {} h, onset {}), \
+             but this fleet derives {:?} (seed {}, {} h, onset {})",
+            recorded.kind,
+            recorded.seed,
+            recorded.duration_hours,
+            recorded.onset_hour,
+            expected.kind,
+            expected.seed,
+            expected.duration_hours,
+            expected.onset_hour,
+        ))
+    }
+}
+
+/// Records every plant's fieldbus traffic into `<dir>/plant_i.cap`, so a
+/// later campaign with [`PlantSource::Replay`] pointed at `dir` scores
+/// the exact same traffic without re-simulating the fleet.
+///
+/// The scenarios recorded are derived from `config` exactly as
+/// [`FleetEngine::run`] derives them (via [`plant_scenario`]), so the
+/// replayed report matches a live run of the same configuration
+/// bit-for-bit.
+///
+/// # Errors
+///
+/// Returns [`FleetError::Capture`] if a run or a file write fails.
+pub fn record_fleet_captures(
+    config: &FleetConfig,
+    dir: impl AsRef<Path>,
+) -> Result<(), FleetError> {
+    let dir = dir.as_ref();
+    for plant in 0..config.plants {
+        let scenario = plant_scenario(config, plant);
+        let capture = temspc::capture_scenario(&scenario)
+            .map_err(|e| FleetError::Capture(format!("plant {plant}: {e}")))?;
+        let path = dir.join(format!("plant_{plant}.cap"));
+        temspc::persistence::save_capture(&capture, &path)
+            .map_err(|e| FleetError::Capture(format!("{}: {e}", path.display())))?;
+    }
+    Ok(())
+}
+
 /// Errors from a fleet campaign.
 #[derive(Debug)]
 pub enum FleetError {
     /// Checkpoint I/O or validation failure.
     Checkpoint(CheckpointError),
+    /// Recording or loading a capture failed.
+    Capture(String),
 }
 
 impl std::fmt::Display for FleetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FleetError::Checkpoint(e) => write!(f, "{e}"),
+            FleetError::Capture(msg) => write!(f, "capture failure: {msg}"),
         }
     }
 }
@@ -140,6 +219,7 @@ impl std::error::Error for FleetError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FleetError::Checkpoint(e) => Some(e),
+            FleetError::Capture(_) => None,
         }
     }
 }
@@ -278,6 +358,28 @@ impl<'a> FleetEngine<'a> {
         &self.registry
     }
 
+    /// Produces one plant's outcome from the configured source: a live
+    /// closed-loop run, or a recorded capture scored offline. Both paths
+    /// end in the same scoring code, so for a faithful capture the
+    /// outcome is bit-identical either way.
+    fn execute_plant(&self, plant: usize, scenario: &Scenario) -> Result<ScenarioOutcome, String> {
+        match &self.config.source {
+            PlantSource::Live => self
+                .monitor
+                .run_scenario(scenario)
+                .map_err(|e| e.to_string()),
+            PlantSource::Replay(dir) => {
+                let path = capture_path(dir, plant);
+                let capture = temspc::persistence::load_capture(&path)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                validate_capture(plant, &capture.scenario, scenario)?;
+                self.monitor
+                    .score_capture(&capture)
+                    .map_err(|e| format!("{}: {e}", path.display()))
+            }
+        }
+    }
+
     /// Runs one supervised plant job to a finished record.
     fn run_plant(&self, plant: usize) -> PlantRecord {
         let scenario = plant_scenario(&self.config, plant);
@@ -292,7 +394,7 @@ impl<'a> FleetEngine<'a> {
                     panic!("chaos: injected panic for plant {plant}");
                 }
             }
-            self.monitor.run_scenario(&scenario)
+            self.execute_plant(plant, &scenario)
         });
         let restarts = supervised.restarts;
         let fault = supervised.panics.last().cloned();
@@ -313,13 +415,13 @@ impl<'a> FleetEngine<'a> {
                     shutdown_hour: outcome.run.shutdown.map(|(_, hour)| hour),
                 }
             }
-            Some(Err(run_error)) => PlantRecord {
+            Some(Err(message)) => PlantRecord {
                 plant: plant as u32,
                 kind: scenario.kind,
                 seed: scenario.seed,
                 completed: false,
                 restarts,
-                fault: Some(run_error.to_string()),
+                fault: Some(message),
                 detection_latency_hours: None,
                 false_alarms: 0,
                 verdict: None,
@@ -494,6 +596,76 @@ mod tests {
             .collect();
         assert!(!normals.is_empty());
         assert!(normals.iter().all(|s| s.onset_hour.is_infinite()));
+    }
+
+    #[test]
+    fn replayed_fleet_matches_live_fleet() {
+        let monitor = quick_monitor();
+        let dir = std::env::temp_dir().join("temspc_fleet_replay_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = quick_config(3, 2);
+        record_fleet_captures(&config, &dir).unwrap();
+
+        let live = FleetEngine::new(&monitor, config.clone()).run().unwrap();
+        let replay_config = FleetConfig {
+            source: PlantSource::Replay(dir.to_string_lossy().into_owned()),
+            ..config
+        };
+        let replayed = FleetEngine::new(&monitor, replay_config).run().unwrap();
+        assert_eq!(live.records.len(), replayed.records.len());
+        for (a, b) in live.records.iter().zip(&replayed.records) {
+            assert_eq!(a.plant, b.plant);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.verdict, b.verdict);
+            assert_eq!(a.false_alarms, b.false_alarms);
+            assert_eq!(
+                a.detection_latency_hours.map(f64::to_bits),
+                b.detection_latency_hours.map(f64::to_bits)
+            );
+            assert_eq!(
+                a.shutdown_hour.map(f64::to_bits),
+                b.shutdown_hour.map(f64::to_bits)
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_with_missing_captures_fails_the_plants_not_the_fleet() {
+        let monitor = quick_monitor();
+        let config = FleetConfig {
+            source: PlantSource::Replay("/nonexistent/temspc/captures".into()),
+            ..quick_config(2, 1)
+        };
+        let report = FleetEngine::new(&monitor, config).run().unwrap();
+        assert_eq!(report.failed_plants().len(), 2);
+        assert!(report.records.iter().all(|r| !r.completed));
+        assert!(report.records[0]
+            .fault
+            .as_deref()
+            .is_some_and(|f| f.contains("plant_0.cap")));
+    }
+
+    #[test]
+    fn replaying_the_wrong_tape_is_rejected() {
+        let monitor = quick_monitor();
+        let dir = std::env::temp_dir().join("temspc_fleet_wrong_tape_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = quick_config(1, 1);
+        record_fleet_captures(&config, &dir).unwrap();
+        // Same capture files, different fleet seed → scenario mismatch.
+        let wrong = FleetConfig {
+            fleet_seed: config.fleet_seed + 1,
+            source: PlantSource::Replay(dir.to_string_lossy().into_owned()),
+            ..config
+        };
+        let report = FleetEngine::new(&monitor, wrong).run().unwrap();
+        assert!(!report.records[0].completed);
+        assert!(report.records[0]
+            .fault
+            .as_deref()
+            .is_some_and(|f| f.contains("recorded for")));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

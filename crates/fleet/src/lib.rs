@@ -51,7 +51,10 @@ pub mod supervisor;
 
 pub use calibrate::{calibrate, collect_calibration_data_pooled};
 pub use checkpoint::{CheckpointError, FleetCheckpoint};
-pub use engine::{plant_scenario, plant_seed, FleetConfig, FleetEngine, FleetError};
+pub use engine::{
+    plant_scenario, plant_seed, record_fleet_captures, FleetConfig, FleetEngine, FleetError,
+    PlantSource,
+};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use pool::WorkerPool;
 pub use report::{FleetReport, Outcome, PlantRecord, Truth};

@@ -2,7 +2,7 @@
 //! supervised restarts, and checkpoint/resume equivalence.
 
 use temspc::{CalibrationConfig, DualMspc};
-use temspc_fleet::{FleetConfig, FleetEngine, SupervisionPolicy};
+use temspc_fleet::{FleetConfig, FleetEngine, PlantSource, SupervisionPolicy};
 
 fn quick_monitor() -> DualMspc {
     DualMspc::calibrate(&CalibrationConfig {
@@ -26,6 +26,7 @@ fn fleet_config(threads: usize) -> FleetConfig {
         supervision: SupervisionPolicy::default(),
         checkpoint_every: 0,
         inject_panic_plants: Vec::new(),
+        source: PlantSource::Live,
     }
 }
 

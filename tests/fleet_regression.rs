@@ -13,7 +13,7 @@
 //! `TEMSPC_PRINT_GOLDEN=1 cargo test -p temspc-fleet --test fleet_regression -- --nocapture`
 
 use temspc::{CalibrationConfig, DualMspc, Verdict};
-use temspc_fleet::{FleetConfig, FleetEngine, FleetReport, SupervisionPolicy};
+use temspc_fleet::{FleetConfig, FleetEngine, FleetReport, PlantSource, SupervisionPolicy};
 
 fn monitor() -> DualMspc {
     DualMspc::calibrate(&CalibrationConfig {
@@ -37,6 +37,7 @@ fn config() -> FleetConfig {
         supervision: SupervisionPolicy::default(),
         checkpoint_every: 0,
         inject_panic_plants: Vec::new(),
+        source: PlantSource::Live,
     }
 }
 
