@@ -7,10 +7,12 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Parsed command line: a subcommand plus `--key value` options.
+/// Parsed command line: a subcommand, an optional action positional
+/// (e.g. `temspc store list`), plus `--key value` options.
 #[derive(Debug, Clone, Default)]
 pub struct ParsedArgs {
     subcommand: Option<String>,
+    action: Option<String>,
     options: BTreeMap<String, String>,
     flags: Vec<String>,
 }
@@ -80,6 +82,8 @@ impl ParsedArgs {
                 }
             } else if parsed.subcommand.is_none() {
                 parsed.subcommand = Some(arg);
+            } else if parsed.action.is_none() {
+                parsed.action = Some(arg);
             } else {
                 return Err(ArgsError::UnexpectedPositional(arg));
             }
@@ -90,6 +94,11 @@ impl ParsedArgs {
     /// The subcommand, if any.
     pub fn subcommand(&self) -> Option<&str> {
         self.subcommand.as_deref()
+    }
+
+    /// The second positional (the action of `temspc store <action>`).
+    pub fn action(&self) -> Option<&str> {
+        self.action.as_deref()
     }
 
     /// String option.
@@ -145,6 +154,15 @@ mod tests {
         assert_eq!(a.get("idv"), Some("6"));
         assert!(a.flag("no-noise"));
         assert!(!a.flag("verbose"));
+        assert_eq!(a.action(), None);
+    }
+
+    #[test]
+    fn parses_store_style_action_positional() {
+        let a = ParsedArgs::parse(["store", "list", "--dir", "models"]).unwrap();
+        assert_eq!(a.subcommand(), Some("store"));
+        assert_eq!(a.action(), Some("list"));
+        assert_eq!(a.get("dir"), Some("models"));
     }
 
     #[test]
@@ -167,8 +185,8 @@ mod tests {
             Err(ArgsError::BadValue { .. })
         ));
         assert_eq!(
-            ParsedArgs::parse(["x", "y"]).unwrap_err(),
-            ArgsError::UnexpectedPositional("y".into())
+            ParsedArgs::parse(["x", "y", "z"]).unwrap_err(),
+            ArgsError::UnexpectedPositional("z".into())
         );
         let a = ParsedArgs::parse(["x"]).unwrap();
         assert_eq!(

@@ -26,9 +26,13 @@ USAGE:
   temspc replay    --model model.tpb --capture run.cap [--net net.tpb]
   temspc fleet     [--plants 8] [--threads 4] [--hours 2] [--attack-fraction 0.25]
                    [--onset 0.5] [--seed 2016] [--model model.tpb]
+                   [--model-store dir [--cohorts 2] [--store-capacity 4]]
                    [--calib-runs 4] [--calib-hours 2]
                    [--checkpoint fleet.tpb [--resume]] [--metrics fleet.prom]
                    [--record-captures dir | --replay dir]
+  temspc store     list|calibrate|evict --dir models
+                   [--key cohort_0 | --cohorts 2]
+                   [--calib-runs 4] [--calib-hours 2] [--calib-seed 1000]
   temspc experiments [--mode quick|paper] [--out results]
   temspc list
   temspc help
@@ -40,7 +44,14 @@ tape; `replay` re-scores the recorded traffic through the same charts,
 printing the same detection lines as a live `detect` of that scenario.
 `fleet --record-captures dir` writes one tape per plant; a later
 `fleet --replay dir` (same fleet flags) scores them without
-re-simulating."#;
+re-simulating.
+
+MODEL STORE: `fleet --model-store dir` resolves each plant's monitor
+from a sharded per-cohort calibration store (one .tpb per key, bounded
+in-memory LRU residency, calibrate-on-miss with deterministic per-cohort
+seeds, hot reload on generation bump). `store calibrate` pre-populates
+or refreshes keys; `store list` shows keys and generations; `store
+evict` deletes a persisted key."#;
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -354,7 +365,7 @@ pub fn replay(args: &ParsedArgs) -> CmdResult {
 /// `temspc fleet` — monitor many plants concurrently and print the
 /// aggregate confusion matrix.
 pub fn fleet(args: &ParsedArgs) -> CmdResult {
-    use temspc_fleet::{FleetConfig, FleetEngine, PlantSource};
+    use temspc_fleet::{FleetConfig, FleetEngine, ModelStore, PlantSource};
 
     let source = match args.get("replay") {
         Some(dir) => PlantSource::Replay(dir.to_string()),
@@ -368,17 +379,34 @@ pub fn fleet(args: &ParsedArgs) -> CmdResult {
         attack_fraction: args.get_parsed("attack-fraction", 0.25)?,
         fleet_seed: args.get_parsed("seed", 2016)?,
         checkpoint_every: args.get_parsed("checkpoint-every", 4)?,
+        cohorts: args.get_parsed("cohorts", 1)?,
         source,
         ..FleetConfig::default()
     };
     if !(0.0..=1.0).contains(&config.attack_fraction) {
         return Err("--attack-fraction must be within [0, 1]".into());
     }
+    if config.cohorts == 0 {
+        return Err("--cohorts must be at least 1".into());
+    }
     if let Some(dir) = args.get("record-captures") {
         println!("recording {} plant captures into {dir}/ ...", config.plants);
         temspc_fleet::record_fleet_captures(&config, dir)?;
         println!("done; replay them with: temspc fleet --replay {dir} <same fleet flags>");
         return Ok(());
+    }
+
+    if let Some(dir) = args.get("model-store") {
+        if args.get("model").is_some() {
+            return Err("--model and --model-store are mutually exclusive".into());
+        }
+        println!(
+            "resolving per-plant monitors from model store {dir}/ ({} cohort(s)) ...",
+            config.cohorts
+        );
+        let store = ModelStore::new(store_config_from_args(args, dir)?);
+        let engine = FleetEngine::with_store(&store, config.clone());
+        return run_fleet(engine, args, &config, Some(&store));
     }
 
     let monitor = match args.get("model") {
@@ -395,15 +423,25 @@ pub fn fleet(args: &ParsedArgs) -> CmdResult {
                     runs,
                     duration_hours: hours,
                     record_every: 10,
-                    base_seed: 1_000,
+                    base_seed: args.get_parsed("calib-seed", 1_000)?,
                     threads: config.threads,
                 },
                 temspc::MonitorConfig::default(),
             )?
         }
     };
+    let engine = FleetEngine::new(&monitor, config.clone());
+    run_fleet(engine, args, &config, None)
+}
 
-    let mut engine = FleetEngine::new(&monitor, config.clone());
+/// Shared tail of `temspc fleet`: checkpoint wiring, the run itself, the
+/// report, and the metrics exposition (fleet + store when present).
+fn run_fleet(
+    mut engine: temspc_fleet::FleetEngine<'_>,
+    args: &ParsedArgs,
+    config: &temspc_fleet::FleetConfig,
+    store: Option<&temspc_fleet::ModelStore>,
+) -> CmdResult {
     if let Some(path) = args.get("checkpoint") {
         if std::path::Path::new(path).exists() && !args.flag("resume") {
             return Err(format!(
@@ -423,8 +461,96 @@ pub fn fleet(args: &ParsedArgs) -> CmdResult {
     let report = engine.run()?;
     println!("\n{report}");
     if let Some(path) = args.get("metrics") {
-        std::fs::write(path, engine.metrics().expose())?;
+        let mut text = engine.metrics().expose();
+        if let Some(store) = store {
+            text.push_str(&store.metrics().expose());
+        }
+        std::fs::write(path, text)?;
         println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Builds a [`temspc_fleet::StoreConfig`] from the shared calibration
+/// flags, so `fleet --model-store` and `store <action>` agree on seeds.
+fn store_config_from_args(
+    args: &ParsedArgs,
+    dir: &str,
+) -> Result<temspc_fleet::StoreConfig, Box<dyn Error>> {
+    let calibration = CalibrationConfig {
+        runs: args.get_parsed("calib-runs", 4)?,
+        duration_hours: args.get_parsed("calib-hours", 2.0)?,
+        record_every: 10,
+        base_seed: args.get_parsed("calib-seed", 1_000)?,
+        threads: args.get_parsed("threads", 0)?,
+    };
+    let mut cfg = temspc_fleet::StoreConfig::new(dir, calibration);
+    cfg.capacity = args.get_parsed("store-capacity", cfg.capacity)?;
+    if cfg.capacity == 0 {
+        return Err("--store-capacity must be at least 1".into());
+    }
+    cfg.seed_stride = args.get_parsed("seed-stride", cfg.seed_stride)?;
+    Ok(cfg)
+}
+
+/// The keys a `temspc store` action operates on: an explicit `--key`, or
+/// the first `--cohorts` cohort keys.
+fn store_target_keys(args: &ParsedArgs) -> Result<Vec<temspc_fleet::PlantKey>, Box<dyn Error>> {
+    if let Some(key) = args.get("key") {
+        return Ok(vec![temspc_fleet::PlantKey::new(key)?]);
+    }
+    let cohorts: usize = args.get_parsed("cohorts", 0)?;
+    if cohorts == 0 {
+        return Err("pass --key <name> or --cohorts <n> to select store keys".into());
+    }
+    Ok((0..cohorts).map(temspc_fleet::PlantKey::cohort).collect())
+}
+
+/// `temspc store` — inspect and maintain a model store directory:
+/// `list` keys and generations, `calibrate` (re)build keys, `evict`
+/// delete persisted keys.
+pub fn store(args: &ParsedArgs) -> CmdResult {
+    use temspc_fleet::ModelStore;
+
+    let action = args.action().unwrap_or("list");
+    let dir = args.require("dir")?;
+    let store = ModelStore::new(store_config_from_args(args, dir)?);
+    match action {
+        "list" => {
+            let keys = store.keys_on_disk()?;
+            if keys.is_empty() {
+                println!("no stored models in {dir}/");
+                return Ok(());
+            }
+            println!("{:<24} generation", "key");
+            for (key, generation) in keys {
+                let state = generation.map_or_else(|| "invalid".to_string(), |g| g.to_string());
+                println!("{:<24} {state}", key.as_str());
+            }
+        }
+        "calibrate" => {
+            for key in store_target_keys(args)? {
+                let seed = store.config().calibration_for(&key).base_seed;
+                println!("calibrating {} (base seed {seed}) ...", key.as_str());
+                let resolved = store.recalibrate(&key)?;
+                println!("  stored at generation {}", resolved.generation);
+            }
+        }
+        "evict" => {
+            for key in store_target_keys(args)? {
+                if store.remove(&key)? {
+                    println!("removed {}", key.as_str());
+                } else {
+                    println!("no stored model for {}", key.as_str());
+                }
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown store action '{other}' (expected list, calibrate or evict)"
+            )
+            .into())
+        }
     }
     Ok(())
 }

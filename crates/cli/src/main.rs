@@ -7,8 +7,10 @@
 //! temspc capture   --out run.cap --scenario idv6 --hours 4 --onset 1 --seed 42
 //! temspc replay    --model model.tpb --capture run.cap [--net net.tpb]
 //! temspc fleet     --plants 8 --threads 4 --hours 2 --attack-fraction 0.25
+//!                  [--model-store models/ --cohorts 2]
 //!                  [--checkpoint fleet.tpb] [--metrics fleet.prom]
 //!                  [--record-captures dir | --replay dir]
+//! temspc store     list|calibrate|evict --dir models/ [--key cohort_0]
 //! temspc experiments --mode quick|paper --out results/
 //! temspc list
 //! ```
@@ -36,6 +38,7 @@ fn main() {
         Some("capture") => commands::capture(&parsed),
         Some("replay") => commands::replay(&parsed),
         Some("fleet") => commands::fleet(&parsed),
+        Some("store") => commands::store(&parsed),
         Some("experiments") => commands::experiments(&parsed),
         Some("list") => commands::list(),
         Some("help") | None => {

@@ -69,10 +69,10 @@ fn save<T: Serialize>(value: &T, path: &Path, magic: &[u8; 8]) -> Result<(), Per
     let mut bytes = Vec::with_capacity(1024);
     bytes.extend_from_slice(magic);
     bytes.extend_from_slice(&temspc_persist::to_bytes(value)?);
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
-    std::fs::write(path, bytes)?;
+    // Atomic temp-file + rename: a crash mid-save leaves the previous
+    // file (or nothing) behind, never a torn `.tpb`/`.cap` that would
+    // later fail as `Format` instead of simply not existing.
+    temspc_persist::write_atomic(path, &bytes)?;
     Ok(())
 }
 

@@ -16,6 +16,52 @@ use temspc_mspc::MspcError;
 
 use crate::pool::WorkerPool;
 
+/// Why a pooled calibration campaign failed.
+///
+/// Earlier versions collapsed every failed run into
+/// `MspcError::Numeric(LinalgError::Empty)`, destroying the actual
+/// cause; this variant pair keeps the underlying error intact so an
+/// operator sees *which* stage failed and why.
+#[derive(Debug)]
+pub enum CalibrateError {
+    /// A calibration run's closed loop failed; carries the original
+    /// [`RunError`] (fieldbus or model failure) unchanged.
+    Run(RunError),
+    /// The runs succeeded but fitting the dual-level model on the
+    /// stacked data failed.
+    Fit(MspcError),
+}
+
+impl std::fmt::Display for CalibrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibrateError::Run(e) => write!(f, "calibration run failed: {e}"),
+            CalibrateError::Fit(e) => write!(f, "calibration fit failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CalibrateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CalibrateError::Run(e) => Some(e),
+            CalibrateError::Fit(e) => Some(e),
+        }
+    }
+}
+
+impl From<RunError> for CalibrateError {
+    fn from(e: RunError) -> Self {
+        CalibrateError::Run(e)
+    }
+}
+
+impl From<MspcError> for CalibrateError {
+    fn from(e: MspcError) -> Self {
+        CalibrateError::Fit(e)
+    }
+}
+
 /// Worker count for a calibration campaign: the config's `threads`, or
 /// one per run (capped at 16) when 0.
 fn campaign_threads(config: &CalibrationConfig) -> usize {
@@ -48,14 +94,15 @@ pub fn collect_calibration_data_pooled(
 ///
 /// # Errors
 ///
-/// Returns [`MspcError`] if a run fails or the fit is degenerate.
+/// Returns [`CalibrateError::Run`] carrying the first failed run's
+/// [`RunError`] unchanged, or [`CalibrateError::Fit`] if the fit on the
+/// stacked data is degenerate.
 pub fn calibrate(
     calibration: &CalibrationConfig,
     config: MonitorConfig,
-) -> Result<DualMspc, MspcError> {
-    let (controller, process) = collect_calibration_data_pooled(calibration)
-        .map_err(|_| MspcError::Numeric(temspc_linalg::LinalgError::Empty))?;
-    DualMspc::from_data(&controller, &process, config)
+) -> Result<DualMspc, CalibrateError> {
+    let (controller, process) = collect_calibration_data_pooled(calibration)?;
+    DualMspc::from_data(&controller, &process, config).map_err(CalibrateError::Fit)
 }
 
 #[cfg(test)]
@@ -101,6 +148,46 @@ mod tests {
             sequential.controller_model().score(&obs).unwrap(),
             pooled.controller_model().score(&obs).unwrap()
         );
+    }
+
+    #[test]
+    fn run_error_text_survives_the_calibrate_error_chain() {
+        // A failed run used to be flattened into
+        // `MspcError::Numeric(LinalgError::Empty)`, erasing the cause.
+        // The wrapped error must keep the original message visible both
+        // in `Display` and through the `source()` chain.
+        let underlying = RunError::Model(MspcError::Numeric(
+            temspc_linalg::LinalgError::NoConvergence {
+                algorithm: "nipals",
+                iterations: 500,
+            },
+        ));
+        let original = underlying.to_string();
+        assert!(original.contains("nipals did not converge after 500 iterations"));
+        let wrapped: CalibrateError = underlying.into();
+        assert!(
+            wrapped.to_string().contains(&original),
+            "calibrate error '{wrapped}' lost the run error text '{original}'"
+        );
+        let source = std::error::Error::source(&wrapped).expect("source preserved");
+        assert_eq!(source.to_string(), original);
+    }
+
+    #[test]
+    fn degenerate_fit_reports_the_fit_stage() {
+        // Zero-length runs stack into empty matrices; the failure must
+        // surface as a `Fit` error carrying the numeric cause, not a
+        // generic placeholder.
+        let cfg = CalibrationConfig {
+            runs: 1,
+            duration_hours: 0.0,
+            record_every: 10,
+            base_seed: 1,
+            threads: 1,
+        };
+        let err = calibrate(&cfg, MonitorConfig::default()).unwrap_err();
+        assert!(matches!(err, CalibrateError::Fit(_)));
+        assert!(err.to_string().starts_with("calibration fit failed:"));
     }
 
     #[test]

@@ -87,12 +87,11 @@ pub fn save(checkpoint: &FleetCheckpoint, path: impl AsRef<Path>) -> Result<(), 
     let mut bytes = Vec::with_capacity(1024);
     bytes.extend_from_slice(MAGIC);
     bytes.extend_from_slice(&temspc_persist::to_bytes(checkpoint)?);
-    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-        std::fs::create_dir_all(parent)?;
-    }
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, bytes)?;
-    std::fs::rename(&tmp, path)?;
+    // The shared helper picks a unique sibling temp name (pid + counter),
+    // so two checkpoints sharing a file stem — or two concurrent
+    // campaigns in one directory — never clobber each other mid-save the
+    // way the old fixed `.tmp` extension did.
+    temspc_persist::write_atomic(path, &bytes)?;
     Ok(())
 }
 
@@ -164,6 +163,7 @@ mod tests {
                 false_alarms: 0,
                 verdict: Some(temspc::Verdict::Disturbance),
                 shutdown_hour: None,
+                model_generation: 1,
             }],
         }
     }

@@ -1,6 +1,11 @@
 //! The fleet engine: N independent plant+controller+fieldbus+MSPC
-//! closed loops scheduled over the worker pool, sharing one calibrated
-//! [`DualMspc`], streaming outcomes into an aggregate report.
+//! closed loops scheduled over the worker pool, streaming outcomes into
+//! an aggregate report.
+//!
+//! Plants resolve their monitor either from one shared calibrated
+//! [`DualMspc`] ([`FleetEngine::new`]) or per-cohort from a sharded
+//! [`ModelStore`] ([`FleetEngine::with_store`]) — a single-cohort store
+//! reproduces the shared-monitor fleet bit-for-bit.
 //!
 //! Every per-plant scenario is a pure function of the fleet
 //! configuration (`plant_scenario`), so the verdict set is identical for
@@ -17,6 +22,7 @@ use crate::checkpoint::{self, CheckpointError, FleetCheckpoint};
 use crate::metrics::{Counter, Histogram, MetricsRegistry};
 use crate::pool::WorkerPool;
 use crate::report::{FleetReport, PlantRecord};
+use crate::store::{ModelStore, PlantKey, ResolvedModel};
 use crate::supervisor::{supervise, SupervisionPolicy};
 
 /// Where each plant's traffic comes from.
@@ -59,6 +65,11 @@ pub struct FleetConfig {
     pub inject_panic_plants: Vec<u32>,
     /// Traffic source: live simulation or recorded capture replay.
     pub source: PlantSource,
+    /// Calibration cohorts when monitoring through a [`ModelStore`]:
+    /// plant `i` resolves the model of cohort `i % cohorts`. With 1 (the
+    /// default) every plant shares one cohort, matching the
+    /// shared-monitor engine; ignored by [`FleetEngine::new`].
+    pub cohorts: usize,
 }
 
 impl Default for FleetConfig {
@@ -74,6 +85,7 @@ impl Default for FleetConfig {
             checkpoint_every: 8,
             inject_panic_plants: Vec::new(),
             source: PlantSource::Live,
+            cohorts: 1,
         }
     }
 }
@@ -141,6 +153,13 @@ pub fn plant_scenario(config: &FleetConfig, plant: usize) -> Scenario {
 /// The capture file plant `i` reads (replay) or writes (recording).
 fn capture_path(dir: &str, plant: usize) -> PathBuf {
     Path::new(dir).join(format!("plant_{plant}.cap"))
+}
+
+/// The store key plant `i` resolves its model under: cohort
+/// `i % cohorts`. A pure function of the configuration, so the same
+/// plant always scores against the same calibration lineage.
+pub fn plant_key(config: &FleetConfig, plant: usize) -> PlantKey {
+    PlantKey::cohort(plant % config.cohorts.max(1))
 }
 
 /// Rejects a capture recorded under a different scenario than the one
@@ -316,23 +335,70 @@ impl FleetMetrics {
     }
 }
 
+/// Where plant monitors come from.
+enum Models<'a> {
+    /// One calibrated monitor shared by every plant.
+    Shared(&'a DualMspc),
+    /// Per-cohort monitors resolved through the sharded store.
+    Store(&'a ModelStore),
+}
+
+/// A plant's resolved monitor plus the generation that identifies it in
+/// checkpoints (0 = the shared monitor, which has no store lineage).
+enum ResolvedMonitor<'a> {
+    Shared(&'a DualMspc),
+    Stored(ResolvedModel),
+}
+
+impl ResolvedMonitor<'_> {
+    fn monitor(&self) -> &DualMspc {
+        match self {
+            ResolvedMonitor::Shared(m) => m,
+            ResolvedMonitor::Stored(r) => &r.model,
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        match self {
+            ResolvedMonitor::Shared(_) => 0,
+            ResolvedMonitor::Stored(r) => r.generation,
+        }
+    }
+}
+
 /// The concurrent multi-plant monitoring engine.
 ///
-/// Borrows one calibrated monitor and fans plant scenarios out over a
-/// [`WorkerPool`]; results stream back into an aggregate [`FleetReport`]
-/// and the engine's [`MetricsRegistry`].
+/// Resolves each plant's calibrated monitor (shared or per-cohort from a
+/// [`ModelStore`]) and fans plant scenarios out over a [`WorkerPool`];
+/// results stream back into an aggregate [`FleetReport`] and the
+/// engine's [`MetricsRegistry`].
 pub struct FleetEngine<'a> {
-    monitor: &'a DualMspc,
+    models: Models<'a>,
     config: FleetConfig,
     registry: MetricsRegistry,
     checkpoint_path: Option<PathBuf>,
 }
 
 impl<'a> FleetEngine<'a> {
-    /// An engine over a calibrated monitor.
+    /// An engine over one shared calibrated monitor.
     pub fn new(monitor: &'a DualMspc, config: FleetConfig) -> Self {
         FleetEngine {
-            monitor,
+            models: Models::Shared(monitor),
+            config,
+            registry: MetricsRegistry::new(),
+            checkpoint_path: None,
+        }
+    }
+
+    /// An engine resolving per-plant monitors through a sharded
+    /// [`ModelStore`]: plant `i` scores against cohort
+    /// `i % config.cohorts` (lazily calibrated on first use). With
+    /// `cohorts = 1` and a store whose calibration matches the shared
+    /// monitor's, the report reproduces [`FleetEngine::new`]
+    /// bit-for-bit.
+    pub fn with_store(store: &'a ModelStore, config: FleetConfig) -> Self {
+        FleetEngine {
+            models: Models::Store(store),
             config,
             registry: MetricsRegistry::new(),
             checkpoint_path: None,
@@ -358,22 +424,38 @@ impl<'a> FleetEngine<'a> {
         &self.registry
     }
 
+    /// Resolves the monitor plant `plant` scores against.
+    fn resolve_monitor(&self, plant: usize) -> Result<ResolvedMonitor<'a>, String> {
+        match &self.models {
+            Models::Shared(monitor) => Ok(ResolvedMonitor::Shared(monitor)),
+            Models::Store(store) => {
+                let key = plant_key(&self.config, plant);
+                store
+                    .get(&key)
+                    .map(ResolvedMonitor::Stored)
+                    .map_err(|e| format!("model store key '{key}': {e}"))
+            }
+        }
+    }
+
     /// Produces one plant's outcome from the configured source: a live
     /// closed-loop run, or a recorded capture scored offline. Both paths
     /// end in the same scoring code, so for a faithful capture the
     /// outcome is bit-identical either way.
-    fn execute_plant(&self, plant: usize, scenario: &Scenario) -> Result<ScenarioOutcome, String> {
+    fn execute_plant(
+        &self,
+        monitor: &DualMspc,
+        plant: usize,
+        scenario: &Scenario,
+    ) -> Result<ScenarioOutcome, String> {
         match &self.config.source {
-            PlantSource::Live => self
-                .monitor
-                .run_scenario(scenario)
-                .map_err(|e| e.to_string()),
+            PlantSource::Live => monitor.run_scenario(scenario).map_err(|e| e.to_string()),
             PlantSource::Replay(dir) => {
                 let path = capture_path(dir, plant);
                 let capture = temspc::persistence::load_capture(&path)
                     .map_err(|e| format!("{}: {e}", path.display()))?;
                 validate_capture(plant, &capture.scenario, scenario)?;
-                self.monitor
+                monitor
                     .score_capture(&capture)
                     .map_err(|e| format!("{}: {e}", path.display()))
             }
@@ -394,27 +476,28 @@ impl<'a> FleetEngine<'a> {
                     panic!("chaos: injected panic for plant {plant}");
                 }
             }
-            self.execute_plant(plant, &scenario)
+            let resolved = self.resolve_monitor(plant)?;
+            let outcome = self.execute_plant(resolved.monitor(), plant, &scenario)?;
+            let verdict = diagnose(resolved.monitor(), &outcome, VerdictThresholds::default())
+                .map(|d| d.verdict);
+            Ok::<_, String>((outcome, verdict, resolved.generation()))
         });
         let restarts = supervised.restarts;
         let fault = supervised.panics.last().cloned();
         match supervised.result {
-            Some(Ok(outcome)) => {
-                let verdict = diagnose(self.monitor, &outcome, VerdictThresholds::default())
-                    .map(|d| d.verdict);
-                PlantRecord {
-                    plant: plant as u32,
-                    kind: scenario.kind,
-                    seed: scenario.seed,
-                    completed: true,
-                    restarts,
-                    fault,
-                    detection_latency_hours: outcome.detection.run_length(scenario.onset_hour),
-                    false_alarms: outcome.false_alarms as u32,
-                    verdict,
-                    shutdown_hour: outcome.run.shutdown.map(|(_, hour)| hour),
-                }
-            }
+            Some(Ok((outcome, verdict, model_generation))) => PlantRecord {
+                plant: plant as u32,
+                kind: scenario.kind,
+                seed: scenario.seed,
+                completed: true,
+                restarts,
+                fault,
+                detection_latency_hours: outcome.detection.run_length(scenario.onset_hour),
+                false_alarms: outcome.false_alarms as u32,
+                verdict,
+                shutdown_hour: outcome.run.shutdown.map(|(_, hour)| hour),
+                model_generation,
+            },
             Some(Err(message)) => PlantRecord {
                 plant: plant as u32,
                 kind: scenario.kind,
@@ -426,6 +509,7 @@ impl<'a> FleetEngine<'a> {
                 false_alarms: 0,
                 verdict: None,
                 shutdown_hour: None,
+                model_generation: 0,
             },
             None => PlantRecord {
                 plant: plant as u32,
@@ -438,6 +522,7 @@ impl<'a> FleetEngine<'a> {
                 false_alarms: 0,
                 verdict: None,
                 shutdown_hour: None,
+                model_generation: 0,
             },
         }
     }
@@ -459,6 +544,21 @@ impl<'a> FleetEngine<'a> {
             None => Vec::new(),
         };
         records.retain(|r| (r.plant as usize) < self.config.plants);
+        if let Models::Store(store) = &self.models {
+            // Resume consistency: only keep records scored by the model
+            // generation the store currently serves for their cohort.
+            // Records from an older generation (the key was re-calibrated
+            // since the checkpoint) and failed records (generation 0)
+            // re-run against the current model instead of mixing
+            // calibrations inside one report.
+            records.retain(|r| {
+                let key = plant_key(&self.config, r.plant as usize);
+                matches!(
+                    store.generation_on_disk(&key),
+                    Ok(Some(gen)) if gen == r.model_generation
+                )
+            });
+        }
         let done: std::collections::BTreeSet<u32> = records.iter().map(|r| r.plant).collect();
         let pending: Vec<usize> = (0..self.config.plants)
             .filter(|i| !done.contains(&(*i as u32)))

@@ -23,7 +23,10 @@
 //!   resume;
 //! * [`report`] — per-plant records and the aggregate fleet report;
 //! * [`calibrate`] — the pooled calibration campaign, byte-identical to
-//!   the sequential one in `temspc`.
+//!   the sequential one in `temspc`;
+//! * [`store`] — the sharded per-plant calibration store: keyed TPB
+//!   persistence, bounded LRU residency, hot reload, and deterministic
+//!   calibrate-on-miss.
 //!
 //! ```no_run
 //! use temspc::{CalibrationConfig, DualMspc};
@@ -47,17 +50,19 @@ pub mod engine;
 pub mod metrics;
 pub mod pool;
 pub mod report;
+pub mod store;
 pub mod supervisor;
 
-pub use calibrate::{calibrate, collect_calibration_data_pooled};
+pub use calibrate::{calibrate, collect_calibration_data_pooled, CalibrateError};
 pub use checkpoint::{CheckpointError, FleetCheckpoint};
 pub use engine::{
-    plant_scenario, plant_seed, record_fleet_captures, FleetConfig, FleetEngine, FleetError,
-    PlantSource,
+    plant_key, plant_scenario, plant_seed, record_fleet_captures, FleetConfig, FleetEngine,
+    FleetError, PlantSource,
 };
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use pool::WorkerPool;
 pub use report::{FleetReport, Outcome, PlantRecord, Truth};
+pub use store::{ModelStore, PlantKey, ResolvedModel, StoreConfig, StoreError};
 pub use supervisor::{supervise, Supervised, SupervisionPolicy};
 
 /// Compile-time assertion that `T` can be shared across the pool's
@@ -81,4 +86,6 @@ const _: () = {
     assert_send_sync::<FleetCheckpoint>();
     assert_send_sync::<MetricsRegistry>();
     assert_send_sync::<WorkerPool>();
+    assert_send_sync::<ModelStore>();
+    assert_send_sync::<PlantKey>();
 };

@@ -29,6 +29,11 @@ pub struct PlantRecord {
     pub verdict: Option<Verdict>,
     /// Hour at which a safety interlock shut the plant down, if one did.
     pub shutdown_hour: Option<f64>,
+    /// Generation of the model-store entry that scored this plant
+    /// (0 = the engine's shared monitor, which has no store lineage).
+    /// Checkpoint resume compares this against the store's current
+    /// generation so one report never mixes calibrations.
+    pub model_generation: u64,
 }
 
 impl PlantRecord {
@@ -236,6 +241,7 @@ mod tests {
             false_alarms: 0,
             verdict,
             shutdown_hour: None,
+            model_generation: 0,
         }
     }
 

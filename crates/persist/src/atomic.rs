@@ -1,0 +1,127 @@
+//! Atomic file writes for TPB artifacts.
+//!
+//! Every persisted TPB file in the workspace — calibrated monitors,
+//! scenario captures, fleet checkpoints, model-store entries — must be
+//! written through [`write_atomic`]. A plain `std::fs::write` can be
+//! interrupted mid-write (crash, kill, full disk), leaving a torn file
+//! that later fails to decode as a `Format` error instead of simply not
+//! existing; writing to a unique sibling temp file and renaming it over
+//! the destination makes the file appear all-or-nothing.
+//!
+//! The temp name embeds the process id and a process-wide counter, so
+//! two concurrent saves targeting the same destination — or two files
+//! sharing a stem in one directory — never clobber each other's temp
+//! file mid-save (the old `path.with_extension("tmp")` scheme did).
+
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide discriminator for temp names; combined with the pid it
+/// makes every temp path unique even across concurrent writers.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The unique sibling temp path for a write targeting `path`.
+fn temp_sibling(path: &Path) -> PathBuf {
+    let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let pid = std::process::id();
+    let name = path
+        .file_name()
+        .map_or_else(|| "tpb".to_string(), |n| n.to_string_lossy().into_owned());
+    path.with_file_name(format!(".{name}.{pid}.{seq}.tmp"))
+}
+
+/// Writes `bytes` to `path` atomically: the bytes land in a unique
+/// sibling temp file (same directory, so the final rename never crosses
+/// a filesystem), are flushed to disk, and the temp file is renamed over
+/// `path`. Readers observe either the previous file or the complete new
+/// one — never a torn prefix. Missing parent directories are created.
+///
+/// # Errors
+///
+/// Returns the underlying [`io::Error`]; on failure the temp file is
+/// removed and `path` is left as it was.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)?;
+    }
+    let tmp = temp_sibling(path);
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        // Flush file contents before the rename publishes them; without
+        // this a power loss could rename an empty inode into place.
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(test: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("temspc_persist_atomic_{test}"))
+    }
+
+    #[test]
+    fn writes_and_replaces_content() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("nested").join("file.tpb");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer payload").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer payload");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leaves_no_temp_files_behind() {
+        let dir = tmp_dir("clean");
+        let path = dir.join("file.tpb");
+        write_atomic(&path, b"payload").unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["file.tpb".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_to_shared_stems_never_collide() {
+        let dir = tmp_dir("concurrent");
+        // Two destinations sharing the file stem, hammered from several
+        // threads: under the old `with_extension("tmp")` scheme their
+        // temp files collided; unique siblings keep every write intact.
+        let a = dir.join("campaign.tpb");
+        let b = dir.join("campaign.cap");
+        std::thread::scope(|s| {
+            for round in 0..4u8 {
+                for path in [&a, &b] {
+                    s.spawn(move || {
+                        let payload = vec![round; 4096];
+                        write_atomic(path, &payload).unwrap();
+                    });
+                }
+            }
+        });
+        for path in [&a, &b] {
+            let bytes = std::fs::read(path).unwrap();
+            assert_eq!(bytes.len(), 4096);
+            // Whole-file consistency: all bytes from one writer.
+            assert!(bytes.iter().all(|x| *x == bytes[0]));
+        }
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names.len(), 2, "stray temp files left behind: {names:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -37,10 +37,12 @@
 
 #![warn(missing_docs)]
 
+mod atomic;
 mod de;
 mod error;
 mod ser;
 
+pub use atomic::write_atomic;
 pub use de::{from_bytes, Deserializer};
 pub use error::PersistError;
 pub use ser::{to_bytes, Serializer};

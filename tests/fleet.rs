@@ -27,6 +27,7 @@ fn fleet_config(threads: usize) -> FleetConfig {
         checkpoint_every: 0,
         inject_panic_plants: Vec::new(),
         source: PlantSource::Live,
+        cohorts: 1,
     }
 }
 

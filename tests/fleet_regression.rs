@@ -38,6 +38,7 @@ fn config() -> FleetConfig {
         checkpoint_every: 0,
         inject_panic_plants: Vec::new(),
         source: PlantSource::Live,
+        cohorts: 1,
     }
 }
 
@@ -90,4 +91,35 @@ fn fleet_report_matches_pre_kernel_golden() {
         got, GOLDEN,
         "fleet report diverged from the pre-kernel scalar baseline"
     );
+}
+
+/// A single-key model store must reproduce the shared-monitor fleet
+/// bit-for-bit: cohort 0's calibrate-on-miss seed offset is zero, so the
+/// store calibrates the exact same campaign as [`monitor`] and every
+/// scoring-dependent field matches the golden digest.
+#[test]
+fn single_key_store_reproduces_shared_monitor_golden() {
+    use temspc_fleet::{ModelStore, StoreConfig};
+
+    let dir = std::env::temp_dir().join("temspc_fleet_regression_store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ModelStore::new(StoreConfig::new(
+        &dir,
+        CalibrationConfig {
+            runs: 2,
+            duration_hours: 0.5,
+            record_every: 10,
+            base_seed: 100,
+            threads: 0,
+        },
+    ));
+    let report = FleetEngine::with_store(&store, config()).run().unwrap();
+    assert_eq!(
+        digest(&report),
+        GOLDEN,
+        "single-key store fleet diverged from the shared-monitor baseline"
+    );
+    // Every plant was scored by the generation-1 stored model.
+    assert!(report.records.iter().all(|r| r.model_generation == 1));
+    let _ = std::fs::remove_dir_all(&dir);
 }
