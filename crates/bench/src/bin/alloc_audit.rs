@@ -1,0 +1,124 @@
+//! `alloc_audit` — counts heap allocations in the closed-loop hot path.
+//!
+//! Installs a counting `#[global_allocator]` and runs the same scenario
+//! at two durations, twice each (the first run of each pair warms the
+//! per-thread scratches; only the second is counted). The difference
+//! between the two warm counts, divided by the extra simulated time,
+//! is the **marginal allocations per simulated hour** — the number the
+//! steady-state closed loop actually pays per step, with per-run setup
+//! (plant construction, recording-matrix pre-sizing, `RunData`
+//! assembly) cancelled out.
+//!
+//! ```text
+//! cargo run --release -p temspc-bench --bin alloc_audit
+//! cargo run --release -p temspc-bench --bin alloc_audit -- --monitored
+//! ```
+//!
+//! At 2000 samples per simulated hour, a per-hour marginal of 0 means
+//! the per-step loop performs zero steady-state heap allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use temspc::{CalibrationConfig, ClosedLoopRunner, DualMspc, Scenario, ScenarioKind};
+use temspc_tesim::SAMPLES_PER_HOUR;
+
+/// System allocator wrapper counting every alloc/realloc call.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to the system allocator; the counter has no
+// effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn count_allocations(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+fn scenario(hours: f64) -> Scenario {
+    Scenario::short(ScenarioKind::Normal, hours, hours * 0.5, 11)
+}
+
+/// Warm run + counted run of the raw closed loop at `hours`.
+fn raw_loop_allocs(hours: f64) -> u64 {
+    ClosedLoopRunner::new(&scenario(hours))
+        .run(50, |_| {})
+        .expect("audit run");
+    count_allocations(|| {
+        ClosedLoopRunner::new(&scenario(hours))
+            .run(50, |_| {})
+            .expect("audit run");
+    })
+}
+
+/// Warm run + counted run of the fully monitored loop (closed loop +
+/// dual-level MSPC scoring) at `hours`.
+fn monitored_loop_allocs(monitor: &DualMspc, hours: f64) -> u64 {
+    monitor.run_scenario(&scenario(hours)).expect("audit run");
+    count_allocations(|| {
+        monitor.run_scenario(&scenario(hours)).expect("audit run");
+    })
+}
+
+fn report(path_name: &str, short_hours: f64, long_hours: f64, short: u64, long: u64) {
+    let extra_hours = long_hours - short_hours;
+    let marginal = long.saturating_sub(short);
+    let per_hour = marginal as f64 / extra_hours;
+    let per_step = per_hour / SAMPLES_PER_HOUR as f64;
+    println!("{path_name}:");
+    println!("  warm run @ {short_hours} h: {short} allocations");
+    println!("  warm run @ {long_hours} h: {long} allocations");
+    println!(
+        "  marginal: {marginal} allocations / {extra_hours} extra simulated h \
+         = {per_hour:.1} allocs/sim-hour ({per_step:.4} per step)"
+    );
+}
+
+fn main() {
+    let monitored = std::env::args().any(|a| a == "--monitored");
+    let (short_hours, long_hours) = (0.25, 0.75);
+
+    let short = raw_loop_allocs(short_hours);
+    let long = raw_loop_allocs(long_hours);
+    report("closed loop (raw)", short_hours, long_hours, short, long);
+
+    if monitored {
+        let monitor = DualMspc::calibrate(&CalibrationConfig {
+            runs: 2,
+            duration_hours: 0.5,
+            record_every: 10,
+            base_seed: 100,
+            threads: 1,
+        })
+        .expect("audit calibration");
+        let short = monitored_loop_allocs(&monitor, short_hours);
+        let long = monitored_loop_allocs(&monitor, long_hours);
+        report(
+            "closed loop + dual MSPC scoring",
+            short_hours,
+            long_hours,
+            short,
+            long,
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! `bench_fleet` — the threads × plants parallel-efficiency sweep,
+//! folded into `BENCH_fleet.json`.
+//!
+//! Two modes:
+//!
+//! - **Sweep** (default): time every (threads, plants) cell with a
+//!   persistent engine, print the speedup/efficiency table, and fold the
+//!   medians into the trajectory file. The run label carries the
+//!   machine's `available_parallelism` (e.g. `post-PR5@ap4`) so the
+//!   committed trajectory stays interpretable across machines; bench ids
+//!   (`fleet_sweep/plants{P}_threads{T}`) carry only cell coordinates.
+//! - **Smoke** (`--smoke`): the CI scaling gate — 2 threads vs 1 thread
+//!   at one fleet size, asserting speedup ≥ a tolerant threshold
+//!   (default 1.3×). When `available_parallelism < 2` the check cannot
+//!   mean anything, so it skips with a logged notice and exits 0.
+//!
+//! ```text
+//! cargo run --release -p temspc-bench --bin bench_fleet -- --label post-PR5
+//! cargo run --release -p temspc-bench --bin bench_fleet -- --smoke
+//! ```
+
+use std::process::ExitCode;
+
+use temspc_bench::sweep::{run_sweep, SweepConfig};
+use temspc_bench::trajectory::{fold_into_trajectory, Run};
+
+fn usage() -> String {
+    "usage: bench_fleet [--plants 4,8,16] [--threads 1,2,4] [--hours 0.25] [--samples 3] \
+     [--label <label>] [--trajectory BENCH_fleet.json] [--dry-run]\n\
+     \x20      bench_fleet --smoke [--smoke-plants 8] [--min-speedup 1.3] [--hours 0.25] \
+     [--samples 3]"
+        .to_owned()
+}
+
+fn parse_list(text: &str) -> Result<Vec<usize>, String> {
+    text.split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad list element {p:?} (expected e.g. 1,2,4)"))
+        })
+        .collect()
+}
+
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn run_main() -> Result<(), String> {
+    let mut config = SweepConfig::default();
+    let mut label: Option<String> = None;
+    let mut trajectory_path = "BENCH_fleet.json".to_owned();
+    let mut dry_run = false;
+    let mut smoke = false;
+    let mut smoke_plants = 8usize;
+    let mut min_speedup = 1.3f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut next = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--plants" => config.plants = parse_list(&next("--plants")?)?,
+            "--threads" => config.threads = parse_list(&next("--threads")?)?,
+            "--hours" => {
+                config.hours = next("--hours")?
+                    .parse()
+                    .map_err(|_| "bad --hours".to_owned())?;
+            }
+            "--samples" => {
+                config.samples = next("--samples")?
+                    .parse()
+                    .map_err(|_| "bad --samples".to_owned())?;
+            }
+            "--label" => label = Some(next("--label")?),
+            "--trajectory" => trajectory_path = next("--trajectory")?,
+            "--dry-run" => dry_run = true,
+            "--smoke" => smoke = true,
+            "--smoke-plants" => {
+                smoke_plants = next("--smoke-plants")?
+                    .parse()
+                    .map_err(|_| "bad --smoke-plants".to_owned())?;
+            }
+            "--min-speedup" => {
+                min_speedup = next("--min-speedup")?
+                    .parse()
+                    .map_err(|_| "bad --min-speedup".to_owned())?;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+
+    if smoke {
+        return run_smoke(&config, smoke_plants, min_speedup);
+    }
+
+    let ap = available_parallelism();
+    let report = run_sweep(&config);
+    print!("{}", report.table());
+    let label = label.unwrap_or_else(|| format!("sweep@ap{ap}"));
+    // Machine context goes into the label, not the ids.
+    let label = if label.contains("@ap") {
+        label
+    } else {
+        format!("{label}@ap{ap}")
+    };
+    fold_into_trajectory(
+        &trajectory_path,
+        Run {
+            label,
+            results: report.to_results(),
+        },
+        dry_run,
+    )
+}
+
+/// The CI scaling gate: 2 threads must beat 1 thread by `min_speedup` at
+/// `plants` plants — unless the runner has only one core, in which case
+/// the comparison is meaningless and is skipped loudly.
+fn run_smoke(config: &SweepConfig, plants: usize, min_speedup: f64) -> Result<(), String> {
+    let ap = available_parallelism();
+    if ap < 2 {
+        println!(
+            "bench_fleet --smoke: SKIPPED — available_parallelism={ap} < 2; \
+             a 2-thread vs 1-thread comparison cannot show scaling on this runner"
+        );
+        return Ok(());
+    }
+    let report = run_sweep(&SweepConfig {
+        plants: vec![plants],
+        threads: vec![1, 2],
+        ..config.clone()
+    });
+    print!("{}", report.table());
+    let cell = report
+        .cell(2, plants)
+        .ok_or_else(|| "smoke sweep produced no 2-thread cell".to_owned())?;
+    if cell.speedup >= min_speedup {
+        println!(
+            "bench_fleet --smoke: OK — 2-thread speedup {:.2}x >= {min_speedup:.2}x at \
+             {plants} plants (available_parallelism={ap})",
+            cell.speedup
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "scaling regression: 2-thread speedup {:.2}x < {min_speedup:.2}x at {plants} \
+             plants (available_parallelism={ap})",
+            cell.speedup
+        ))
+    }
+}
+
+fn main() -> ExitCode {
+    match run_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_fleet: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

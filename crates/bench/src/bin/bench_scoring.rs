@@ -11,17 +11,7 @@
 //! trajectory file (default `BENCH_scoring.json`), and prints a
 //! comparison of the new run against the previous and first runs. The
 //! trajectory is the repo's committed record of how the scoring hot path
-//! performs over time:
-//!
-//! ```text
-//! {
-//!   "schema": "temspc-bench/1",
-//!   "runs": [
-//!     { "label": "pre-PR2-baseline", "results": { "<id>": <median_ns>, ... } },
-//!     { "label": "post-PR2",         "results": { ... } }
-//!   ]
-//! }
-//! ```
+//! performs over time (see [`temspc_bench::trajectory`] for the format).
 //!
 //! Usage:
 //!
@@ -30,140 +20,10 @@
 //! cargo run -p temspc-bench --bin bench_scoring -- \
 //!     --ndjson /tmp/run.ndjson --label post-PR2 --trajectory BENCH_scoring.json
 //! ```
-//!
-//! Both formats are produced only by this workspace, so parsing is a
-//! deliberately small line scanner rather than a general JSON parser
-//! (the build environment has no registry access for serde_json).
 
-use std::fmt::Write as _;
 use std::process::ExitCode;
 
-/// One labelled bench run: ordered `(bench id, median ns)` pairs.
-#[derive(Debug, Clone, Default)]
-struct Run {
-    label: String,
-    results: Vec<(String, f64)>,
-}
-
-impl Run {
-    fn get(&self, id: &str) -> Option<f64> {
-        self.results.iter().find(|(k, _)| k == id).map(|(_, v)| *v)
-    }
-}
-
-/// Parses NDJSON records of the form `{"id":"...","median_ns":N}`.
-fn parse_ndjson(text: &str) -> Result<Vec<(String, f64)>, String> {
-    let mut out = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        let id = extract_string_field(line, "id")
-            .ok_or_else(|| format!("line {}: no \"id\" field: {line}", lineno + 1))?;
-        let ns = extract_number_field(line, "median_ns")
-            .ok_or_else(|| format!("line {}: no \"median_ns\" field: {line}", lineno + 1))?;
-        // Last record for an id wins (re-running a bench overwrites).
-        if let Some(slot) = out.iter_mut().find(|(k, _): &&mut (String, f64)| *k == id) {
-            slot.1 = ns;
-        } else {
-            out.push((id, ns));
-        }
-    }
-    Ok(out)
-}
-
-/// Extracts `"key":"value"` from a single-line JSON record.
-fn extract_string_field(line: &str, key: &str) -> Option<String> {
-    let marker = format!("\"{key}\":");
-    let start = line.find(&marker)? + marker.len();
-    let rest = line[start..].trim_start();
-    let rest = rest.strip_prefix('"')?;
-    Some(rest[..rest.find('"')?].to_owned())
-}
-
-/// Extracts `"key":number` from a single-line JSON record.
-fn extract_number_field(line: &str, key: &str) -> Option<f64> {
-    let marker = format!("\"{key}\":");
-    let start = line.find(&marker)? + marker.len();
-    let digits: String = line[start..]
-        .trim_start()
-        .chars()
-        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
-        .collect();
-    digits.parse().ok()
-}
-
-/// Parses a trajectory file previously written by [`write_trajectory`].
-fn parse_trajectory(text: &str) -> Vec<Run> {
-    let mut runs: Vec<Run> = Vec::new();
-    for raw in text.lines() {
-        let line = raw.trim().trim_end_matches(',');
-        if let Some(label) = extract_string_field(line, "label") {
-            runs.push(Run {
-                label,
-                results: Vec::new(),
-            });
-            continue;
-        }
-        // A result line is `"<id>": <number>` — structural keys have
-        // string/object/array values and fail the number parse.
-        if let (Some(rest), Some(run)) = (line.strip_prefix('"'), runs.last_mut()) {
-            if let Some(q) = rest.find('"') {
-                let key = &rest[..q];
-                if key != "schema" {
-                    if let Some(v) = extract_number_field(line, key) {
-                        run.results.push((key.to_owned(), v));
-                    }
-                }
-            }
-        }
-    }
-    runs
-}
-
-/// Serializes the trajectory in the fixed line-oriented layout
-/// [`parse_trajectory`] reads back.
-fn write_trajectory(runs: &[Run]) -> String {
-    let mut s = String::from("{\n  \"schema\": \"temspc-bench/1\",\n  \"runs\": [\n");
-    for (ri, run) in runs.iter().enumerate() {
-        s.push_str("    {\n");
-        let _ = writeln!(s, "      \"label\": \"{}\",", run.label);
-        s.push_str("      \"results\": {\n");
-        for (i, (id, ns)) in run.results.iter().enumerate() {
-            let comma = if i + 1 < run.results.len() { "," } else { "" };
-            if ns.fract() == 0.0 {
-                let _ = writeln!(s, "        \"{id}\": {}{comma}", *ns as u64);
-            } else {
-                let _ = writeln!(s, "        \"{id}\": {ns}{comma}");
-            }
-        }
-        s.push_str("      }\n");
-        let comma = if ri + 1 < runs.len() { "," } else { "" };
-        let _ = writeln!(s, "    }}{comma}");
-    }
-    s.push_str("  ]\n}\n");
-    s
-}
-
-/// Prints a per-bench comparison of `new` against `old`.
-fn print_comparison(old: &Run, new: &Run) {
-    println!("\n{} vs {}:", new.label, old.label);
-    println!(
-        "  {:<44} {:>14} {:>14} {:>9}",
-        "bench", "old ns", "new ns", "speedup"
-    );
-    for (id, new_ns) in &new.results {
-        if let Some(old_ns) = old.get(id) {
-            let speedup = if *new_ns > 0.0 {
-                old_ns / new_ns
-            } else {
-                f64::NAN
-            };
-            println!("  {id:<44} {old_ns:>14.0} {new_ns:>14.0} {speedup:>8.2}x");
-        }
-    }
-}
+use temspc_bench::trajectory::{fold_into_trajectory, parse_ndjson, Run};
 
 fn usage() -> String {
     "usage: bench_scoring --ndjson <path>... --label <label> \
@@ -213,36 +73,7 @@ fn run_main() -> Result<(), String> {
     if results.is_empty() {
         return Err("no measurements found in the NDJSON input".to_owned());
     }
-    let new_run = Run { label, results };
-
-    let mut runs = match std::fs::read_to_string(&trajectory_path) {
-        Ok(text) => parse_trajectory(&text),
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
-        Err(e) => return Err(format!("cannot read {trajectory_path}: {e}")),
-    };
-    // Re-running under an existing label replaces that run.
-    runs.retain(|r| r.label != new_run.label);
-    runs.push(new_run);
-
-    if let [.., prev, newest] = &runs[..] {
-        print_comparison(prev, newest);
-        if runs.len() > 2 {
-            print_comparison(&runs[0], newest);
-        }
-    }
-
-    if dry_run {
-        println!("\n--dry-run: not writing {trajectory_path}");
-    } else {
-        std::fs::write(&trajectory_path, write_trajectory(&runs))
-            .map_err(|e| format!("cannot write {trajectory_path}: {e}"))?;
-        println!(
-            "\nwrote {trajectory_path} ({} run{})",
-            runs.len(),
-            if runs.len() == 1 { "" } else { "s" }
-        );
-    }
-    Ok(())
+    fold_into_trajectory(&trajectory_path, Run { label, results }, dry_run)
 }
 
 fn main() -> ExitCode {
@@ -252,40 +83,5 @@ fn main() -> ExitCode {
             eprintln!("bench_scoring: {e}");
             ExitCode::FAILURE
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn ndjson_roundtrip_and_last_record_wins() {
-        let text = "{\"id\":\"g/a\",\"median_ns\":100}\n{\"id\":\"g/b\",\"median_ns\":200}\n\
-                    {\"id\":\"g/a\",\"median_ns\":150}\n";
-        let r = parse_ndjson(text).unwrap();
-        assert_eq!(r, vec![("g/a".into(), 150.0), ("g/b".into(), 200.0)]);
-    }
-
-    #[test]
-    fn trajectory_roundtrip() {
-        let runs = vec![
-            Run {
-                label: "baseline".into(),
-                results: vec![("micro_mspc/x".into(), 1270245.0), ("g/y".into(), 7.0)],
-            },
-            Run {
-                label: "post".into(),
-                results: vec![("micro_mspc/x".into(), 600000.0)],
-            },
-        ];
-        let text = write_trajectory(&runs);
-        let parsed = parse_trajectory(&text);
-        assert_eq!(parsed.len(), 2);
-        assert_eq!(parsed[0].label, "baseline");
-        assert_eq!(parsed[0].results, runs[0].results);
-        assert_eq!(parsed[1].results, runs[1].results);
-        // Idempotent: serialize(parse(text)) == text.
-        assert_eq!(write_trajectory(&parsed), text);
     }
 }

@@ -5,6 +5,9 @@
 //! `examples/paper_experiments.rs`); the `micro_*` benches time the hot
 //! kernels (plant step, control scan, MSPC scoring, oMEDA, frame codec).
 
+pub mod sweep;
+pub mod trajectory;
+
 use temspc::experiments::ExperimentContext;
 use temspc::{CalibrationConfig, DualMspc, MonitorConfig};
 

@@ -1,0 +1,281 @@
+//! Parallel-efficiency sweep: wall-clock of a fleet campaign over a
+//! threads × plants grid, with per-cell speedup and efficiency against
+//! the 1-thread column.
+//!
+//! Each cell builds its [`FleetEngine`] (and therefore its persistent
+//! worker pool) **once**, runs one untimed warm-up campaign to spawn the
+//! workers and warm their `thread_local!` scratches, and then times
+//! `samples` further campaigns, taking the median. This measures the
+//! steady-state regime a long-lived monitoring service runs in — not the
+//! thread-spawn cost the old per-run pool paid on every campaign.
+//!
+//! Results feed `BENCH_fleet.json` through [`crate::trajectory`]; bench
+//! ids are machine-independent (`fleet_sweep/plants{P}_threads{T}`)
+//! while the machine's `available_parallelism` goes into the run label,
+//! so trajectories recorded on differently-sized machines remain
+//! interpretable.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use temspc::{CalibrationConfig, DualMspc};
+use temspc_fleet::{FleetConfig, FleetEngine};
+
+/// Configuration of one threads × plants sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Fleet sizes to sweep (the grid's columns).
+    pub plants: Vec<usize>,
+    /// Thread counts to sweep (the grid's rows); include 1 to anchor the
+    /// speedup baseline.
+    pub threads: Vec<usize>,
+    /// Simulated hours per plant per campaign.
+    pub hours: f64,
+    /// Timed campaigns per cell (median taken); one extra untimed
+    /// campaign warms the pool first.
+    pub samples: usize,
+    /// Fleet seed (the sweep is deterministic in everything but time).
+    pub fleet_seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            plants: vec![4, 8, 16],
+            threads: vec![1, 2, 4],
+            hours: 0.25,
+            samples: 3,
+            fleet_seed: 7,
+        }
+    }
+}
+
+/// One timed cell of the sweep grid.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepCell {
+    /// Fleet size of this cell.
+    pub plants: usize,
+    /// Worker threads of this cell.
+    pub threads: usize,
+    /// Median wall-clock of one campaign, nanoseconds.
+    pub median_ns: u64,
+    /// `t(1 thread, same plants) / t(this cell)`; 1.0 when no 1-thread
+    /// baseline was swept.
+    pub speedup: f64,
+    /// `speedup / threads` — 1.0 is perfect linear scaling.
+    pub efficiency: f64,
+}
+
+/// The sweep's outcome: every cell plus the machine context needed to
+/// interpret it.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// `std::thread::available_parallelism()` at sweep time — speedups
+    /// beyond this core count are not physically possible.
+    pub available_parallelism: usize,
+    /// All timed cells, in (threads, plants) sweep order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepReport {
+    /// The cell for `(threads, plants)`, if swept.
+    pub fn cell(&self, threads: usize, plants: usize) -> Option<&SweepCell> {
+        self.cells
+            .iter()
+            .find(|c| c.threads == threads && c.plants == plants)
+    }
+
+    /// Trajectory results: `fleet_sweep/plants{P}_threads{T}` → median
+    /// ns. Ids carry only the cell coordinates; machine context belongs
+    /// in the run label.
+    pub fn to_results(&self) -> Vec<(String, f64)> {
+        self.cells
+            .iter()
+            .map(|c| {
+                (
+                    format!("fleet_sweep/plants{}_threads{}", c.plants, c.threads),
+                    c.median_ns as f64,
+                )
+            })
+            .collect()
+    }
+
+    /// A human-readable efficiency table (speedup×/efficiency per cell).
+    pub fn table(&self) -> String {
+        let mut plants: Vec<usize> = self.cells.iter().map(|c| c.plants).collect();
+        plants.sort_unstable();
+        plants.dedup();
+        let mut threads: Vec<usize> = self.cells.iter().map(|c| c.threads).collect();
+        threads.sort_unstable();
+        threads.dedup();
+
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "threads \\ plants (median ms | speedup | efficiency), available_parallelism={}",
+            self.available_parallelism
+        );
+        let _ = write!(s, "{:>8}", "");
+        for &p in &plants {
+            let _ = write!(s, " {:>22}", format!("{p} plants"));
+        }
+        s.push('\n');
+        for &t in &threads {
+            let _ = write!(s, "{t:>8}");
+            for &p in &plants {
+                match self.cell(t, p) {
+                    Some(c) => {
+                        let _ = write!(
+                            s,
+                            " {:>22}",
+                            format!(
+                                "{:.1} | {:.2}x | {:.0}%",
+                                c.median_ns as f64 / 1e6,
+                                c.speedup,
+                                c.efficiency * 100.0
+                            )
+                        );
+                    }
+                    None => {
+                        let _ = write!(s, " {:>22}", "-");
+                    }
+                }
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// The monitor every sweep campaign scores against (reduced-scale, same
+/// settings as the `micro_fleet` bench).
+fn sweep_monitor() -> DualMspc {
+    DualMspc::calibrate(&CalibrationConfig {
+        runs: 2,
+        duration_hours: 0.5,
+        record_every: 10,
+        base_seed: 100,
+        threads: 0,
+    })
+    .expect("sweep calibration")
+}
+
+fn fleet_config(config: &SweepConfig, plants: usize, threads: usize) -> FleetConfig {
+    FleetConfig {
+        plants,
+        threads,
+        hours: config.hours,
+        onset_hour: 0.05,
+        attack_fraction: 0.25,
+        fleet_seed: config.fleet_seed,
+        checkpoint_every: 0,
+        ..FleetConfig::default()
+    }
+}
+
+/// Runs the sweep. Cells are timed with a persistent engine (pool
+/// spawned once per cell, warm-up campaign untimed); speedups are
+/// against the 1-thread cell of the same fleet size when present.
+pub fn run_sweep(config: &SweepConfig) -> SweepReport {
+    let monitor = sweep_monitor();
+    let available_parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let mut cells = Vec::new();
+    for &threads in &config.threads {
+        for &plants in &config.plants {
+            let engine = FleetEngine::new(&monitor, fleet_config(config, plants, threads));
+            engine.run().expect("sweep warm-up campaign");
+            let mut times: Vec<u64> = (0..config.samples.max(1))
+                .map(|_| {
+                    let start = Instant::now();
+                    engine.run().expect("sweep campaign");
+                    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                })
+                .collect();
+            times.sort_unstable();
+            let median_ns = times[times.len() / 2];
+            cells.push(SweepCell {
+                plants,
+                threads,
+                median_ns,
+                speedup: 1.0,
+                efficiency: 1.0,
+            });
+        }
+    }
+
+    // Anchor speedup/efficiency on the 1-thread column.
+    let baselines: Vec<(usize, u64)> = cells
+        .iter()
+        .filter(|c| c.threads == 1)
+        .map(|c| (c.plants, c.median_ns))
+        .collect();
+    for cell in &mut cells {
+        if let Some(&(_, base_ns)) = baselines.iter().find(|(p, _)| *p == cell.plants) {
+            cell.speedup = base_ns as f64 / cell.median_ns.max(1) as f64;
+            cell.efficiency = cell.speedup / cell.threads.max(1) as f64;
+        }
+    }
+
+    SweepReport {
+        available_parallelism,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_table_and_results_cover_every_cell() {
+        let report = SweepReport {
+            available_parallelism: 4,
+            cells: vec![
+                SweepCell {
+                    plants: 8,
+                    threads: 1,
+                    median_ns: 2_000_000,
+                    speedup: 1.0,
+                    efficiency: 1.0,
+                },
+                SweepCell {
+                    plants: 8,
+                    threads: 2,
+                    median_ns: 1_100_000,
+                    speedup: 2_000_000.0 / 1_100_000.0,
+                    efficiency: 2_000_000.0 / 1_100_000.0 / 2.0,
+                },
+            ],
+        };
+        let results = report.to_results();
+        assert_eq!(
+            results[0].0, "fleet_sweep/plants8_threads1",
+            "ids must be machine-independent"
+        );
+        assert_eq!(results.len(), 2);
+        let table = report.table();
+        assert!(table.contains("available_parallelism=4"));
+        assert!(table.contains("8 plants"));
+        assert!(report.cell(2, 8).is_some());
+        assert!(report.cell(4, 8).is_none());
+    }
+
+    #[test]
+    fn tiny_sweep_produces_consistent_speedups() {
+        // Smallest real sweep: 1 thread only, so every speedup is 1.0.
+        let report = run_sweep(&SweepConfig {
+            plants: vec![1],
+            threads: vec![1],
+            hours: 0.02,
+            samples: 1,
+            fleet_seed: 3,
+        });
+        assert_eq!(report.cells.len(), 1);
+        assert!(report.cells[0].median_ns > 0);
+        assert_eq!(report.cells[0].speedup, 1.0);
+        assert_eq!(report.cells[0].efficiency, 1.0);
+    }
+}

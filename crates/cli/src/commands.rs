@@ -33,6 +33,9 @@ USAGE:
   temspc store     list|calibrate|evict --dir models
                    [--key cohort_0 | --cohorts 2]
                    [--calib-runs 4] [--calib-hours 2] [--calib-seed 1000]
+  temspc bench     sweep|smoke [--plants 4,8,16] [--threads 1,2,4]
+                   [--hours 0.25] [--samples 3] [--label <label>]
+                   [--trajectory BENCH_fleet.json] [--min-speedup 1.3]
   temspc experiments [--mode quick|paper] [--out results]
   temspc list
   temspc help
@@ -51,7 +54,14 @@ from a sharded per-cohort calibration store (one .tpb per key, bounded
 in-memory LRU residency, calibrate-on-miss with deterministic per-cohort
 seeds, hot reload on generation bump). `store calibrate` pre-populates
 or refreshes keys; `store list` shows keys and generations; `store
-evict` deletes a persisted key."#;
+evict` deletes a persisted key.
+
+BENCH: `bench sweep` times fleet campaigns over a threads x plants grid
+on the persistent worker pool, prints the speedup/efficiency table, and
+folds the medians into a temspc-bench/1 trajectory file (labels carry
+the machine's available_parallelism). `bench smoke` is the CI scaling
+gate: 2 threads vs 1 thread at one fleet size, asserting speedup >=
+--min-speedup; it skips with a notice on single-core runners."#;
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -598,6 +608,100 @@ pub fn list() -> CmdResult {
             "  XMEAS({:>2})  {:<36} [{}]  nominal {}",
             info.number, info.name, info.unit, info.nominal
         );
+    }
+    Ok(())
+}
+
+/// `temspc bench` — the parallel-efficiency sweep (`sweep`, default) or
+/// the CI scaling gate (`smoke`).
+pub fn bench(args: &ParsedArgs) -> CmdResult {
+    use temspc_bench::sweep::{run_sweep, SweepConfig};
+    use temspc_bench::trajectory::{fold_into_trajectory, Run};
+
+    fn parse_list(text: &str) -> Result<Vec<usize>, String> {
+        text.split(',')
+            .map(|p| {
+                p.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad list element '{p}' (expected e.g. 1,2,4)"))
+            })
+            .collect()
+    }
+
+    let mut config = SweepConfig {
+        hours: args.get_parsed("hours", 0.25)?,
+        samples: args.get_parsed("samples", 3)?,
+        fleet_seed: args.get_parsed("seed", 7)?,
+        ..SweepConfig::default()
+    };
+    if let Some(plants) = args.get("plants") {
+        config.plants = parse_list(plants)?;
+    }
+    if let Some(threads) = args.get("threads") {
+        config.threads = parse_list(threads)?;
+    }
+    let ap = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    match args.action().unwrap_or("sweep") {
+        "sweep" => {
+            let report = run_sweep(&config);
+            print!("{}", report.table());
+            let label = args
+                .get("label")
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("sweep@ap{ap}"));
+            let label = if label.contains("@ap") {
+                label
+            } else {
+                format!("{label}@ap{ap}")
+            };
+            fold_into_trajectory(
+                args.get_or("trajectory", "BENCH_fleet.json"),
+                Run {
+                    label,
+                    results: report.to_results(),
+                },
+                args.flag("dry-run"),
+            )?;
+        }
+        "smoke" => {
+            let min_speedup: f64 = args.get_parsed("min-speedup", 1.3)?;
+            let plants: usize = args.get_parsed("smoke-plants", 8)?;
+            if ap < 2 {
+                println!(
+                    "bench smoke: SKIPPED — available_parallelism={ap} < 2; a 2-thread vs \
+                     1-thread comparison cannot show scaling on this runner"
+                );
+                return Ok(());
+            }
+            let report = run_sweep(&SweepConfig {
+                plants: vec![plants],
+                threads: vec![1, 2],
+                ..config
+            });
+            print!("{}", report.table());
+            let cell = report
+                .cell(2, plants)
+                .ok_or("smoke sweep produced no 2-thread cell")?;
+            if cell.speedup < min_speedup {
+                return Err(format!(
+                    "scaling regression: 2-thread speedup {:.2}x < {min_speedup:.2}x at \
+                     {plants} plants (available_parallelism={ap})",
+                    cell.speedup
+                )
+                .into());
+            }
+            println!(
+                "bench smoke: OK — 2-thread speedup {:.2}x >= {min_speedup:.2}x at {plants} \
+                 plants (available_parallelism={ap})",
+                cell.speedup
+            );
+        }
+        other => {
+            return Err(format!("unknown bench action '{other}' (expected sweep or smoke)").into())
+        }
     }
     Ok(())
 }

@@ -11,6 +11,7 @@
 //!                  [--checkpoint fleet.tpb] [--metrics fleet.prom]
 //!                  [--record-captures dir | --replay dir]
 //! temspc store     list|calibrate|evict --dir models/ [--key cohort_0]
+//! temspc bench     sweep|smoke --plants 4,8,16 --threads 1,2,4 [--trajectory BENCH_fleet.json]
 //! temspc experiments --mode quick|paper --out results/
 //! temspc list
 //! ```
@@ -39,6 +40,7 @@ fn main() {
         Some("replay") => commands::replay(&parsed),
         Some("fleet") => commands::fleet(&parsed),
         Some("store") => commands::store(&parsed),
+        Some("bench") => commands::bench(&parsed),
         Some("experiments") => commands::experiments(&parsed),
         Some("list") => commands::list(),
         Some("help") | None => {

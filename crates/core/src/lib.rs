@@ -68,5 +68,5 @@ pub use monitor::{DetectionSummary, DualMspc, MonitorConfig, ScenarioOutcome};
 pub use names::{variable_description, variable_name, xmeas_index, xmv_index, N_MONITORED};
 pub use netmon::{NetworkMonitor, NetworkOutcome};
 pub use report::incident_report;
-pub use runner::{ClosedLoopRunner, RunData, RunError, StepSample};
+pub use runner::{ClosedLoopRunner, RunData, RunError, RunScratch, StepSample};
 pub use scenario::{Scenario, ScenarioKind};

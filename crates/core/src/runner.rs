@@ -16,10 +16,14 @@
 //! *controller-level* view is `[received XMEAS, commanded XMV]`. In an
 //! attack-free run the two views are identical (the paper's observation).
 
+use std::cell::RefCell;
+
 use temspc_control::DecentralizedController;
-use temspc_fieldbus::{CaptureRecord, FieldbusLink, LinkError, MitmAdversary};
+use temspc_fieldbus::{CaptureRecord, FieldbusLink, LinkError, LinkScratch, MitmAdversary};
 use temspc_linalg::Matrix;
-use temspc_tesim::{PlantConfig, ShutdownReason, TePlant, N_XMV, SAMPLES_PER_HOUR};
+use temspc_tesim::{
+    MeasurementVector, PlantConfig, ShutdownReason, TePlant, N_XMV, SAMPLES_PER_HOUR,
+};
 
 use crate::names::N_MONITORED;
 use crate::scenario::Scenario;
@@ -34,6 +38,54 @@ pub struct StepSample {
     pub controller_view: Vec<f64>,
     /// Process-level view: true XMEAS ++ delivered XMV (53).
     pub process_view: Vec<f64>,
+}
+
+/// Reusable buffers for the closed-loop hot path: the streamed
+/// [`StepSample`], the sensor vector, both link transfer outputs and the
+/// fieldbus wire buffers. After the first step warms the capacities, the
+/// per-step loop performs **zero heap allocations** — only the decimated
+/// recording matrices (pre-sized once per run) touch the allocator.
+///
+/// [`ClosedLoopRunner::run`] keeps one scratch per thread automatically;
+/// [`ClosedLoopRunner::run_with`] takes an explicit scratch for callers
+/// that manage worker state themselves.
+#[derive(Debug)]
+pub struct RunScratch {
+    sample: StepSample,
+    xmeas: MeasurementVector,
+    received_xmeas: Vec<f64>,
+    delivered_xmv: Vec<f64>,
+    link: LinkScratch,
+}
+
+impl Default for RunScratch {
+    fn default() -> Self {
+        RunScratch {
+            sample: StepSample {
+                hour: 0.0,
+                controller_view: Vec::new(),
+                process_view: Vec::new(),
+            },
+            xmeas: MeasurementVector::nominal(),
+            received_xmeas: Vec::new(),
+            delivered_xmv: Vec::new(),
+            link: LinkScratch::new(),
+        }
+    }
+}
+
+impl RunScratch {
+    /// Empty scratch; buffers grow to steady-state size on first use.
+    pub fn new() -> Self {
+        RunScratch::default()
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch behind [`ClosedLoopRunner::run`]: on a
+    /// persistent worker pool the buffers warm up once and every later
+    /// run on that thread is allocation-free from its first step.
+    static RUN_SCRATCH: RefCell<RunScratch> = RefCell::new(RunScratch::new());
 }
 
 /// Recorded (decimated) data of one run.
@@ -166,7 +218,28 @@ impl ClosedLoopRunner {
         record_every: usize,
         observer: F,
     ) -> Result<RunData, RunError> {
-        self.run_impl(record_every, observer)
+        // Reuse this thread's scratch; fall back to a fresh one if the
+        // observer re-entered `run` on the same thread.
+        RUN_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut scratch) => self.run_impl(record_every, observer, &mut scratch),
+            Err(_) => self.run_impl(record_every, observer, &mut RunScratch::new()),
+        })
+    }
+
+    /// Runs the scenario like [`ClosedLoopRunner::run`], reusing the
+    /// caller's [`RunScratch`] for every per-step buffer. Results are
+    /// identical; only the allocation behaviour differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Link`] on a fieldbus failure.
+    pub fn run_with<F: FnMut(&StepSample)>(
+        mut self,
+        record_every: usize,
+        observer: F,
+        scratch: &mut RunScratch,
+    ) -> Result<RunData, RunError> {
+        self.run_impl(record_every, observer, scratch)
     }
 
     /// Runs the scenario like [`ClosedLoopRunner::run`] while a passive
@@ -185,7 +258,10 @@ impl ClosedLoopRunner {
         observer: F,
     ) -> Result<(RunData, Vec<CaptureRecord>), RunError> {
         self.link.attach_tap();
-        let data = self.run_impl(record_every, observer)?;
+        let data = RUN_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut scratch) => self.run_impl(record_every, observer, &mut scratch),
+            Err(_) => self.run_impl(record_every, observer, &mut RunScratch::new()),
+        })?;
         let records = self
             .link
             .take_tap()
@@ -198,6 +274,7 @@ impl ClosedLoopRunner {
         &mut self,
         record_every: usize,
         mut observer: F,
+        scratch: &mut RunScratch,
     ) -> Result<RunData, RunError> {
         let record_every = record_every.max(1);
         let steps = (self.scenario.duration_hours * SAMPLES_PER_HOUR as f64).round() as usize;
@@ -209,33 +286,45 @@ impl ClosedLoopRunner {
         let mut controller_rows = Matrix::with_capacity(recorded_rows, N_MONITORED);
         let mut process_rows = Matrix::with_capacity(recorded_rows, N_MONITORED);
 
+        // Split the scratch so the per-step borrows stay disjoint. Every
+        // buffer below is reused across steps (and, through the
+        // thread-local scratch, across runs): the loop body performs no
+        // heap allocation once the capacities are warm.
+        let RunScratch {
+            sample,
+            xmeas,
+            received_xmeas,
+            delivered_xmv,
+            link: link_scratch,
+        } = scratch;
+
         for k in 0..steps {
             let hour = self.plant.hour();
             // 1. True sensor readings (process side of the uplink).
-            let true_xmeas = self.plant.measurements();
+            self.plant.measurements_into(xmeas);
             // 2. Uplink through the (possibly hostile) fieldbus.
-            let received_xmeas = self.link.uplink(hour, true_xmeas.as_slice())?;
+            self.link
+                .uplink_into(hour, xmeas.as_slice(), received_xmeas, link_scratch)?;
             // 3. Control scan on what the controller received.
-            let commanded_xmv = self.controller.step(&received_xmeas);
+            let commanded_xmv = self.controller.step(received_xmeas);
             // 4. Downlink to the actuators.
-            let delivered_xmv = self.link.downlink(hour, &commanded_xmv)?;
+            self.link
+                .downlink_into(hour, &commanded_xmv, delivered_xmv, link_scratch)?;
             // 5. Plant advances (errors only after a shutdown, which we
             //    catch via the flag below).
-            let _ = self.plant.step(&delivered_xmv);
+            let _ = self.plant.step(delivered_xmv);
 
-            let mut controller_view = Vec::with_capacity(N_MONITORED);
-            controller_view.extend_from_slice(&received_xmeas);
-            controller_view.extend_from_slice(&commanded_xmv);
-            let mut process_view = Vec::with_capacity(N_MONITORED);
-            process_view.extend_from_slice(true_xmeas.as_slice());
-            process_view.extend_from_slice(&delivered_xmv[..N_XMV]);
+            sample.hour = hour;
+            sample.controller_view.clear();
+            sample.controller_view.extend_from_slice(received_xmeas);
+            sample.controller_view.extend_from_slice(&commanded_xmv);
+            sample.process_view.clear();
+            sample.process_view.extend_from_slice(xmeas.as_slice());
+            sample
+                .process_view
+                .extend_from_slice(&delivered_xmv[..N_XMV]);
 
-            let sample = StepSample {
-                hour,
-                controller_view,
-                process_view,
-            };
-            observer(&sample);
+            observer(sample);
             if k % record_every == 0 {
                 hours.push(sample.hour);
                 controller_rows.push_row(&sample.controller_view);

@@ -138,12 +138,28 @@ impl Frame {
     /// [`MAX_VALUES`] — the 16-bit count field would silently wrap and the
     /// frame would decode with the wrong value count.
     pub fn encode(&self) -> Result<Bytes, FrameError> {
+        let mut buf = BytesMut::with_capacity(HEADER_LEN + 8 * self.values.len());
+        self.encode_into(&mut buf)?;
+        Ok(buf.freeze())
+    }
+
+    /// Serializes the frame into `buf`, clearing it first. The buffer's
+    /// capacity is reused across calls, so a steady-state encode performs
+    /// no heap allocation — this is the closed-loop hot path
+    /// ([`Frame::encode`] wraps it for one-shot callers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::TooManyValues`] when the payload exceeds
+    /// [`MAX_VALUES`]; `buf` is left empty.
+    pub fn encode_into(&self, buf: &mut BytesMut) -> Result<(), FrameError> {
+        buf.clear();
         if self.values.len() > MAX_VALUES {
             return Err(FrameError::TooManyValues {
                 count: self.values.len(),
             });
         }
-        let mut buf = BytesMut::with_capacity(HEADER_LEN + 8 * self.values.len());
+        buf.reserve(HEADER_LEN + 8 * self.values.len());
         buf.put_u16(MAGIC);
         buf.put_u8(self.kind.code());
         buf.put_u8(0);
@@ -153,7 +169,7 @@ impl Frame {
         for &v in &self.values {
             buf.put_f64(v);
         }
-        Ok(buf.freeze())
+        Ok(())
     }
 
     /// Parses a frame from bytes.
@@ -169,7 +185,21 @@ impl Frame {
     ///
     /// Returns a [`FrameError`] for truncated buffers, bad magic, unknown
     /// kinds, a nonzero reserved byte, or any payload-length mismatch.
-    pub fn decode(mut buf: &[u8]) -> Result<Self, FrameError> {
+    pub fn decode(buf: &[u8]) -> Result<Self, FrameError> {
+        let mut frame = Frame::new(FrameKind::SensorReport, 0, 0.0, Vec::new());
+        Frame::decode_into(buf, &mut frame)?;
+        Ok(frame)
+    }
+
+    /// Parses a frame from bytes into `out`, reusing its `values`
+    /// allocation — the allocation-free counterpart of [`Frame::decode`],
+    /// with identical strictness. On error `out` is left in an
+    /// unspecified (but valid) state.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Frame::decode`].
+    pub fn decode_into(mut buf: &[u8], out: &mut Frame) -> Result<(), FrameError> {
         if buf.len() < HEADER_LEN {
             return Err(FrameError::Truncated);
         }
@@ -192,13 +222,12 @@ impl Frame {
                 payload_bytes,
             });
         }
-        let values = (0..advertised).map(|_| buf.get_f64()).collect();
-        Ok(Frame {
-            kind,
-            seq,
-            hour,
-            values,
-        })
+        out.kind = kind;
+        out.seq = seq;
+        out.hour = hour;
+        out.values.clear();
+        out.values.extend((0..advertised).map(|_| buf.get_f64()));
+        Ok(())
     }
 }
 

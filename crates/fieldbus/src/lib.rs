@@ -46,5 +46,5 @@ pub mod netstat;
 pub use attack::{Attack, AttackKind, AttackTarget, MitmAdversary};
 pub use capture::{CaptureRecord, CaptureTap, ReplayError, ReplayLink, ReplayStep, TapPoint};
 pub use frame::{Frame, FrameError, FrameKind};
-pub use link::{FieldbusLink, LinkError};
+pub use link::{FieldbusLink, LinkError, LinkScratch};
 pub use netstat::{TrafficFeatures, TrafficMonitor};

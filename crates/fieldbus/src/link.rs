@@ -1,9 +1,43 @@
 //! The controller ↔ process link, carrying framed traffic through the
 //! adversary.
 
+use bytes::BytesMut;
+
 use crate::attack::MitmAdversary;
 use crate::capture::{CaptureTap, TapPoint};
 use crate::frame::{Frame, FrameError, FrameKind};
+
+/// Reusable buffers for one link's transfers: outbound and intercepted
+/// frames plus both wire images. After the first transfer warms the
+/// capacities, [`FieldbusLink::uplink_into`] and
+/// [`FieldbusLink::downlink_into`] perform no heap allocation — this is
+/// what keeps the closed-loop hot path off the global allocator when
+/// many plants run in parallel.
+#[derive(Debug)]
+pub struct LinkScratch {
+    outbound: Frame,
+    intercepted: Frame,
+    wire: BytesMut,
+    forged_wire: BytesMut,
+}
+
+impl Default for LinkScratch {
+    fn default() -> Self {
+        LinkScratch {
+            outbound: Frame::new(FrameKind::SensorReport, 0, 0.0, Vec::new()),
+            intercepted: Frame::new(FrameKind::SensorReport, 0, 0.0, Vec::new()),
+            wire: BytesMut::new(),
+            forged_wire: BytesMut::new(),
+        }
+    }
+}
+
+impl LinkScratch {
+    /// Empty scratch; buffers grow to steady-state size on first use.
+    pub fn new() -> Self {
+        LinkScratch::default()
+    }
+}
 
 /// Errors surfaced by the link.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,22 +125,50 @@ impl FieldbusLink {
     ///
     /// Returns [`LinkError::Frame`] if the tampered frame fails to decode.
     pub fn uplink(&mut self, hour: f64, xmeas: &[f64]) -> Result<Vec<f64>, LinkError> {
-        let frame = Frame::new(
-            FrameKind::SensorReport,
-            self.uplink_seq,
-            hour,
-            xmeas.to_vec(),
-        );
+        let mut scratch = LinkScratch::new();
+        let mut received = Vec::with_capacity(xmeas.len());
+        self.uplink_into(hour, xmeas, &mut received, &mut scratch)?;
+        Ok(received)
+    }
+
+    /// [`FieldbusLink::uplink`] without the per-call allocations: the
+    /// received values land in `received` (cleared first) and every
+    /// intermediate frame/wire buffer comes from `scratch`. Delivers the
+    /// same values as `uplink` bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::Frame`] if the tampered frame fails to decode.
+    pub fn uplink_into(
+        &mut self,
+        hour: f64,
+        xmeas: &[f64],
+        received: &mut Vec<f64>,
+        scratch: &mut LinkScratch,
+    ) -> Result<(), LinkError> {
+        let LinkScratch {
+            outbound,
+            intercepted,
+            wire,
+            forged_wire,
+        } = scratch;
+        outbound.kind = FrameKind::SensorReport;
+        outbound.seq = self.uplink_seq;
+        outbound.hour = hour;
+        outbound.values.clear();
+        outbound.values.extend_from_slice(xmeas);
         self.uplink_seq = self.uplink_seq.wrapping_add(1);
-        let wire = frame.encode()?;
-        self.tap_record(TapPoint::UplinkSent, hour, &wire);
+        outbound.encode_into(wire)?;
+        self.tap_record(TapPoint::UplinkSent, hour, wire);
         // Man-in-the-middle position: parse, rewrite, re-encode.
-        let mut intercepted = Frame::decode(&wire)?;
+        Frame::decode_into(wire, intercepted)?;
         self.adversary.tamper_sensors(hour, &mut intercepted.values);
-        let forged_wire = intercepted.encode()?;
-        self.tap_record(TapPoint::UplinkDelivered, hour, &forged_wire);
-        let delivered = Frame::decode(&forged_wire)?;
-        Ok(delivered.values)
+        intercepted.encode_into(forged_wire)?;
+        self.tap_record(TapPoint::UplinkDelivered, hour, forged_wire);
+        Frame::decode_into(forged_wire, intercepted)?;
+        received.clear();
+        received.extend_from_slice(&intercepted.values);
+        Ok(())
     }
 
     /// Carries an actuator command (XMV) from the controller to the
@@ -116,22 +178,50 @@ impl FieldbusLink {
     ///
     /// Returns [`LinkError::Frame`] if the tampered frame fails to decode.
     pub fn downlink(&mut self, hour: f64, xmv: &[f64]) -> Result<Vec<f64>, LinkError> {
-        let frame = Frame::new(
-            FrameKind::ActuatorCommand,
-            self.downlink_seq,
-            hour,
-            xmv.to_vec(),
-        );
+        let mut scratch = LinkScratch::new();
+        let mut delivered = Vec::with_capacity(xmv.len());
+        self.downlink_into(hour, xmv, &mut delivered, &mut scratch)?;
+        Ok(delivered)
+    }
+
+    /// [`FieldbusLink::downlink`] without the per-call allocations: the
+    /// delivered values land in `delivered` (cleared first) and every
+    /// intermediate frame/wire buffer comes from `scratch`. Delivers the
+    /// same values as `downlink` bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::Frame`] if the tampered frame fails to decode.
+    pub fn downlink_into(
+        &mut self,
+        hour: f64,
+        xmv: &[f64],
+        delivered: &mut Vec<f64>,
+        scratch: &mut LinkScratch,
+    ) -> Result<(), LinkError> {
+        let LinkScratch {
+            outbound,
+            intercepted,
+            wire,
+            forged_wire,
+        } = scratch;
+        outbound.kind = FrameKind::ActuatorCommand;
+        outbound.seq = self.downlink_seq;
+        outbound.hour = hour;
+        outbound.values.clear();
+        outbound.values.extend_from_slice(xmv);
         self.downlink_seq = self.downlink_seq.wrapping_add(1);
-        let wire = frame.encode()?;
-        self.tap_record(TapPoint::DownlinkSent, hour, &wire);
-        let mut intercepted = Frame::decode(&wire)?;
+        outbound.encode_into(wire)?;
+        self.tap_record(TapPoint::DownlinkSent, hour, wire);
+        Frame::decode_into(wire, intercepted)?;
         self.adversary
             .tamper_actuators(hour, &mut intercepted.values);
-        let forged_wire = intercepted.encode()?;
-        self.tap_record(TapPoint::DownlinkDelivered, hour, &forged_wire);
-        let delivered = Frame::decode(&forged_wire)?;
-        Ok(delivered.values)
+        intercepted.encode_into(forged_wire)?;
+        self.tap_record(TapPoint::DownlinkDelivered, hour, forged_wire);
+        Frame::decode_into(forged_wire, intercepted)?;
+        delivered.clear();
+        delivered.extend_from_slice(&intercepted.values);
+        Ok(())
     }
 }
 

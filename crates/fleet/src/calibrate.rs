@@ -63,10 +63,16 @@ impl From<MspcError> for CalibrateError {
 }
 
 /// Worker count for a calibration campaign: the config's `threads`, or
-/// one per run (capped at 16) when 0.
+/// — when 0 — one per run, capped at the machine's core count (and 16)
+/// exactly like `WorkerPool::new(0)`. The old behaviour clamped only at
+/// 16, launching 16 workers on a 4-core box and oversubscribing every
+/// campaign that left `threads` at the default.
 fn campaign_threads(config: &CalibrationConfig) -> usize {
     if config.threads == 0 {
-        config.runs.clamp(1, 16)
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        config.runs.clamp(1, cores.min(16))
     } else {
         config.threads
     }
@@ -83,6 +89,23 @@ pub fn collect_calibration_data_pooled(
     config: &CalibrationConfig,
 ) -> Result<(Matrix, Matrix), RunError> {
     let pool = WorkerPool::new(campaign_threads(config));
+    collect_calibration_data_pooled_on(&pool, config)
+}
+
+/// [`collect_calibration_data_pooled`], but dispatched onto an existing
+/// persistent pool — repeated campaigns (per-cohort store calibration,
+/// repeated fleet runs) reuse the resident workers and their warmed
+/// per-thread scoring scratches instead of spawning a cold pool each
+/// time. The stacked matrices are identical regardless of which pool (or
+/// thread count) runs the campaign.
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`] (by run index) of any failed run.
+pub fn collect_calibration_data_pooled_on(
+    pool: &WorkerPool,
+    config: &CalibrationConfig,
+) -> Result<(Matrix, Matrix), RunError> {
     let runs: Vec<Result<(Matrix, Matrix), RunError>> =
         pool.map(config.runs, |k| run_calibration_scenario(config, k));
     let runs: Vec<(Matrix, Matrix)> = runs.into_iter().collect::<Result<_, _>>()?;

@@ -377,16 +377,23 @@ pub struct FleetEngine<'a> {
     config: FleetConfig,
     registry: MetricsRegistry,
     checkpoint_path: Option<PathBuf>,
+    /// Persistent workers, spawned once per engine (or shared via
+    /// [`FleetEngine::with_pool`]); every [`FleetEngine::run`] call
+    /// reuses them, so per-thread scoring scratches stay warm across
+    /// campaigns.
+    pool: WorkerPool,
 }
 
 impl<'a> FleetEngine<'a> {
     /// An engine over one shared calibrated monitor.
     pub fn new(monitor: &'a DualMspc, config: FleetConfig) -> Self {
+        let pool = WorkerPool::new(config.threads);
         FleetEngine {
             models: Models::Shared(monitor),
             config,
             registry: MetricsRegistry::new(),
             checkpoint_path: None,
+            pool,
         }
     }
 
@@ -397,12 +404,31 @@ impl<'a> FleetEngine<'a> {
     /// monitor's, the report reproduces [`FleetEngine::new`]
     /// bit-for-bit.
     pub fn with_store(store: &'a ModelStore, config: FleetConfig) -> Self {
+        let pool = WorkerPool::new(config.threads);
         FleetEngine {
             models: Models::Store(store),
             config,
             registry: MetricsRegistry::new(),
             checkpoint_path: None,
+            pool,
         }
+    }
+
+    /// Dispatches this engine's campaigns onto `pool` instead of its own
+    /// workers — several engines (or calibration campaigns) can share one
+    /// set of resident threads and their warmed per-thread caches. The
+    /// pool's thread count takes precedence over `config.threads`.
+    #[must_use]
+    pub fn with_pool(mut self, pool: WorkerPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// The persistent worker pool this engine dispatches onto; clone it
+    /// to drive other work (e.g. pooled calibration) on the same
+    /// resident threads.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
     }
 
     /// Enables periodic checkpointing to `path`; if the file already
@@ -571,10 +597,9 @@ impl<'a> FleetEngine<'a> {
             .gauge("fleet_progress_ratio", "completed plants / total plants");
         progress.set(done.len() as f64 / self.config.plants.max(1) as f64);
 
-        let pool = WorkerPool::new(self.config.threads);
         let mut since_checkpoint = 0usize;
         let mut checkpoint_failure: Option<CheckpointError> = None;
-        pool.run(
+        self.pool.run(
             pending.len(),
             |j| self.run_plant(pending[j]),
             |_, record| {

@@ -53,7 +53,9 @@ pub mod report;
 pub mod store;
 pub mod supervisor;
 
-pub use calibrate::{calibrate, collect_calibration_data_pooled, CalibrateError};
+pub use calibrate::{
+    calibrate, collect_calibration_data_pooled, collect_calibration_data_pooled_on, CalibrateError,
+};
 pub use checkpoint::{CheckpointError, FleetCheckpoint};
 pub use engine::{
     plant_key, plant_scenario, plant_seed, record_fleet_captures, FleetConfig, FleetEngine,

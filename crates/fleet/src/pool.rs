@@ -1,36 +1,207 @@
-//! A reusable worker pool on scoped threads with bounded result
-//! channels.
+//! A persistent worker pool with bounded result channels.
 //!
-//! Jobs are indexed `0..n` and pulled by workers through an atomic
-//! cursor (cheap work stealing: a worker that finishes early takes the
-//! next undone index). Results stream back to the *caller's* thread
-//! through a bounded channel, so a slow consumer exerts backpressure on
-//! the workers instead of letting results pile up unboundedly.
+//! Workers are spawned **once**, when the pool is constructed, and live
+//! until the last handle to the pool is dropped. Each [`WorkerPool::run`]
+//! call dispatches one *batch* to the resident workers: jobs are indexed
+//! `0..n` and pulled through an atomic cursor (cheap work stealing: a
+//! worker that finishes early takes the next undone index). Results
+//! stream back to the *caller's* thread through a bounded channel, so a
+//! slow consumer exerts backpressure on the workers instead of letting
+//! results pile up unboundedly.
+//!
+//! Keeping the threads alive across batches is what makes per-thread
+//! caches pay off: the `thread_local!` scoring scratches in `temspc-mspc`
+//! (and the closed-loop `RunScratch` in `temspc`) warm up on the first
+//! fleet run or calibration campaign and stay warm for every subsequent
+//! one, instead of going cold with each scoped spawn.
 //!
 //! The pool is deliberately tiny and generic: it knows nothing about
 //! plants or MSPC. `temspc_fleet::calibrate` and the fleet engine both
 //! fan out over it, and because jobs are keyed by index, callers can
 //! reassemble results in deterministic job order regardless of thread
 //! count.
+//!
+//! # Dispatch protocol
+//!
+//! `run` packages the whole per-worker loop (pull an index, run the job,
+//! send the result) into one closure, erases its lifetime, and publishes
+//! a pointer to it under the dispatch mutex together with a bumped epoch.
+//! Every resident worker observes each epoch exactly once, calls the
+//! closure, and counts down a completion latch when it returns. `run`
+//! does not return — not even by unwinding — until the latch reaches
+//! zero, which is what makes the lifetime erasure sound: the closure and
+//! everything it borrows outlive every worker's use of them. Batches are
+//! serialized by a dispatch lock, so clones of one pool can be driven
+//! from several threads safely.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
 
-/// A fixed-size worker pool.
+/// Poison-tolerant lock: every mutex in this module guards state that is
+/// left consistent on all unwind paths (panic payloads are *propagated*
+/// through `run`, which unwinds past held guards), so a poisoned flag
+/// carries no information here.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Type-erased pointer to the batch body the workers run. Only ever
+/// dereferenced between the epoch publication and the completion latch
+/// release, while the `run` frame that owns the closure is pinned.
+struct BatchPtr(*const (dyn Fn() + Sync));
+
+// SAFETY: the pointee is `Sync` (shared by all workers by design) and the
+// dispatch protocol guarantees it outlives every dereference.
+unsafe impl Send for BatchPtr {}
+
+/// Dispatcher state shared with the resident workers.
+struct DispatchState {
+    /// Bumped once per batch; workers run each epoch exactly once.
+    epoch: u64,
+    /// The current batch body, present while its epoch is live.
+    batch: Option<BatchPtr>,
+    /// Set on drop of the last pool handle; workers exit.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<DispatchState>,
+    job_ready: Condvar,
+}
+
+/// Counts workers still inside the current batch body.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = lock(&self.remaining);
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = lock(&self.remaining);
+        while *remaining > 0 {
+            remaining = self
+                .done
+                .wait(remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// The owning core: drops signal shutdown and join every worker.
+struct PoolCore {
+    shared: Arc<Shared>,
+    /// Serializes batches across clones of the pool.
+    dispatch_lock: Mutex<()>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Drop for PoolCore {
+    fn drop(&mut self) {
+        {
+            let mut state = lock(&self.shared.state);
+            state.shutdown = true;
+        }
+        self.shared.job_ready.notify_all();
+        for handle in lock(&self.handles).drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    let mut seen = 0u64;
+    loop {
+        let batch = {
+            let mut state = lock(&shared.state);
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != seen {
+                    seen = state.epoch;
+                    let ptr = state
+                        .batch
+                        .as_ref()
+                        .expect("batch pointer published with its epoch")
+                        .0;
+                    break BatchPtr(ptr);
+                }
+                state = shared
+                    .job_ready
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // SAFETY: the dispatcher pins the `run` frame (and thus the
+        // closure and its borrows) until every worker has returned from
+        // this call and counted the completion latch down.
+        let body = unsafe { &*batch.0 };
+        body();
+    }
+}
+
+/// Result-channel message: job results interleaved with per-worker
+/// completion markers, so the caller knows when the batch has drained
+/// without relying on sender-drop semantics (the workers only borrow the
+/// sender).
+enum Msg<T> {
+    Result(usize, T),
+    WorkerDone,
+}
+
+/// A fixed-size pool of persistent worker threads.
 ///
-/// Construction is free of OS resources: threads are spawned per
-/// [`WorkerPool::run`] call inside a [`std::thread::scope`], which lets
-/// jobs borrow from the caller's stack (the fleet shares one calibrated
-/// monitor across all workers by reference).
-#[derive(Debug, Clone)]
+/// Threads are spawned once, in [`WorkerPool::new`], and shared by every
+/// clone of the pool; per-thread state (`thread_local!` scratches) stays
+/// warm across [`WorkerPool::run`] calls. A pool of one thread spawns
+/// nothing and runs every batch inline on the caller.
 pub struct WorkerPool {
     threads: usize,
     queue_depth: usize,
+    core: Arc<PoolCore>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .field("queue_depth", &self.queue_depth)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for WorkerPool {
+    /// Clones share the same resident workers (and their warmed
+    /// per-thread state); only the queue-depth setting is per-handle.
+    fn clone(&self) -> Self {
+        WorkerPool {
+            threads: self.threads,
+            queue_depth: self.queue_depth,
+            core: Arc::clone(&self.core),
+        }
+    }
 }
 
 impl WorkerPool {
-    /// A pool with `threads` workers (0 → one per available CPU core,
-    /// capped at 16).
+    /// A pool with `threads` persistent workers (0 → one per available
+    /// CPU core, capped at 16).
     pub fn new(threads: usize) -> Self {
         let threads = if threads == 0 {
             std::thread::available_parallelism()
@@ -40,9 +211,34 @@ impl WorkerPool {
         } else {
             threads
         };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(DispatchState {
+                epoch: 0,
+                batch: None,
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+        });
+        let mut handles = Vec::new();
+        if threads > 1 {
+            for i in 0..threads {
+                let shared = Arc::clone(&shared);
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("temspc-pool-{i}"))
+                        .spawn(move || worker_loop(shared))
+                        .expect("spawn pool worker"),
+                );
+            }
+        }
         WorkerPool {
             threads,
             queue_depth: 2 * threads,
+            core: Arc::new(PoolCore {
+                shared,
+                dispatch_lock: Mutex::new(()),
+                handles: Mutex::new(handles),
+            }),
         }
     }
 
@@ -64,8 +260,8 @@ impl WorkerPool {
     /// `(index, result)` pair to `sink` on the calling thread as it
     /// arrives (arrival order is nondeterministic; indices are not).
     ///
-    /// Worker panics propagate to the caller when the scope joins, after
-    /// all other workers have drained.
+    /// Worker panics propagate to the caller after the batch has fully
+    /// drained; the pool itself survives and stays usable.
     pub fn run<T, W, S>(&self, n_jobs: usize, work: W, mut sink: S)
     where
         T: Send,
@@ -75,38 +271,88 @@ impl WorkerPool {
         if n_jobs == 0 {
             return;
         }
-        let threads = self.threads.min(n_jobs);
-        if threads <= 1 {
+        if self.threads.min(n_jobs) <= 1 {
             // Degenerate pool: run inline, preserving delivery semantics.
             for index in 0..n_jobs {
                 sink(index, work(index));
             }
             return;
         }
+
         let cursor = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::sync_channel::<(usize, T)>(self.queue_depth);
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                let tx = tx.clone();
-                let cursor = &cursor;
-                let work = &work;
-                scope.spawn(move || loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    if index >= n_jobs {
-                        break;
-                    }
-                    // A send failure means the receiver is gone, which
-                    // only happens when the scope is unwinding already.
-                    if tx.send((index, work(index))).is_err() {
-                        break;
-                    }
-                });
+        let (tx, rx) = mpsc::sync_channel::<Msg<T>>(self.queue_depth);
+        let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let latch = Latch::new(self.threads);
+        let body = || {
+            let outcome = catch_unwind(AssertUnwindSafe(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= n_jobs {
+                    break;
+                }
+                // A send failure means the receiver is gone, which only
+                // happens when the caller is unwinding already.
+                if tx.send(Msg::Result(index, work(index))).is_err() {
+                    break;
+                }
+            }));
+            if let Err(payload) = outcome {
+                let mut slot = lock(&panic_slot);
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
             }
-            drop(tx);
-            for (index, result) in rx {
-                sink(index, result);
+            let _ = tx.send(Msg::WorkerDone);
+            latch.count_down();
+        };
+
+        // One batch at a time, even across clones of this pool.
+        let _dispatch = lock(&self.core.dispatch_lock);
+
+        let body_ref: &(dyn Fn() + Sync) = &body;
+        // SAFETY: `CompletionGuard` below pins this frame until every
+        // worker has left `body`, even if `sink` panics mid-drain.
+        let erased = unsafe {
+            std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(body_ref)
+        };
+        {
+            let mut state = lock(&self.core.shared.state);
+            state.epoch += 1;
+            state.batch = Some(BatchPtr(erased as *const _));
+        }
+        self.core.shared.job_ready.notify_all();
+
+        /// Waits out the batch on every exit path (return or unwind) and
+        /// retires the published pointer.
+        struct CompletionGuard<'a> {
+            latch: &'a Latch,
+            shared: &'a Shared,
+        }
+        impl Drop for CompletionGuard<'_> {
+            fn drop(&mut self) {
+                self.latch.wait();
+                lock(&self.shared.state).batch = None;
             }
-        });
+        }
+        let guard = CompletionGuard {
+            latch: &latch,
+            shared: &self.core.shared,
+        };
+
+        let mut workers_done = 0;
+        while workers_done < self.threads {
+            match rx.recv() {
+                Ok(Msg::Result(index, result)) => sink(index, result),
+                Ok(Msg::WorkerDone) => workers_done += 1,
+                // Unreachable: this frame owns a live sender. Kept as a
+                // loop exit rather than a panic for robustness.
+                Err(_) => break,
+            }
+        }
+        drop(guard);
+        let payload = lock(&panic_slot).take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
     }
 
     /// Runs jobs `0..n_jobs` and collects the results *in job order*,
@@ -198,6 +444,78 @@ mod tests {
             );
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_batch() {
+        // The workers catch job panics; the *same* pool must keep
+        // delivering complete batches afterwards.
+        let pool = WorkerPool::new(2);
+        let poisoned = std::panic::catch_unwind(|| {
+            pool.run(
+                4,
+                |i| {
+                    if i == 1 {
+                        panic!("boom");
+                    }
+                    i
+                },
+                |_, _| {},
+            );
+        });
+        assert!(poisoned.is_err());
+        assert_eq!(pool.map(20, |i| i + 1), (1..=20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn consecutive_runs_on_one_pool_deliver_every_index_exactly_once() {
+        // Persistent-pool regression: two back-to-back batches on the
+        // same workers must each deliver the full index set once — no
+        // leakage of cursor or epoch state between batches.
+        let pool = WorkerPool::new(4);
+        for batch in 0..2 {
+            let mut deliveries = vec![0usize; 33];
+            pool.run(
+                33,
+                |i| i * 2 + batch,
+                |index, v| {
+                    assert_eq!(v, index * 2 + batch);
+                    deliveries[index] += 1;
+                },
+            );
+            assert!(deliveries.iter().all(|&n| n == 1), "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn clones_share_the_same_workers() {
+        let pool = WorkerPool::new(3);
+        let clone = pool.clone();
+        let tid_a = pool.map(8, |_| std::thread::current().id());
+        let tid_b = clone.map(8, |_| std::thread::current().id());
+        let all: std::collections::HashSet<_> = tid_a.iter().chain(&tid_b).collect();
+        // Both handles dispatched onto the same 3 resident threads.
+        assert!(all.len() <= 3, "saw {} distinct worker threads", all.len());
+    }
+
+    #[test]
+    fn thread_local_state_survives_across_runs() {
+        thread_local! {
+            static HITS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+        }
+        let pool = WorkerPool::new(2);
+        let bump = |_| {
+            HITS.with(|h| {
+                h.set(h.get() + 1);
+                h.get()
+            })
+        };
+        let first: usize = pool.map(16, bump).into_iter().max().unwrap();
+        let second: usize = pool.map(16, bump).into_iter().max().unwrap();
+        // Were the threads respawned per run, the second batch would
+        // restart its counters near 1 instead of continuing past the
+        // first batch's totals.
+        assert!(second > first, "first {first}, second {second}");
     }
 
     #[test]

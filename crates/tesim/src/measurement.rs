@@ -142,6 +142,18 @@ impl MeasurementVector {
         MeasurementVector { values }
     }
 
+    /// Overwrites this vector with 41 raw values, reusing its allocation
+    /// (the in-place counterpart of [`MeasurementVector::from_values`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != 41`.
+    pub fn copy_from_slice(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), N_XMEAS, "expected 41 XMEAS values");
+        self.values.clear();
+        self.values.extend_from_slice(values);
+    }
+
     /// Creates a vector holding the base-case nominal values.
     pub fn nominal() -> Self {
         MeasurementVector {

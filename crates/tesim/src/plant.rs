@@ -601,6 +601,17 @@ impl TePlant {
     ///
     /// Call once per step; each call draws fresh noise.
     pub fn measurements(&mut self) -> MeasurementVector {
+        MeasurementVector::from_values(self.raw_measurements().to_vec())
+    }
+
+    /// Like [`TePlant::measurements`], but overwrites `out` in place,
+    /// reusing its allocation — the closed-loop runner calls this every
+    /// 1.8 s step, so the per-step sensor read stays off the allocator.
+    pub fn measurements_into(&mut self, out: &mut MeasurementVector) {
+        out.copy_from_slice(&self.raw_measurements());
+    }
+
+    fn raw_measurements(&mut self) -> [f64; N_XMEAS] {
         let f = &self.flows;
         let mut v = [0.0; N_XMEAS];
         v[0] = f.f1 / KMOL_PER_KSCMH;
@@ -658,7 +669,7 @@ impl TePlant {
                 *val += self.rng.next_normal(0.0, info.noise_std);
             }
         }
-        MeasurementVector::from_values(v.to_vec())
+        v
     }
 
     // --------------------------------------------------------------

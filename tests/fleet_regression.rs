@@ -123,3 +123,88 @@ fn single_key_store_reproduces_shared_monitor_golden() {
     assert!(report.records.iter().all(|r| r.model_generation == 1));
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+fn config_with_threads(threads: usize) -> FleetConfig {
+    FleetConfig {
+        threads,
+        ..config()
+    }
+}
+
+/// The fleet outcome must not depend on the degree of parallelism: each
+/// plant's scenario is a pure function of (config, index), and results
+/// are reassembled in index order, so the persistent worker pool must
+/// yield the same golden digest at every thread count.
+#[test]
+fn fleet_digest_is_identical_across_thread_counts() {
+    let monitor = monitor();
+    for threads in [1, 2, 4, 8] {
+        let report = FleetEngine::new(&monitor, config_with_threads(threads))
+            .run()
+            .unwrap();
+        assert_eq!(
+            digest(&report),
+            GOLDEN,
+            "fleet digest diverged from golden at threads={threads}"
+        );
+    }
+}
+
+/// Re-running a fleet on the *same* persistent pool (the steady-state
+/// service regime: warm workers, warm thread-local scratch) must be as
+/// deterministic as a cold engine.
+#[test]
+fn fleet_digest_is_stable_across_runs_on_one_pool() {
+    let monitor = monitor();
+    let engine = FleetEngine::new(&monitor, config_with_threads(4));
+    for run in 0..3 {
+        let report = engine.run().unwrap();
+        assert_eq!(
+            digest(&report),
+            GOLDEN,
+            "fleet digest diverged on pool reuse, run {run}"
+        );
+    }
+}
+
+/// Pooled calibration must produce bit-identical controller- and
+/// process-level matrices regardless of how many workers split the
+/// campaign: run k always maps to seed base_seed + k, and
+/// [`temspc_fleet::collect_calibration_data_pooled_on`] stacks runs in
+/// index order.
+#[test]
+fn pooled_calibration_matrices_are_bit_identical_across_thread_counts() {
+    use temspc_fleet::{collect_calibration_data_pooled_on, WorkerPool};
+
+    let calib = CalibrationConfig {
+        runs: 4,
+        duration_hours: 0.25,
+        record_every: 10,
+        base_seed: 900,
+        threads: 0,
+    };
+    let bits = |m: &temspc_linalg::Matrix| -> Vec<u64> {
+        m.as_slice().iter().copied().map(f64::to_bits).collect()
+    };
+    let pool = WorkerPool::new(1);
+    let (ref_ctrl, ref_proc) = collect_calibration_data_pooled_on(&pool, &calib).unwrap();
+    for threads in [2, 4, 8] {
+        let pool = WorkerPool::new(threads);
+        // Two campaigns per pool: cold workers, then warm (reused scratch).
+        for pass in 0..2 {
+            let (ctrl, proc) = collect_calibration_data_pooled_on(&pool, &calib).unwrap();
+            assert_eq!(ctrl.shape(), ref_ctrl.shape());
+            assert_eq!(proc.shape(), ref_proc.shape());
+            assert_eq!(
+                bits(&ctrl),
+                bits(&ref_ctrl),
+                "controller-level calibration matrix diverged at threads={threads}, pass {pass}"
+            );
+            assert_eq!(
+                bits(&proc),
+                bits(&ref_proc),
+                "process-level calibration matrix diverged at threads={threads}, pass {pass}"
+            );
+        }
+    }
+}

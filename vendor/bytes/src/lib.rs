@@ -96,6 +96,16 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Clears the buffer, keeping its allocated capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
     /// Converts the buffer into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes { data: self.data }
