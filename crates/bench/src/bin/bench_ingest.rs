@@ -1,0 +1,200 @@
+//! `bench_ingest` — the loopback ingestion sweep, folded into
+//! `BENCH_ingest.json`.
+//!
+//! Two modes:
+//!
+//! - **Sweep** (default): time every (connections, rate) cell of the
+//!   ingestion grid against a live loopback server, print the throughput
+//!   table, and fold the elapsed medians into the trajectory file. The
+//!   run label carries `available_parallelism` (e.g. `post-PR6@ap4`);
+//!   bench ids (`ingest_sweep/conns{C}_rate{R}`) carry only the cell
+//!   coordinates.
+//! - **Smoke** (`--smoke`): the CI ingestion gate — 64 concurrent
+//!   connections must complete end-to-end with **zero** dropped steps,
+//!   zero reassembly errors, and an achieved per-connection frame rate
+//!   of at least 1 frame/s.
+//!
+//! ```text
+//! cargo run --release -p temspc-bench --bin bench_ingest -- --label post-PR6
+//! cargo run --release -p temspc-bench --bin bench_ingest -- --smoke
+//! ```
+
+use std::process::ExitCode;
+
+use temspc_bench::ingest_sweep::{run_ingest_sweep, IngestSweepConfig};
+use temspc_bench::trajectory::{fold_into_trajectory, Run};
+
+fn usage() -> String {
+    "usage: bench_ingest [--connections 1,16,64] [--rates 0,100] [--tape-hours 0.05] \
+     [--queue-depth 64] [--batch-steps 256] [--threads 0] [--label <label>] \
+     [--trajectory BENCH_ingest.json] [--dry-run]\n\
+     \x20      bench_ingest --smoke [--smoke-connections 64] [--min-rate 1.0] [--tape-hours 0.05]"
+        .to_owned()
+}
+
+fn parse_usize_list(text: &str) -> Result<Vec<usize>, String> {
+    text.split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad list element {p:?} (expected e.g. 1,16,64)"))
+        })
+        .collect()
+}
+
+fn parse_f64_list(text: &str) -> Result<Vec<f64>, String> {
+    text.split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("bad list element {p:?} (expected e.g. 0,100)"))
+        })
+        .collect()
+}
+
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn run_main() -> Result<(), String> {
+    let mut config = IngestSweepConfig::default();
+    let mut label: Option<String> = None;
+    let mut trajectory_path = "BENCH_ingest.json".to_owned();
+    let mut dry_run = false;
+    let mut smoke = false;
+    let mut smoke_connections = 64usize;
+    let mut min_rate = 1.0f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut next = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--connections" => config.connections = parse_usize_list(&next("--connections")?)?,
+            "--rates" => config.rates = parse_f64_list(&next("--rates")?)?,
+            "--tape-hours" => {
+                config.tape_hours = next("--tape-hours")?
+                    .parse()
+                    .map_err(|_| "bad --tape-hours".to_owned())?;
+            }
+            "--queue-depth" => {
+                config.queue_depth = next("--queue-depth")?
+                    .parse()
+                    .map_err(|_| "bad --queue-depth".to_owned())?;
+            }
+            "--batch-steps" => {
+                config.batch_steps = next("--batch-steps")?
+                    .parse()
+                    .map_err(|_| "bad --batch-steps".to_owned())?;
+            }
+            "--threads" => {
+                config.threads = next("--threads")?
+                    .parse()
+                    .map_err(|_| "bad --threads".to_owned())?;
+            }
+            "--label" => label = Some(next("--label")?),
+            "--trajectory" => trajectory_path = next("--trajectory")?,
+            "--dry-run" => dry_run = true,
+            "--smoke" => smoke = true,
+            "--smoke-connections" => {
+                smoke_connections = next("--smoke-connections")?
+                    .parse()
+                    .map_err(|_| "bad --smoke-connections".to_owned())?;
+            }
+            "--min-rate" => {
+                min_rate = next("--min-rate")?
+                    .parse()
+                    .map_err(|_| "bad --min-rate".to_owned())?;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+
+    if smoke {
+        return run_smoke(&config, smoke_connections, min_rate);
+    }
+
+    let ap = available_parallelism();
+    let report = run_ingest_sweep(&config);
+    print!("{}", report.table());
+    for cell in &report.cells {
+        if cell.drops > 0 || cell.reassembly_errors > 0 {
+            return Err(format!(
+                "unhealthy cell conns={} rate={}: {} dropped step(s), {} reassembly error(s)",
+                cell.connections, cell.rate, cell.drops, cell.reassembly_errors
+            ));
+        }
+    }
+    let label = label.unwrap_or_else(|| format!("ingest@ap{ap}"));
+    // Machine context goes into the label, not the ids.
+    let label = if label.contains("@ap") {
+        label
+    } else {
+        format!("{label}@ap{ap}")
+    };
+    fold_into_trajectory(
+        &trajectory_path,
+        Run {
+            label,
+            results: report.to_results(),
+        },
+        dry_run,
+    )
+}
+
+/// The CI ingestion gate: `connections` concurrent loopback streams must
+/// complete with zero drops, zero reassembly errors, and at least
+/// `min_rate` frames/s per connection.
+fn run_smoke(config: &IngestSweepConfig, connections: usize, min_rate: f64) -> Result<(), String> {
+    let report = run_ingest_sweep(&IngestSweepConfig {
+        connections: vec![connections],
+        rates: vec![0.0],
+        ..config.clone()
+    });
+    print!("{}", report.table());
+    let cell = report
+        .cells
+        .first()
+        .ok_or_else(|| "smoke sweep produced no cell".to_owned())?;
+    if cell.completed != connections {
+        return Err(format!(
+            "only {}/{connections} connections completed end-to-end",
+            cell.completed
+        ));
+    }
+    if cell.drops > 0 {
+        return Err(format!("{} step(s) dropped under backpressure", cell.drops));
+    }
+    if cell.reassembly_errors > 0 {
+        return Err(format!("{} reassembly error(s)", cell.reassembly_errors));
+    }
+    if cell.achieved_rate < min_rate {
+        return Err(format!(
+            "achieved {:.2} frames/s per connection < required {min_rate:.2}",
+            cell.achieved_rate
+        ));
+    }
+    println!(
+        "bench_ingest --smoke: OK — {connections} connections, {:.1} frames/s each, zero drops",
+        cell.achieved_rate
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_ingest: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -5,6 +5,7 @@
 //! `examples/paper_experiments.rs`); the `micro_*` benches time the hot
 //! kernels (plant step, control scan, MSPC scoring, oMEDA, frame codec).
 
+pub mod ingest_sweep;
 pub mod sweep;
 pub mod trajectory;
 

@@ -53,7 +53,7 @@ impl fmt::Display for ArgsError {
 impl std::error::Error for ArgsError {}
 
 /// Option names that do not take a value.
-const BOOLEAN_FLAGS: &[&str] = &["no-noise", "verbose", "network", "resume", "dry-run"];
+const BOOLEAN_FLAGS: &[&str] = &["no-noise", "verbose", "resume", "dry-run", "digest"];
 
 impl ParsedArgs {
     /// Parses a raw argument list (without the program name).

@@ -23,19 +23,29 @@ USAGE:
                    [--hours 4] [--onset 1] [--seed 42]
   temspc capture   --out run.cap [--scenario idv6] [--hours 4] [--onset 1]
                    [--seed 42]
-  temspc replay    --model model.tpb --capture run.cap [--net net.tpb]
+  temspc replay    --model model.tpb --capture run.cap [--net net.tpb] [--digest]
   temspc fleet     [--plants 8] [--threads 4] [--hours 2] [--attack-fraction 0.25]
                    [--onset 0.5] [--seed 2016] [--model model.tpb]
-                   [--model-store dir [--cohorts 2] [--store-capacity 4]]
-                   [--calib-runs 4] [--calib-hours 2]
-                   [--checkpoint fleet.tpb [--resume]] [--metrics fleet.prom]
+                   [--model-store dir [--cohorts 2] [--store-capacity 4]
+                    [--seed-stride 1000000]]
+                   [--calib-runs 4] [--calib-hours 2] [--calib-seed 1000]
+                   [--checkpoint fleet.tpb [--resume]] [--checkpoint-every 4]
+                   [--metrics fleet.prom]
                    [--record-captures dir | --replay dir]
+  temspc ingest    serve --model model.tpb [--addr 127.0.0.1:4840]
+                   [--max-connections 1024] [--queue-depth 256]
+                   [--batch-steps 512] [--threads 0] [--expect <n>]
+                   [--report ingest_session.tpb] [--metrics ingest.prom]
+  temspc ingest    drive [--addr 127.0.0.1:4840] [--tapes a.cap,b.cap]
+                   [--tape-dir captures] [--connections 1] [--rate 0]
+                   [--chunk 0]
   temspc store     list|calibrate|evict --dir models
                    [--key cohort_0 | --cohorts 2]
                    [--calib-runs 4] [--calib-hours 2] [--calib-seed 1000]
   temspc bench     sweep|smoke [--plants 4,8,16] [--threads 1,2,4]
                    [--hours 0.25] [--samples 3] [--label <label>]
-                   [--trajectory BENCH_fleet.json] [--min-speedup 1.3]
+                   [--trajectory BENCH_fleet.json] [--dry-run]
+                   [--min-speedup 1.3] [--smoke-plants 8]
   temspc experiments [--mode quick|paper] [--out results]
   temspc list
   temspc help
@@ -55,6 +65,15 @@ in-memory LRU residency, calibrate-on-miss with deterministic per-cohort
 seeds, hot reload on generation bump). `store calibrate` pre-populates
 or refreshes keys; `store list` shows keys and generations; `store
 evict` deletes a persisted key.
+
+LIVE INGESTION: `ingest serve` accepts live fieldbus traffic over TCP
+(thousands of concurrent plant connections on one non-blocking event
+loop), scores each stream with the same T2/SPE path `replay` uses, and
+flushes a TPB session report on SIGINT/SIGTERM after draining in-flight
+batches. `ingest drive` replays recorded .cap tapes over real sockets
+as a load generator. Served detections are bit-identical to offline
+replay: diff the digest `serve` prints against `replay --digest` of the
+same tape. `fleet` and `serve` both drain and checkpoint on Ctrl-C.
 
 BENCH: `bench sweep` times fleet campaigns over a threads x plants grid
 on the persistent worker pool, prints the speedup/efficiency table, and
@@ -361,6 +380,11 @@ pub fn replay(args: &ParsedArgs) -> CmdResult {
     );
     let outcome = monitor.score_capture(&capture)?;
     print_outcome(&monitor, &outcome, onset, scenario.duration_hours);
+    if args.flag("digest") {
+        // Comparable against the digests `ingest serve` prints: equal
+        // digests prove the served scoring path matched this replay.
+        println!("digest {:016x}", temspc_ingest::detection_digest(&outcome));
+    }
     if let Some(net_path) = args.get("net") {
         let network = load_network_monitor(net_path)?;
         let net = network.score_capture(&capture)?;
@@ -461,6 +485,9 @@ fn run_fleet(
         }
         engine = engine.with_checkpoint(path);
     }
+    // SIGINT/SIGTERM drain in-flight plants and flush a final checkpoint
+    // instead of killing the campaign mid-write.
+    engine = engine.with_cancel(temspc_ingest::install_handlers());
 
     println!(
         "monitoring {} plants ({} attacked) for {} h each ...",
@@ -468,8 +495,19 @@ fn run_fleet(
         (config.attack_fraction * config.plants as f64).round() as usize,
         config.hours
     );
-    let report = engine.run()?;
-    println!("\n{report}");
+    match engine.run() {
+        Ok(report) => println!("\n{report}"),
+        Err(temspc_fleet::FleetError::Interrupted { completed, total }) => {
+            println!("\ninterrupted: {completed}/{total} plants completed; in-flight work drained");
+            match args.get("checkpoint") {
+                Some(path) => {
+                    println!("checkpoint {path} flushed — rerun with --resume to finish");
+                }
+                None => println!("(no --checkpoint configured, so partial results were not kept)"),
+            }
+        }
+        Err(e) => return Err(e.into()),
+    }
     if let Some(path) = args.get("metrics") {
         let mut text = engine.metrics().expose();
         if let Some(store) = store {
@@ -612,6 +650,158 @@ pub fn list() -> CmdResult {
     Ok(())
 }
 
+/// `temspc ingest` — the live ingestion front half: `serve` scores live
+/// fieldbus streams over TCP, `drive` replays .cap tapes over sockets.
+pub fn ingest(args: &ParsedArgs) -> CmdResult {
+    match args.action() {
+        Some("serve") => ingest_serve(args),
+        Some("drive") => ingest_drive(args),
+        Some(other) => {
+            Err(format!("unknown ingest action '{other}' (expected serve or drive)").into())
+        }
+        None => Err("ingest needs an action: serve or drive".into()),
+    }
+}
+
+/// Builds the server configuration from `ingest serve` flags.
+fn ingest_serve_config(args: &ParsedArgs) -> Result<temspc_ingest::IngestConfig, Box<dyn Error>> {
+    let config = temspc_ingest::IngestConfig {
+        addr: args.get_or("addr", "127.0.0.1:4840").to_string(),
+        max_connections: args.get_parsed("max-connections", 1024)?,
+        queue_depth: args.get_parsed("queue-depth", 256)?,
+        batch_steps: args.get_parsed("batch-steps", 512)?,
+        threads: args.get_parsed("threads", 0)?,
+        expect: match args.get("expect") {
+            None => None,
+            Some(_) => Some(args.get_parsed("expect", 0usize)?),
+        },
+    };
+    if config.max_connections == 0 {
+        return Err("--max-connections must be at least 1".into());
+    }
+    if config.queue_depth == 0 {
+        return Err("--queue-depth must be at least 1".into());
+    }
+    if config.batch_steps == 0 {
+        return Err("--batch-steps must be at least 1".into());
+    }
+    Ok(config)
+}
+
+/// Builds the load-generator configuration from `ingest drive` flags.
+fn ingest_drive_config(args: &ParsedArgs) -> Result<temspc_ingest::DriveConfig, Box<dyn Error>> {
+    let mut tapes: Vec<std::path::PathBuf> = Vec::new();
+    if let Some(list) = args.get("tapes") {
+        for part in list.split(',') {
+            let part = part.trim();
+            if !part.is_empty() {
+                tapes.push(part.into());
+            }
+        }
+    }
+    if let Some(dir) = args.get("tape-dir") {
+        let mut found: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "cap"))
+            .collect();
+        found.sort();
+        tapes.extend(found);
+    }
+    if tapes.is_empty() {
+        return Err("no tapes: pass --tapes a.cap,b.cap and/or --tape-dir <dir>".into());
+    }
+    let config = temspc_ingest::DriveConfig {
+        addr: args.get_or("addr", "127.0.0.1:4840").to_string(),
+        tapes,
+        connections: args.get_parsed("connections", 1)?,
+        rate: args.get_parsed("rate", 0.0)?,
+        chunk: args.get_parsed("chunk", 0)?,
+    };
+    if config.connections == 0 {
+        return Err("--connections must be at least 1".into());
+    }
+    if config.rate < 0.0 {
+        return Err("--rate must be >= 0 (frames/s; 0 = unthrottled)".into());
+    }
+    Ok(config)
+}
+
+/// `temspc ingest serve` — bind, accept live plant streams, score them
+/// with the shared T2/SPE path, and persist a TPB session report.
+fn ingest_serve(args: &ParsedArgs) -> CmdResult {
+    let model_path = args.require("model")?;
+    let config = ingest_serve_config(args)?;
+    let report_path = args.get_or("report", "ingest_session.tpb").to_string();
+
+    let monitor = load_monitor(model_path)?;
+    let server = temspc_ingest::IngestServer::bind(&monitor, config)?;
+    println!("listening on {}", server.local_addr()?);
+    match server.config().expect {
+        Some(n) => println!("serving until {n} connection(s) complete (or SIGINT/SIGTERM)"),
+        None => println!("serving until SIGINT/SIGTERM; draining in-flight batches on stop"),
+    }
+    let stop = temspc_ingest::install_handlers();
+    let report = server.run(stop)?;
+
+    for conn in &report.connections {
+        let status = if conn.completed { "complete" } else { "torn" };
+        let latency = conn
+            .detection_latency_hours
+            .map_or_else(|| "-".to_string(), |h| format!("{:.1} s", h * 3600.0));
+        let verdict = conn
+            .verdict
+            .map_or_else(|| "-".to_string(), |v| v.to_string());
+        println!(
+            "plant {:>4} [{status}] {} steps, verdict {verdict}, latency {latency}, digest {:016x}",
+            conn.plant, conn.steps, conn.digest
+        );
+        if let Some(fault) = &conn.fault {
+            println!("  fault: {fault}");
+        }
+    }
+    println!("\n{}", report.fleet_report());
+    println!(
+        "totals: {} connection(s), {} frames, {} steps, {} wire bytes, {} dropped, {} reassembly error(s)",
+        report.connections.len(),
+        report.frames,
+        report.steps,
+        report.bytes,
+        report.drops,
+        report.reassembly_errors
+    );
+    temspc_ingest::save_report(&report, &report_path)?;
+    println!("wrote {report_path}");
+    if let Some(path) = args.get("metrics") {
+        std::fs::write(path, server.metrics().expose())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `temspc ingest drive` — replay capture tapes over real TCP sockets as
+/// a load generator for `ingest serve`.
+fn ingest_drive(args: &ParsedArgs) -> CmdResult {
+    let config = ingest_drive_config(args)?;
+    println!(
+        "driving {} connection(s) at {} into {} ({} tape(s))",
+        config.connections,
+        if config.rate > 0.0 {
+            format!("{} frame/s each", config.rate)
+        } else {
+            "full rate".to_string()
+        },
+        config.addr,
+        config.tapes.len()
+    );
+    let report = temspc_ingest::drive(&config)?;
+    println!(
+        "drove {} connection(s): {} frames, {} wire bytes in {:.2} s",
+        report.connections, report.frames, report.bytes, report.elapsed_secs
+    );
+    Ok(())
+}
+
 /// `temspc bench` — the parallel-efficiency sweep (`sweep`, default) or
 /// the CI scaling gate (`smoke`).
 pub fn bench(args: &ParsedArgs) -> CmdResult {
@@ -704,4 +894,175 @@ pub fn bench(args: &ParsedArgs) -> CmdResult {
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(tokens.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn ingest_serve_defaults() {
+        let args = parse(&["ingest", "serve", "--model", "model.tpb"]);
+        assert_eq!(args.subcommand(), Some("ingest"));
+        assert_eq!(args.action(), Some("serve"));
+        let config = ingest_serve_config(&args).unwrap();
+        assert_eq!(config.addr, "127.0.0.1:4840");
+        assert_eq!(config.max_connections, 1024);
+        assert_eq!(config.queue_depth, 256);
+        assert_eq!(config.batch_steps, 512);
+        assert_eq!(config.threads, 0);
+        assert_eq!(config.expect, None);
+    }
+
+    #[test]
+    fn ingest_serve_flags_parse() {
+        let args = parse(&[
+            "ingest",
+            "serve",
+            "--model",
+            "m.tpb",
+            "--addr",
+            "0.0.0.0:9000",
+            "--max-connections=64",
+            "--queue-depth",
+            "32",
+            "--batch-steps",
+            "128",
+            "--threads",
+            "3",
+            "--expect",
+            "64",
+        ]);
+        let config = ingest_serve_config(&args).unwrap();
+        assert_eq!(config.addr, "0.0.0.0:9000");
+        assert_eq!(config.max_connections, 64);
+        assert_eq!(config.queue_depth, 32);
+        assert_eq!(config.batch_steps, 128);
+        assert_eq!(config.threads, 3);
+        assert_eq!(config.expect, Some(64));
+    }
+
+    #[test]
+    fn ingest_serve_rejects_zero_limits() {
+        for bad in [
+            ["ingest", "serve", "--max-connections", "0"],
+            ["ingest", "serve", "--queue-depth", "0"],
+            ["ingest", "serve", "--batch-steps", "0"],
+        ] {
+            let args = parse(&bad);
+            assert!(ingest_serve_config(&args).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn ingest_serve_rejects_bad_expect() {
+        let args = parse(&["ingest", "serve", "--expect", "many"]);
+        assert!(ingest_serve_config(&args).is_err());
+    }
+
+    #[test]
+    fn ingest_drive_parses_tape_list() {
+        let args = parse(&[
+            "ingest",
+            "drive",
+            "--tapes",
+            "a.cap, b.cap,",
+            "--connections",
+            "64",
+            "--rate",
+            "2.5",
+            "--chunk",
+            "7",
+        ]);
+        let config = ingest_drive_config(&args).unwrap();
+        assert_eq!(config.addr, "127.0.0.1:4840");
+        assert_eq!(
+            config.tapes,
+            vec![
+                std::path::PathBuf::from("a.cap"),
+                std::path::PathBuf::from("b.cap")
+            ]
+        );
+        assert_eq!(config.connections, 64);
+        assert_eq!(config.rate, 2.5);
+        assert_eq!(config.chunk, 7);
+    }
+
+    #[test]
+    fn ingest_drive_scans_tape_dir_sorted() {
+        let dir = std::env::temp_dir().join(format!("temspc_cli_tapes_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("b.cap"), b"x").unwrap();
+        std::fs::write(dir.join("a.cap"), b"x").unwrap();
+        std::fs::write(dir.join("notes.txt"), b"x").unwrap();
+        let dir_str = dir.to_str().unwrap().to_string();
+        let args = parse(&["ingest", "drive", "--tape-dir", &dir_str]);
+        let config = ingest_drive_config(&args).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        let names: Vec<_> = config
+            .tapes
+            .iter()
+            .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["a.cap", "b.cap"]);
+    }
+
+    #[test]
+    fn ingest_drive_requires_tapes() {
+        let args = parse(&["ingest", "drive"]);
+        let err = ingest_drive_config(&args).unwrap_err().to_string();
+        assert!(err.contains("no tapes"), "unexpected error: {err}");
+        let args = parse(&["ingest", "drive", "--connections", "0", "--tapes", "a.cap"]);
+        assert!(ingest_drive_config(&args).is_err());
+    }
+
+    #[test]
+    fn digest_is_a_boolean_flag() {
+        let args = parse(&[
+            "replay",
+            "--model",
+            "m.tpb",
+            "--capture",
+            "r.cap",
+            "--digest",
+        ]);
+        assert!(args.flag("digest"));
+        assert_eq!(args.get("capture"), Some("r.cap"));
+    }
+
+    #[test]
+    fn usage_mentions_every_subcommand_dispatched() {
+        // Help-text drift gate: every subcommand the binary dispatches
+        // must appear in USAGE, including the ingest family.
+        for name in [
+            "simulate",
+            "calibrate",
+            "detect",
+            "capture",
+            "replay",
+            "fleet",
+            "ingest",
+            "store",
+            "bench",
+            "experiments",
+            "list",
+        ] {
+            assert!(
+                USAGE.contains(&format!("temspc {name}")),
+                "USAGE lost the '{name}' subcommand"
+            );
+        }
+        for flag in [
+            "--max-connections",
+            "--queue-depth",
+            "--batch-steps",
+            "--digest",
+        ] {
+            assert!(USAGE.contains(flag), "USAGE lost the '{flag}' flag");
+        }
+    }
 }

@@ -5,11 +5,13 @@
 //! temspc calibrate --runs 4 --hours 2 --out model.tpb [--net-out net.tpb]
 //! temspc detect    --model model.tpb --scenario idv6 --hours 4 --onset 1 [--net net.tpb]
 //! temspc capture   --out run.cap --scenario idv6 --hours 4 --onset 1 --seed 42
-//! temspc replay    --model model.tpb --capture run.cap [--net net.tpb]
+//! temspc replay    --model model.tpb --capture run.cap [--net net.tpb] [--digest]
 //! temspc fleet     --plants 8 --threads 4 --hours 2 --attack-fraction 0.25
 //!                  [--model-store models/ --cohorts 2]
 //!                  [--checkpoint fleet.tpb] [--metrics fleet.prom]
 //!                  [--record-captures dir | --replay dir]
+//! temspc ingest    serve --model model.tpb --addr 127.0.0.1:4840 [--expect n] [--report s.tpb]
+//! temspc ingest    drive --addr 127.0.0.1:4840 --tapes a.cap,b.cap --connections 64
 //! temspc store     list|calibrate|evict --dir models/ [--key cohort_0]
 //! temspc bench     sweep|smoke --plants 4,8,16 --threads 1,2,4 [--trajectory BENCH_fleet.json]
 //! temspc experiments --mode quick|paper --out results/
@@ -39,6 +41,7 @@ fn main() {
         Some("capture") => commands::capture(&parsed),
         Some("replay") => commands::replay(&parsed),
         Some("fleet") => commands::fleet(&parsed),
+        Some("ingest") => commands::ingest(&parsed),
         Some("store") => commands::store(&parsed),
         Some("bench") => commands::bench(&parsed),
         Some("experiments") => commands::experiments(&parsed),

@@ -124,7 +124,37 @@ pub fn capture_scenario(scenario: &Scenario) -> Result<ScenarioCapture, RunError
     })
 }
 
+/// Streaming scoring entry shared by the capture replay and the live
+/// socket front half (`temspc-ingest`): push reassembled closed-loop
+/// steps one at a time, finish into a [`ScenarioOutcome`].
+///
+/// The scorer wraps the same block-buffered dual-level scoring state
+/// [`DualMspc::run_scenario`] uses — same decimation, same batched block
+/// scorer, same detectors — so any two consumers fed the identical step
+/// stream produce bit-identical detection hours, false alarms, event
+/// windows and recorded rows. This is what makes a detection served off
+/// a TCP wire diffable against an offline replay of the same tape.
+pub struct StreamScorer<'m> {
+    state: BlockMonitorState<'m>,
+    steps: usize,
+    hours: Vec<f64>,
+    controller_rows: Matrix,
+    process_rows: Matrix,
+}
+
 impl DualMspc {
+    /// A streaming scorer for one plant's step stream, with the scenario
+    /// onset hour driving the false-alarm split.
+    pub fn stream_scorer(&self, onset_hour: f64) -> StreamScorer<'_> {
+        StreamScorer {
+            state: BlockMonitorState::new(self, onset_hour),
+            steps: 0,
+            hours: Vec::new(),
+            controller_rows: Matrix::with_capacity(0, N_MONITORED),
+            process_rows: Matrix::with_capacity(0, N_MONITORED),
+        }
+    }
+
     /// Scores a recorded capture through the dual-level charts.
     ///
     /// The replayed traffic is pushed through exactly the scoring path of
@@ -141,43 +171,69 @@ impl DualMspc {
         &self,
         capture: &ScenarioCapture,
     ) -> Result<ScenarioOutcome, CaptureError> {
-        let mut state = BlockMonitorState::new(self, capture.scenario.onset_hour);
-        let expected_rows = capture.steps().div_ceil(RECORD_EVERY);
-        let mut hours = Vec::with_capacity(expected_rows);
-        let mut controller_rows = Matrix::with_capacity(expected_rows, N_MONITORED);
-        let mut process_rows = Matrix::with_capacity(expected_rows, N_MONITORED);
-
-        for (k, step) in ReplayLink::new(&capture.records).enumerate() {
-            let step = step?;
-            check_shape(k, &step)?;
-            let mut controller_view = Vec::with_capacity(N_MONITORED);
-            controller_view.extend_from_slice(&step.received_xmeas);
-            controller_view.extend_from_slice(&step.commanded_xmv);
-            let mut process_view = Vec::with_capacity(N_MONITORED);
-            process_view.extend_from_slice(&step.true_xmeas);
-            process_view.extend_from_slice(&step.delivered_xmv);
-            state.push(step.hour, &controller_view, &process_view);
-            if k % RECORD_EVERY == 0 {
-                hours.push(step.hour);
-                controller_rows.push_row(&controller_view);
-                process_rows.push_row(&process_view);
-            }
+        let mut scorer = self.stream_scorer(capture.scenario.onset_hour);
+        for step in ReplayLink::new(&capture.records) {
+            scorer.push_step(&step?)?;
         }
+        Ok(scorer.finish(capture.scenario.clone(), capture.shutdown))
+    }
+}
 
-        let stream = state.finish();
-        Ok(ScenarioOutcome {
+impl StreamScorer<'_> {
+    /// Pushes one reassembled closed-loop step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CaptureError::Shape`] when the step's channel counts do
+    /// not match the TE loop's 41 sensors and 12 actuators. The scorer
+    /// state is unchanged on error.
+    pub fn push_step(&mut self, step: &ReplayStep) -> Result<(), CaptureError> {
+        check_shape(self.steps, step)?;
+        let mut controller_view = Vec::with_capacity(N_MONITORED);
+        controller_view.extend_from_slice(&step.received_xmeas);
+        controller_view.extend_from_slice(&step.commanded_xmv);
+        let mut process_view = Vec::with_capacity(N_MONITORED);
+        process_view.extend_from_slice(&step.true_xmeas);
+        process_view.extend_from_slice(&step.delivered_xmv);
+        self.state.push(step.hour, &controller_view, &process_view);
+        if self.steps.is_multiple_of(RECORD_EVERY) {
+            self.hours.push(step.hour);
+            self.controller_rows.push_row(&controller_view);
+            self.process_rows.push_row(&process_view);
+        }
+        self.steps += 1;
+        Ok(())
+    }
+
+    /// Steps scored so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Folds the detector state into a full [`ScenarioOutcome`].
+    ///
+    /// `scenario` and `shutdown` carry the run metadata the wire itself
+    /// does not (a live socket stream has no shutdown record — pass
+    /// `None` there; the detection fields are unaffected either way).
+    pub fn finish(
+        self,
+        scenario: Scenario,
+        shutdown: Option<(ShutdownReason, f64)>,
+    ) -> ScenarioOutcome {
+        let stream = self.state.finish();
+        ScenarioOutcome {
             run: RunData {
-                scenario: capture.scenario.clone(),
-                hours,
-                controller_view: controller_rows,
-                process_view: process_rows,
-                shutdown: capture.shutdown,
+                scenario,
+                hours: self.hours,
+                controller_view: self.controller_rows,
+                process_view: self.process_rows,
+                shutdown,
             },
             detection: stream.detection,
             false_alarms: stream.false_alarms,
             event_rows_controller: stream.event_rows_controller,
             event_rows_process: stream.event_rows_process,
-        })
+        }
     }
 }
 

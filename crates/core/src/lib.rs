@@ -62,7 +62,7 @@ pub use calibration::{
     calibration_scenario, collect_calibration_data, run_calibration_scenario,
     stack_calibration_runs, CalibrationConfig,
 };
-pub use capture::{capture_scenario, CaptureError, ScenarioCapture};
+pub use capture::{capture_scenario, CaptureError, ScenarioCapture, StreamScorer};
 pub use diagnosis::{AnomalyDiagnosis, Verdict};
 pub use monitor::{DetectionSummary, DualMspc, MonitorConfig, ScenarioOutcome};
 pub use names::{variable_description, variable_name, xmeas_index, xmv_index, N_MONITORED};

@@ -67,7 +67,7 @@ impl ScenarioKind {
 }
 
 /// A fully specified simulation scenario.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// Scenario kind (drives disturbances/attacks).
     pub kind: ScenarioKind,

@@ -37,6 +37,14 @@ pub enum PlantSource {
     /// path is a `String` so the config stays serializable with the
     /// vendored serde.
     Replay(String),
+    /// Live wire ingestion: plants stream length-prefixed fieldbus
+    /// frames over TCP to this listen address and are scored at wire
+    /// rate. The socket front half lives in the `temspc-ingest` crate
+    /// (`temspc ingest serve`), which fans reassembled per-plant batches
+    /// into this engine's [`WorkerPool`] intake path; the pull-model
+    /// [`FleetEngine::run`] cannot drive it and reports plants under
+    /// this source as failed with a pointer to the server.
+    Socket(String),
 }
 
 /// Configuration of a fleet campaign.
@@ -223,6 +231,16 @@ pub enum FleetError {
     Checkpoint(CheckpointError),
     /// Recording or loading a capture failed.
     Capture(String),
+    /// The campaign was interrupted by a cancellation signal
+    /// ([`FleetEngine::with_cancel`]): in-flight plants drained, pending
+    /// ones were skipped, and the checkpoint (if configured) holds every
+    /// completed record — resume with the same configuration to finish.
+    Interrupted {
+        /// Plant records completed (and checkpointed) before the stop.
+        completed: usize,
+        /// Total plants the campaign was asked for.
+        total: usize,
+    },
 }
 
 impl std::fmt::Display for FleetError {
@@ -230,6 +248,11 @@ impl std::fmt::Display for FleetError {
         match self {
             FleetError::Checkpoint(e) => write!(f, "{e}"),
             FleetError::Capture(msg) => write!(f, "capture failure: {msg}"),
+            FleetError::Interrupted { completed, total } => write!(
+                f,
+                "campaign interrupted after {completed}/{total} plants \
+                 (in-flight work drained; resume from the checkpoint to finish)"
+            ),
         }
     }
 }
@@ -238,7 +261,7 @@ impl std::error::Error for FleetError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FleetError::Checkpoint(e) => Some(e),
-            FleetError::Capture(_) => None,
+            FleetError::Capture(_) | FleetError::Interrupted { .. } => None,
         }
     }
 }
@@ -382,6 +405,11 @@ pub struct FleetEngine<'a> {
     /// reuses them, so per-thread scoring scratches stay warm across
     /// campaigns.
     pool: WorkerPool,
+    /// Cooperative cancellation flag ([`FleetEngine::with_cancel`]):
+    /// once set, plants not yet started are skipped, in-flight plants
+    /// drain normally, and [`FleetEngine::run`] checkpoints what it has
+    /// before returning [`FleetError::Interrupted`].
+    cancel: Option<&'a std::sync::atomic::AtomicBool>,
 }
 
 impl<'a> FleetEngine<'a> {
@@ -394,6 +422,7 @@ impl<'a> FleetEngine<'a> {
             registry: MetricsRegistry::new(),
             checkpoint_path: None,
             pool,
+            cancel: None,
         }
     }
 
@@ -411,6 +440,7 @@ impl<'a> FleetEngine<'a> {
             registry: MetricsRegistry::new(),
             checkpoint_path: None,
             pool,
+            cancel: None,
         }
     }
 
@@ -437,6 +467,17 @@ impl<'a> FleetEngine<'a> {
     #[must_use]
     pub fn with_checkpoint(mut self, path: impl AsRef<Path>) -> Self {
         self.checkpoint_path = Some(path.as_ref().to_path_buf());
+        self
+    }
+
+    /// Installs a cooperative cancellation flag (typically set from a
+    /// SIGINT/SIGTERM handler). Once the flag reads `true`, plants not
+    /// yet started are skipped, in-flight plants drain normally, and
+    /// [`FleetEngine::run`] flushes a checkpoint of every completed
+    /// record before returning [`FleetError::Interrupted`].
+    #[must_use]
+    pub fn with_cancel(mut self, flag: &'a std::sync::atomic::AtomicBool) -> Self {
+        self.cancel = Some(flag);
         self
     }
 
@@ -485,6 +526,11 @@ impl<'a> FleetEngine<'a> {
                     .score_capture(&capture)
                     .map_err(|e| format!("{}: {e}", path.display()))
             }
+            PlantSource::Socket(addr) => Err(format!(
+                "plant {plant} is sourced from live socket ingestion at {addr}; \
+                 run the push-model front half (`temspc ingest serve --addr {addr}`) \
+                 instead of the pull-model fleet engine"
+            )),
         }
     }
 
@@ -599,10 +645,19 @@ impl<'a> FleetEngine<'a> {
 
         let mut since_checkpoint = 0usize;
         let mut checkpoint_failure: Option<CheckpointError> = None;
+        let cancelled =
+            || matches!(self.cancel, Some(flag) if flag.load(std::sync::atomic::Ordering::SeqCst));
         self.pool.run(
             pending.len(),
-            |j| self.run_plant(pending[j]),
+            |j| {
+                if cancelled() {
+                    None
+                } else {
+                    Some(self.run_plant(pending[j]))
+                }
+            },
             |_, record| {
+                let Some(record) = record else { return };
                 metrics.record(&record);
                 records.push(record);
                 progress.set(records.len() as f64 / self.config.plants.max(1) as f64);
@@ -620,6 +675,14 @@ impl<'a> FleetEngine<'a> {
         );
         if let Some(e) = checkpoint_failure {
             return Err(e.into());
+        }
+        if cancelled() && records.len() < self.config.plants {
+            records.sort_by_key(|r| r.plant);
+            self.save_checkpoint(&records)?;
+            return Err(FleetError::Interrupted {
+                completed: records.len(),
+                total: self.config.plants,
+            });
         }
         let report = FleetReport::new(records);
         if self.checkpoint_path.is_some() {
@@ -791,6 +854,46 @@ mod tests {
             .as_deref()
             .is_some_and(|f| f.contains("recorded for")));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pre_set_cancel_flag_interrupts_and_checkpoints_completed_work() {
+        let monitor = quick_monitor();
+        let path = std::env::temp_dir().join("temspc_fleet_cancel_test.tpb");
+        let _ = std::fs::remove_file(&path);
+        let config = quick_config(3, 1);
+        let flag = std::sync::atomic::AtomicBool::new(true);
+        let engine = FleetEngine::new(&monitor, config.clone())
+            .with_checkpoint(&path)
+            .with_cancel(&flag);
+        match engine.run() {
+            Err(FleetError::Interrupted { completed, total }) => {
+                assert_eq!(completed, 0);
+                assert_eq!(total, 3);
+            }
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+        // Clearing the flag resumes from the checkpoint to a full report.
+        flag.store(false, std::sync::atomic::Ordering::SeqCst);
+        let report = engine.run().unwrap();
+        assert_eq!(report.records.len(), 3);
+        assert!(report.failed_plants().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn socket_source_plants_fail_with_a_pointer_to_the_server() {
+        let monitor = quick_monitor();
+        let config = FleetConfig {
+            source: PlantSource::Socket("127.0.0.1:7450".into()),
+            ..quick_config(1, 1)
+        };
+        let report = FleetEngine::new(&monitor, config).run().unwrap();
+        assert!(!report.records[0].completed);
+        assert!(report.records[0]
+            .fault
+            .as_deref()
+            .is_some_and(|f| f.contains("temspc ingest serve")));
     }
 
     #[test]

@@ -42,6 +42,33 @@ impl Gauge {
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
+    /// Adds `delta` (which may be negative) atomically — the
+    /// lost-update-free way for concurrent workers to maintain a shared
+    /// level gauge such as a current-connection count.
+    pub fn add(&self, delta: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    /// Subtracts 1.
+    pub fn dec(&self) {
+        self.add(-1.0);
+    }
+
     /// The current value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))
@@ -271,6 +298,38 @@ mod tests {
         assert_eq!(g.get(), 0.75);
         g.set(0.25);
         assert_eq!(g.get(), 0.25);
+        g.add(1.5);
+        assert_eq!(g.get(), 1.75);
+        g.add(-0.75);
+        assert_eq!(g.get(), 1.0);
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 2.0);
+    }
+
+    #[test]
+    fn concurrent_gauge_deltas_are_lossless() {
+        // Connection-count pattern: many threads inc on open, dec on
+        // close; the CAS loop must not lose updates the way racing
+        // get-then-set would.
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("ingest_connections_current", "");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let g = g.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        g.inc();
+                        g.add(2.0);
+                        g.dec();
+                        g.add(-2.0);
+                    }
+                    g.inc();
+                });
+            }
+        });
+        assert_eq!(g.get(), 4.0);
     }
 
     #[test]

@@ -1,0 +1,935 @@
+//! The ingestion server: one non-blocking event loop accepting many
+//! concurrent plant connections, one intake thread fanning reassembled
+//! step batches into the persistent [`WorkerPool`] for T²/SPE scoring.
+//!
+//! # Architecture
+//!
+//! ```text
+//!            event-loop thread                intake thread
+//!  epoll ──► read → StreamParser ──► per-conn ──► batch → WorkerPool
+//!            (torn-read reassembly)  step queue    (StreamScorer per plant)
+//!                 ▲                  (bounded)          │
+//!                 └── park read interest when full ◄────┘ drain
+//! ```
+//!
+//! * **Backpressure** is explicit: when a connection's step queue
+//!   reaches `queue_depth`, the event loop parks its read interest; the
+//!   kernel buffer then fills and the peer's TCP window closes. A
+//!   periodic tick unparks connections whose queues have drained below
+//!   half depth. Frames are therefore *never* dropped under load — the
+//!   `ingest_dropped_steps_total` counter exists as a hard-cap backstop
+//!   and staying at zero is asserted by the integration tests.
+//! * **Bit-identical scoring**: each connection's steps go through a
+//!   [`StreamScorer`] — the exact scoring path `score_capture` and
+//!   `run_scenario` use — so a detection served off the wire equals the
+//!   offline replay of the same tape, digest for digest.
+//! * **Graceful shutdown**: when the stop flag is set, the loop stops
+//!   accepting, marks every connection end-of-stream, drains all queued
+//!   batches through the pool, and returns the final [`IngestReport`]
+//!   (which `temspc ingest serve` flushes atomically to a TPB file).
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use temspc::diagnosis::{diagnose, VerdictThresholds};
+use temspc::persistence::PersistenceError;
+use temspc::{DualMspc, ScenarioKind, ScenarioOutcome, StreamScorer, Verdict};
+use temspc_fieldbus::{CaptureRecord, ReplayLink, ReplayStep, TapPoint};
+use temspc_fleet::{
+    Counter, FleetReport, Gauge, Histogram, MetricsRegistry, PlantRecord, WorkerPool,
+};
+
+use crate::poller::Poller;
+use crate::stream::{Hello, StreamEvent, StreamParser};
+
+/// File magic + format version for ingestion reports.
+const REPORT_MAGIC: &[u8; 8] = b"TEINGRP\x01";
+
+/// Configuration of the ingestion server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngestConfig {
+    /// Listen address (`host:port`; port 0 picks a free one).
+    pub addr: String,
+    /// Concurrent connection cap; further accepts are refused.
+    pub max_connections: usize,
+    /// Per-connection step-queue bound: reaching it parks the
+    /// connection's read interest until the intake thread drains the
+    /// queue below half. (A queue may transiently exceed the bound by
+    /// the steps decoded from one already-read chunk.)
+    pub queue_depth: usize,
+    /// Most steps scored per connection per intake batch.
+    pub batch_steps: usize,
+    /// Scoring worker threads (0 → one per CPU core, capped at 16).
+    pub threads: usize,
+    /// Stop serving once this many connections have been fully scored
+    /// (`None` → serve until the stop flag is raised).
+    pub expect: Option<usize>,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            addr: "127.0.0.1:0".into(),
+            max_connections: 1024,
+            queue_depth: 256,
+            batch_steps: 512,
+            threads: 0,
+            expect: None,
+        }
+    }
+}
+
+/// Outcome of one plant connection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnectionReport {
+    /// Plant id from the handshake (`u32::MAX` if none arrived).
+    pub plant: u32,
+    /// Scenario kind the handshake declared.
+    pub kind: ScenarioKind,
+    /// Scenario seed the handshake declared.
+    pub seed: u64,
+    /// Whether the stream was scored to a clean end.
+    pub completed: bool,
+    /// Closed-loop steps scored.
+    pub steps: u64,
+    /// Wire frames received.
+    pub frames: u64,
+    /// Alarms raised before the anomaly onset.
+    pub false_alarms: u32,
+    /// Hours from onset to first detection, if detected.
+    pub detection_latency_hours: Option<f64>,
+    /// Disturbance-vs-intrusion verdict, if diagnosable.
+    pub verdict: Option<Verdict>,
+    /// Detection digest ([`detection_digest`]) for bit-identity diffs
+    /// against offline replay (0 when not scored).
+    pub digest: u64,
+    /// Failure description for incomplete streams.
+    pub fault: Option<String>,
+}
+
+/// Aggregate outcome of one serving session.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct IngestReport {
+    /// Per-connection outcomes, sorted by plant id.
+    pub connections: Vec<ConnectionReport>,
+    /// Total wire frames received.
+    pub frames: u64,
+    /// Total closed-loop steps scored.
+    pub steps: u64,
+    /// Total bytes read off sockets.
+    pub bytes: u64,
+    /// Steps dropped at the hard queue cap (zero under the parking
+    /// backpressure design; asserted zero by the smoke tests).
+    pub drops: u64,
+    /// Connections that died to a framing/reassembly/scoring error.
+    pub reassembly_errors: u64,
+}
+
+impl IngestReport {
+    /// The session reframed as a fleet report: one [`PlantRecord`] per
+    /// connection, so the existing confusion-matrix and latency
+    /// aggregation applies to served traffic unchanged.
+    pub fn fleet_report(&self) -> FleetReport {
+        let records = self
+            .connections
+            .iter()
+            .map(|c| PlantRecord {
+                plant: c.plant,
+                kind: c.kind,
+                seed: c.seed,
+                completed: c.completed,
+                restarts: 0,
+                fault: c.fault.clone(),
+                detection_latency_hours: c.detection_latency_hours,
+                false_alarms: c.false_alarms,
+                verdict: c.verdict,
+                shutdown_hour: None,
+                model_generation: 0,
+            })
+            .collect();
+        FleetReport::new(records)
+    }
+}
+
+/// Saves an ingestion report to `path` (TPB with magic header), via the
+/// same atomic temp-file + rename discipline as every other persisted
+/// artifact — a SIGTERM mid-flush leaves the previous report, never a
+/// torn file.
+///
+/// # Errors
+///
+/// Returns [`PersistenceError`] on I/O or encoding failures.
+pub fn save_report(report: &IngestReport, path: impl AsRef<Path>) -> Result<(), PersistenceError> {
+    let mut bytes = Vec::with_capacity(1024);
+    bytes.extend_from_slice(REPORT_MAGIC);
+    bytes.extend_from_slice(&temspc_persist::to_bytes(report)?);
+    temspc_persist::write_atomic(path.as_ref(), &bytes)?;
+    Ok(())
+}
+
+/// Loads a report saved with [`save_report`].
+///
+/// # Errors
+///
+/// Returns [`PersistenceError`] on I/O, header or decoding failures.
+pub fn load_report(path: impl AsRef<Path>) -> Result<IngestReport, PersistenceError> {
+    let bytes = std::fs::read(path.as_ref())?;
+    let payload = bytes
+        .strip_prefix(REPORT_MAGIC.as_slice())
+        .ok_or(PersistenceError::BadHeader)?;
+    Ok(temspc_persist::from_bytes(payload)?)
+}
+
+/// A stable 64-bit digest over a scored outcome's detection-relevant
+/// fields: both levels' detection and first-violation hours (bit
+/// patterns, not rounded values) and the false-alarm count.
+///
+/// Two outcomes digest equal iff their detections are bit-identical, so
+/// diffing the digest printed by `temspc ingest serve` against `temspc
+/// replay --digest` of the same tape proves the served scoring path
+/// equals the offline one without shipping whole outcomes around.
+pub fn detection_digest(outcome: &ScenarioOutcome) -> u64 {
+    // FNV-1a: dependency-free and deterministic across platforms.
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut write = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for event in [&outcome.detection.controller, &outcome.detection.process] {
+        match event {
+            Some(e) => {
+                write(&[1]);
+                write(&e.detected_hour.to_bits().to_be_bytes());
+                write(&e.first_violation_hour.to_bits().to_be_bytes());
+            }
+            None => write(&[0]),
+        }
+    }
+    write(&(outcome.false_alarms as u64).to_be_bytes());
+    hash
+}
+
+/// Poison-tolerant lock (same rationale as the worker pool: all guarded
+/// state is consistent on every unwind path).
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Handles into the server's metric family.
+struct IngestMetrics {
+    connections_current: Gauge,
+    connections_total: Counter,
+    refused_total: Counter,
+    bytes_total: Counter,
+    frames_total: Counter,
+    steps_total: Counter,
+    dropped_steps_total: Counter,
+    reassembly_errors_total: Counter,
+    parked_total: Counter,
+    batch_latency: Histogram,
+}
+
+impl IngestMetrics {
+    fn register(registry: &MetricsRegistry) -> Self {
+        IngestMetrics {
+            connections_current: registry.gauge(
+                "ingest_connections_current",
+                "plant connections currently open",
+            ),
+            connections_total: registry
+                .counter("ingest_connections_total", "plant connections accepted"),
+            refused_total: registry.counter(
+                "ingest_connections_refused_total",
+                "connections refused at the concurrency cap",
+            ),
+            bytes_total: registry.counter("ingest_bytes_total", "bytes read off sockets"),
+            frames_total: registry.counter("ingest_frames_total", "wire frames received"),
+            steps_total: registry.counter("ingest_steps_total", "closed-loop steps reassembled"),
+            dropped_steps_total: registry.counter(
+                "ingest_dropped_steps_total",
+                "steps dropped at the hard queue cap (0 under parking backpressure)",
+            ),
+            reassembly_errors_total: registry.counter(
+                "ingest_reassembly_errors_total",
+                "connections killed by framing, reassembly or scoring errors",
+            ),
+            parked_total: registry.counter(
+                "ingest_parked_total",
+                "backpressure events: read interest parked on a full queue",
+            ),
+            batch_latency: registry.histogram(
+                "ingest_batch_queue_latency_seconds",
+                "time a batch's oldest step waited in its connection queue",
+                &[0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0],
+            ),
+        }
+    }
+}
+
+/// State one connection shares between the event loop and the intake
+/// thread.
+#[derive(Default)]
+struct ConnState {
+    hello: Option<Hello>,
+    steps: VecDeque<ReplayStep>,
+    /// Enqueue instant of the oldest undrained step (queue-latency
+    /// observation point).
+    oldest: Option<Instant>,
+    frames: u64,
+    /// No more steps will arrive (EOF, error, or server shutdown).
+    eof: bool,
+    fault: Option<String>,
+}
+
+#[derive(Default)]
+struct ConnShared {
+    state: Mutex<ConnState>,
+}
+
+/// Event-loop-side connection bookkeeping.
+struct Conn {
+    stream: TcpStream,
+    parser: StreamParser,
+    /// Records of the step currently being reassembled (0..4).
+    pending_step: Vec<CaptureRecord>,
+    shared: Arc<ConnShared>,
+    parked: bool,
+    /// Whether the intake thread has been told about this token.
+    announced: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            parser: StreamParser::new(),
+            pending_step: Vec::with_capacity(TapPoint::STEP_ORDER.len()),
+            shared: Arc::new(ConnShared::default()),
+            parked: false,
+            announced: false,
+        }
+    }
+}
+
+/// Announcement channel from the event loop to the intake thread: each
+/// token is announced once; the intake thread keeps polling announced
+/// connections until it retires them.
+#[derive(Default)]
+struct IntakeQueue {
+    ready: Mutex<VecDeque<(usize, Arc<ConnShared>)>>,
+    wake: Condvar,
+}
+
+impl IntakeQueue {
+    fn push(&self, token: usize, shared: &Arc<ConnShared>) {
+        lock(&self.ready).push_back((token, Arc::clone(shared)));
+        self.wake.notify_one();
+    }
+
+    fn drain_wait(&self, timeout: Duration) -> Vec<(usize, Arc<ConnShared>)> {
+        let mut guard = lock(&self.ready);
+        if guard.is_empty() {
+            guard = self
+                .wake
+                .wait_timeout(guard, timeout)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+        guard.drain(..).collect()
+    }
+}
+
+/// The ingestion server. Bind once, then [`IngestServer::run`] the
+/// serving session; metrics accumulate in [`IngestServer::metrics`].
+pub struct IngestServer<'m> {
+    monitor: &'m DualMspc,
+    config: IngestConfig,
+    listener: TcpListener,
+    registry: MetricsRegistry,
+    pool: WorkerPool,
+}
+
+impl<'m> IngestServer<'m> {
+    /// Binds the listen socket and spawns the scoring pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding failure.
+    pub fn bind(monitor: &'m DualMspc, config: IngestConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let pool = WorkerPool::new(config.threads);
+        Ok(IngestServer {
+            monitor,
+            config,
+            listener,
+            registry: MetricsRegistry::new(),
+            pool,
+        })
+    }
+
+    /// The bound listen address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The server's metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &IngestConfig {
+        &self.config
+    }
+
+    /// Serves until the stop flag is raised (or `expect` connections
+    /// have been fully scored), then drains all in-flight batches and
+    /// returns the session report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates event-loop I/O failures (poller or listener); per-
+    /// connection errors never fail the server, they fail the
+    /// connection's report.
+    pub fn run(&self, stop: &AtomicBool) -> io::Result<IngestReport> {
+        let metrics = IngestMetrics::register(&self.registry);
+        let intake = IntakeQueue::default();
+        let reports: Mutex<Vec<ConnectionReport>> = Mutex::new(Vec::new());
+        let drained = AtomicBool::new(false);
+        let finished = AtomicUsize::new(0);
+
+        let loop_result = std::thread::scope(|scope| {
+            let intake_thread = scope.spawn(|| {
+                intake_loop(
+                    self.monitor,
+                    &self.pool,
+                    self.config.batch_steps,
+                    &intake,
+                    &drained,
+                    &reports,
+                    &metrics,
+                    &finished,
+                )
+            });
+            let result = self.event_loop(stop, &metrics, &intake, &finished);
+            drained.store(true, Ordering::SeqCst);
+            intake.wake.notify_one();
+            intake_thread.join().expect("intake thread panicked");
+            result
+        });
+        loop_result?;
+
+        let mut connections = reports.into_inner().unwrap_or_else(PoisonError::into_inner);
+        connections.sort_by_key(|c| c.plant);
+        Ok(IngestReport {
+            connections,
+            frames: metrics.frames_total.get(),
+            steps: metrics.steps_total.get(),
+            bytes: metrics.bytes_total.get(),
+            drops: metrics.dropped_steps_total.get(),
+            reassembly_errors: metrics.reassembly_errors_total.get(),
+        })
+    }
+
+    fn event_loop(
+        &self,
+        stop: &AtomicBool,
+        metrics: &IngestMetrics,
+        intake: &IntakeQueue,
+        finished: &AtomicUsize,
+    ) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        poller.register(self.listener.as_raw_fd(), 0, true)?;
+
+        let mut state = EventState {
+            poller,
+            conns: HashMap::new(),
+            next_token: 1,
+            max_connections: self.config.max_connections.max(1),
+            queue_depth: self.config.queue_depth.max(1),
+            read_buf: vec![0u8; 65536].into_boxed_slice(),
+            metrics,
+            intake,
+        };
+        let mut events = Vec::new();
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Some(expected) = self.config.expect {
+                if finished.load(Ordering::SeqCst) >= expected {
+                    break;
+                }
+            }
+            state.poller.wait(&mut events, 5)?;
+            for &event in &events {
+                if event.token == 0 {
+                    state.accept_ready(&self.listener)?;
+                } else if event.readable || event.closed {
+                    state.conn_readable(event.token);
+                }
+            }
+            state.unpark_tick();
+        }
+        state.shutdown_remaining();
+        Ok(())
+    }
+}
+
+/// The event loop's mutable world, factored out so connection handling
+/// reads as methods instead of parameter soup.
+struct EventState<'s> {
+    poller: Poller,
+    /// Live connections by token. Tokens are never reused — the intake
+    /// thread keys its scorers by token, and a recycled token could
+    /// collide with a connection it has not finalized yet.
+    conns: HashMap<usize, Conn>,
+    next_token: usize,
+    max_connections: usize,
+    queue_depth: usize,
+    /// Reusable socket read buffer, shared across every connection's
+    /// reads on this (single) event-loop thread.
+    read_buf: Box<[u8]>,
+    metrics: &'s IngestMetrics,
+    intake: &'s IntakeQueue,
+}
+
+impl EventState<'_> {
+    fn accept_ready(&mut self, listener: &TcpListener) -> io::Result<()> {
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.metrics.connections_total.inc();
+                    if self.conns.len() >= self.max_connections {
+                        self.metrics.refused_total.inc();
+                        drop(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        self.metrics.refused_total.inc();
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), token, true)
+                        .is_err()
+                    {
+                        self.metrics.refused_total.inc();
+                        continue;
+                    }
+                    self.conns.insert(token, Conn::new(stream));
+                    self.metrics.connections_current.inc();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept failures (e.g. the peer aborted
+                // between queueing and accept) are not server failures.
+                Err(_) => break,
+            }
+        }
+        Ok(())
+    }
+
+    fn conn_readable(&mut self, token: usize) {
+        let outcome = {
+            // Split the borrows: the connection lives in the slab, the
+            // poller/metrics/intake are sibling fields.
+            let EventState {
+                poller,
+                conns,
+                queue_depth,
+                read_buf,
+                metrics,
+                intake,
+                ..
+            } = self;
+            let Some(conn) = conns.get_mut(&token) else {
+                return; // already closed this tick
+            };
+            read_conn(conn, token, *queue_depth, read_buf, poller, metrics, intake)
+        };
+        match outcome {
+            ReadOutcome::Continue => {}
+            ReadOutcome::Eof => self.close_conn(token, None),
+            ReadOutcome::Fault(fault) => {
+                self.metrics.reassembly_errors_total.inc();
+                self.close_conn(token, Some(fault));
+            }
+        }
+    }
+
+    /// Retires a connection: deregisters the socket, marks the shared
+    /// state end-of-stream (diagnosing a tear if the wire died mid-
+    /// message or mid-step) and announces the token so the intake thread
+    /// finalizes it.
+    fn close_conn(&mut self, token: usize, fault: Option<String>) {
+        let Some(conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        self.metrics.connections_current.dec();
+        let mut fault = fault;
+        if fault.is_none() && (conn.parser.pending_bytes() > 0 || !conn.pending_step.is_empty()) {
+            self.metrics.reassembly_errors_total.inc();
+            fault = Some(format!(
+                "connection closed mid-stream ({} bytes and {} frames of an \
+                 unfinished step pending)",
+                conn.parser.pending_bytes(),
+                conn.pending_step.len()
+            ));
+        }
+        {
+            let mut state = lock(&conn.shared.state);
+            state.eof = true;
+            if state.fault.is_none() {
+                state.fault = fault;
+            }
+        }
+        // Announce each token at most once, ever: a second announcement
+        // could arrive after the intake thread finalized the entry and
+        // would resurrect it as a duplicate report.
+        if conn.announced {
+            self.intake.wake.notify_one();
+        } else {
+            self.intake.push(token, &conn.shared);
+        }
+    }
+
+    /// Un-parks connections whose queues have drained below half depth —
+    /// the periodic other half of the backpressure protocol (the intake
+    /// thread never touches the poller).
+    fn unpark_tick(&mut self) {
+        for (&token, conn) in &mut self.conns {
+            if !conn.parked {
+                continue;
+            }
+            let depth = lock(&conn.shared.state).steps.len();
+            if depth * 2 <= self.queue_depth
+                && self
+                    .poller
+                    .set_readable(conn.stream.as_raw_fd(), token, true)
+                    .is_ok()
+            {
+                conn.parked = false;
+            }
+        }
+    }
+
+    /// Shutdown path: every still-open connection is marked end-of-
+    /// stream so the intake thread drains its queue and reports it as
+    /// interrupted rather than silently vanishing.
+    fn shutdown_remaining(&mut self) {
+        let tokens: Vec<usize> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.close_conn(
+                token,
+                Some("server stopped while the stream was live".into()),
+            );
+        }
+    }
+}
+
+enum ReadOutcome {
+    Continue,
+    Eof,
+    Fault(String),
+}
+
+/// Pulls everything the socket has, feeding the parser and enqueuing
+/// reassembled steps, until the read would block, the connection parks,
+/// or the stream ends or faults.
+fn read_conn(
+    conn: &mut Conn,
+    token: usize,
+    queue_depth: usize,
+    buf: &mut [u8],
+    poller: &Poller,
+    metrics: &IngestMetrics,
+    intake: &IntakeQueue,
+) -> ReadOutcome {
+    while !conn.parked {
+        match conn.stream.read(buf) {
+            Ok(0) => return ReadOutcome::Eof,
+            Ok(n) => {
+                metrics.bytes_total.add(n as u64);
+                conn.parser.feed(&buf[..n]);
+                if let Err(fault) = drain_parser(conn, token, queue_depth, poller, metrics, intake)
+                {
+                    return ReadOutcome::Fault(fault);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return ReadOutcome::Fault(format!("socket read failed: {e}")),
+        }
+    }
+    ReadOutcome::Continue
+}
+
+/// Drains every complete parser event, reassembling steps and enqueuing
+/// them for the intake thread. Returns the fault message on the first
+/// protocol/reassembly error.
+fn drain_parser(
+    conn: &mut Conn,
+    token: usize,
+    queue_depth: usize,
+    poller: &Poller,
+    metrics: &IngestMetrics,
+    intake: &IntakeQueue,
+) -> Result<(), String> {
+    loop {
+        match conn.parser.next_event() {
+            Ok(None) => return Ok(()),
+            Ok(Some(StreamEvent::Hello(hello))) => {
+                lock(&conn.shared.state).hello = Some(hello);
+            }
+            Ok(Some(StreamEvent::Record(record))) => {
+                metrics.frames_total.inc();
+                conn.pending_step.push(record);
+                if conn.pending_step.len() < TapPoint::STEP_ORDER.len() {
+                    continue;
+                }
+                // Reuse the replay grammar for step reassembly: tap
+                // order, frame-kind direction, hour/seq/width agreement
+                // — the same strictness an offline tape replay gets.
+                let step = match ReplayLink::new(&conn.pending_step).next() {
+                    Some(Ok(step)) => step,
+                    Some(Err(e)) => return Err(format!("step reassembly failed: {e}")),
+                    None => unreachable!("four records always yield one result"),
+                };
+                conn.pending_step.clear();
+                metrics.steps_total.inc();
+                let depth = {
+                    let mut state = lock(&conn.shared.state);
+                    state.frames += 4;
+                    if state.steps.len() >= queue_depth.saturating_mul(8).max(8) {
+                        // Hard-cap backstop; unreachable under parking.
+                        metrics.dropped_steps_total.inc();
+                        state.steps.len()
+                    } else {
+                        if state.oldest.is_none() {
+                            state.oldest = Some(Instant::now());
+                        }
+                        state.steps.push_back(step);
+                        state.steps.len()
+                    }
+                };
+                if !conn.announced {
+                    conn.announced = true;
+                    intake.push(token, &conn.shared);
+                } else {
+                    intake.wake.notify_one();
+                }
+                if depth >= queue_depth && !conn.parked {
+                    // Backpressure: stop reading this connection; its
+                    // kernel buffer and then the peer's send window
+                    // absorb the flow until the queue drains.
+                    metrics.parked_total.inc();
+                    if poller
+                        .set_readable(conn.stream.as_raw_fd(), token, false)
+                        .is_ok()
+                    {
+                        conn.parked = true;
+                    }
+                }
+            }
+            Err(e) => return Err(format!("stream error: {e}")),
+        }
+    }
+}
+
+/// One connection's scoring job slot: the scorer plus its step batch,
+/// taken (`Option`) by whichever pool worker claims the slot.
+type BatchJob<'m> = Mutex<Option<(StreamScorer<'m>, Vec<ReplayStep>)>>;
+
+#[allow(clippy::too_many_arguments)]
+fn intake_loop<'m>(
+    monitor: &'m DualMspc,
+    pool: &WorkerPool,
+    batch_steps: usize,
+    intake: &IntakeQueue,
+    drained: &AtomicBool,
+    reports: &Mutex<Vec<ConnectionReport>>,
+    metrics: &IngestMetrics,
+    finished: &AtomicUsize,
+) {
+    struct Entry<'m> {
+        shared: Arc<ConnShared>,
+        scorer: Option<StreamScorer<'m>>,
+        steps: u64,
+        fault: Option<String>,
+    }
+
+    let batch_steps = batch_steps.max(1);
+    let mut active: HashMap<usize, Entry<'m>> = HashMap::new();
+    loop {
+        for (token, shared) in intake.drain_wait(Duration::from_millis(5)) {
+            active.entry(token).or_insert(Entry {
+                shared,
+                scorer: None,
+                steps: 0,
+                fault: None,
+            });
+        }
+
+        // Assemble one bounded batch per connection with queued steps.
+        let mut batch_tokens: Vec<usize> = Vec::new();
+        let mut jobs: Vec<BatchJob<'m>> = Vec::new();
+        for (&token, entry) in &mut active {
+            let batch = {
+                let mut state = lock(&entry.shared.state);
+                if state.steps.is_empty() {
+                    None
+                } else {
+                    let take = state.steps.len().min(batch_steps);
+                    let batch: Vec<ReplayStep> = state.steps.drain(..take).collect();
+                    if let Some(oldest) = state.oldest.take() {
+                        metrics
+                            .batch_latency
+                            .observe(oldest.elapsed().as_secs_f64());
+                    }
+                    if !state.steps.is_empty() {
+                        state.oldest = Some(Instant::now());
+                    }
+                    Some(batch)
+                }
+            };
+            let Some(batch) = batch else { continue };
+            if entry.fault.is_some() {
+                continue; // scorer already condemned; drain and discard
+            }
+            if entry.scorer.is_none() {
+                let onset = lock(&entry.shared.state)
+                    .hello
+                    .as_ref()
+                    .map(|h| h.scenario.onset_hour);
+                match onset {
+                    Some(onset) => entry.scorer = Some(monitor.stream_scorer(onset)),
+                    None => {
+                        // Unreachable (the parser emits Hello first),
+                        // kept as a fault rather than a panic.
+                        entry.fault = Some("steps arrived before the handshake".into());
+                        continue;
+                    }
+                }
+            }
+            let scorer = entry.scorer.take().expect("scorer just ensured");
+            batch_tokens.push(token);
+            jobs.push(Mutex::new(Some((scorer, batch))));
+        }
+
+        // Fan the batches over the pool: one job per connection, scorers
+        // moved in and handed back through the sink.
+        if !jobs.is_empty() {
+            pool.run(
+                jobs.len(),
+                |j| {
+                    let (mut scorer, batch) =
+                        lock(&jobs[j]).take().expect("each job taken exactly once");
+                    let mut fault = None;
+                    for step in &batch {
+                        if let Err(e) = scorer.push_step(step) {
+                            fault = Some(format!("scoring rejected a step: {e}"));
+                            break;
+                        }
+                    }
+                    (scorer, batch.len() as u64, fault)
+                },
+                |j, (scorer, scored, fault)| {
+                    let entry = active
+                        .get_mut(&batch_tokens[j])
+                        .expect("batch token is active");
+                    entry.steps += scored;
+                    match fault {
+                        None => entry.scorer = Some(scorer),
+                        Some(fault) => {
+                            metrics.reassembly_errors_total.inc();
+                            entry.fault = Some(fault);
+                        }
+                    }
+                },
+            );
+        }
+
+        // Finalize every connection that hit end-of-stream with an empty
+        // queue: fold its scorer into an outcome and report.
+        let finished_tokens: Vec<usize> = active
+            .iter()
+            .filter(|(_, entry)| {
+                let state = lock(&entry.shared.state);
+                state.eof && state.steps.is_empty()
+            })
+            .map(|(&token, _)| token)
+            .collect();
+        for token in finished_tokens {
+            let mut entry = active.remove(&token).expect("token just listed");
+            let (hello, fault, frames) = {
+                let state = lock(&entry.shared.state);
+                (state.hello.clone(), state.fault.clone(), state.frames)
+            };
+            let fault = entry.fault.take().or(fault);
+            let report = match (hello, entry.scorer.take(), fault) {
+                (Some(hello), Some(scorer), None) => {
+                    let onset = hello.scenario.onset_hour;
+                    let outcome = scorer.finish(hello.scenario.clone(), None);
+                    let verdict = diagnose(monitor, &outcome, VerdictThresholds::default())
+                        .map(|d| d.verdict);
+                    ConnectionReport {
+                        plant: hello.plant,
+                        kind: hello.scenario.kind,
+                        seed: hello.scenario.seed,
+                        completed: true,
+                        steps: entry.steps,
+                        frames,
+                        false_alarms: outcome.false_alarms as u32,
+                        detection_latency_hours: outcome.detection.run_length(onset),
+                        verdict,
+                        digest: detection_digest(&outcome),
+                        fault: None,
+                    }
+                }
+                (hello, _, fault) => {
+                    let (plant, kind, seed) = hello
+                        .map(|h| (h.plant, h.scenario.kind, h.scenario.seed))
+                        .unwrap_or((u32::MAX, ScenarioKind::Normal, 0));
+                    ConnectionReport {
+                        plant,
+                        kind,
+                        seed,
+                        completed: false,
+                        steps: entry.steps,
+                        frames,
+                        false_alarms: 0,
+                        detection_latency_hours: None,
+                        verdict: None,
+                        digest: 0,
+                        fault: fault
+                            .or_else(|| Some("connection closed before any complete step".into())),
+                    }
+                }
+            };
+            lock(reports).push(report);
+            finished.fetch_add(1, Ordering::SeqCst);
+        }
+
+        if drained.load(Ordering::SeqCst) && active.is_empty() && lock(&intake.ready).is_empty() {
+            return;
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Cooperative SIGINT/SIGTERM handling without a bindings crate.
+//!
+//! Long-lived entry points (`temspc ingest serve`, `temspc fleet`) must
+//! drain in-flight work and flush a checkpoint instead of dying
+//! mid-write. The handler is the async-signal-safe minimum: one store to
+//! a process-wide [`AtomicBool`] that the event loop and fleet engine
+//! poll cooperatively. Registration goes through `signal(2)` declared
+//! directly against the C library the standard library already links.
+
+use std::sync::atomic::AtomicBool;
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // The only async-signal-safe thing worth doing: flag and return.
+        super::STOP.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent) and returns the
+/// stop flag they set. Callers poll the flag between units of work and
+/// shut down gracefully when it reads `true`.
+pub fn install_handlers() -> &'static AtomicBool {
+    imp::install();
+    &STOP
+}
+
+/// The process-wide stop flag, without (re-)installing handlers — for
+/// tests and for code that wants to request shutdown programmatically.
+pub fn stop_flag() -> &'static AtomicBool {
+    &STOP
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn flag_is_shared_and_settable() {
+        let flag = install_handlers();
+        assert!(std::ptr::eq(flag, stop_flag()));
+        // Don't leave the process-wide flag set for other tests.
+        flag.store(true, Ordering::SeqCst);
+        assert!(stop_flag().load(Ordering::SeqCst));
+        flag.store(false, Ordering::SeqCst);
+    }
+}

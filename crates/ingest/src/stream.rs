@@ -1,0 +1,489 @@
+//! The ingestion wire protocol and its incremental parser.
+//!
+//! A plant's traffic arrives over one TCP connection as a fixed
+//! handshake followed by length-prefixed tap messages:
+//!
+//! ```text
+//! Hello (40 bytes, big endian):
+//!   [0..8]   magic  b"TEINGEST"
+//!   [8..10]  protocol version, u16 (currently 1)
+//!   [10]     scenario kind code (0 normal, 1 idv6, 2 integrity_xmv3,
+//!            3 integrity_xmeas1, 4 dos_xmv3)
+//!   [11]     reserved (0)
+//!   [12..16] plant id, u32
+//!   [16..24] scenario seed, u64
+//!   [24..32] anomaly onset hour, f64
+//!   [32..40] scenario duration hours, f64
+//!
+//! Message (repeated):
+//!   [0..4]   payload length, u32 (tap byte + frame)
+//!   [4]      tap point code (0..=3, step order)
+//!   [5..]    one fieldbus frame, exactly as it crossed the wire
+//! ```
+//!
+//! TCP is a byte stream: a message may arrive torn across any number of
+//! segments, and one segment may carry many messages. [`StreamParser`]
+//! reassembles without assuming any alignment, validates every frame
+//! with the strict [`Frame::decode`] grammar, and fails loudly — a
+//! malformed handshake, oversized length prefix, unknown tap code or
+//! corrupt frame poisons the parser rather than resynchronizing onto
+//! attacker-chosen bytes.
+
+use temspc::{Scenario, ScenarioKind};
+use temspc_fieldbus::frame::MAX_VALUES;
+use temspc_fieldbus::{CaptureRecord, Frame, FrameError, TapPoint};
+
+/// Handshake length, bytes.
+pub const HELLO_LEN: usize = 40;
+
+/// Handshake magic.
+pub const HELLO_MAGIC: &[u8; 8] = b"TEINGEST";
+
+/// Protocol version this build speaks.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Fieldbus frame header length (kept in sync with `temspc-fieldbus`,
+/// which validates it on every decode).
+const FRAME_HEADER_LEN: usize = 18;
+
+/// Largest payload a message length prefix may advertise: one tap byte
+/// plus a maximal fieldbus frame. Anything larger is rejected before
+/// buffering, so a hostile length prefix cannot balloon server memory.
+pub const MAX_MESSAGE_LEN: usize = 1 + FRAME_HEADER_LEN + 8 * MAX_VALUES;
+
+/// The per-connection handshake: which plant this is and the scenario
+/// metadata scoring needs (onset hour drives the false-alarm split).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hello {
+    /// Plant id within the fleet.
+    pub plant: u32,
+    /// Scenario the traffic claims to carry.
+    pub scenario: Scenario,
+}
+
+/// Wire code of a scenario kind.
+pub fn kind_code(kind: ScenarioKind) -> u8 {
+    match kind {
+        ScenarioKind::Normal => 0,
+        ScenarioKind::Idv6 => 1,
+        ScenarioKind::IntegrityXmv3 => 2,
+        ScenarioKind::IntegrityXmeas1 => 3,
+        ScenarioKind::DosXmv3 => 4,
+    }
+}
+
+/// Scenario kind for a wire code.
+pub fn kind_from_code(code: u8) -> Option<ScenarioKind> {
+    Some(match code {
+        0 => ScenarioKind::Normal,
+        1 => ScenarioKind::Idv6,
+        2 => ScenarioKind::IntegrityXmv3,
+        3 => ScenarioKind::IntegrityXmeas1,
+        4 => ScenarioKind::DosXmv3,
+        _ => return None,
+    })
+}
+
+/// Wire code of a tap point (its index in step order).
+pub fn tap_code(point: TapPoint) -> u8 {
+    TapPoint::STEP_ORDER
+        .iter()
+        .position(|p| *p == point)
+        .expect("every tap point appears in step order") as u8
+}
+
+/// Tap point for a wire code.
+pub fn tap_from_code(code: u8) -> Option<TapPoint> {
+    TapPoint::STEP_ORDER.get(code as usize).copied()
+}
+
+/// Encodes the handshake for `plant` streaming `scenario`.
+pub fn encode_hello(plant: u32, scenario: &Scenario) -> [u8; HELLO_LEN] {
+    let mut out = [0u8; HELLO_LEN];
+    out[0..8].copy_from_slice(HELLO_MAGIC);
+    out[8..10].copy_from_slice(&PROTOCOL_VERSION.to_be_bytes());
+    out[10] = kind_code(scenario.kind);
+    out[11] = 0;
+    out[12..16].copy_from_slice(&plant.to_be_bytes());
+    out[16..24].copy_from_slice(&scenario.seed.to_be_bytes());
+    out[24..32].copy_from_slice(&scenario.onset_hour.to_be_bytes());
+    out[32..40].copy_from_slice(&scenario.duration_hours.to_be_bytes());
+    out
+}
+
+/// Appends one tap message carrying `record`'s wire bytes to `out`.
+pub fn encode_record(record: &CaptureRecord, out: &mut Vec<u8>) {
+    let len = 1 + record.wire.len();
+    out.extend_from_slice(&(len as u32).to_be_bytes());
+    out.push(tap_code(record.point));
+    out.extend_from_slice(&record.wire);
+}
+
+/// Parse failures. All of them are terminal for the connection: the
+/// stream has no resynchronization points, so the only safe reaction to
+/// corruption is to stop believing the socket.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// The handshake does not start with [`HELLO_MAGIC`].
+    BadHelloMagic,
+    /// The peer speaks a different protocol version.
+    BadVersion(u16),
+    /// Unknown scenario kind code in the handshake.
+    BadScenarioKind(u8),
+    /// The reserved handshake byte was not zero.
+    BadReserved(u8),
+    /// A message length prefix exceeds [`MAX_MESSAGE_LEN`].
+    Oversize {
+        /// The advertised payload length.
+        len: usize,
+    },
+    /// A message length prefix advertises no room for the tap byte.
+    Undersize,
+    /// Unknown tap point code.
+    BadTap(u8),
+    /// The framed bytes failed the strict fieldbus decode.
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::BadHelloMagic => write!(f, "handshake magic mismatch"),
+            StreamError::BadVersion(v) => {
+                write!(f, "protocol version {v}, expected {PROTOCOL_VERSION}")
+            }
+            StreamError::BadScenarioKind(c) => write!(f, "unknown scenario kind code {c}"),
+            StreamError::BadReserved(b) => write!(f, "reserved handshake byte is {b}, not 0"),
+            StreamError::Oversize { len } => {
+                write!(
+                    f,
+                    "message advertises {len} bytes, cap is {MAX_MESSAGE_LEN}"
+                )
+            }
+            StreamError::Undersize => write!(f, "message advertises no tap byte"),
+            StreamError::BadTap(c) => write!(f, "unknown tap point code {c}"),
+            StreamError::Frame(e) => write!(f, "frame decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for StreamError {
+    fn from(e: FrameError) -> Self {
+        StreamError::Frame(e)
+    }
+}
+
+/// One parsed protocol element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// The connection handshake (always the first event).
+    Hello(Hello),
+    /// One validated tap record; its hour is the decoded frame's
+    /// timestamp and its wire bytes are exactly the framed payload, so a
+    /// tape reassembled from these records is byte-identical to the tape
+    /// the sender streamed.
+    Record(CaptureRecord),
+}
+
+/// Incremental parser over arbitrarily segmented connection bytes.
+///
+/// Feed raw reads with [`StreamParser::feed`], then pull events with
+/// [`StreamParser::next_event`] until it yields `Ok(None)` (need more
+/// bytes). The first error poisons the parser: further calls keep
+/// returning the same error, mirroring the replay grammar's fused
+/// iterator — a torn stream has no trustworthy continuation.
+#[derive(Debug, Default)]
+pub struct StreamParser {
+    buf: Vec<u8>,
+    pos: usize,
+    saw_hello: bool,
+    poisoned: Option<StreamError>,
+}
+
+impl StreamParser {
+    /// A parser at stream start.
+    pub fn new() -> Self {
+        StreamParser::default()
+    }
+
+    /// Appends freshly read connection bytes.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete event — a
+    /// non-zero value at connection EOF means the stream died
+    /// mid-message.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn pending(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.pos += n;
+        // Compact once the consumed prefix dominates, so long-lived
+        // connections don't grow the buffer without bound.
+        if self.pos >= 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    fn parse_hello(data: &[u8; HELLO_LEN]) -> Result<Hello, StreamError> {
+        if &data[0..8] != HELLO_MAGIC {
+            return Err(StreamError::BadHelloMagic);
+        }
+        let version = u16::from_be_bytes([data[8], data[9]]);
+        if version != PROTOCOL_VERSION {
+            return Err(StreamError::BadVersion(version));
+        }
+        let kind = kind_from_code(data[10]).ok_or(StreamError::BadScenarioKind(data[10]))?;
+        if data[11] != 0 {
+            return Err(StreamError::BadReserved(data[11]));
+        }
+        let plant = u32::from_be_bytes(data[12..16].try_into().expect("4 bytes"));
+        let seed = u64::from_be_bytes(data[16..24].try_into().expect("8 bytes"));
+        let onset_hour = f64::from_be_bytes(data[24..32].try_into().expect("8 bytes"));
+        let duration_hours = f64::from_be_bytes(data[32..40].try_into().expect("8 bytes"));
+        Ok(Hello {
+            plant,
+            scenario: Scenario::short(kind, duration_hours, onset_hour, seed),
+        })
+    }
+
+    fn advance(&mut self) -> Result<Option<StreamEvent>, StreamError> {
+        if !self.saw_hello {
+            if self.pending().len() < HELLO_LEN {
+                return Ok(None);
+            }
+            let header: [u8; HELLO_LEN] = self.pending()[..HELLO_LEN]
+                .try_into()
+                .expect("length checked");
+            let hello = Self::parse_hello(&header)?;
+            self.consume(HELLO_LEN);
+            self.saw_hello = true;
+            return Ok(Some(StreamEvent::Hello(hello)));
+        }
+        let pending = self.pending();
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(pending[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_MESSAGE_LEN {
+            return Err(StreamError::Oversize { len });
+        }
+        if len < 1 {
+            return Err(StreamError::Undersize);
+        }
+        if pending.len() < 4 + len {
+            return Ok(None);
+        }
+        let tap = pending[4];
+        let point = tap_from_code(tap).ok_or(StreamError::BadTap(tap))?;
+        let wire = &pending[5..4 + len];
+        // Strict validation up front: a frame that would fail replay is
+        // rejected at the wire boundary, not buried in a queue.
+        let frame = Frame::decode(wire)?;
+        let record = CaptureRecord {
+            point,
+            hour: frame.hour,
+            wire: wire.to_vec(),
+        };
+        self.consume(4 + len);
+        Ok(Some(StreamEvent::Record(record)))
+    }
+
+    /// Pulls the next complete event, `Ok(None)` when more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`StreamError`] encountered, and the same error
+    /// again on every subsequent call (the parser is poisoned).
+    pub fn next_event(&mut self) -> Result<Option<StreamEvent>, StreamError> {
+        if let Some(error) = &self.poisoned {
+            return Err(error.clone());
+        }
+        match self.advance() {
+            Ok(event) => Ok(event),
+            Err(error) => {
+                self.poisoned = Some(error.clone());
+                Err(error)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_scenario() -> Scenario {
+        Scenario::short(ScenarioKind::IntegrityXmv3, 2.0, 0.5, 42)
+    }
+
+    fn sample_record(point: TapPoint, seq: u32) -> CaptureRecord {
+        let frame = Frame::new(point.expected_kind(), seq, 0.25, vec![1.0, 2.0, 3.0]);
+        CaptureRecord {
+            point,
+            hour: 0.25,
+            wire: frame.encode().unwrap().to_vec(),
+        }
+    }
+
+    fn sample_stream() -> (Vec<u8>, Vec<CaptureRecord>) {
+        let mut bytes = encode_hello(3, &sample_scenario()).to_vec();
+        let records: Vec<CaptureRecord> = TapPoint::STEP_ORDER
+            .iter()
+            .map(|p| sample_record(*p, 9))
+            .collect();
+        for record in &records {
+            encode_record(record, &mut bytes);
+        }
+        (bytes, records)
+    }
+
+    #[test]
+    fn whole_stream_parses_in_one_feed() {
+        let (bytes, records) = sample_stream();
+        let mut parser = StreamParser::new();
+        parser.feed(&bytes);
+        match parser.next_event().unwrap().unwrap() {
+            StreamEvent::Hello(hello) => {
+                assert_eq!(hello.plant, 3);
+                assert_eq!(hello.scenario.kind, ScenarioKind::IntegrityXmv3);
+                assert_eq!(hello.scenario.seed, 42);
+                assert_eq!(hello.scenario.onset_hour, 0.5);
+                assert_eq!(hello.scenario.duration_hours, 2.0);
+            }
+            other => panic!("expected hello, got {other:?}"),
+        }
+        for expected in &records {
+            match parser.next_event().unwrap().unwrap() {
+                StreamEvent::Record(record) => assert_eq!(&record, expected),
+                other => panic!("expected record, got {other:?}"),
+            }
+        }
+        assert_eq!(parser.next_event().unwrap(), None);
+        assert_eq!(parser.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn byte_at_a_time_feeding_reassembles_identically() {
+        let (bytes, records) = sample_stream();
+        let mut parser = StreamParser::new();
+        let mut events = Vec::new();
+        for byte in bytes {
+            parser.feed(&[byte]);
+            while let Some(event) = parser.next_event().unwrap() {
+                events.push(event);
+            }
+        }
+        assert_eq!(events.len(), 1 + records.len());
+        for (event, expected) in events[1..].iter().zip(&records) {
+            assert_eq!(event, &StreamEvent::Record(expected.clone()));
+        }
+    }
+
+    #[test]
+    fn bad_magic_poisons_the_parser() {
+        let (mut bytes, _) = sample_stream();
+        bytes[0] = b'X';
+        let mut parser = StreamParser::new();
+        parser.feed(&bytes);
+        assert_eq!(parser.next_event(), Err(StreamError::BadHelloMagic));
+        // Poisoned: same error forever, never resynchronizes.
+        assert_eq!(parser.next_event(), Err(StreamError::BadHelloMagic));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let (mut bytes, _) = sample_stream();
+        bytes[9] = 99;
+        let mut parser = StreamParser::new();
+        parser.feed(&bytes);
+        assert_eq!(parser.next_event(), Err(StreamError::BadVersion(99)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_buffering() {
+        let mut bytes = encode_hello(0, &sample_scenario()).to_vec();
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut parser = StreamParser::new();
+        parser.feed(&bytes);
+        assert!(parser.next_event().unwrap().is_some()); // hello
+        assert_eq!(
+            parser.next_event(),
+            Err(StreamError::Oversize {
+                len: u32::MAX as usize
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_tap_code_is_rejected() {
+        let mut bytes = encode_hello(0, &sample_scenario()).to_vec();
+        let mut msg = Vec::new();
+        encode_record(&sample_record(TapPoint::UplinkSent, 0), &mut msg);
+        msg[4] = 9; // tap code out of range
+        bytes.extend_from_slice(&msg);
+        let mut parser = StreamParser::new();
+        parser.feed(&bytes);
+        assert!(parser.next_event().unwrap().is_some());
+        assert_eq!(parser.next_event(), Err(StreamError::BadTap(9)));
+    }
+
+    #[test]
+    fn corrupt_frame_is_rejected_at_the_wire_boundary() {
+        let mut bytes = encode_hello(0, &sample_scenario()).to_vec();
+        let mut record = sample_record(TapPoint::UplinkSent, 0);
+        record.wire.push(0xAB); // trailing byte: strict decode rejects
+        encode_record(&record, &mut bytes);
+        let mut parser = StreamParser::new();
+        parser.feed(&bytes);
+        assert!(parser.next_event().unwrap().is_some());
+        assert!(matches!(
+            parser.next_event(),
+            Err(StreamError::Frame(FrameError::LengthMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn pending_bytes_reports_torn_tail() {
+        let (bytes, _) = sample_stream();
+        let mut parser = StreamParser::new();
+        parser.feed(&bytes[..bytes.len() - 3]);
+        while parser.next_event().unwrap().is_some() {}
+        assert!(parser.pending_bytes() > 0);
+    }
+
+    #[test]
+    fn kind_and_tap_codes_roundtrip() {
+        for kind in [
+            ScenarioKind::Normal,
+            ScenarioKind::Idv6,
+            ScenarioKind::IntegrityXmv3,
+            ScenarioKind::IntegrityXmeas1,
+            ScenarioKind::DosXmv3,
+        ] {
+            assert_eq!(kind_from_code(kind_code(kind)), Some(kind));
+        }
+        assert_eq!(kind_from_code(200), None);
+        for point in TapPoint::STEP_ORDER {
+            assert_eq!(tap_from_code(tap_code(point)), Some(point));
+        }
+        assert_eq!(tap_from_code(4), None);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests of the ingestion wire parser: TCP may tear a
+//! frame at any byte boundary, and the parser must reassemble exactly
+//! what was sent or fail loudly — never panic, never silently skip.
+
+use proptest::prelude::*;
+use temspc::{Scenario, ScenarioKind};
+use temspc_fieldbus::{CaptureRecord, Frame, TapPoint};
+use temspc_ingest::stream::{encode_hello, encode_record, StreamEvent, StreamParser};
+
+fn record_strategy() -> impl Strategy<Value = CaptureRecord> {
+    (
+        0usize..4,
+        any::<u32>(),
+        0.0..100.0f64,
+        prop::collection::vec(-1e9..1e9f64, 0..64),
+    )
+        .prop_map(|(tap, seq, hour, values)| {
+            let point = TapPoint::STEP_ORDER[tap];
+            let frame = Frame::new(point.expected_kind(), seq, hour, values);
+            CaptureRecord {
+                point,
+                hour,
+                wire: frame.encode().unwrap().to_vec(),
+            }
+        })
+}
+
+fn stream_strategy() -> impl Strategy<Value = (Vec<u8>, Vec<CaptureRecord>)> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        0.0..10.0f64,
+        0.1..100.0f64,
+        prop::collection::vec(record_strategy(), 0..12),
+    )
+        .prop_map(|(plant, seed, onset, duration, records)| {
+            let scenario = Scenario::short(ScenarioKind::Idv6, duration, onset, seed);
+            let mut bytes = encode_hello(plant, &scenario).to_vec();
+            for record in &records {
+                encode_record(record, &mut bytes);
+            }
+            (bytes, records)
+        })
+}
+
+/// Parses a byte stream to completion, returning the events plus any
+/// terminal error.
+fn parse_all(parser: &mut StreamParser) -> (Vec<StreamEvent>, Option<String>) {
+    let mut events = Vec::new();
+    loop {
+        match parser.next_event() {
+            Ok(Some(event)) => events.push(event),
+            Ok(None) => return (events, None),
+            Err(e) => return (events, Some(e.to_string())),
+        }
+    }
+}
+
+proptest! {
+    /// Core torn-read lock: no matter how the kernel segments the
+    /// stream, the reassembled records are byte-identical to what the
+    /// sender encoded. Reading one byte at a time, in lumps, or all at
+    /// once must be indistinguishable.
+    #[test]
+    fn arbitrary_segmentation_reassembles_identically(
+        (bytes, records) in stream_strategy(),
+        chunks in prop::collection::vec(1usize..97, 0..256),
+    ) {
+        let mut parser = StreamParser::new();
+        let mut events = Vec::new();
+        let mut cursor = 0;
+        let mut chunks = chunks.into_iter();
+        while cursor < bytes.len() {
+            let take = chunks.next().unwrap_or(1).min(bytes.len() - cursor);
+            parser.feed(&bytes[cursor..cursor + take]);
+            cursor += take;
+            let (mut new_events, error) = parse_all(&mut parser);
+            prop_assert!(error.is_none(), "valid stream errored: {error:?}");
+            events.append(&mut new_events);
+        }
+        prop_assert_eq!(events.len(), 1 + records.len());
+        prop_assert!(matches!(events[0], StreamEvent::Hello(_)));
+        for (event, expected) in events[1..].iter().zip(&records) {
+            match event {
+                StreamEvent::Record(record) => {
+                    prop_assert_eq!(&record.wire, &expected.wire);
+                    prop_assert_eq!(record.point, expected.point);
+                    prop_assert_eq!(record.hour.to_bits(), expected.hour.to_bits());
+                }
+                other => prop_assert!(false, "expected record, got {:?}", other),
+            }
+        }
+        prop_assert_eq!(parser.pending_bytes(), 0);
+    }
+
+    /// A truncated stream yields a strict prefix of the full event list
+    /// and never invents or skips a record; a tear mid-message is
+    /// visible as pending bytes, so EOF handling can flag it instead of
+    /// silently dropping a frame.
+    #[test]
+    fn truncation_yields_a_clean_prefix_and_a_visible_tear(
+        (bytes, _records) in stream_strategy(),
+        cut in 0usize..4096,
+    ) {
+        let cut = cut.min(bytes.len());
+
+        let mut full = StreamParser::new();
+        full.feed(&bytes);
+        let (full_events, full_error) = parse_all(&mut full);
+        prop_assert!(full_error.is_none());
+
+        let mut torn = StreamParser::new();
+        torn.feed(&bytes[..cut]);
+        let (mut events, error) = parse_all(&mut torn);
+        prop_assert!(error.is_none(), "a valid prefix must not error: {error:?}");
+        prop_assert!(events.len() <= full_events.len());
+        for (got, expected) in events.iter().zip(&full_events) {
+            prop_assert_eq!(got, expected);
+        }
+        // Nothing was silently consumed: feeding the rest of the stream
+        // recovers exactly the missing events, and the buffer drains.
+        torn.feed(&bytes[cut..]);
+        let (rest, error) = parse_all(&mut torn);
+        prop_assert!(error.is_none(), "resumed stream errored: {error:?}");
+        events.extend(rest);
+        prop_assert_eq!(events, full_events);
+        prop_assert_eq!(torn.pending_bytes(), 0);
+    }
+
+    /// Corrupting any single byte never panics the parser; it either
+    /// changes decoded payload values (frames carry no checksum — the
+    /// strict grammar still accepts them) or poisons the parser with a
+    /// clean error that repeats on every subsequent call. It never
+    /// resynchronizes past corrupt bytes.
+    #[test]
+    fn single_byte_corruption_never_panics_and_poisons_terminally(
+        (mut bytes, records) in stream_strategy(),
+        pos in 0usize..4096,
+        byte in any::<u8>(),
+        extra in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // The stream always carries at least the 40-byte handshake.
+        let pos = pos % bytes.len();
+        bytes[pos] = byte;
+        let _ = records;
+        let mut parser = StreamParser::new();
+        parser.feed(&bytes);
+        let (_events, error) = parse_all(&mut parser);
+        if let Some(first_error) = error {
+            // Poisoned: the same error forever, even as more bytes
+            // (attacker-chosen) arrive.
+            parser.feed(&extra);
+            match parser.next_event() {
+                Err(e) => prop_assert_eq!(e.to_string(), first_error),
+                Ok(other) => prop_assert!(false, "poisoned parser yielded {:?}", other),
+            }
+        }
+    }
+
+    /// Oversized length prefixes are rejected before any buffering: the
+    /// parser's pending window stays bounded no matter what lengths a
+    /// hostile peer advertises.
+    #[test]
+    fn hostile_length_prefixes_never_balloon_the_buffer(
+        plant in any::<u32>(),
+        len in (temspc_ingest::MAX_MESSAGE_LEN as u32 + 1)..=u32::MAX,
+    ) {
+        let scenario = Scenario::short(ScenarioKind::Normal, 1.0, 0.5, 1);
+        let mut bytes = encode_hello(plant, &scenario).to_vec();
+        bytes.extend_from_slice(&len.to_be_bytes());
+        let mut parser = StreamParser::new();
+        parser.feed(&bytes);
+        prop_assert!(matches!(parser.next_event(), Ok(Some(StreamEvent::Hello(_)))));
+        prop_assert!(parser.next_event().is_err());
+    }
+}

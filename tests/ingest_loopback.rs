@@ -1,0 +1,236 @@
+//! End-to-end lock on the ingestion server: traffic served over real
+//! loopback sockets must score bit-identically to an offline replay of
+//! the same tapes, with zero drops, across many concurrent connections.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use temspc::{capture_scenario, CalibrationConfig, DualMspc, Scenario, ScenarioKind};
+use temspc_ingest::{
+    detection_digest, drive, load_report, save_report, DriveConfig, IngestConfig, IngestServer,
+};
+
+fn monitor() -> DualMspc {
+    DualMspc::calibrate(&CalibrationConfig {
+        runs: 3,
+        duration_hours: 1.0,
+        record_every: 10,
+        base_seed: 100,
+        threads: 3,
+    })
+    .unwrap()
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("temspc_ingest_loopback_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+const KINDS: [ScenarioKind; 5] = [
+    ScenarioKind::Normal,
+    ScenarioKind::Idv6,
+    ScenarioKind::IntegrityXmv3,
+    ScenarioKind::IntegrityXmeas1,
+    ScenarioKind::DosXmv3,
+];
+
+/// The locked constraint: 64 concurrent connections over loopback, zero
+/// drops, and every served detection bit-identical (digest, latency,
+/// false alarms, verdict) to `score_capture` of the same tape.
+#[test]
+fn sixty_four_connections_score_bit_identically_to_offline_replay() {
+    let monitor = monitor();
+
+    // One tape per scenario kind; 64 connections cycle through them.
+    let mut tapes = Vec::new();
+    let mut offline = Vec::new();
+    for (i, kind) in KINDS.iter().enumerate() {
+        let scenario = Scenario::short(*kind, 0.3, 0.1, 42 + i as u64);
+        let capture = capture_scenario(&scenario).unwrap();
+        let outcome = monitor.score_capture(&capture).unwrap();
+        let path = tmp(&format!("tape_{i}.cap"));
+        temspc::persistence::save_capture(&capture, &path).unwrap();
+        offline.push((capture.steps() as u64, outcome));
+        tapes.push(path);
+    }
+
+    let connections = 64;
+    let server = IngestServer::bind(
+        &monitor,
+        IngestConfig {
+            addr: "127.0.0.1:0".into(),
+            max_connections: 128,
+            queue_depth: 32, // small on purpose: force the parking path
+            batch_steps: 64,
+            threads: 0,
+            expect: Some(connections),
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let stop = AtomicBool::new(false);
+
+    let report = std::thread::scope(|scope| {
+        let serve = scope.spawn(|| server.run(&stop));
+        let driven = drive(&DriveConfig {
+            addr,
+            tapes: tapes.clone(),
+            connections,
+            rate: 0.0, // flood: the server must absorb wire rate
+            chunk: 0,
+        })
+        .unwrap();
+        assert_eq!(driven.connections, connections);
+        serve.join().expect("server thread panicked").unwrap()
+    });
+
+    assert_eq!(report.drops, 0, "backpressure must prevent drops");
+    assert_eq!(report.reassembly_errors, 0);
+    assert_eq!(report.connections.len(), connections);
+    // Parking actually engaged (flooding 64 conns into depth-32 queues).
+    let expose = server.metrics().expose();
+    assert!(
+        expose.contains("ingest_parked_total"),
+        "parking metric missing from dump:\n{expose}"
+    );
+
+    for conn in &report.connections {
+        let tape = conn.plant as usize % KINDS.len();
+        let (steps, outcome) = &offline[tape];
+        assert!(conn.completed, "plant {}: {:?}", conn.plant, conn.fault);
+        assert_eq!(conn.steps, *steps, "plant {}", conn.plant);
+        assert_eq!(
+            conn.digest,
+            detection_digest(outcome),
+            "plant {}: served digest diverged from offline replay",
+            conn.plant
+        );
+        assert_eq!(conn.false_alarms, outcome.false_alarms as u32);
+        let scenario_onset = 0.1;
+        assert_eq!(
+            conn.detection_latency_hours.map(f64::to_bits),
+            outcome
+                .detection
+                .run_length(scenario_onset)
+                .map(f64::to_bits),
+            "plant {}",
+            conn.plant
+        );
+    }
+
+    // The report survives its persistence round trip.
+    let path = tmp("session.tpb");
+    save_report(&report, &path).unwrap();
+    assert_eq!(load_report(&path).unwrap(), report);
+
+    // And reframed as a fleet report, the campaign aggregation applies.
+    let fleet = report.fleet_report();
+    assert_eq!(fleet.records.len(), connections);
+
+    let _ = std::fs::remove_dir_all(tmp(""));
+}
+
+/// Torn writes: tiny 7-byte socket writes tear every message across
+/// many segments, and the served result is still bit-identical.
+#[test]
+fn torn_writes_still_score_bit_identically() {
+    let monitor = monitor();
+    let scenario = Scenario::short(ScenarioKind::IntegrityXmeas1, 0.2, 0.05, 7);
+    let capture = capture_scenario(&scenario).unwrap();
+    let outcome = monitor.score_capture(&capture).unwrap();
+    let path = tmp("torn.cap");
+    temspc::persistence::save_capture(&capture, &path).unwrap();
+
+    let connections = 8;
+    let server = IngestServer::bind(
+        &monitor,
+        IngestConfig {
+            expect: Some(connections),
+            ..IngestConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let stop = AtomicBool::new(false);
+
+    let report = std::thread::scope(|scope| {
+        let serve = scope.spawn(|| server.run(&stop));
+        drive(&DriveConfig {
+            addr,
+            tapes: vec![path],
+            connections,
+            rate: 0.0,
+            chunk: 7,
+        })
+        .unwrap();
+        serve.join().expect("server thread panicked").unwrap()
+    });
+
+    assert_eq!(report.drops, 0);
+    assert_eq!(report.reassembly_errors, 0);
+    assert_eq!(report.connections.len(), connections);
+    for conn in &report.connections {
+        assert!(conn.completed, "plant {}: {:?}", conn.plant, conn.fault);
+        assert_eq!(conn.digest, detection_digest(&outcome));
+    }
+    let _ = std::fs::remove_dir_all(tmp(""));
+}
+
+/// Graceful shutdown: raising the stop flag mid-stream drains what was
+/// already queued, reports the interrupted connections with a fault
+/// instead of dropping them, and still writes a loadable report.
+#[test]
+fn stop_flag_drains_in_flight_streams_and_reports_them() {
+    use std::io::Write;
+
+    let monitor = monitor();
+    let scenario = Scenario::short(ScenarioKind::Normal, 0.2, 0.05, 11);
+    let capture = capture_scenario(&scenario).unwrap();
+
+    let server = IngestServer::bind(&monitor, IngestConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let stop = AtomicBool::new(false);
+
+    let report = std::thread::scope(|scope| {
+        let serve = scope.spawn(|| server.run(&stop));
+
+        // Stream a handshake and half the tape, then keep the socket
+        // open (no FIN): an in-flight connection.
+        let mut socket = std::net::TcpStream::connect(addr).unwrap();
+        let mut bytes = temspc_ingest::encode_hello(3, &capture.scenario).to_vec();
+        for record in &capture.records[..capture.records.len() / 2] {
+            temspc_ingest::encode_record(record, &mut bytes);
+        }
+        socket.write_all(&bytes).unwrap();
+        socket.flush().unwrap();
+
+        // Give the event loop time to ingest, then request shutdown the
+        // way the signal handler would.
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        stop.store(true, Ordering::SeqCst);
+        let report = serve.join().expect("server thread panicked").unwrap();
+        drop(socket);
+        report
+    });
+
+    assert_eq!(report.drops, 0);
+    assert_eq!(report.connections.len(), 1);
+    let conn = &report.connections[0];
+    assert_eq!(conn.plant, 3);
+    assert!(!conn.completed);
+    assert!(
+        conn.fault
+            .as_deref()
+            .unwrap_or("")
+            .contains("server stopped"),
+        "fault: {:?}",
+        conn.fault
+    );
+    // The queued half-tape was drained and scored, not thrown away.
+    assert_eq!(conn.steps, (capture.records.len() / 2 / 4) as u64);
+
+    let path = tmp("interrupted.tpb");
+    save_report(&report, &path).unwrap();
+    assert_eq!(load_report(&path).unwrap(), report);
+    let _ = std::fs::remove_dir_all(tmp(""));
+}
