@@ -7,8 +7,9 @@
 //!   ingestion grid against a live loopback server, print the throughput
 //!   table, and fold the elapsed medians into the trajectory file. The
 //!   run label carries `available_parallelism` (e.g. `post-PR6@ap4`);
-//!   bench ids (`ingest_sweep/conns{C}_rate{R}`) carry only the cell
-//!   coordinates.
+//!   bench ids (`ingest_sweep/conns{C}_rate{R}`, prefixed `store{K}_`
+//!   when `--cohorts K` serves through a model store) carry only the
+//!   cell coordinates.
 //! - **Smoke** (`--smoke`): the CI ingestion gate — 64 concurrent
 //!   connections must complete end-to-end with **zero** dropped steps,
 //!   zero reassembly errors, and an achieved per-connection frame rate
@@ -26,9 +27,10 @@ use temspc_bench::trajectory::{fold_into_trajectory, Run};
 
 fn usage() -> String {
     "usage: bench_ingest [--connections 1,16,64] [--rates 0,100] [--tape-hours 0.05] \
-     [--queue-depth 64] [--batch-steps 256] [--threads 0] [--label <label>] \
+     [--queue-depth 64] [--batch-steps 256] [--threads 0] [--cohorts 0] [--label <label>] \
      [--trajectory BENCH_ingest.json] [--dry-run]\n\
-     \x20      bench_ingest --smoke [--smoke-connections 64] [--min-rate 1.0] [--tape-hours 0.05]"
+     \x20      bench_ingest --smoke [--smoke-connections 64] [--min-rate 1.0] [--tape-hours 0.05]\n\
+     \x20      --cohorts K >= 1 serves through a model store (store{K}_ bench-id prefix)"
         .to_owned()
 }
 
@@ -95,6 +97,11 @@ fn run_main() -> Result<(), String> {
                 config.threads = next("--threads")?
                     .parse()
                     .map_err(|_| "bad --threads".to_owned())?;
+            }
+            "--cohorts" => {
+                config.cohorts = next("--cohorts")?
+                    .parse()
+                    .map_err(|_| "bad --cohorts".to_owned())?;
             }
             "--label" => label = Some(next("--label")?),
             "--trajectory" => trajectory_path = next("--trajectory")?,

@@ -21,6 +21,7 @@ use std::sync::atomic::AtomicBool;
 use std::time::Instant;
 
 use temspc::{CalibrationConfig, DualMspc, Scenario, ScenarioKind};
+use temspc_fleet::{ModelStore, StoreConfig};
 use temspc_ingest::{drive, DriveConfig, IngestConfig, IngestReport, IngestServer};
 
 /// Configuration of one connections × rates ingestion sweep.
@@ -40,6 +41,11 @@ pub struct IngestSweepConfig {
     pub batch_steps: usize,
     /// Scoring worker threads (0 → available parallelism).
     pub threads: usize,
+    /// Per-plant model resolution: 0 serves every connection from one
+    /// shared monitor (the classic path); ≥ 1 resolves each connection
+    /// through a `ModelStore` with this many cohorts, timing the
+    /// store-backed serve path (`store{K}_` bench-id prefix).
+    pub cohorts: usize,
 }
 
 impl Default for IngestSweepConfig {
@@ -51,6 +57,7 @@ impl Default for IngestSweepConfig {
             queue_depth: 64,
             batch_steps: 256,
             threads: 0,
+            cohorts: 0,
         }
     }
 }
@@ -62,6 +69,9 @@ pub struct IngestSweepCell {
     pub connections: usize,
     /// Requested per-connection frame rate (0.0 = unthrottled).
     pub rate: f64,
+    /// Store cohorts this cell resolved models through (0 = shared
+    /// monitor).
+    pub cohorts: usize,
     /// Total frames the server ingested.
     pub frames: u64,
     /// Total plant steps scored.
@@ -102,14 +112,21 @@ impl IngestSweepReport {
             .find(|c| c.connections == connections && c.rate == rate)
     }
 
-    /// Trajectory results: `ingest_sweep/conns{C}_rate{R}` → elapsed ns.
+    /// Trajectory results: `ingest_sweep/conns{C}_rate{R}` → elapsed ns
+    /// (`ingest_sweep/store{K}_conns{C}_rate{R}` for store-backed
+    /// cells, so shared and per-plant serving trend separately).
     pub fn to_results(&self) -> Vec<(String, f64)> {
         self.cells
             .iter()
             .map(|c| {
+                let store = if c.cohorts > 0 {
+                    format!("store{}_", c.cohorts)
+                } else {
+                    String::new()
+                };
                 (
                     format!(
-                        "ingest_sweep/conns{}_rate{}",
+                        "ingest_sweep/{store}conns{}_rate{}",
                         c.connections,
                         rate_id(c.rate)
                     ),
@@ -155,17 +172,28 @@ impl IngestSweepReport {
     }
 }
 
-/// The monitor every served stream scores against (same reduced scale as
-/// the fleet sweep).
-fn sweep_monitor() -> DualMspc {
-    DualMspc::calibrate(&CalibrationConfig {
+/// The sweep's calibration campaign (same reduced scale as the fleet
+/// sweep); cohort 0 of a store built on it equals the shared monitor.
+fn sweep_calibration() -> CalibrationConfig {
+    CalibrationConfig {
         runs: 2,
         duration_hours: 0.5,
         record_every: 10,
         base_seed: 100,
         threads: 0,
-    })
-    .expect("ingest sweep calibration")
+    }
+}
+
+/// The monitor every served stream scores against on the shared path.
+fn sweep_monitor() -> DualMspc {
+    DualMspc::calibrate(&sweep_calibration()).expect("ingest sweep calibration")
+}
+
+/// Where each cell's connections resolve their monitor from. Both
+/// variants box their payload to keep the enum small and even-sized.
+enum SweepModels {
+    Shared(Box<DualMspc>),
+    Store(Box<ModelStore>, usize),
 }
 
 /// Records one capture tape for the sweep and persists it where
@@ -182,23 +210,27 @@ fn sweep_tape(hours: f64) -> PathBuf {
 /// Runs one cell: bind, serve on a background thread until every driven
 /// connection reports, and time the whole exchange.
 fn run_cell(
-    monitor: &DualMspc,
+    models: &SweepModels,
     config: &IngestSweepConfig,
     tape: &Path,
     connections: usize,
     rate: f64,
 ) -> IngestSweepCell {
-    let server = IngestServer::bind(
-        monitor,
-        IngestConfig {
-            addr: "127.0.0.1:0".into(),
-            max_connections: connections + 8,
-            queue_depth: config.queue_depth,
-            batch_steps: config.batch_steps,
-            threads: config.threads,
-            expect: Some(connections),
-        },
-    )
+    let server_config = IngestConfig {
+        addr: "127.0.0.1:0".into(),
+        max_connections: connections + 8,
+        queue_depth: config.queue_depth,
+        batch_steps: config.batch_steps,
+        threads: config.threads,
+        expect: Some(connections),
+        incidents: None,
+    };
+    let server = match models {
+        SweepModels::Shared(monitor) => IngestServer::bind(monitor, server_config),
+        SweepModels::Store(store, cohorts) => {
+            IngestServer::bind_with_store(store, *cohorts, server_config)
+        }
+    }
     .expect("ingest sweep bind");
     let addr = server.local_addr().expect("ingest sweep local_addr");
     // `expect` ends the serve loop once every connection finalizes; the
@@ -224,6 +256,10 @@ fn run_cell(
     IngestSweepCell {
         connections,
         rate,
+        cohorts: match models {
+            SweepModels::Shared(_) => 0,
+            SweepModels::Store(_, cohorts) => *cohorts,
+        },
         frames: report.frames,
         steps: report.steps,
         drops: report.drops,
@@ -235,8 +271,18 @@ fn run_cell(
 }
 
 /// Runs the sweep: one tape, one cell per (rate, connections) pair.
+/// With `cohorts` ≥ 1 the cells serve through a store populated (by
+/// calibrate-on-miss) in a scratch directory, which is removed after
+/// the sweep.
 pub fn run_ingest_sweep(config: &IngestSweepConfig) -> IngestSweepReport {
-    let monitor = sweep_monitor();
+    let store_dir =
+        std::env::temp_dir().join(format!("temspc_bench_ingest_store_{}", std::process::id()));
+    let models = if config.cohorts > 0 {
+        let store_config = StoreConfig::new(&store_dir, sweep_calibration());
+        SweepModels::Store(Box::new(ModelStore::new(store_config)), config.cohorts)
+    } else {
+        SweepModels::Shared(Box::new(sweep_monitor()))
+    };
     let tape = sweep_tape(config.tape_hours);
     let available_parallelism = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -245,10 +291,13 @@ pub fn run_ingest_sweep(config: &IngestSweepConfig) -> IngestSweepReport {
     let mut cells = Vec::new();
     for &rate in &config.rates {
         for &connections in &config.connections {
-            cells.push(run_cell(&monitor, config, &tape, connections, rate));
+            cells.push(run_cell(&models, config, &tape, connections, rate));
         }
     }
     let _ = std::fs::remove_file(&tape);
+    if config.cohorts > 0 {
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
 
     IngestSweepReport {
         available_parallelism,
@@ -268,6 +317,7 @@ mod tests {
                 IngestSweepCell {
                     connections: 64,
                     rate: 0.0,
+                    cohorts: 0,
                     frames: 25_600,
                     steps: 6_400,
                     drops: 0,
@@ -279,6 +329,7 @@ mod tests {
                 IngestSweepCell {
                     connections: 64,
                     rate: 100.0,
+                    cohorts: 2,
                     frames: 25_600,
                     steps: 6_400,
                     drops: 0,
@@ -291,7 +342,7 @@ mod tests {
         };
         let results = report.to_results();
         assert_eq!(results[0].0, "ingest_sweep/conns64_rate0");
-        assert_eq!(results[1].0, "ingest_sweep/conns64_rate100");
+        assert_eq!(results[1].0, "ingest_sweep/store2_conns64_rate100");
         let table = report.table();
         assert!(table.contains("unthrott."));
         assert!(table.contains("100 f/s"));
@@ -308,6 +359,7 @@ mod tests {
             queue_depth: 16,
             batch_steps: 64,
             threads: 2,
+            cohorts: 0,
         });
         assert_eq!(report.cells.len(), 1);
         let cell = &report.cells[0];
@@ -319,5 +371,25 @@ mod tests {
         assert_eq!(cell.reassembly_errors, 0);
         assert!(cell.elapsed_ns > 0);
         assert!(cell.achieved_rate > 0.0);
+    }
+
+    #[test]
+    fn store_backed_sweep_serves_with_zero_drops() {
+        let report = run_ingest_sweep(&IngestSweepConfig {
+            connections: vec![2],
+            rates: vec![0.0],
+            tape_hours: 0.02,
+            queue_depth: 16,
+            batch_steps: 64,
+            threads: 2,
+            cohorts: 1,
+        });
+        assert_eq!(report.cells.len(), 1);
+        let cell = &report.cells[0];
+        assert_eq!(cell.cohorts, 1);
+        assert_eq!(cell.completed, 2);
+        assert_eq!(cell.drops, 0, "store-backed sweep dropped steps");
+        assert_eq!(cell.reassembly_errors, 0);
+        assert_eq!(report.to_results()[0].0, "ingest_sweep/store1_conns2_rate0");
     }
 }

@@ -32,15 +32,19 @@ USAGE:
                    [--checkpoint fleet.tpb [--resume]] [--checkpoint-every 4]
                    [--metrics fleet.prom]
                    [--record-captures dir | --replay dir]
-  temspc ingest    serve --model model.tpb [--addr 127.0.0.1:4840]
+  temspc ingest    serve [--model model.tpb |
+                    --model-store dir [--cohorts 2] [--store-capacity 4]
+                    [--seed-stride 1000000]]
+                   [--addr 127.0.0.1:4840]
                    [--max-connections 1024] [--queue-depth 256]
                    [--batch-steps 512] [--threads 0] [--expect <n>]
+                   [--incidents incidents.log]
                    [--report ingest_session.tpb] [--metrics ingest.prom]
   temspc ingest    drive [--addr 127.0.0.1:4840] [--tapes a.cap,b.cap]
                    [--tape-dir captures] [--connections 1] [--rate 0]
                    [--chunk 0]
-  temspc store     list|calibrate|evict --dir models
-                   [--key cohort_0 | --cohorts 2]
+  temspc store     list|calibrate|evict|export --dir models
+                   [--key cohort_0 | --cohorts 2] [--out model.tpb]
                    [--calib-runs 4] [--calib-hours 2] [--calib-seed 1000]
   temspc bench     sweep|smoke [--plants 4,8,16] [--threads 1,2,4]
                    [--hours 0.25] [--samples 3] [--label <label>]
@@ -593,9 +597,26 @@ pub fn store(args: &ParsedArgs) -> CmdResult {
                 }
             }
         }
+        "export" => {
+            // Store files are TESTORE envelopes; exporting re-saves the
+            // resolved monitor as a plain TPB model that `replay --model`
+            // and `ingest serve --model` can load directly.
+            let out = args.require("out")?;
+            let keys = store_target_keys(args)?;
+            if keys.len() != 1 {
+                return Err("store export takes exactly one --key".into());
+            }
+            let resolved = store.get(&keys[0])?;
+            temspc::persistence::save_monitor(&resolved.model, out)?;
+            println!(
+                "exported {} (generation {}) to {out}",
+                keys[0].as_str(),
+                resolved.generation
+            );
+        }
         other => {
             return Err(format!(
-                "unknown store action '{other}' (expected list, calibrate or evict)"
+                "unknown store action '{other}' (expected list, calibrate, evict or export)"
             )
             .into())
         }
@@ -675,6 +696,7 @@ fn ingest_serve_config(args: &ParsedArgs) -> Result<temspc_ingest::IngestConfig,
             None => None,
             Some(_) => Some(args.get_parsed("expect", 0usize)?),
         },
+        incidents: args.get("incidents").map(str::to_string),
     };
     if config.max_connections == 0 {
         return Err("--max-connections must be at least 1".into());
@@ -728,15 +750,45 @@ fn ingest_drive_config(args: &ParsedArgs) -> Result<temspc_ingest::DriveConfig, 
 }
 
 /// `temspc ingest serve` — bind, accept live plant streams, score them
-/// with the shared T2/SPE path, and persist a TPB session report.
+/// with the shared T2/SPE path, and persist a TPB session report. With
+/// `--model-store`, each connection resolves its own cohort monitor
+/// through the sharded store instead of sharing one `--model`.
 fn ingest_serve(args: &ParsedArgs) -> CmdResult {
-    let model_path = args.require("model")?;
     let config = ingest_serve_config(args)?;
-    let report_path = args.get_or("report", "ingest_session.tpb").to_string();
 
+    if let Some(dir) = args.get("model-store") {
+        if args.get("model").is_some() {
+            return Err("--model and --model-store are mutually exclusive".into());
+        }
+        let cohorts: usize = args.get_parsed("cohorts", 1)?;
+        if cohorts == 0 {
+            return Err("--cohorts must be at least 1".into());
+        }
+        println!("resolving per-plant monitors from model store {dir}/ ({cohorts} cohort(s)) ...");
+        let store = temspc_fleet::ModelStore::new(store_config_from_args(args, dir)?);
+        let server = temspc_ingest::IngestServer::bind_with_store(&store, cohorts, config)?;
+        return run_ingest_serve(server, args, Some(&store));
+    }
+
+    let model_path = args.require("model")?;
     let monitor = load_monitor(model_path)?;
     let server = temspc_ingest::IngestServer::bind(&monitor, config)?;
+    run_ingest_serve(server, args, None)
+}
+
+/// Shared tail of `temspc ingest serve`: the serve loop, the
+/// per-connection table, the session report, and metrics exposition
+/// (ingest + store when present).
+fn run_ingest_serve(
+    server: temspc_ingest::IngestServer<'_>,
+    args: &ParsedArgs,
+    store: Option<&temspc_fleet::ModelStore>,
+) -> CmdResult {
+    let report_path = args.get_or("report", "ingest_session.tpb").to_string();
     println!("listening on {}", server.local_addr()?);
+    if let Some(path) = &server.config().incidents {
+        println!("streaming incidents to {path}");
+    }
     match server.config().expect {
         Some(n) => println!("serving until {n} connection(s) complete (or SIGINT/SIGTERM)"),
         None => println!("serving until SIGINT/SIGTERM; draining in-flight batches on stop"),
@@ -753,8 +805,8 @@ fn ingest_serve(args: &ParsedArgs) -> CmdResult {
             .verdict
             .map_or_else(|| "-".to_string(), |v| v.to_string());
         println!(
-            "plant {:>4} [{status}] {} steps, verdict {verdict}, latency {latency}, digest {:016x}",
-            conn.plant, conn.steps, conn.digest
+            "plant {:>4} [{status}] {} steps, verdict {verdict}, latency {latency}, digest {:016x}, gen {}",
+            conn.plant, conn.steps, conn.digest, conn.model_generation
         );
         if let Some(fault) = &conn.fault {
             println!("  fault: {fault}");
@@ -773,7 +825,11 @@ fn ingest_serve(args: &ParsedArgs) -> CmdResult {
     temspc_ingest::save_report(&report, &report_path)?;
     println!("wrote {report_path}");
     if let Some(path) = args.get("metrics") {
-        std::fs::write(path, server.metrics().expose())?;
+        let mut text = server.metrics().expose();
+        if let Some(store) = store {
+            text.push_str(&store.metrics().expose());
+        }
+        std::fs::write(path, text)?;
         println!("wrote {path}");
     }
     Ok(())

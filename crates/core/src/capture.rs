@@ -210,6 +210,22 @@ impl StreamScorer<'_> {
         self.steps
     }
 
+    /// Detection events fired so far on each level — `(controller,
+    /// process)`, in firing order. Samples are scored in blocks, so an
+    /// event surfaces once its block flushes (bounded latency, a few
+    /// hundred samples); polling this between pushes observes exactly
+    /// the events [`StreamScorer::finish`] will fold into the outcome.
+    /// This is what lets a live server stream incidents out as they
+    /// fire instead of only at connection drain.
+    pub fn events(
+        &self,
+    ) -> (
+        &[temspc_mspc::AnomalousEvent],
+        &[temspc_mspc::AnomalousEvent],
+    ) {
+        self.state.events()
+    }
+
     /// Folds the detector state into a full [`ScenarioOutcome`].
     ///
     /// `scenario` and `shutdown` carry the run metadata the wire itself

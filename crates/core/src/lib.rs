@@ -70,3 +70,7 @@ pub use netmon::{NetworkMonitor, NetworkOutcome};
 pub use report::incident_report;
 pub use runner::{ClosedLoopRunner, RunData, RunError, RunScratch, StepSample};
 pub use scenario::{Scenario, ScenarioKind};
+// Re-exported so downstream consumers of `StreamScorer::events` (the
+// live incident stream) can name the event type without a direct
+// `temspc-mspc` dependency.
+pub use temspc_mspc::AnomalousEvent;

@@ -260,6 +260,15 @@ impl<'m> BlockMonitorState<'m> {
         }
     }
 
+    /// Detection events fired so far on each level, in update order.
+    /// Samples are scored in blocks, so an event surfaces once the block
+    /// containing it flushes (at most [`SCORE_BLOCK_ROWS`] samples after
+    /// the violation) — polling this between pushes never changes what
+    /// [`BlockMonitorState::finish`] would report.
+    pub(crate) fn events(&self) -> (&[AnomalousEvent], &[AnomalousEvent]) {
+        (self.controller_det.events(), self.process_det.events())
+    }
+
     pub(crate) fn push(&mut self, hour: f64, controller_view: &[f64], process_view: &[f64]) {
         debug_assert_eq!(controller_view.len(), N_MONITORED);
         self.hours.push(hour);

@@ -34,9 +34,10 @@ pub mod shutdown;
 pub mod stream;
 
 pub use drive::{drive, DriveConfig, DriveError, DriveReport};
+pub use poller::Polling;
 pub use server::{
     detection_digest, load_report, save_report, ConnectionReport, IngestConfig, IngestReport,
-    IngestServer,
+    IngestServer, ModelSource,
 };
 pub use shutdown::{install_handlers, stop_flag};
 pub use stream::{

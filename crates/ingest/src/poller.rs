@@ -36,6 +36,59 @@ pub use linux::Poller;
 #[cfg(not(target_os = "linux"))]
 pub use fallback::Poller;
 
+/// The readiness operations the event loop needs, abstracted so tests
+/// can substitute a misbehaving poller (e.g. one whose re-arm fails) and
+/// exercise the server's failure paths deterministically.
+pub trait Polling {
+    /// Registers `fd` under `token`, initially read-interested when
+    /// `readable`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's registration failure.
+    fn register(&self, fd: RawFd, token: usize, readable: bool) -> io::Result<()>;
+
+    /// Re-arms or parks read interest on a registered descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's re-arm failure.
+    fn set_readable(&self, fd: RawFd, token: usize, readable: bool) -> io::Result<()>;
+
+    /// Removes a registration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's deregistration failure.
+    fn deregister(&self, fd: RawFd) -> io::Result<()>;
+
+    /// Waits up to `timeout_ms` for readiness, filling `out` (cleared
+    /// first) and returning the event count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's wait failure.
+    fn wait(&self, out: &mut Vec<PollEvent>, timeout_ms: i32) -> io::Result<usize>;
+}
+
+impl Polling for Poller {
+    fn register(&self, fd: RawFd, token: usize, readable: bool) -> io::Result<()> {
+        Poller::register(self, fd, token, readable)
+    }
+
+    fn set_readable(&self, fd: RawFd, token: usize, readable: bool) -> io::Result<()> {
+        Poller::set_readable(self, fd, token, readable)
+    }
+
+    fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        Poller::deregister(self, fd)
+    }
+
+    fn wait(&self, out: &mut Vec<PollEvent>, timeout_ms: i32) -> io::Result<usize> {
+        Poller::wait(self, out, timeout_ms)
+    }
+}
+
 #[cfg(target_os = "linux")]
 mod linux {
     use super::{io, PollEvent, RawFd};

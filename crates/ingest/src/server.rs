@@ -23,13 +23,24 @@
 //!   [`StreamScorer`] — the exact scoring path `score_capture` and
 //!   `run_scenario` use — so a detection served off the wire equals the
 //!   offline replay of the same tape, digest for digest.
+//! * **Per-plant models**: with a store-backed [`ModelSource`], each
+//!   connection resolves its cohort's monitor through the sharded
+//!   [`ModelStore`] on handshake (LRU residency, calibrate-on-miss, hot
+//!   reload on generation bump), so no plant is scored against another
+//!   regime's control limits. The generation used is pinned for the
+//!   connection's lifetime and recorded in its report.
+//! * **Live incidents**: an optional sink streams line-framed
+//!   `key=value` events (detections as their block flushes, the final
+//!   verdict, faults) the moment they fire, instead of only a report at
+//!   drain.
 //! * **Graceful shutdown**: when the stop flag is set, the loop stops
 //!   accepting, marks every connection end-of-stream, drains all queued
 //!   batches through the pool, and returns the final [`IngestReport`]
 //!   (which `temspc ingest serve` flushes atomically to a TPB file).
 
-use std::collections::{HashMap, VecDeque};
-use std::io::{self, Read};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fs::File;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::path::Path;
@@ -40,17 +51,19 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 use temspc::diagnosis::{diagnose, VerdictThresholds};
 use temspc::persistence::PersistenceError;
-use temspc::{DualMspc, ScenarioKind, ScenarioOutcome, StreamScorer, Verdict};
+use temspc::{AnomalousEvent, DualMspc, ScenarioKind, ScenarioOutcome, StreamScorer, Verdict};
 use temspc_fieldbus::{CaptureRecord, ReplayLink, ReplayStep, TapPoint};
 use temspc_fleet::{
-    Counter, FleetReport, Gauge, Histogram, MetricsRegistry, PlantRecord, WorkerPool,
+    Counter, FleetReport, Gauge, Histogram, MetricsRegistry, ModelStore, PlantKey, PlantRecord,
+    WorkerPool,
 };
 
-use crate::poller::Poller;
+use crate::poller::{Poller, Polling};
 use crate::stream::{Hello, StreamEvent, StreamParser};
 
-/// File magic + format version for ingestion reports.
-const REPORT_MAGIC: &[u8; 8] = b"TEINGRP\x01";
+/// File magic + format version for ingestion reports. Version 2 added
+/// the per-connection `model_generation` field.
+const REPORT_MAGIC: &[u8; 8] = b"TEINGRP\x02";
 
 /// Configuration of the ingestion server.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -71,6 +84,11 @@ pub struct IngestConfig {
     /// Stop serving once this many connections have been fully scored
     /// (`None` → serve until the stop flag is raised).
     pub expect: Option<usize>,
+    /// Live incident sink: a path (plain file, or e.g. `/dev/stdout`)
+    /// that receives line-framed `key=value` events — detections as
+    /// their scoring block flushes, final verdicts, faults — flushed
+    /// per line so it can be tailed. `None` disables the stream.
+    pub incidents: Option<String>,
 }
 
 impl Default for IngestConfig {
@@ -82,6 +100,7 @@ impl Default for IngestConfig {
             batch_steps: 512,
             threads: 0,
             expect: None,
+            incidents: None,
         }
     }
 }
@@ -110,6 +129,11 @@ pub struct ConnectionReport {
     /// Detection digest ([`detection_digest`]) for bit-identity diffs
     /// against offline replay (0 when not scored).
     pub digest: u64,
+    /// Generation of the store entry whose model scored this connection
+    /// (0 on the shared-monitor path, or when never scored). Pinned at
+    /// handshake resolution, so a hot reload mid-stream does not change
+    /// the model under a live scorer.
+    pub model_generation: u64,
     /// Failure description for incomplete streams.
     pub fault: Option<String>,
 }
@@ -151,7 +175,7 @@ impl IngestReport {
                 false_alarms: c.false_alarms,
                 verdict: c.verdict,
                 shutdown_hour: None,
-                model_generation: 0,
+                model_generation: c.model_generation,
             })
             .collect();
         FleetReport::new(records)
@@ -245,11 +269,13 @@ impl IngestMetrics {
                 "ingest_connections_current",
                 "plant connections currently open",
             ),
-            connections_total: registry
-                .counter("ingest_connections_total", "plant connections accepted"),
+            connections_total: registry.counter(
+                "ingest_connections_total",
+                "plant connections accepted and registered",
+            ),
             refused_total: registry.counter(
                 "ingest_connections_refused_total",
-                "connections refused at the concurrency cap",
+                "connections refused: concurrency cap reached or socket setup failed",
             ),
             bytes_total: registry.counter("ingest_bytes_total", "bytes read off sockets"),
             frames_total: registry.counter("ingest_frames_total", "wire frames received"),
@@ -272,6 +298,103 @@ impl IngestMetrics {
                 &[0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0],
             ),
         }
+    }
+}
+
+/// Where the server's per-connection monitors come from.
+pub enum ModelSource<'m> {
+    /// Every connection scores against one shared monitor — the
+    /// pre-store path; reports carry `model_generation` 0.
+    Shared(&'m DualMspc),
+    /// Each connection resolves its cohort's monitor through the
+    /// sharded store at handshake: `PlantKey::cohort(plant % cohorts)`,
+    /// with the store's LRU residency, calibrate-on-miss and hot reload
+    /// on generation bump. The resolved generation is pinned for the
+    /// connection's lifetime and recorded in its report.
+    Store {
+        /// The sharded per-plant model store.
+        store: &'m ModelStore,
+        /// Cohort count for the plant → key mapping (clamped to ≥ 1;
+        /// must match the fleet's `--cohorts` for digests to line up).
+        cohorts: usize,
+    },
+}
+
+/// Pins every store-resolved monitor in memory for the lifetime of one
+/// serving session, handing out plain `&DualMspc` borrows the scorers
+/// can hold across intake iterations.
+///
+/// The store returns `Arc<DualMspc>` and may evict under LRU pressure;
+/// a [`StreamScorer`] wants a plain borrow. Holding the `Arc` inside
+/// each connection entry alongside its scorer would make the entry
+/// self-referential, so instead the arena owns every `(key, generation)`
+/// model resolved during the session — bounded by cohorts × generations,
+/// not by connections — and the scorers borrow from the arena.
+#[derive(Default)]
+struct ModelPin {
+    pinned: Mutex<Vec<(PlantKey, u64, Arc<DualMspc>)>>,
+}
+
+impl ModelPin {
+    /// Resolves `key` through `store` (hot-reload aware) and returns a
+    /// pinned borrow of the model plus the generation that produced it.
+    fn resolve<'p>(
+        &'p self,
+        store: &ModelStore,
+        key: &PlantKey,
+    ) -> Result<(&'p DualMspc, u64), String> {
+        let resolved = store
+            .get(key)
+            .map_err(|e| format!("model store resolution for '{}' failed: {e}", key.as_str()))?;
+        let mut pinned = lock(&self.pinned);
+        if !pinned
+            .iter()
+            .any(|(k, g, _)| k == key && *g == resolved.generation)
+        {
+            pinned.push((
+                key.clone(),
+                resolved.generation,
+                Arc::clone(&resolved.model),
+            ));
+        }
+        let (_, _, arc) = pinned
+            .iter()
+            .find(|(k, g, _)| k == key && *g == resolved.generation)
+            .expect("just ensured");
+        // SAFETY: the arena is append-only — entries are never removed
+        // while `self` is borrowed — and an `Arc`'s pointee is heap-
+        // allocated and address-stable, so the pointer stays valid for
+        // the arena's borrow lifetime even though the Vec holding the
+        // `Arc` handles may reallocate. The arena outlives every scorer
+        // (it is dropped only after the intake thread joins).
+        Ok((unsafe { &*Arc::as_ptr(arc) }, resolved.generation))
+    }
+}
+
+/// Live incident sink: line-framed `key=value` events appended to the
+/// configured file, flushed per line so the stream can be tailed while
+/// the server runs.
+struct IncidentSink {
+    out: Mutex<File>,
+    emitted: Counter,
+}
+
+impl IncidentSink {
+    fn open(path: &str, registry: &MetricsRegistry) -> io::Result<Self> {
+        Ok(IncidentSink {
+            out: Mutex::new(File::create(path)?),
+            emitted: registry.counter("ingest_incidents_total", "live incident events emitted"),
+        })
+    }
+
+    fn emit(&self, line: &str) {
+        let mut out = lock(&self.out);
+        // A sink write failure must never take down scoring; the
+        // counter still advances, so a dead sink stays visible in the
+        // metrics as events without file growth.
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+        self.emitted.inc();
     }
 }
 
@@ -305,6 +428,10 @@ struct Conn {
     parked: bool,
     /// Whether the intake thread has been told about this token.
     announced: bool,
+    /// Plant id this connection holds the live claim for (`None` until
+    /// the handshake lands — or forever, for a duplicate claimant whose
+    /// close must not release the rightful owner's claim).
+    claimed_plant: Option<u32>,
 }
 
 impl Conn {
@@ -316,6 +443,7 @@ impl Conn {
             shared: Arc::new(ConnShared::default()),
             parked: false,
             announced: false,
+            claimed_plant: None,
         }
     }
 }
@@ -351,7 +479,7 @@ impl IntakeQueue {
 /// The ingestion server. Bind once, then [`IngestServer::run`] the
 /// serving session; metrics accumulate in [`IngestServer::metrics`].
 pub struct IngestServer<'m> {
-    monitor: &'m DualMspc,
+    source: ModelSource<'m>,
     config: IngestConfig,
     listener: TcpListener,
     registry: MetricsRegistry,
@@ -359,16 +487,42 @@ pub struct IngestServer<'m> {
 }
 
 impl<'m> IngestServer<'m> {
-    /// Binds the listen socket and spawns the scoring pool.
+    /// Binds the listen socket and spawns the scoring pool, scoring
+    /// every connection against one shared `monitor`.
     ///
     /// # Errors
     ///
     /// Propagates socket binding failure.
     pub fn bind(monitor: &'m DualMspc, config: IngestConfig) -> io::Result<Self> {
+        Self::bind_source(ModelSource::Shared(monitor), config)
+    }
+
+    /// Binds the listen socket and spawns the scoring pool, resolving
+    /// each connection's monitor per cohort through `store` (see
+    /// [`ModelSource::Store`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding failure.
+    pub fn bind_with_store(
+        store: &'m ModelStore,
+        cohorts: usize,
+        config: IngestConfig,
+    ) -> io::Result<Self> {
+        Self::bind_source(
+            ModelSource::Store {
+                store,
+                cohorts: cohorts.max(1),
+            },
+            config,
+        )
+    }
+
+    fn bind_source(source: ModelSource<'m>, config: IngestConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let pool = WorkerPool::new(config.threads);
         Ok(IngestServer {
-            monitor,
+            source,
             config,
             listener,
             registry: MetricsRegistry::new(),
@@ -406,6 +560,11 @@ impl<'m> IngestServer<'m> {
     /// connection's report.
     pub fn run(&self, stop: &AtomicBool) -> io::Result<IngestReport> {
         let metrics = IngestMetrics::register(&self.registry);
+        let incidents = match &self.config.incidents {
+            Some(path) => Some(IncidentSink::open(path, &self.registry)?),
+            None => None,
+        };
+        let pin = ModelPin::default();
         let intake = IntakeQueue::default();
         let reports: Mutex<Vec<ConnectionReport>> = Mutex::new(Vec::new());
         let drained = AtomicBool::new(false);
@@ -414,7 +573,9 @@ impl<'m> IngestServer<'m> {
         let loop_result = std::thread::scope(|scope| {
             let intake_thread = scope.spawn(|| {
                 intake_loop(
-                    self.monitor,
+                    &self.source,
+                    &pin,
+                    incidents.as_ref(),
                     &self.pool,
                     self.config.batch_steps,
                     &intake,
@@ -458,6 +619,7 @@ impl<'m> IngestServer<'m> {
         let mut state = EventState {
             poller,
             conns: HashMap::new(),
+            claimed: HashSet::new(),
             next_token: 1,
             max_connections: self.config.max_connections.max(1),
             queue_depth: self.config.queue_depth.max(1),
@@ -491,13 +653,18 @@ impl<'m> IngestServer<'m> {
 }
 
 /// The event loop's mutable world, factored out so connection handling
-/// reads as methods instead of parameter soup.
-struct EventState<'s> {
-    poller: Poller,
+/// reads as methods instead of parameter soup. Generic over the poller
+/// so tests can drive the failure paths with a misbehaving stub.
+struct EventState<'s, P: Polling> {
+    poller: P,
     /// Live connections by token. Tokens are never reused — the intake
     /// thread keys its scorers by token, and a recycled token could
     /// collide with a connection it has not finalized yet.
     conns: HashMap<usize, Conn>,
+    /// Plant ids claimed by live connections: one live stream per plant,
+    /// so two peers cannot both claim plant 7 and produce ambiguous
+    /// reports. Released when the claiming connection closes.
+    claimed: HashSet<u32>,
     next_token: usize,
     max_connections: usize,
     queue_depth: usize,
@@ -508,12 +675,15 @@ struct EventState<'s> {
     intake: &'s IntakeQueue,
 }
 
-impl EventState<'_> {
+impl<P: Polling> EventState<'_, P> {
     fn accept_ready(&mut self, listener: &TcpListener) -> io::Result<()> {
         loop {
             match listener.accept() {
                 Ok((stream, _peer)) => {
-                    self.metrics.connections_total.inc();
+                    // `connections_total` counts only connections that
+                    // make it into the loop; refused attempts count in
+                    // `refused_total` alone, so
+                    // attempts = connections_total + refused_total.
                     if self.conns.len() >= self.max_connections {
                         self.metrics.refused_total.inc();
                         drop(stream);
@@ -534,6 +704,7 @@ impl EventState<'_> {
                         continue;
                     }
                     self.conns.insert(token, Conn::new(stream));
+                    self.metrics.connections_total.inc();
                     self.metrics.connections_current.inc();
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -553,6 +724,7 @@ impl EventState<'_> {
             let EventState {
                 poller,
                 conns,
+                claimed,
                 queue_depth,
                 read_buf,
                 metrics,
@@ -562,7 +734,16 @@ impl EventState<'_> {
             let Some(conn) = conns.get_mut(&token) else {
                 return; // already closed this tick
             };
-            read_conn(conn, token, *queue_depth, read_buf, poller, metrics, intake)
+            read_conn(
+                conn,
+                token,
+                *queue_depth,
+                read_buf,
+                poller,
+                claimed,
+                metrics,
+                intake,
+            )
         };
         match outcome {
             ReadOutcome::Continue => {}
@@ -584,6 +765,12 @@ impl EventState<'_> {
         };
         let _ = self.poller.deregister(conn.stream.as_raw_fd());
         self.metrics.connections_current.dec();
+        // Release the plant claim so a reconnecting plant can resume.
+        // (A duplicate-claim connection never set `claimed_plant`, so
+        // closing it leaves the rightful owner's claim in place.)
+        if let Some(plant) = conn.claimed_plant {
+            self.claimed.remove(&plant);
+        }
         let mut fault = fault;
         if fault.is_none() && (conn.parser.pending_bytes() > 0 || !conn.pending_step.is_empty()) {
             self.metrics.reassembly_errors_total.inc();
@@ -615,19 +802,29 @@ impl EventState<'_> {
     /// the periodic other half of the backpressure protocol (the intake
     /// thread never touches the poller).
     fn unpark_tick(&mut self) {
+        let mut failed: Vec<(usize, String)> = Vec::new();
         for (&token, conn) in &mut self.conns {
             if !conn.parked {
                 continue;
             }
             let depth = lock(&conn.shared.state).steps.len();
-            if depth * 2 <= self.queue_depth
-                && self
-                    .poller
-                    .set_readable(conn.stream.as_raw_fd(), token, true)
-                    .is_ok()
-            {
-                conn.parked = false;
+            if depth * 2 > self.queue_depth {
+                continue;
             }
+            match self
+                .poller
+                .set_readable(conn.stream.as_raw_fd(), token, true)
+            {
+                Ok(()) => conn.parked = false,
+                // A connection whose read interest cannot be re-armed
+                // would otherwise stay parked forever — its queue is
+                // already drained, so nothing else will ever retry.
+                // Fail it loudly instead of wedging it silently.
+                Err(e) => failed.push((token, format!("unparking read interest failed: {e}"))),
+            }
+        }
+        for (token, fault) in failed {
+            self.close_conn(token, Some(fault));
         }
     }
 
@@ -654,12 +851,14 @@ enum ReadOutcome {
 /// Pulls everything the socket has, feeding the parser and enqueuing
 /// reassembled steps, until the read would block, the connection parks,
 /// or the stream ends or faults.
-fn read_conn(
+#[allow(clippy::too_many_arguments)]
+fn read_conn<P: Polling>(
     conn: &mut Conn,
     token: usize,
     queue_depth: usize,
     buf: &mut [u8],
-    poller: &Poller,
+    poller: &P,
+    claimed: &mut HashSet<u32>,
     metrics: &IngestMetrics,
     intake: &IntakeQueue,
 ) -> ReadOutcome {
@@ -669,7 +868,8 @@ fn read_conn(
             Ok(n) => {
                 metrics.bytes_total.add(n as u64);
                 conn.parser.feed(&buf[..n]);
-                if let Err(fault) = drain_parser(conn, token, queue_depth, poller, metrics, intake)
+                if let Err(fault) =
+                    drain_parser(conn, token, queue_depth, poller, claimed, metrics, intake)
                 {
                     return ReadOutcome::Fault(fault);
                 }
@@ -685,11 +885,13 @@ fn read_conn(
 /// Drains every complete parser event, reassembling steps and enqueuing
 /// them for the intake thread. Returns the fault message on the first
 /// protocol/reassembly error.
-fn drain_parser(
+#[allow(clippy::too_many_arguments)]
+fn drain_parser<P: Polling>(
     conn: &mut Conn,
     token: usize,
     queue_depth: usize,
-    poller: &Poller,
+    poller: &P,
+    claimed: &mut HashSet<u32>,
     metrics: &IngestMetrics,
     intake: &IntakeQueue,
 ) -> Result<(), String> {
@@ -697,7 +899,17 @@ fn drain_parser(
         match conn.parser.next_event() {
             Ok(None) => return Ok(()),
             Ok(Some(StreamEvent::Hello(hello))) => {
+                let plant = hello.plant;
+                // Store the hello before the claim check so a duplicate
+                // claimant's report still names the plant it attempted.
                 lock(&conn.shared.state).hello = Some(hello);
+                if claimed.insert(plant) {
+                    conn.claimed_plant = Some(plant);
+                } else {
+                    return Err(format!(
+                        "plant id {plant} already claimed by a live connection"
+                    ));
+                }
             }
             Ok(Some(StreamEvent::Record(record))) => {
                 metrics.frames_total.inc();
@@ -758,9 +970,51 @@ fn drain_parser(
 /// taken (`Option`) by whichever pool worker claims the slot.
 type BatchJob<'m> = Mutex<Option<(StreamScorer<'m>, Vec<ReplayStep>)>>;
 
+/// Resolves the monitor one connection scores against: the shared
+/// monitor (generation 0), or the plant's cohort model pinned out of
+/// the store. Resolution happens exactly once per connection — at the
+/// first batch after its handshake — so an in-flight stream keeps its
+/// generation across a mid-session hot reload while the next connection
+/// picks the bumped one up.
+fn resolve_monitor<'p>(
+    source: &'p ModelSource<'p>,
+    pin: &'p ModelPin,
+    plant: u32,
+) -> Result<(&'p DualMspc, u64), String> {
+    match source {
+        ModelSource::Shared(monitor) => Ok((monitor, 0)),
+        ModelSource::Store { store, cohorts } => {
+            let key = PlantKey::cohort(plant as usize % (*cohorts).max(1));
+            pin.resolve(store, &key)
+        }
+    }
+}
+
+/// Emits one `event=detection` line per detection that surfaced on a
+/// level since the last emission, advancing the per-level cursor.
+fn emit_new_detections(
+    sink: &IncidentSink,
+    plant: u32,
+    generation: u64,
+    level: &str,
+    events: &[AnomalousEvent],
+    seen: &mut usize,
+) {
+    for event in &events[*seen..] {
+        sink.emit(&format!(
+            "event=detection plant={plant} level={level} detected_hour={:.6} \
+             first_violation_hour={:.6} generation={generation}",
+            event.detected_hour, event.first_violation_hour
+        ));
+    }
+    *seen = events.len();
+}
+
 #[allow(clippy::too_many_arguments)]
-fn intake_loop<'m>(
-    monitor: &'m DualMspc,
+fn intake_loop<'p>(
+    source: &'p ModelSource<'p>,
+    pin: &'p ModelPin,
+    incidents: Option<&IncidentSink>,
     pool: &WorkerPool,
     batch_steps: usize,
     intake: &IntakeQueue,
@@ -769,20 +1023,32 @@ fn intake_loop<'m>(
     metrics: &IngestMetrics,
     finished: &AtomicUsize,
 ) {
-    struct Entry<'m> {
+    struct Entry<'p> {
         shared: Arc<ConnShared>,
-        scorer: Option<StreamScorer<'m>>,
+        scorer: Option<StreamScorer<'p>>,
+        /// The monitor the scorer borrows — needed again at diagnosis.
+        monitor: Option<&'p DualMspc>,
+        /// Store generation that produced `monitor` (0 = shared path).
+        generation: u64,
+        /// Plant id from the handshake (`u32::MAX` until it lands).
+        plant: u32,
+        /// Per-level incident cursors: detections already emitted.
+        seen_events: (usize, usize),
         steps: u64,
         fault: Option<String>,
     }
 
     let batch_steps = batch_steps.max(1);
-    let mut active: HashMap<usize, Entry<'m>> = HashMap::new();
+    let mut active: HashMap<usize, Entry<'p>> = HashMap::new();
     loop {
         for (token, shared) in intake.drain_wait(Duration::from_millis(5)) {
             active.entry(token).or_insert(Entry {
                 shared,
                 scorer: None,
+                monitor: None,
+                generation: 0,
+                plant: u32::MAX,
+                seen_events: (0, 0),
                 steps: 0,
                 fault: None,
             });
@@ -790,7 +1056,7 @@ fn intake_loop<'m>(
 
         // Assemble one bounded batch per connection with queued steps.
         let mut batch_tokens: Vec<usize> = Vec::new();
-        let mut jobs: Vec<BatchJob<'m>> = Vec::new();
+        let mut jobs: Vec<BatchJob<'p>> = Vec::new();
         for (&token, entry) in &mut active {
             let batch = {
                 let mut state = lock(&entry.shared.state);
@@ -815,12 +1081,29 @@ fn intake_loop<'m>(
                 continue; // scorer already condemned; drain and discard
             }
             if entry.scorer.is_none() {
-                let onset = lock(&entry.shared.state)
+                let hello = lock(&entry.shared.state)
                     .hello
                     .as_ref()
-                    .map(|h| h.scenario.onset_hour);
-                match onset {
-                    Some(onset) => entry.scorer = Some(monitor.stream_scorer(onset)),
+                    .map(|h| (h.plant, h.scenario.onset_hour));
+                match hello {
+                    Some((plant, onset)) => {
+                        match resolve_monitor(source, pin, plant) {
+                            Ok((monitor, generation)) => {
+                                entry.plant = plant;
+                                entry.monitor = Some(monitor);
+                                entry.generation = generation;
+                                entry.scorer = Some(monitor.stream_scorer(onset));
+                            }
+                            Err(fault) => {
+                                // Store resolution failed (I/O, torn
+                                // file, failed calibrate-on-miss): the
+                                // connection fails, the server lives.
+                                entry.plant = plant;
+                                entry.fault = Some(fault);
+                                continue;
+                            }
+                        }
+                    }
                     None => {
                         // Unreachable (the parser emits Hello first),
                         // kept as a fault rather than a panic.
@@ -857,7 +1140,28 @@ fn intake_loop<'m>(
                         .expect("batch token is active");
                     entry.steps += scored;
                     match fault {
-                        None => entry.scorer = Some(scorer),
+                        None => {
+                            if let Some(sink) = incidents {
+                                let (controller, process) = scorer.events();
+                                emit_new_detections(
+                                    sink,
+                                    entry.plant,
+                                    entry.generation,
+                                    "controller",
+                                    controller,
+                                    &mut entry.seen_events.0,
+                                );
+                                emit_new_detections(
+                                    sink,
+                                    entry.plant,
+                                    entry.generation,
+                                    "process",
+                                    process,
+                                    &mut entry.seen_events.1,
+                                );
+                            }
+                            entry.scorer = Some(scorer);
+                        }
                         Some(fault) => {
                             metrics.reassembly_errors_total.inc();
                             entry.fault = Some(fault);
@@ -886,6 +1190,7 @@ fn intake_loop<'m>(
             let fault = entry.fault.take().or(fault);
             let report = match (hello, entry.scorer.take(), fault) {
                 (Some(hello), Some(scorer), None) => {
+                    let monitor = entry.monitor.expect("a live scorer has its monitor");
                     let onset = hello.scenario.onset_hour;
                     let outcome = scorer.finish(hello.scenario.clone(), None);
                     let verdict = diagnose(monitor, &outcome, VerdictThresholds::default())
@@ -901,6 +1206,7 @@ fn intake_loop<'m>(
                         detection_latency_hours: outcome.detection.run_length(onset),
                         verdict,
                         digest: detection_digest(&outcome),
+                        model_generation: entry.generation,
                         fault: None,
                     }
                 }
@@ -919,11 +1225,35 @@ fn intake_loop<'m>(
                         detection_latency_hours: None,
                         verdict: None,
                         digest: 0,
+                        model_generation: entry.generation,
                         fault: fault
                             .or_else(|| Some("connection closed before any complete step".into())),
                     }
                 }
             };
+            if let Some(sink) = incidents {
+                match &report.fault {
+                    None => sink.emit(&format!(
+                        "event=verdict plant={} kind={} verdict={} latency_hours={} \
+                         false_alarms={} digest={:016x} generation={}",
+                        report.plant,
+                        report.kind.id(),
+                        report
+                            .verdict
+                            .map_or_else(|| "-".to_string(), |v| v.to_string()),
+                        report
+                            .detection_latency_hours
+                            .map_or_else(|| "-".to_string(), |h| format!("{h:.6}")),
+                        report.false_alarms,
+                        report.digest,
+                        report.model_generation,
+                    )),
+                    Some(fault) => sink.emit(&format!(
+                        "event=fault plant={} fault=\"{fault}\"",
+                        report.plant
+                    )),
+                }
+            }
             lock(reports).push(report);
             finished.fetch_add(1, Ordering::SeqCst);
         }
@@ -931,5 +1261,136 @@ fn intake_loop<'m>(
         if drained.load(Ordering::SeqCst) && active.is_empty() && lock(&intake.ready).is_empty() {
             return;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poller::PollEvent;
+    use std::os::fd::RawFd;
+
+    /// A poller whose re-arm always fails — the trigger for the unpark
+    /// wedge this module's regression test guards against.
+    struct FailingPoller;
+
+    impl Polling for FailingPoller {
+        fn register(&self, _: RawFd, _: usize, _: bool) -> io::Result<()> {
+            Ok(())
+        }
+
+        fn set_readable(&self, _: RawFd, _: usize, _: bool) -> io::Result<()> {
+            Err(io::Error::other("stub re-arm failure"))
+        }
+
+        fn deregister(&self, _: RawFd) -> io::Result<()> {
+            Ok(())
+        }
+
+        fn wait(&self, out: &mut Vec<PollEvent>, _: i32) -> io::Result<usize> {
+            out.clear();
+            Ok(0)
+        }
+    }
+
+    /// Before the fix, a failed `set_readable` in `unpark_tick` left the
+    /// connection parked with a drained queue: no readiness event would
+    /// ever fire for it again and no retry path existed, so it hung
+    /// forever. The fix closes it with a fault instead.
+    #[test]
+    fn failed_unpark_fails_the_connection_instead_of_wedging_it() {
+        let registry = MetricsRegistry::new();
+        let metrics = IngestMetrics::register(&registry);
+        let intake = IntakeQueue::default();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+
+        let mut state = EventState {
+            poller: FailingPoller,
+            conns: HashMap::new(),
+            claimed: HashSet::new(),
+            next_token: 2,
+            max_connections: 4,
+            queue_depth: 4,
+            read_buf: vec![0u8; 64].into_boxed_slice(),
+            metrics: &metrics,
+            intake: &intake,
+        };
+        let mut conn = Conn::new(stream);
+        conn.parked = true;
+        let shared = Arc::clone(&conn.shared);
+        state.conns.insert(1, conn);
+
+        // Queue empty (below half depth), so the tick must unpark; the
+        // poller refuses, and the connection must be retired with a
+        // fault rather than left in the map parked forever.
+        state.unpark_tick();
+
+        assert!(state.conns.is_empty(), "connection left wedged in the map");
+        let conn_state = lock(&shared.state);
+        assert!(conn_state.eof, "closed connection not marked end-of-stream");
+        assert!(
+            conn_state
+                .fault
+                .as_deref()
+                .is_some_and(|f| f.contains("unparking read interest failed")),
+            "fault missing or wrong: {:?}",
+            conn_state.fault
+        );
+        // The intake thread must have been told so it reports the
+        // connection instead of waiting on it.
+        assert_eq!(lock(&intake.ready).len(), 1);
+        drop(client);
+    }
+
+    /// A healthy poller still unparks a drained connection — the fix
+    /// must not fail connections whose re-arm succeeds.
+    #[test]
+    fn successful_unpark_keeps_the_connection() {
+        struct OkPoller;
+        impl Polling for OkPoller {
+            fn register(&self, _: RawFd, _: usize, _: bool) -> io::Result<()> {
+                Ok(())
+            }
+            fn set_readable(&self, _: RawFd, _: usize, _: bool) -> io::Result<()> {
+                Ok(())
+            }
+            fn deregister(&self, _: RawFd) -> io::Result<()> {
+                Ok(())
+            }
+            fn wait(&self, out: &mut Vec<PollEvent>, _: i32) -> io::Result<usize> {
+                out.clear();
+                Ok(0)
+            }
+        }
+
+        let registry = MetricsRegistry::new();
+        let metrics = IngestMetrics::register(&registry);
+        let intake = IntakeQueue::default();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+
+        let mut state = EventState {
+            poller: OkPoller,
+            conns: HashMap::new(),
+            claimed: HashSet::new(),
+            next_token: 2,
+            max_connections: 4,
+            queue_depth: 4,
+            read_buf: vec![0u8; 64].into_boxed_slice(),
+            metrics: &metrics,
+            intake: &intake,
+        };
+        let mut conn = Conn::new(stream);
+        conn.parked = true;
+        state.conns.insert(1, conn);
+
+        state.unpark_tick();
+
+        let conn = state.conns.get(&1).expect("connection must stay live");
+        assert!(!conn.parked, "drained connection still parked");
+        drop(client);
     }
 }

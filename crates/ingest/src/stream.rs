@@ -143,6 +143,14 @@ pub enum StreamError {
     BadTap(u8),
     /// The framed bytes failed the strict fieldbus decode.
     Frame(FrameError),
+    /// The handshake onset hour is NaN or negative. (`+∞` is valid — it
+    /// is the "no anomaly" sentinel normal-operation streams declare.)
+    BadOnset(f64),
+    /// The handshake duration is not a finite non-negative hour count.
+    BadDuration(f64),
+    /// The handshake claims a reserved plant id (`u32::MAX` marks "no
+    /// handshake arrived" in connection reports and cannot be claimed).
+    BadPlant(u32),
 }
 
 impl std::fmt::Display for StreamError {
@@ -163,6 +171,13 @@ impl std::fmt::Display for StreamError {
             StreamError::Undersize => write!(f, "message advertises no tap byte"),
             StreamError::BadTap(c) => write!(f, "unknown tap point code {c}"),
             StreamError::Frame(e) => write!(f, "frame decode failed: {e}"),
+            StreamError::BadOnset(v) => {
+                write!(f, "onset hour {v} is not a non-negative number")
+            }
+            StreamError::BadDuration(v) => {
+                write!(f, "duration {v} h is not a finite non-negative number")
+            }
+            StreamError::BadPlant(p) => write!(f, "plant id {p} is reserved"),
         }
     }
 }
@@ -254,9 +269,21 @@ impl StreamParser {
             return Err(StreamError::BadReserved(data[11]));
         }
         let plant = u32::from_be_bytes(data[12..16].try_into().expect("4 bytes"));
+        if plant == u32::MAX {
+            return Err(StreamError::BadPlant(plant));
+        }
         let seed = u64::from_be_bytes(data[16..24].try_into().expect("8 bytes"));
         let onset_hour = f64::from_be_bytes(data[24..32].try_into().expect("8 bytes"));
+        // The onset drives the false-alarm split and latency arithmetic;
+        // a NaN or negative onset would poison both. `+∞` stays valid —
+        // it is how a normal-operation stream says "no anomaly ever".
+        if onset_hour.is_nan() || onset_hour < 0.0 {
+            return Err(StreamError::BadOnset(onset_hour));
+        }
         let duration_hours = f64::from_be_bytes(data[32..40].try_into().expect("8 bytes"));
+        if !duration_hours.is_finite() || duration_hours < 0.0 {
+            return Err(StreamError::BadDuration(duration_hours));
+        }
         Ok(Hello {
             plant,
             scenario: Scenario::short(kind, duration_hours, onset_hour, seed),
@@ -458,6 +485,64 @@ mod tests {
             parser.next_event(),
             Err(StreamError::Frame(FrameError::LengthMismatch { .. }))
         ));
+    }
+
+    fn hello_with(
+        plant: u32,
+        onset_bits: u64,
+        duration_bits: u64,
+    ) -> Result<Option<StreamEvent>, StreamError> {
+        let mut bytes = encode_hello(plant, &sample_scenario());
+        bytes[24..32].copy_from_slice(&onset_bits.to_be_bytes());
+        bytes[32..40].copy_from_slice(&duration_bits.to_be_bytes());
+        let mut parser = StreamParser::new();
+        parser.feed(&bytes);
+        parser.next_event()
+    }
+
+    #[test]
+    fn non_finite_and_negative_onset_hours_are_rejected() {
+        for bad in [f64::NAN, -1.0, f64::NEG_INFINITY, -0.000_1] {
+            assert!(
+                matches!(
+                    hello_with(3, bad.to_bits(), 2.0f64.to_bits()),
+                    Err(StreamError::BadOnset(_))
+                ),
+                "onset {bad} should be rejected"
+            );
+        }
+        // +∞ is the "no anomaly" sentinel normal streams declare; zero
+        // means the anomaly was live from the first sample. Both valid.
+        for good in [f64::INFINITY, 0.0, 0.5] {
+            assert!(
+                matches!(
+                    hello_with(3, good.to_bits(), 2.0f64.to_bits()),
+                    Ok(Some(StreamEvent::Hello(_)))
+                ),
+                "onset {good} should be accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_and_negative_durations_are_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -2.0] {
+            assert!(
+                matches!(
+                    hello_with(3, 0.5f64.to_bits(), bad.to_bits()),
+                    Err(StreamError::BadDuration(_))
+                ),
+                "duration {bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn reserved_plant_id_is_rejected() {
+        let bytes = encode_hello(u32::MAX, &sample_scenario());
+        let mut parser = StreamParser::new();
+        parser.feed(&bytes);
+        assert_eq!(parser.next_event(), Err(StreamError::BadPlant(u32::MAX)));
     }
 
     #[test]

@@ -27,7 +27,9 @@ fn record_strategy() -> impl Strategy<Value = CaptureRecord> {
 
 fn stream_strategy() -> impl Strategy<Value = (Vec<u8>, Vec<CaptureRecord>)> {
     (
-        any::<u32>(),
+        // u32::MAX is the reserved "no plant" sentinel and is rejected
+        // at the handshake; valid streams stay below it.
+        0u32..u32::MAX,
         any::<u64>(),
         0.0..10.0f64,
         0.1..100.0f64,
@@ -162,7 +164,7 @@ proptest! {
     /// hostile peer advertises.
     #[test]
     fn hostile_length_prefixes_never_balloon_the_buffer(
-        plant in any::<u32>(),
+        plant in 0u32..u32::MAX,
         len in (temspc_ingest::MAX_MESSAGE_LEN as u32 + 1)..=u32::MAX,
     ) {
         let scenario = Scenario::short(ScenarioKind::Normal, 1.0, 0.5, 1);
@@ -172,5 +174,59 @@ proptest! {
         parser.feed(&bytes);
         prop_assert!(matches!(parser.next_event(), Ok(Some(StreamEvent::Hello(_)))));
         prop_assert!(parser.next_event().is_err());
+    }
+
+    /// Hostile hello floats: arbitrary bit patterns in the onset and
+    /// duration fields never panic the parser. NaN or negative onsets
+    /// and non-finite or negative durations are rejected terminally;
+    /// everything else (including the +inf "no anomaly" onset sentinel)
+    /// yields a Hello.
+    #[test]
+    fn hostile_hello_floats_never_panic_and_invalid_ones_are_rejected(
+        onset_bits in any::<u64>(),
+        duration_bits in any::<u64>(),
+        extra in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let scenario = Scenario::short(ScenarioKind::Idv6, 1.0, 0.5, 1);
+        let mut bytes = encode_hello(1, &scenario).to_vec();
+        bytes[24..32].copy_from_slice(&onset_bits.to_be_bytes());
+        bytes[32..40].copy_from_slice(&duration_bits.to_be_bytes());
+        let onset = f64::from_bits(onset_bits);
+        let duration = f64::from_bits(duration_bits);
+
+        let mut parser = StreamParser::new();
+        parser.feed(&bytes);
+        let event = parser.next_event();
+        let onset_ok = !onset.is_nan() && onset >= 0.0;
+        let duration_ok = duration.is_finite() && duration >= 0.0;
+        if onset_ok && duration_ok {
+            prop_assert!(matches!(event, Ok(Some(StreamEvent::Hello(_)))));
+        } else {
+            prop_assert!(
+                event.is_err(),
+                "invalid hello accepted: onset {onset}, duration {duration}"
+            );
+            // Poisoned terminally: more attacker bytes change nothing.
+            parser.feed(&extra);
+            prop_assert!(parser.next_event().is_err());
+        }
+    }
+
+    /// The reserved plant id (u32::MAX) is the only plant value the
+    /// handshake rejects.
+    #[test]
+    fn reserved_plant_id_is_the_only_rejected_plant(
+        plant in any::<u32>(),
+        seed in any::<u64>(),
+    ) {
+        let scenario = Scenario::short(ScenarioKind::Idv6, 1.0, 0.5, seed);
+        let mut parser = StreamParser::new();
+        parser.feed(&encode_hello(plant, &scenario));
+        let event = parser.next_event();
+        if plant == u32::MAX {
+            prop_assert!(event.is_err(), "reserved plant id accepted");
+        } else {
+            prop_assert!(matches!(event, Ok(Some(StreamEvent::Hello(_)))));
+        }
     }
 }

@@ -5,6 +5,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use temspc::{capture_scenario, CalibrationConfig, DualMspc, Scenario, ScenarioKind};
+use temspc_fleet::{ModelStore, PlantKey, StoreConfig};
 use temspc_ingest::{
     detection_digest, drive, load_report, save_report, DriveConfig, IngestConfig, IngestServer,
 };
@@ -64,6 +65,7 @@ fn sixty_four_connections_score_bit_identically_to_offline_replay() {
             batch_steps: 64,
             threads: 0,
             expect: Some(connections),
+            incidents: None,
         },
     )
     .unwrap();
@@ -233,4 +235,441 @@ fn stop_flag_drains_in_flight_streams_and_reports_them() {
     save_report(&report, &path).unwrap();
     assert_eq!(load_report(&path).unwrap(), report);
     let _ = std::fs::remove_dir_all(tmp(""));
+}
+
+/// A per-test scratch directory, isolated from the shared `tmp()` root
+/// so store-backed tests never race the older tests' final cleanup.
+fn test_root(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("temspc_loopback_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The cheap calibration the store-path tests share: small enough to
+/// calibrate several cohorts per test, deterministic per seed.
+fn quick_calibration(seed: u64) -> CalibrationConfig {
+    CalibrationConfig {
+        runs: 2,
+        duration_hours: 0.5,
+        record_every: 10,
+        base_seed: seed,
+        threads: 3,
+    }
+}
+
+enum ServeModel<'a> {
+    Shared(&'a DualMspc),
+    Store(&'a ModelStore, usize),
+}
+
+/// Binds a server over the given model source, floods it with
+/// `connections` tape replays, and returns the session report.
+fn serve_and_drive(
+    model: ServeModel<'_>,
+    connections: usize,
+    tapes: &[std::path::PathBuf],
+    incidents: Option<String>,
+) -> temspc_ingest::IngestReport {
+    let config = IngestConfig {
+        expect: Some(connections),
+        incidents,
+        ..IngestConfig::default()
+    };
+    let server = match model {
+        ServeModel::Shared(monitor) => IngestServer::bind(monitor, config).unwrap(),
+        ServeModel::Store(store, cohorts) => {
+            IngestServer::bind_with_store(store, cohorts, config).unwrap()
+        }
+    };
+    let addr = server.local_addr().unwrap().to_string();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let serve = scope.spawn(|| server.run(&stop));
+        drive(&DriveConfig {
+            addr,
+            tapes: tapes.to_vec(),
+            connections,
+            rate: 0.0,
+            chunk: 0,
+        })
+        .unwrap();
+        serve.join().expect("server thread panicked").unwrap()
+    })
+}
+
+/// Golden digest: a single-cohort store whose cohort_0 calibration
+/// matches the shared monitor must serve bit-identically to both the
+/// shared-monitor path and an offline replay of the same tape.
+#[test]
+fn single_cohort_store_serves_bit_identically_to_shared_monitor() {
+    let root = test_root("golden");
+    let monitor = DualMspc::calibrate(&quick_calibration(100)).unwrap();
+    let scenario = Scenario::short(ScenarioKind::IntegrityXmv3, 0.3, 0.1, 21);
+    let capture = capture_scenario(&scenario).unwrap();
+    let offline = detection_digest(&monitor.score_capture(&capture).unwrap());
+    let tape = root.join("golden.cap");
+    temspc::persistence::save_capture(&capture, &tape).unwrap();
+
+    let connections = 2;
+    let shared = serve_and_drive(
+        ServeModel::Shared(&monitor),
+        connections,
+        std::slice::from_ref(&tape),
+        None,
+    );
+    let store = ModelStore::new(StoreConfig::new(root.join("store"), quick_calibration(100)));
+    let stored = serve_and_drive(ServeModel::Store(&store, 1), connections, &[tape], None);
+
+    assert_eq!(shared.connections.len(), connections);
+    assert_eq!(stored.connections.len(), connections);
+    for (s, t) in shared.connections.iter().zip(&stored.connections) {
+        assert!(s.completed, "shared plant {}: {:?}", s.plant, s.fault);
+        assert!(t.completed, "stored plant {}: {:?}", t.plant, t.fault);
+        assert_eq!(
+            s.digest, offline,
+            "shared path diverged from offline replay"
+        );
+        assert_eq!(
+            t.digest, offline,
+            "store-backed serve diverged from the shared-monitor path"
+        );
+        // The shared path has no store generation to report; the store
+        // path pins the freshly calibrated generation 1.
+        assert_eq!(s.model_generation, 0);
+        assert_eq!(t.model_generation, 1);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Two plants in different cohorts must get verdicts from their own
+/// cohort's model: served digests match the offline replay against that
+/// cohort's calibration, and the two cohorts disagree.
+#[test]
+fn cohorts_score_against_their_own_models() {
+    let root = test_root("cohorts");
+    let stride = 5_000u64;
+    let mut cfg = StoreConfig::new(root.join("store"), quick_calibration(100));
+    cfg.seed_stride = stride;
+    let store = ModelStore::new(cfg);
+
+    let scenario = Scenario::short(ScenarioKind::IntegrityXmeas1, 0.3, 0.1, 33);
+    let capture = capture_scenario(&scenario).unwrap();
+    let tape = root.join("cohort.cap");
+    temspc::persistence::save_capture(&capture, &tape).unwrap();
+
+    let model_a = DualMspc::calibrate(&quick_calibration(100)).unwrap();
+    let model_b = DualMspc::calibrate(&quick_calibration(100 + stride)).unwrap();
+    let digest_a = detection_digest(&model_a.score_capture(&capture).unwrap());
+    let digest_b = detection_digest(&model_b.score_capture(&capture).unwrap());
+    assert_ne!(
+        digest_a, digest_b,
+        "cohort calibrations scored identically; the test needs a seed stride that separates them"
+    );
+
+    let report = serve_and_drive(ServeModel::Store(&store, 2), 4, &[tape], None);
+    assert_eq!(report.connections.len(), 4);
+    for conn in &report.connections {
+        assert!(conn.completed, "plant {}: {:?}", conn.plant, conn.fault);
+        let expected = if conn.plant % 2 == 0 {
+            digest_a
+        } else {
+            digest_b
+        };
+        assert_eq!(
+            conn.digest, expected,
+            "plant {} was scored against the wrong cohort's model",
+            conn.plant
+        );
+        assert_eq!(conn.model_generation, 1);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Refused connections (over `--max-connections`) are shed without being
+/// counted as registered: attempts = connections_total + refused_total.
+#[test]
+fn refused_connections_do_not_count_as_registered() {
+    use std::io::{Read as _, Write};
+
+    let monitor = DualMspc::calibrate(&quick_calibration(100)).unwrap();
+    let scenario = Scenario::short(ScenarioKind::Normal, 0.2, 0.05, 3);
+    let capture = capture_scenario(&scenario).unwrap();
+
+    let server = IngestServer::bind(
+        &monitor,
+        IngestConfig {
+            max_connections: 1,
+            expect: Some(1),
+            ..IngestConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let stop = AtomicBool::new(false);
+
+    let report = std::thread::scope(|scope| {
+        let serve = scope.spawn(|| server.run(&stop));
+
+        // Occupy the single slot: handshake plus half the tape, held open.
+        let mut first = std::net::TcpStream::connect(addr).unwrap();
+        let mut bytes = temspc_ingest::encode_hello(2, &capture.scenario).to_vec();
+        let half = capture.records.len() / 2;
+        for record in &capture.records[..half] {
+            temspc_ingest::encode_record(record, &mut bytes);
+        }
+        first.write_all(&bytes).unwrap();
+        first.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(200));
+
+        // Over the cap: the server sheds this socket immediately.
+        let mut refused = std::net::TcpStream::connect(addr).unwrap();
+        refused
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        let mut probe = [0u8; 1];
+        let n = refused.read(&mut probe).unwrap_or(0);
+        assert_eq!(n, 0, "refused connection should be closed by the server");
+
+        // Finish the occupant cleanly.
+        let mut rest = Vec::new();
+        for record in &capture.records[half..] {
+            temspc_ingest::encode_record(record, &mut rest);
+        }
+        first.write_all(&rest).unwrap();
+        drop(first);
+        serve.join().expect("server thread panicked").unwrap()
+    });
+
+    assert_eq!(report.connections.len(), 1);
+    assert!(report.connections[0].completed);
+    let expose = server.metrics().expose();
+    assert!(
+        expose.contains("ingest_connections_total 1"),
+        "registered-connection count drifted:\n{expose}"
+    );
+    assert!(
+        expose.contains("ingest_connections_refused_total 1"),
+        "refused-connection count drifted:\n{expose}"
+    );
+}
+
+/// A second live connection claiming an already-claimed plant id is
+/// faulted; the rightful owner keeps streaming and completes.
+#[test]
+fn duplicate_plant_claim_faults_the_second_connection() {
+    use std::io::Write;
+
+    let monitor = DualMspc::calibrate(&quick_calibration(100)).unwrap();
+    let scenario = Scenario::short(ScenarioKind::Normal, 0.2, 0.05, 5);
+    let capture = capture_scenario(&scenario).unwrap();
+
+    let server = IngestServer::bind(
+        &monitor,
+        IngestConfig {
+            expect: Some(2),
+            ..IngestConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let stop = AtomicBool::new(false);
+
+    let report = std::thread::scope(|scope| {
+        let serve = scope.spawn(|| server.run(&stop));
+
+        // The rightful owner of plant 7: handshake plus half the tape.
+        let mut first = std::net::TcpStream::connect(addr).unwrap();
+        let mut bytes = temspc_ingest::encode_hello(7, &capture.scenario).to_vec();
+        let half = capture.records.len() / 2;
+        for record in &capture.records[..half] {
+            temspc_ingest::encode_record(record, &mut bytes);
+        }
+        first.write_all(&bytes).unwrap();
+        first.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(200));
+
+        // A second claimant of the same plant id: faulted, not scored.
+        let mut second = std::net::TcpStream::connect(addr).unwrap();
+        second
+            .write_all(&temspc_ingest::encode_hello(7, &capture.scenario))
+            .unwrap();
+        second.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(200));
+
+        // The owner finishes cleanly despite the squatter.
+        let mut rest = Vec::new();
+        for record in &capture.records[half..] {
+            temspc_ingest::encode_record(record, &mut rest);
+        }
+        first.write_all(&rest).unwrap();
+        drop(first);
+        let report = serve.join().expect("server thread panicked").unwrap();
+        drop(second);
+        report
+    });
+
+    assert_eq!(report.connections.len(), 2);
+    let faulted: Vec<_> = report
+        .connections
+        .iter()
+        .filter(|c| c.fault.is_some())
+        .collect();
+    assert_eq!(faulted.len(), 1, "exactly the duplicate claimant faults");
+    assert!(
+        faulted[0]
+            .fault
+            .as_deref()
+            .unwrap()
+            .contains("already claimed"),
+        "fault: {:?}",
+        faulted[0].fault
+    );
+    assert_eq!(
+        faulted[0].plant, 7,
+        "the faulted report still names the plant"
+    );
+    let owner = report
+        .connections
+        .iter()
+        .find(|c| c.fault.is_none())
+        .expect("the rightful owner completes");
+    assert!(owner.completed);
+    assert_eq!(owner.plant, 7);
+    assert_eq!(owner.steps, (capture.records.len() / 4) as u64);
+}
+
+/// Hot reload mid-session: a generation bump on disk swaps the model for
+/// the *next* connection, while the in-flight connection finishes on the
+/// generation it pinned at scorer creation.
+#[test]
+fn hot_reload_swaps_models_for_new_connections_only() {
+    use std::io::Write;
+
+    let root = test_root("reload");
+    let store = ModelStore::new(StoreConfig::new(root.join("store"), quick_calibration(100)));
+    let scenario = Scenario::short(ScenarioKind::IntegrityXmv3, 0.3, 0.1, 9);
+    let capture = capture_scenario(&scenario).unwrap();
+    let tape_steps = (capture.records.len() / 4) as u64;
+
+    let model_gen1 = DualMspc::calibrate(&quick_calibration(100)).unwrap();
+    let digest_gen1 = detection_digest(&model_gen1.score_capture(&capture).unwrap());
+    let replacement = DualMspc::calibrate(&quick_calibration(4242)).unwrap();
+    let digest_gen2 = detection_digest(&replacement.score_capture(&capture).unwrap());
+    assert_ne!(digest_gen1, digest_gen2);
+
+    let server = IngestServer::bind_with_store(
+        &store,
+        1,
+        IngestConfig {
+            expect: Some(2),
+            batch_steps: 8, // small: the in-flight scorer resolves early
+            ..IngestConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let stop = AtomicBool::new(false);
+
+    // A second handle on the same directory plays the operator pushing a
+    // recalibrated model mid-session.
+    let writer = ModelStore::new(StoreConfig::new(root.join("store"), quick_calibration(100)));
+
+    let report = std::thread::scope(|scope| {
+        let serve = scope.spawn(|| server.run(&stop));
+
+        // In-flight connection: pins generation 1 at its first batch.
+        let mut inflight = std::net::TcpStream::connect(addr).unwrap();
+        let mut bytes = temspc_ingest::encode_hello(0, &capture.scenario).to_vec();
+        let half = capture.records.len() / 2;
+        for record in &capture.records[..half] {
+            temspc_ingest::encode_record(record, &mut bytes);
+        }
+        inflight.write_all(&bytes).unwrap();
+        inflight.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(400));
+
+        // Generation bump on disk while plant 0 is still streaming.
+        let inserted = writer.insert(&PlantKey::cohort(0), replacement).unwrap();
+        assert_eq!(inserted.generation, 2);
+
+        // A fresh connection resolves the reloaded generation 2.
+        let mut second = std::net::TcpStream::connect(addr).unwrap();
+        let mut bytes = temspc_ingest::encode_hello(1, &capture.scenario).to_vec();
+        for record in &capture.records {
+            temspc_ingest::encode_record(record, &mut bytes);
+        }
+        second.write_all(&bytes).unwrap();
+        drop(second);
+        std::thread::sleep(std::time::Duration::from_millis(200));
+
+        // The in-flight stream finishes on its pinned model.
+        let mut rest = Vec::new();
+        for record in &capture.records[half..] {
+            temspc_ingest::encode_record(record, &mut rest);
+        }
+        inflight.write_all(&rest).unwrap();
+        drop(inflight);
+        serve.join().expect("server thread panicked").unwrap()
+    });
+
+    assert_eq!(report.connections.len(), 2);
+    let inflight = &report.connections[0];
+    assert_eq!(inflight.plant, 0);
+    assert!(inflight.completed, "{:?}", inflight.fault);
+    assert_eq!(inflight.steps, tape_steps);
+    assert_eq!(
+        inflight.model_generation, 1,
+        "in-flight stream must stay pinned"
+    );
+    assert_eq!(
+        inflight.digest, digest_gen1,
+        "in-flight stream was rescored by the swapped model"
+    );
+    let fresh = &report.connections[1];
+    assert_eq!(fresh.plant, 1);
+    assert!(fresh.completed, "{:?}", fresh.fault);
+    assert_eq!(
+        fresh.model_generation, 2,
+        "new connection must see the reload"
+    );
+    assert_eq!(fresh.digest, digest_gen2);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The `--incidents` sink records one verdict line per completed
+/// connection, carrying the same digest and generation as the report.
+#[test]
+fn incident_stream_records_verdict_transitions() {
+    let root = test_root("incidents");
+    let monitor = DualMspc::calibrate(&quick_calibration(100)).unwrap();
+    let scenario = Scenario::short(ScenarioKind::IntegrityXmv3, 0.3, 0.1, 13);
+    let capture = capture_scenario(&scenario).unwrap();
+    let tape = root.join("incidents.cap");
+    temspc::persistence::save_capture(&capture, &tape).unwrap();
+    let incidents_path = root.join("incidents.log");
+
+    let report = serve_and_drive(
+        ServeModel::Shared(&monitor),
+        2,
+        &[tape],
+        Some(incidents_path.display().to_string()),
+    );
+
+    let text = std::fs::read_to_string(&incidents_path).unwrap();
+    assert_eq!(report.connections.len(), 2);
+    for conn in &report.connections {
+        assert!(conn.completed, "plant {}: {:?}", conn.plant, conn.fault);
+        let line = text
+            .lines()
+            .find(|l| l.starts_with(&format!("event=verdict plant={} ", conn.plant)))
+            .unwrap_or_else(|| panic!("no verdict line for plant {} in:\n{text}", conn.plant));
+        assert!(
+            line.contains(&format!("digest={:016x}", conn.digest)),
+            "incident digest drifted from the report: {line}"
+        );
+        assert!(line.contains(&format!("generation={}", conn.model_generation)));
+        assert!(line.contains(&format!("kind={}", conn.kind.id())));
+    }
+    let _ = std::fs::remove_dir_all(&root);
 }
